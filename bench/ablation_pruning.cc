@@ -1,0 +1,116 @@
+// Ablation (not a paper figure): contribution of each pruning strategy,
+// plus the LinearScan (pruning-without-index) middle ground.
+//
+// Rows: all pruning on; each strategy disabled in turn; all off; and the
+// LinearScan method. Gamma defaults to 0.8 because the Markov/pivot bounds
+// have a ~1/sqrt(2) floor for standardized data (see DESIGN.md) — at the
+// Table-2 default gamma=0.5 only the signature/index structure prunes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "query/linear_scan.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"n_matrices", "400"},
+                           {"gamma", "0.8"},
+                           {"seed", "2017"}});
+  BenchDefaults defaults;
+  defaults.num_matrices = static_cast<size_t>(flags.GetInt("n_matrices"));
+  defaults.gamma = flags.GetDouble("gamma");
+  defaults.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  PrintHeader("Ablation",
+              "pruning strategies on/off + LinearScan (Uni data)",
+              "N=" + std::to_string(defaults.num_matrices) +
+                  " gamma=" + std::to_string(defaults.gamma) +
+                  " alpha=0.5 n_Q=5 d=2");
+
+  GeneDatabase database = BuildSyntheticDatabase("Uni", defaults);
+  EngineOptions engine_options;
+  engine_options.index.build_threads = 0;  // Parallel build (bit-identical).
+  ImGrnEngine engine(engine_options);
+  engine.LoadDatabase(std::move(database));
+  IMGRN_CHECK_OK(engine.BuildIndex());
+  const std::vector<ProbGraph> queries =
+      MakeQueryWorkload(engine.database(), defaults);
+
+  QueryParams base;
+  base.gamma = defaults.gamma;
+  base.alpha = defaults.alpha;
+
+  struct Variant {
+    const char* name;
+    QueryParams params;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"all-pruning", base});
+  {
+    QueryParams p = base;
+    p.use_edge_pruning = false;
+    variants.push_back({"no-edge-pruning(L3)", p});
+  }
+  {
+    QueryParams p = base;
+    p.use_pivot_pruning = false;
+    variants.push_back({"no-pivot-pruning(S4.2)", p});
+  }
+  {
+    QueryParams p = base;
+    p.use_index_pruning = false;
+    variants.push_back({"no-index-pruning(L6)", p});
+  }
+  {
+    QueryParams p = base;
+    p.use_graph_pruning = false;
+    variants.push_back({"no-graph-pruning(L5)", p});
+  }
+  {
+    QueryParams p = base;
+    p.use_edge_pruning = false;
+    p.use_pivot_pruning = false;
+    p.use_index_pruning = false;
+    p.use_graph_pruning = false;
+    variants.push_back({"no-pruning", p});
+  }
+
+  std::printf("variant, cpu_seconds, io_pages, candidates, answers\n");
+  for (const Variant& variant : variants) {
+    const WorkloadResult result =
+        RunWorkload(engine, queries, variant.params);
+    std::printf("%s, %.6f, %.1f, %.2f, %.2f\n", variant.name,
+                result.mean_cpu_seconds, result.mean_io_pages,
+                result.mean_candidates, result.mean_answers);
+  }
+
+  // LinearScan: the Section-3 pruning applied to every matrix, no index.
+  LinearScanProcessor scan(&engine.index());
+  WorkloadResult scan_result;
+  for (const ProbGraph& query : queries) {
+    QueryStats stats;
+    scan.QueryWithGraph(query, base, &stats);
+    scan_result.mean_cpu_seconds += stats.total_seconds;
+    scan_result.mean_candidates +=
+        static_cast<double>(stats.candidate_matrices);
+    scan_result.mean_answers += static_cast<double>(stats.answers);
+    ++scan_result.queries;
+  }
+  const double n = static_cast<double>(scan_result.queries);
+  std::printf("linear-scan(no index), %.6f, 0.0, %.2f, %.2f\n",
+              scan_result.mean_cpu_seconds / n,
+              scan_result.mean_candidates / n, scan_result.mean_answers / n);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) {
+  return imgrn::bench::Main(argc, argv);
+}

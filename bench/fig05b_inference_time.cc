@@ -1,0 +1,61 @@
+// Figure 5(b): wall-clock time of inferring one full GRN with the IM-GRN
+// measure vs the Correlation measure, as the number of genes n_i grows from
+// 100 to 500.
+//
+// Paper shape to reproduce: IM-GRN costs more than Correlation (it runs
+// Monte Carlo permutations per pair); both grow quadratically in n_i.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"samples", "80"},      // l_i.
+                           {"num_samples", "64"},  // MC permutations.
+                           {"seed", "2017"}});
+  const size_t l = static_cast<size_t>(flags.GetInt("samples"));
+  ScoreOptions options;
+  options.num_samples = static_cast<size_t>(flags.GetInt("num_samples"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  PrintHeader("Figure 5(b)",
+              "GRN inference time vs number of genes n_i",
+              "l=" + std::to_string(l) +
+                  " mc_samples=" + std::to_string(options.num_samples));
+  std::printf("n_i, imgrn_seconds, correlation_seconds\n");
+
+  for (size_t n : {100, 200, 300, 400, 500}) {
+    Dream5LikeConfig config;
+    config.organism = Organism::kEcoli;
+    config.scale = static_cast<double>(n) / 4511.0;
+    config.sample_scale =
+        static_cast<double>(l) / (805.0 * config.scale);
+    config.seed = options.seed + n;
+    Dream5DataSet data = GenerateDream5Like(config);
+
+    Stopwatch imgrn_timer;
+    ComputeScoreMatrix(data.matrix, InferenceMeasure::kImGrn, options);
+    const double imgrn_seconds = imgrn_timer.ElapsedSeconds();
+
+    Stopwatch correlation_timer;
+    ComputeScoreMatrix(data.matrix, InferenceMeasure::kCorrelation, options);
+    const double correlation_seconds = correlation_timer.ElapsedSeconds();
+
+    std::printf("%zu, %.4f, %.4f\n", data.matrix.num_genes(), imgrn_seconds,
+                correlation_seconds);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) {
+  return imgrn::bench::Main(argc, argv);
+}

@@ -1,0 +1,60 @@
+// Figure 9(a-c): IM-GRN query performance vs the number of pivots d
+// (index dimensionality 2d+1), d in {1, 2, 3, 4}.
+//
+// Paper shape to reproduce: CPU and I/O grow with d (dimensionality curse:
+// higher-dimensional MBRs overlap more, the fanout drops, and node-pair
+// pruning weakens); candidates stay flat.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"n_matrices", "400"}, {"seed", "2017"}});
+  BenchDefaults defaults;
+  defaults.num_matrices = static_cast<size_t>(flags.GetInt("n_matrices"));
+  defaults.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  PrintHeader("Figure 9(a-c)",
+              "IM-GRN performance vs number of pivots d (dimensionality)",
+              "N=" + std::to_string(defaults.num_matrices) +
+                  " gamma=0.5 alpha=0.5 n_Q=5");
+  std::printf("dataset, d, cpu_seconds, io_pages, candidates, answers\n");
+
+  for (const char* dataset : {"Uni", "Gau"}) {
+    GeneDatabase database = BuildSyntheticDatabase(dataset, defaults);
+    for (size_t d : {1, 2, 3, 4}) {
+      EngineOptions options;
+      options.index.num_pivots = d;
+      options.index.build_threads = 0;
+      ImGrnEngine engine(options);
+      // The engine owns its copy so each d rebuilds from the same data.
+      GeneDatabase copy = database;
+      engine.LoadDatabase(std::move(copy));
+      IMGRN_CHECK_OK(engine.BuildIndex());
+      const std::vector<ProbGraph> queries =
+          MakeQueryWorkload(engine.database(), defaults);
+      QueryParams params;
+      params.gamma = defaults.gamma;
+      params.alpha = defaults.alpha;
+      const WorkloadResult result = RunWorkload(engine, queries, params);
+      std::printf("%s, %zu, %.6f, %.1f, %.2f, %.2f\n", dataset, d,
+                  result.mean_cpu_seconds, result.mean_io_pages,
+                  result.mean_candidates, result.mean_answers);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) {
+  return imgrn::bench::Main(argc, argv);
+}

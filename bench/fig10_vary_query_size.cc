@@ -1,0 +1,61 @@
+// Figure 10(a-c): IM-GRN query performance vs the number of query genes
+// n_Q in {2, 3, 5, 8, 10}.
+//
+// Paper shape to reproduce: "U" curves — more query genes prune more
+// candidates at first (each extra gene is another containment constraint),
+// then cost rises again as more query genes must be processed through the
+// index and refinement.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"n_matrices", "400"}, {"seed", "2017"}});
+  BenchDefaults defaults;
+  defaults.num_matrices = static_cast<size_t>(flags.GetInt("n_matrices"));
+  defaults.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  PrintHeader("Figure 10(a-c)",
+              "IM-GRN performance vs number of query genes n_Q",
+              "N=" + std::to_string(defaults.num_matrices) +
+                  " gamma=0.5 alpha=0.5 d=2");
+  std::printf("dataset, n_q, cpu_seconds, io_pages, candidates, answers\n");
+
+  for (const char* dataset : {"Uni", "Gau"}) {
+    GeneDatabase database = BuildSyntheticDatabase(dataset, defaults);
+    EngineOptions engine_options;
+  engine_options.index.build_threads = 0;  // Parallel build (bit-identical).
+  ImGrnEngine engine(engine_options);
+    engine.LoadDatabase(std::move(database));
+    IMGRN_CHECK_OK(engine.BuildIndex());
+
+    for (size_t n_q : {2, 3, 5, 8, 10}) {
+      BenchDefaults query_defaults = defaults;
+      query_defaults.query_genes = n_q;
+      const std::vector<ProbGraph> queries =
+          MakeQueryWorkload(engine.database(), query_defaults);
+      QueryParams params;
+      params.gamma = defaults.gamma;
+      params.alpha = defaults.alpha;
+      const WorkloadResult result = RunWorkload(engine, queries, params);
+      std::printf("%s, %zu, %.6f, %.1f, %.2f, %.2f\n", dataset, n_q,
+                  result.mean_cpu_seconds, result.mean_io_pages,
+                  result.mean_candidates, result.mean_answers);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) {
+  return imgrn::bench::Main(argc, argv);
+}

@@ -1,0 +1,64 @@
+// Figure 11(a-c): IM-GRN query performance vs the range [n_min, n_max] of
+// genes per matrix, from [10, 20] up to [200, 300].
+//
+// Paper shape to reproduce: CPU and I/O grow with matrix size (more gene
+// vectors in the index, more candidates per matrix), candidates stay small.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"n_matrices", "200"}, {"seed", "2017"}});
+  const size_t n_matrices = static_cast<size_t>(flags.GetInt("n_matrices"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  PrintHeader("Figure 11(a-c)",
+              "IM-GRN performance vs genes-per-matrix range [n_min, n_max]",
+              "N=" + std::to_string(n_matrices) +
+                  " gamma=0.5 alpha=0.5 n_Q=5 d=2");
+  std::printf(
+      "dataset, n_min, n_max, cpu_seconds, io_pages, candidates, answers\n");
+
+  const std::pair<size_t, size_t> ranges[] = {
+      {10, 20}, {20, 50}, {50, 100}, {100, 200}, {200, 300}};
+
+  for (const char* dataset : {"Uni", "Gau"}) {
+    for (const auto& [n_min, n_max] : ranges) {
+      BenchDefaults defaults;
+      defaults.num_matrices = n_matrices;
+      defaults.genes_min = n_min;
+      defaults.genes_max = n_max;
+      defaults.seed = seed;
+      GeneDatabase database = BuildSyntheticDatabase(dataset, defaults);
+      EngineOptions engine_options;
+  engine_options.index.build_threads = 0;  // Parallel build (bit-identical).
+  ImGrnEngine engine(engine_options);
+      engine.LoadDatabase(std::move(database));
+      IMGRN_CHECK_OK(engine.BuildIndex());
+      const std::vector<ProbGraph> queries =
+          MakeQueryWorkload(engine.database(), defaults);
+      QueryParams params;
+      params.gamma = defaults.gamma;
+      params.alpha = defaults.alpha;
+      const WorkloadResult result = RunWorkload(engine, queries, params);
+      std::printf("%s, %zu, %zu, %.6f, %.1f, %.2f, %.2f\n", dataset, n_min,
+                  n_max, result.mean_cpu_seconds, result.mean_io_pages,
+                  result.mean_candidates, result.mean_answers);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) {
+  return imgrn::bench::Main(argc, argv);
+}

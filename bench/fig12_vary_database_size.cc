@@ -1,0 +1,63 @@
+// Figure 12(a-c): scalability of IM-GRN query processing vs the number of
+// gene feature matrices N. The paper sweeps 10K..100K; this bench keeps the
+// same 1:2:3:4:5:10 sweep ratios at a 1/125 scale by default (see
+// EXPERIMENTS.md), overridable with --scale_base.
+//
+// Paper shape to reproduce: CPU and I/O grow smoothly (roughly linearly)
+// with N; candidate counts stay ~3-4 regardless of N.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"scale_base", "80"},  // N = base * ratio.
+                           {"seed", "2017"}});
+  const size_t base = static_cast<size_t>(flags.GetInt("scale_base"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  PrintHeader("Figure 12(a-c)",
+              "IM-GRN scalability vs database size N (paper: 10K..100K)",
+              "N = " + std::to_string(base) + " x {1,2,3,4,5,10}, "
+              "gamma=0.5 alpha=0.5 n_Q=5 d=2");
+  std::printf("dataset, n_matrices, cpu_seconds, io_pages, candidates, "
+              "answers\n");
+
+  for (const char* dataset : {"Uni", "Gau"}) {
+    for (size_t ratio : {1, 2, 3, 4, 5, 10}) {
+      BenchDefaults defaults;
+      defaults.num_matrices = base * ratio;
+      defaults.seed = seed;
+      GeneDatabase database = BuildSyntheticDatabase(dataset, defaults);
+      EngineOptions engine_options;
+  engine_options.index.build_threads = 0;  // Parallel build (bit-identical).
+  ImGrnEngine engine(engine_options);
+      engine.LoadDatabase(std::move(database));
+      IMGRN_CHECK_OK(engine.BuildIndex());
+      const std::vector<ProbGraph> queries =
+          MakeQueryWorkload(engine.database(), defaults);
+      QueryParams params;
+      params.gamma = defaults.gamma;
+      params.alpha = defaults.alpha;
+      const WorkloadResult result = RunWorkload(engine, queries, params);
+      std::printf("%s, %zu, %.6f, %.1f, %.2f, %.2f\n", dataset,
+                  defaults.num_matrices, result.mean_cpu_seconds,
+                  result.mean_io_pages, result.mean_candidates,
+                  result.mean_answers);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) {
+  return imgrn::bench::Main(argc, argv);
+}

@@ -1,0 +1,181 @@
+// Micro-benchmarks (google-benchmark) of the library's hot kernels:
+// correlation, Euclidean distance, Monte Carlo edge probability, Markov
+// bound, pivot pruning, R*-tree insert/search, and subgraph isomorphism.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "embed/pivot_embedding.h"
+#include "graph/subgraph_iso.h"
+#include "inference/permutation_cache.h"
+#include "matrix/vector_ops.h"
+#include "prob/edge_probability.h"
+#include "prob/markov_bound.h"
+#include "rtree/rtree.h"
+
+namespace imgrn {
+namespace {
+
+std::vector<double> RandomStandardized(size_t l, Rng* rng) {
+  std::vector<double> values(l);
+  for (double& value : values) value = rng->Gaussian();
+  StandardizeInPlace(values);
+  return values;
+}
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  Rng rng(1);
+  const size_t l = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = RandomStandardized(l, &rng);
+  const std::vector<double> b = RandomStandardized(l, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AbsolutePearsonCorrelation(a, b));
+  }
+}
+BENCHMARK(BM_PearsonCorrelation)->Arg(40)->Arg(200)->Arg(805);
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  Rng rng(2);
+  const size_t l = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = RandomStandardized(l, &rng);
+  const std::vector<double> b = RandomStandardized(l, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EuclideanDistance(a, b));
+  }
+}
+BENCHMARK(BM_EuclideanDistance)->Arg(40)->Arg(200)->Arg(805);
+
+void BM_EdgeProbabilityFreshPermutations(benchmark::State& state) {
+  Rng rng(3);
+  const std::vector<double> a = RandomStandardized(40, &rng);
+  const std::vector<double> b = RandomStandardized(40, &rng);
+  EdgeProbabilityEstimator estimator(
+      static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(a, b, &rng));
+  }
+}
+BENCHMARK(BM_EdgeProbabilityFreshPermutations)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_EdgeProbabilityCachedPermutations(benchmark::State& state) {
+  Rng rng(4);
+  const std::vector<double> a = RandomStandardized(40, &rng);
+  const std::vector<double> b = RandomStandardized(40, &rng);
+  PermutationCache cache(static_cast<size_t>(state.range(0)), 5);
+  cache.ForLength(40);  // Pre-warm.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateEdgeProbabilityCached(a, b, &cache));
+  }
+}
+BENCHMARK(BM_EdgeProbabilityCachedPermutations)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MarkovBound(benchmark::State& state) {
+  Rng rng(6);
+  const std::vector<double> a = RandomStandardized(40, &rng);
+  const std::vector<double> b = RandomStandardized(40, &rng);
+  const double distance = EuclideanDistance(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MarkovUpperBoundClosedForm(distance, 40));
+  }
+}
+BENCHMARK(BM_MarkovBound);
+
+void BM_PivotPrune(benchmark::State& state) {
+  Rng rng(7);
+  const size_t d = static_cast<size_t>(state.range(0));
+  EmbeddedPoint s, t;
+  for (size_t w = 0; w < d; ++w) {
+    s.x.push_back(rng.UniformDouble(0, 10));
+    s.y.push_back(rng.UniformDouble(5, 10));
+    t.x.push_back(rng.UniformDouble(0, 10));
+    t.y.push_back(rng.UniformDouble(5, 10));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PivotPruneEdge(s, t, 0.8));
+  }
+}
+BENCHMARK(BM_PivotPrune)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(8);
+  const size_t dims = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RTreeOptions options;
+    options.dims = dims;
+    RTree tree(std::move(options));
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 2000; ++i) {
+      std::vector<double> point(dims);
+      for (double& value : point) value = rng.UniformDouble(0, 100);
+      points.push_back(std::move(point));
+    }
+    state.ResumeTiming();
+    for (size_t i = 0; i < points.size(); ++i) {
+      tree.Insert(points[i], i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_RTreeInsert)->Arg(3)->Arg(5)->Arg(9)->Unit(benchmark::kMillisecond);
+
+void BM_RTreeSearch(benchmark::State& state) {
+  Rng rng(9);
+  const size_t dims = 5;
+  RTreeOptions options;
+  options.dims = dims;
+  RTree tree(std::move(options));
+  for (uint64_t i = 0; i < 20000; ++i) {
+    std::vector<double> point(dims);
+    for (double& value : point) value = rng.UniformDouble(0, 100);
+    tree.Insert(point, i);
+  }
+  for (auto _ : state) {
+    std::vector<double> lo(dims), hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = rng.UniformDouble(0, 90);
+      hi[d] = lo[d] + 10;
+    }
+    size_t count = 0;
+    tree.Search(Mbr::FromBounds(lo, hi), [&count](const RTreeEntry&) {
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_RTreeSearch);
+
+void BM_SubgraphIsomorphism(benchmark::State& state) {
+  // Random labeled data graph; path query.
+  Rng rng(10);
+  const size_t n = static_cast<size_t>(state.range(0));
+  ProbGraph data;
+  for (VertexId v = 0; v < n; ++v) {
+    data.AddVertex(static_cast<GeneId>(v % 10));
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(0.1)) data.AddEdge(u, v, 0.9);
+    }
+  }
+  ProbGraph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  query.AddVertex(3);
+  query.AddEdge(0, 1, 1.0);
+  query.AddEdge(1, 2, 1.0);
+  for (auto _ : state) {
+    SubgraphIsomorphism iso(query, data);
+    benchmark::DoNotOptimize(iso.Exists());
+  }
+}
+BENCHMARK(BM_SubgraphIsomorphism)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+}  // namespace imgrn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Example 1 of the paper (identification of diagnostic biomarkers):
+//
+// A candidate cancer biomarker is a small GRN pattern Q inferred from
+// cancer patient samples. To confirm it, retrieve the matrices in the
+// existing literature/institution database whose inferred GRNs contain Q
+// with high confidence — those act as supporting evidence and case studies.
+//
+// This example simulates the setting: a "disease cohort" of matrices is
+// planted to share a 4-gene interaction module (the biomarker); control
+// matrices contain the same genes without the interactions. The query is
+// inferred from fresh samples of the module, and the engine should retrieve
+// exactly the cohort matrices.
+
+#include <cstdio>
+#include <set>
+
+#include "core/imgrn.h"
+
+namespace {
+
+using namespace imgrn;
+
+// Builds a matrix in which `module_genes` share a latent factor (strongly
+// interacting module) iff `diseased`; other genes are independent noise.
+GeneMatrix MakeCohortMatrix(SourceId source, bool diseased,
+                            const std::vector<GeneId>& module_genes,
+                            const std::vector<GeneId>& background_genes,
+                            size_t num_samples, Rng* rng) {
+  std::vector<GeneId> all = module_genes;
+  all.insert(all.end(), background_genes.begin(), background_genes.end());
+  GeneMatrix matrix(source, num_samples, all);
+  std::vector<double> factor(num_samples);
+  for (double& value : factor) value = rng->Gaussian();
+  for (size_t k = 0; k < all.size(); ++k) {
+    const bool in_module = k < module_genes.size();
+    for (size_t j = 0; j < num_samples; ++j) {
+      if (diseased && in_module) {
+        matrix.At(j, k) = 0.95 * factor[j] + 0.31 * rng->Gaussian();
+      } else {
+        matrix.At(j, k) = rng->Gaussian();
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace
+
+int main() {
+  using namespace imgrn;
+  Rng rng(20170514);
+
+  const std::vector<GeneId> biomarker_genes = {101, 102, 103, 104};
+
+  // Database: sources 0-9 are the disease cohort (carry the biomarker
+  // module), sources 10-29 are controls with the same genes present.
+  GeneDatabase database;
+  std::set<SourceId> cohort;
+  for (SourceId i = 0; i < 30; ++i) {
+    const bool diseased = i < 10;
+    if (diseased) cohort.insert(i);
+    std::vector<GeneId> background;
+    for (GeneId g = 0; g < 20; ++g) {
+      background.push_back(1000 + 20 * i + g);  // Per-source filler genes.
+    }
+    database.Add(MakeCohortMatrix(i, diseased, biomarker_genes, background,
+                                  40, &rng));
+  }
+
+  ImGrnEngine engine;
+  engine.LoadDatabase(std::move(database));
+  IMGRN_CHECK_OK(engine.BuildIndex());
+
+  // The candidate biomarker query: fresh samples of the module, i.e. a new
+  // 40 x 4 query matrix drawn from the same disease process.
+  GeneMatrix query_samples =
+      MakeCohortMatrix(0, /*diseased=*/true, biomarker_genes, {}, 40, &rng);
+
+  QueryParams params;
+  params.gamma = 0.6;  // Only confident interactions form the biomarker.
+  params.alpha = 0.3;  // Matches must be likely as a whole.
+  QueryStats stats;
+  Result<std::vector<QueryMatch>> matches =
+      engine.Query(query_samples, params, &stats);
+  IMGRN_CHECK_OK(matches.status());
+
+  std::printf("biomarker query: %zu genes, %zu inferred interactions\n",
+              stats.query_vertices, stats.query_edges);
+  std::printf("retrieved %zu supporting matrices (CPU %.4f s, I/O %llu "
+              "pages, %zu candidates):\n",
+              matches->size(), stats.total_seconds,
+              static_cast<unsigned long long>(stats.page_accesses),
+              stats.candidate_pairs);
+  size_t true_hits = 0;
+  for (const QueryMatch& match : *matches) {
+    const bool in_cohort = cohort.contains(match.source);
+    if (in_cohort) ++true_hits;
+    std::printf("  source %2u  Pr{G} = %.3f  [%s]\n", match.source,
+                match.probability,
+                in_cohort ? "disease cohort" : "control !!");
+  }
+  std::printf("precision: %zu/%zu retrieved matrices are cohort members; "
+              "recall: %zu/%zu cohort members retrieved\n",
+              true_hits, matches->size(), true_hits, cohort.size());
+  return 0;
+}

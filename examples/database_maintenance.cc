@@ -1,0 +1,105 @@
+// Database maintenance: the engine as a long-lived service. New studies
+// arrive (AddMatrix indexes them incrementally — no rebuild), retracted or
+// withdrawn studies leave (RemoveMatrix), and the database round-trips
+// through the text format so the corpus survives restarts.
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/imgrn.h"
+#include "matrix/matrix_io.h"
+
+namespace {
+
+using namespace imgrn;
+
+GeneMatrix NewStudy(SourceId source, uint64_t seed) {
+  // Every study measures the shared panel {1,2,3} (correlated module) plus
+  // two study-specific genes.
+  Rng rng(seed);
+  GeneMatrix matrix(source, 30,
+                    {1, 2, 3, 500 + 2 * source, 501 + 2 * source});
+  std::vector<double> factor(30);
+  for (double& value : factor) value = rng.Gaussian();
+  for (size_t k = 0; k < matrix.num_genes(); ++k) {
+    for (size_t j = 0; j < 30; ++j) {
+      matrix.At(j, k) = k < 3 ? 0.95 * factor[j] + 0.31 * rng.Gaussian()
+                              : rng.Gaussian();
+    }
+  }
+  return matrix;
+}
+
+size_t CountMatches(const ImGrnEngine& engine) {
+  ProbGraph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  query.AddVertex(3);
+  query.AddEdge(0, 1, 1.0);
+  query.AddEdge(1, 2, 1.0);
+  QueryParams params;
+  params.gamma = 0.6;
+  params.alpha = 0.3;
+  Result<std::vector<QueryMatch>> matches =
+      engine.QueryWithGraph(query, params);
+  IMGRN_CHECK_OK(matches.status());
+  return matches->size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace imgrn;
+
+  // Bootstrap with three studies and build the index once.
+  GeneDatabase database;
+  for (SourceId i = 0; i < 3; ++i) database.Add(NewStudy(i, 10 + i));
+  ImGrnEngine engine;
+  engine.LoadDatabase(std::move(database));
+  IMGRN_CHECK_OK(engine.BuildIndex());
+  std::printf("bootstrap: %zu studies indexed, query matches %zu\n",
+              engine.database().size(), CountMatches(engine));
+
+  // Two new studies arrive; index them incrementally.
+  for (SourceId i = 3; i < 5; ++i) {
+    IMGRN_CHECK_OK(engine.AddMatrix(NewStudy(i, 10 + i)));
+  }
+  std::printf("after 2 incremental adds: %zu studies, query matches %zu\n",
+              engine.database().size(), CountMatches(engine));
+
+  // Study 1 is retracted.
+  IMGRN_CHECK_OK(engine.RemoveMatrix(1));
+  std::printf("after retraction of study 1: %zu active, query matches %zu\n",
+              engine.index().num_active(), CountMatches(engine));
+
+  // Persist the corpus (text format) and reload it into a fresh engine —
+  // what a service restart looks like. Retired studies are dropped by
+  // re-numbering the survivors.
+  GeneDatabase surviving;
+  SourceId next = 0;
+  for (SourceId i = 0; i < engine.database().size(); ++i) {
+    if (!engine.index().IsActive(i)) continue;
+    const GeneMatrix& old = engine.database().matrix(i);
+    GeneMatrix renumbered(next, old.num_samples(), old.gene_ids());
+    for (size_t k = 0; k < old.num_genes(); ++k) {
+      for (size_t j = 0; j < old.num_samples(); ++j) {
+        renumbered.At(j, k) = old.At(j, k);
+      }
+    }
+    surviving.Add(std::move(renumbered));
+    ++next;
+  }
+  std::stringstream storage;
+  IMGRN_CHECK_OK(WriteGeneDatabase(surviving, &storage));
+  std::printf("persisted %zu studies (%zu bytes of text)\n",
+              surviving.size(), storage.str().size());
+
+  Result<GeneDatabase> reloaded = ReadGeneDatabase(&storage);
+  IMGRN_CHECK_OK(reloaded.status());
+  ImGrnEngine restarted;
+  restarted.LoadDatabase(std::move(*reloaded));
+  IMGRN_CHECK_OK(restarted.BuildIndex());
+  std::printf("after restart: %zu studies, query matches %zu\n",
+              restarted.database().size(), CountMatches(restarted));
+  return 0;
+}

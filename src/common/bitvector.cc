@@ -1,0 +1,143 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+void BitVector::Set(size_t index) {
+  IMGRN_CHECK_LT(index, num_bits_);
+  words_[index / 64] |= (uint64_t{1} << (index % 64));
+}
+
+void BitVector::Clear(size_t index) {
+  IMGRN_CHECK_LT(index, num_bits_);
+  words_[index / 64] &= ~(uint64_t{1} << (index % 64));
+}
+
+bool BitVector::Test(size_t index) const {
+  IMGRN_CHECK_LT(index, num_bits_);
+  return (words_[index / 64] >> (index % 64)) & 1;
+}
+
+void BitVector::Reset() {
+  for (auto& word : words_) {
+    word = 0;
+  }
+}
+
+size_t BitVector::PopCount() const {
+  size_t count = 0;
+  for (uint64_t word : words_) {
+    count += static_cast<size_t>(std::popcount(word));
+  }
+  return count;
+}
+
+void BitVector::UnionWith(const BitVector& other) {
+  IMGRN_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void BitVector::IntersectWith(const BitVector& other) {
+  IMGRN_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+}
+
+bool BitVector::Intersects(const BitVector& other) const {
+  IMGRN_CHECK_EQ(num_bits_, other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool BitVector::IsZero() const {
+  for (uint64_t word : words_) {
+    if (word != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+std::string BitVector::DebugString() const {
+  std::string out;
+  out.reserve(num_bits_);
+  for (size_t i = 0; i < num_bits_; ++i) {
+    out.push_back(Test(i) ? '1' : '0');
+  }
+  return out;
+}
+
+uint64_t MixHash64(uint64_t value) {
+  uint64_t z = value + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t MixHash64Alt(uint64_t value) {
+  // Murmur3 finalizer with a different constant schedule than MixHash64 so
+  // the two streams behave independently for double hashing.
+  uint64_t z = value ^ 0xC2B2AE3D27D4EB4FULL;
+  z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCDULL;
+  z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+  return z ^ (z >> 33);
+}
+
+HashSignature::HashSignature(size_t num_bits, int num_hashes)
+    : bits_(num_bits), num_hashes_(num_hashes) {
+  IMGRN_CHECK_GT(num_bits, 0u);
+  IMGRN_CHECK_GT(num_hashes, 0);
+}
+
+void HashSignature::Add(uint64_t id) {
+  uint64_t h1 = MixHash64(id);
+  uint64_t h2 = MixHash64Alt(id) | 1;  // Odd so all probes differ.
+  for (int k = 0; k < num_hashes_; ++k) {
+    bits_.Set((h1 + static_cast<uint64_t>(k) * h2) % bits_.num_bits());
+  }
+}
+
+bool HashSignature::MayContain(uint64_t id) const {
+  uint64_t h1 = MixHash64(id);
+  uint64_t h2 = MixHash64Alt(id) | 1;
+  for (int k = 0; k < num_hashes_; ++k) {
+    if (!bits_.Test((h1 + static_cast<uint64_t>(k) * h2) % bits_.num_bits())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HashSignature HashSignature::MakeQuerySignature(uint64_t id) const {
+  HashSignature sig(bits_.num_bits(), num_hashes_);
+  sig.Add(id);
+  return sig;
+}
+
+void HashSignature::UnionWith(const HashSignature& other) {
+  IMGRN_CHECK_EQ(num_hashes_, other.num_hashes_);
+  bits_.UnionWith(other.bits_);
+}
+
+bool HashSignature::Intersects(const HashSignature& other) const {
+  return bits_.Intersects(other.bits_);
+}
+
+}  // namespace imgrn

@@ -1,0 +1,103 @@
+#ifndef IMGRN_COMMON_BITVECTOR_H_
+#define IMGRN_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imgrn {
+
+/// A fixed-size bit vector supporting the bit-OR / bit-AND synopsis
+/// operations used by the IM-GRN index (Section 5.1 of the paper): gene-ID
+/// bit vectors V_f and data-source bit vectors V_d are hashed signatures
+/// that are OR-ed up the R*-tree and AND-ed against query signatures to
+/// prune node pairs.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates an all-zero bit vector with `num_bits` bits.
+  explicit BitVector(size_t num_bits);
+
+  size_t num_bits() const { return num_bits_; }
+
+  void Set(size_t index);
+  void Clear(size_t index);
+  bool Test(size_t index) const;
+
+  /// Sets every bit to zero.
+  void Reset();
+
+  /// Returns the number of set bits.
+  size_t PopCount() const;
+
+  /// this |= other. Both operands must have the same size.
+  void UnionWith(const BitVector& other);
+
+  /// this &= other. Both operands must have the same size.
+  void IntersectWith(const BitVector& other);
+
+  /// Returns true iff (this & other) has at least one set bit. This is the
+  /// "qV ∧ V ≠ 0" test from the Fig. 4 query algorithm.
+  bool Intersects(const BitVector& other) const;
+
+  /// Returns true iff no bit is set.
+  bool IsZero() const;
+
+  bool operator==(const BitVector& other) const;
+
+  /// Renders as a string of '0'/'1', most significant index last. Intended
+  /// for debugging and test diagnostics only.
+  std::string DebugString() const;
+
+  /// Raw word access for serialization.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// A hashed membership signature over BitVector, as used for V_f / V_d / IF
+/// in the paper: item IDs are hashed into a B-bit vector with `num_hashes`
+/// independent hash functions (a blocked Bloom-filter signature with no
+/// deletion). False positives are possible, false negatives are not; the
+/// query refinement step removes false positives exactly.
+class HashSignature {
+ public:
+  HashSignature() = default;
+  HashSignature(size_t num_bits, int num_hashes);
+
+  /// Hashes `id` into the signature.
+  void Add(uint64_t id);
+
+  /// Returns true if `id` *may* be present (no false negatives).
+  bool MayContain(uint64_t id) const;
+
+  /// Builds a one-item signature with the same shape as this one; useful for
+  /// generating query-side signatures to AND against.
+  HashSignature MakeQuerySignature(uint64_t id) const;
+
+  void UnionWith(const HashSignature& other);
+  bool Intersects(const HashSignature& other) const;
+
+  const BitVector& bits() const { return bits_; }
+  size_t num_bits() const { return bits_.num_bits(); }
+  int num_hashes() const { return num_hashes_; }
+
+ private:
+  BitVector bits_;
+  int num_hashes_ = 0;
+};
+
+/// 64-bit mix hash (SplitMix64 finalizer) used by HashSignature and the
+/// inverted bit-vector file.
+uint64_t MixHash64(uint64_t value);
+
+/// Second independent hash stream for double hashing.
+uint64_t MixHash64Alt(uint64_t value);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_COMMON_BITVECTOR_H_

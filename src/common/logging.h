@@ -1,0 +1,81 @@
+#ifndef IMGRN_COMMON_LOGGING_H_
+#define IMGRN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace imgrn {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal_logging {
+
+/// Collects a log line via operator<< and emits it (to stderr) on
+/// destruction. A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+}  // namespace imgrn
+
+#define IMGRN_LOG(level)                                              \
+  ::imgrn::internal_logging::LogMessage(::imgrn::LogLevel::k##level,  \
+                                        __FILE__, __LINE__)
+
+/// Fatal assertion for programming errors (not data errors — those return
+/// Status). Always enabled, including in release builds; index and pruning
+/// correctness invariants are cheap relative to the work they guard.
+#define IMGRN_CHECK(condition)                                     \
+  if (!(condition))                                                \
+  IMGRN_LOG(Fatal) << "Check failed: " #condition " "
+
+#define IMGRN_CHECK_OP(op, a, b)                                         \
+  if (!((a)op(b)))                                                       \
+  IMGRN_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a)     \
+                   << " vs " << (b) << ") "
+
+#define IMGRN_CHECK_EQ(a, b) IMGRN_CHECK_OP(==, a, b)
+#define IMGRN_CHECK_NE(a, b) IMGRN_CHECK_OP(!=, a, b)
+#define IMGRN_CHECK_LT(a, b) IMGRN_CHECK_OP(<, a, b)
+#define IMGRN_CHECK_LE(a, b) IMGRN_CHECK_OP(<=, a, b)
+#define IMGRN_CHECK_GT(a, b) IMGRN_CHECK_OP(>, a, b)
+#define IMGRN_CHECK_GE(a, b) IMGRN_CHECK_OP(>=, a, b)
+
+/// Checks that a Status-returning expression is OK.
+#define IMGRN_CHECK_OK(expr)                                   \
+  do {                                                         \
+    ::imgrn::Status imgrn_check_ok_status_ = (expr);           \
+    if (!imgrn_check_ok_status_.ok()) {                        \
+      IMGRN_LOG(Fatal) << "Status not OK: "                    \
+                       << imgrn_check_ok_status_.ToString();   \
+    }                                                          \
+  } while (false)
+
+#endif  // IMGRN_COMMON_LOGGING_H_

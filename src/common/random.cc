@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 seeder(seed);
+  for (auto& word : state_) {
+    word = seeder.Next();
+  }
+  // All-zero state would be a fixed point; SplitMix64 cannot produce four
+  // zero outputs in a row for any seed, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  IMGRN_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(r) * bound;
+    if (static_cast<uint64_t>(m) >= threshold) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  IMGRN_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(static_cast<int64_t>(hi) -
+                                        static_cast<int64_t>(lo)) +
+                  1;
+  return lo + static_cast<int>(UniformUint64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = UniformDouble(-1.0, 1.0);
+    v = UniformDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) {
+  return UniformDouble() < p;
+}
+
+void Rng::Permutation(size_t n, std::vector<uint32_t>* perm) {
+  perm->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*perm)[i] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = n; i > 1; --i) {
+    size_t j = static_cast<size_t>(UniformUint64(i));
+    std::swap((*perm)[i - 1], (*perm)[j]);
+  }
+}
+
+Rng Rng::Split() {
+  return Rng(NextUint64());
+}
+
+}  // namespace imgrn

@@ -1,0 +1,4 @@
+#include "common/stopwatch.h"
+
+// Header-only; this translation unit exists so the target has a stable
+// archive member for the class and to catch header self-containment issues.

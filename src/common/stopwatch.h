@@ -1,0 +1,39 @@
+#ifndef IMGRN_COMMON_STOPWATCH_H_
+#define IMGRN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace imgrn {
+
+/// Monotonic wall-clock stopwatch used by the query processor and the
+/// benchmark harness to report CPU time, mirroring the paper's "CPU time"
+/// metric (time to retrieve IM-GRN candidates / answers).
+class Stopwatch {
+ public:
+  /// Starts the stopwatch.
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_COMMON_STOPWATCH_H_

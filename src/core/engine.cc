@@ -1,0 +1,90 @@
+#include "core/engine.h"
+
+#include "common/logging.h"
+#include "index/index_io.h"
+
+namespace imgrn {
+
+ImGrnEngine::ImGrnEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+void ImGrnEngine::LoadDatabase(GeneDatabase database) {
+  database_ = std::move(database);
+  processor_.reset();
+  index_.reset();
+}
+
+Status ImGrnEngine::BuildIndex() {
+  if (database_.empty()) {
+    return Status::FailedPrecondition("no database loaded");
+  }
+  auto index = std::make_unique<ImGrnIndex>(options_.index);
+  IMGRN_RETURN_IF_ERROR(index->Build(&database_));
+  index_ = std::move(index);
+  processor_ = std::make_unique<ImGrnQueryProcessor>(index_.get());
+  return Status::Ok();
+}
+
+Status ImGrnEngine::AddMatrix(GeneMatrix matrix) {
+  if (index_ == nullptr || !index_->is_built()) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  if (matrix.source_id() != database_.size()) {
+    return Status::InvalidArgument(
+        "new matrix's source id must equal database().size()");
+  }
+  const SourceId source = matrix.source_id();
+  database_.Add(std::move(matrix));
+  return index_->AddMatrix(source);
+}
+
+Status ImGrnEngine::RemoveMatrix(SourceId source) {
+  if (index_ == nullptr || !index_->is_built()) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  return index_->RemoveMatrix(source);
+}
+
+Status ImGrnEngine::SaveIndexTo(const std::string& path) const {
+  if (index_ == nullptr || !index_->is_built()) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  return SaveIndexToFile(*index_, path);
+}
+
+Status ImGrnEngine::LoadIndexFrom(const std::string& path) {
+  if (database_.empty()) {
+    return Status::FailedPrecondition("no database loaded");
+  }
+  Result<std::unique_ptr<ImGrnIndex>> index =
+      LoadIndexFromFile(path, &database_);
+  if (!index.ok()) return index.status();
+  index_ = std::move(*index);
+  processor_ = std::make_unique<ImGrnQueryProcessor>(index_.get());
+  return Status::Ok();
+}
+
+const ImGrnIndex& ImGrnEngine::index() const {
+  IMGRN_CHECK(index_ != nullptr) << "BuildIndex() has not run";
+  return *index_;
+}
+
+Result<std::vector<QueryMatch>> ImGrnEngine::Query(
+    const GeneMatrix& query_matrix, const QueryParams& params,
+    QueryStats* stats) const {
+  if (processor_ == nullptr) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  return processor_->Query(query_matrix, params, stats);
+}
+
+Result<std::vector<QueryMatch>> ImGrnEngine::QueryWithGraph(
+    const ProbGraph& query_graph, const QueryParams& params,
+    QueryStats* stats) const {
+  if (processor_ == nullptr) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  return processor_->QueryWithGraph(query_graph, params, stats);
+}
+
+}  // namespace imgrn

@@ -1,0 +1,93 @@
+#ifndef IMGRN_CORE_ENGINE_H_
+#define IMGRN_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/prob_graph.h"
+#include "index/imgrn_index.h"
+#include "matrix/gene_matrix.h"
+#include "query/imgrn_processor.h"
+#include "query/query_types.h"
+
+namespace imgrn {
+
+/// Engine configuration; see ImGrnIndexOptions for the index knobs.
+struct EngineOptions {
+  ImGrnIndexOptions index;
+};
+
+/// The top-level facade of the library — what the paper's Section 8
+/// envisions as "a real prototype system": hold a gene feature database,
+/// build the IM-GRN index over it once, and serve ad-hoc IM-GRN queries
+/// (any gamma / alpha per query) without ever materializing the GRNs.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   ImGrnEngine engine;
+///   engine.LoadDatabase(std::move(db));
+///   IMGRN_CHECK_OK(engine.BuildIndex());
+///   QueryParams params{.gamma = 0.5, .alpha = 0.5};
+///   auto matches = engine.Query(query_matrix, params, &stats);
+class ImGrnEngine {
+ public:
+  explicit ImGrnEngine(EngineOptions options = {});
+
+  ImGrnEngine(const ImGrnEngine&) = delete;
+  ImGrnEngine& operator=(const ImGrnEngine&) = delete;
+
+  /// Takes ownership of the database. Invalidates any previously built
+  /// index.
+  void LoadDatabase(GeneDatabase database);
+
+  const GeneDatabase& database() const { return database_; }
+  GeneDatabase& mutable_database() { return database_; }
+
+  /// Builds the pivot embedding + R*-tree index (Sections 4-5). Must be
+  /// called after LoadDatabase and before Query.
+  Status BuildIndex();
+
+  /// Appends a new data source and indexes it incrementally (no rebuild).
+  /// `matrix.source_id()` must equal database().size(). Requires a built
+  /// index.
+  Status AddMatrix(GeneMatrix matrix);
+
+  /// Removes a data source from query results (its index entries are
+  /// deleted; the matrix data stays resident). Requires a built index.
+  Status RemoveMatrix(SourceId source);
+
+  /// Persists the built index (see index/index_io.h; the database is saved
+  /// separately with matrix_io.h).
+  Status SaveIndexTo(const std::string& path) const;
+
+  /// Restores a persisted index over the currently loaded database
+  /// (replaces any built index). The database must be the one the index
+  /// was built over.
+  Status LoadIndexFrom(const std::string& path);
+
+  bool has_index() const { return index_ != nullptr && index_->is_built(); }
+  const ImGrnIndex& index() const;
+
+  /// Runs one IM-GRN query (Definition 4): infer Q from `query_matrix`,
+  /// retrieve matching matrices. `stats` may be null.
+  Result<std::vector<QueryMatch>> Query(const GeneMatrix& query_matrix,
+                                        const QueryParams& params,
+                                        QueryStats* stats = nullptr) const;
+
+  /// Variant taking an already-inferred query GRN.
+  Result<std::vector<QueryMatch>> QueryWithGraph(
+      const ProbGraph& query_graph, const QueryParams& params,
+      QueryStats* stats = nullptr) const;
+
+ private:
+  EngineOptions options_;
+  GeneDatabase database_;
+  std::unique_ptr<ImGrnIndex> index_;
+  std::unique_ptr<ImGrnQueryProcessor> processor_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_CORE_ENGINE_H_

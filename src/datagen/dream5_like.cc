@@ -1,0 +1,117 @@
+#include "datagen/dream5_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "matrix/dense_matrix.h"
+
+namespace imgrn {
+
+const OrganismSpec& GetOrganismSpec(Organism organism) {
+  // Published DREAM5 shapes [22]; the paper quotes the matrix sizes and the
+  // E.coli gold edge count explicitly.
+  static const OrganismSpec kEcoli{"E.coli", 805, 4511, 2066};
+  static const OrganismSpec kSaureus{"S.aureus", 160, 2810, 518};
+  static const OrganismSpec kScerevisiae{"S.cerevisiae", 536, 5950, 3940};
+  switch (organism) {
+    case Organism::kEcoli:
+      return kEcoli;
+    case Organism::kSaureus:
+      return kSaureus;
+    case Organism::kScerevisiae:
+      return kScerevisiae;
+  }
+  return kEcoli;
+}
+
+namespace {
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Dream5DataSet GenerateDream5Like(const Dream5LikeConfig& config) {
+  const OrganismSpec& spec = GetOrganismSpec(config.organism);
+  IMGRN_CHECK_GT(config.scale, 0.0);
+  const size_t n = std::max<size_t>(
+      10, static_cast<size_t>(std::lround(
+              static_cast<double>(spec.num_genes) * config.scale)));
+  const size_t l = std::max<size_t>(
+      10, static_cast<size_t>(std::lround(static_cast<double>(
+              spec.num_samples) * config.scale * config.sample_scale)));
+  const size_t target_edges = std::max<size_t>(
+      n / 8 + 1, static_cast<size_t>(std::lround(
+                     static_cast<double>(spec.num_gold_edges) * config.scale)));
+  const size_t num_regulators = std::max<size_t>(
+      2, static_cast<size_t>(std::lround(static_cast<double>(n) *
+                                         config.regulator_fraction)));
+
+  Rng rng(config.seed);
+
+  // Gold-standard topology: preferential attachment over the regulator
+  // subset {0, ..., num_regulators-1}. Real transcriptional networks are
+  // hub-dominated: a few TFs regulate many targets.
+  std::vector<double> regulator_weight(num_regulators, 1.0);
+  double total_weight = static_cast<double>(num_regulators);
+  std::unordered_set<uint64_t> edge_keys;
+  GoldStandard gold;
+  std::vector<std::pair<uint32_t, uint32_t>> directed_edges;
+  size_t attempts = 0;
+  while (gold.size() < target_edges && attempts < 50 * target_edges) {
+    ++attempts;
+    // Pick a regulator proportionally to weight.
+    double pick = rng.UniformDouble() * total_weight;
+    uint32_t regulator = 0;
+    for (uint32_t r = 0; r < num_regulators; ++r) {
+      pick -= regulator_weight[r];
+      if (pick <= 0.0) {
+        regulator = r;
+        break;
+      }
+    }
+    const uint32_t target =
+        static_cast<uint32_t>(rng.UniformUint64(n));
+    if (target == regulator) continue;
+    if (!edge_keys.insert(PairKey(regulator, target)).second) continue;
+    directed_edges.emplace_back(regulator, target);
+    gold.emplace_back(std::min(regulator, target),
+                      std::max(regulator, target));
+    regulator_weight[regulator] += 1.0;
+    total_weight += 1.0;
+  }
+
+  // Expression via the linear model with Uni weights, damped on retry.
+  std::vector<GeneId> ids(n);
+  for (size_t k = 0; k < n; ++k) ids[k] = static_cast<GeneId>(k);
+  double damping = 1.0;
+  for (int attempt = 0;; ++attempt) {
+    DenseMatrix b(n, n);
+    for (const auto& [regulator, target] : directed_edges) {
+      const double magnitude = rng.UniformDouble(0.5, 1.0) * damping;
+      b.At(regulator, target) = rng.Bernoulli(0.5) ? magnitude : -magnitude;
+    }
+    Result<GeneMatrix> matrix = GenerateExpressionFromAdjacency(
+        /*source=*/0, b, l, /*noise_sigma=*/0.1, ids, &rng);
+    if (!matrix.ok()) {
+      damping *= 0.8;
+      IMGRN_CHECK_LT(attempt, 64) << "DREAM5-like generation failed to "
+                                     "stabilize";
+      continue;
+    }
+    if (config.measurement_sigma > 0.0) {
+      AddGaussianNoise(&matrix.value(), config.measurement_sigma, &rng);
+    }
+    Dream5DataSet data_set;
+    data_set.name = spec.name;
+    data_set.matrix = std::move(matrix).value();
+    data_set.gold = std::move(gold);
+    return data_set;
+  }
+}
+
+}  // namespace imgrn

@@ -1,0 +1,77 @@
+#ifndef IMGRN_DATAGEN_DREAM5_LIKE_H_
+#define IMGRN_DATAGEN_DREAM5_LIKE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "datagen/synthetic.h"
+#include "inference/roc.h"
+#include "matrix/gene_matrix.h"
+
+namespace imgrn {
+
+/// The three DREAM5 organisms the paper evaluates on [22]. The real
+/// microarray matrices and gold-standard networks are not redistributable
+/// offline; this module generates organism-shaped surrogates (see DESIGN.md
+/// substitution #1): a scale-free gold-standard GRN at the organism's edge
+/// density, expression data through the same linear model as the paper's
+/// synthetic generator, plus measurement noise.
+enum class Organism {
+  kEcoli,        // 805 samples x 4511 genes, 2066 gold edges.
+  kSaureus,      // 160 samples x 2810 genes, 518 gold edges.
+  kScerevisiae,  // 536 samples x 5950 genes, 3940 gold edges.
+};
+
+/// Published shape of an organism's data set.
+struct OrganismSpec {
+  const char* name;
+  size_t num_samples;
+  size_t num_genes;
+  size_t num_gold_edges;
+};
+
+const OrganismSpec& GetOrganismSpec(Organism organism);
+
+struct Dream5LikeConfig {
+  Organism organism = Organism::kEcoli;
+
+  /// Uniform scale factor on genes / samples / edges (1.0 = published
+  /// sizes). ROC benches default well below 1 to finish in seconds; pass
+  /// 1.0 to reproduce at full size.
+  double scale = 0.05;
+
+  /// Extra multiplier applied on top of `scale` for the SAMPLE count only.
+  /// Organisms with few samples relative to genes (e.g. a heavily
+  /// down-scaled E.coli) would otherwise leave too little signal for any
+  /// measure; the paper's full-size data does not have this problem.
+  double sample_scale = 1.0;
+
+  /// Fraction of genes acting as regulators (transcription factors); real
+  /// GRNs are regulator-sparse, which gives the hub structure the
+  /// preferential attachment reproduces.
+  double regulator_fraction = 0.1;
+
+  /// Measurement noise added on top of the linear model.
+  double measurement_sigma = 0.05;
+
+  uint64_t seed = 2017;
+};
+
+/// One generated organism surrogate: the expression matrix plus the gold
+/// standard it was generated from (undirected column pairs).
+struct Dream5DataSet {
+  std::string name;
+  GeneMatrix matrix;
+  GoldStandard gold;
+};
+
+/// Generates the surrogate data set. The gold-standard topology is grown by
+/// preferential attachment over a regulator subset (hub-dominated, like
+/// real transcriptional networks); expression follows
+/// M = E (I - B)^{-1} with Uni weights, then measurement noise.
+Dream5DataSet GenerateDream5Like(const Dream5LikeConfig& config);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_DATAGEN_DREAM5_LIKE_H_

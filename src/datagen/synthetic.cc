@@ -1,0 +1,197 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/linalg.h"
+
+namespace imgrn {
+
+namespace {
+
+// Matrices whose generated values exceed this are considered numerically
+// blown up (near-singular I - B) and regenerated.
+constexpr double kBlowUpLimit = 1e6;
+
+double DrawEdgeWeight(EdgeWeightDistribution distribution, double damping,
+                      Rng* rng) {
+  double e;
+  switch (distribution) {
+    case EdgeWeightDistribution::kUniform: {
+      // Uniform over [-1, -0.5] u [0.5, 1].
+      const double magnitude = rng->UniformDouble(0.5, 1.0);
+      e = rng->Bernoulli(0.5) ? magnitude : -magnitude;
+      break;
+    }
+    case EdgeWeightDistribution::kGaussian: {
+      // e' ~ N(1, 0.01); e = e' if e' <= 1 else e' - 2 (Section 6.1).
+      const double draw = rng->Gaussian(1.0, 0.1);
+      e = draw <= 1.0 ? draw : draw - 2.0;
+      break;
+    }
+    default:
+      e = 0.0;
+  }
+  return e * damping;
+}
+
+/// Samples `n` distinct gene ids from {0, ..., universe-1} (Floyd's
+/// algorithm), in random order.
+std::vector<GeneId> SampleGeneIds(GeneId universe, size_t n, Rng* rng) {
+  IMGRN_CHECK_LE(n, static_cast<size_t>(universe));
+  std::unordered_set<GeneId> chosen;
+  for (GeneId j = universe - static_cast<GeneId>(n); j < universe; ++j) {
+    const GeneId candidate =
+        static_cast<GeneId>(rng->UniformUint64(static_cast<uint64_t>(j) + 1));
+    if (!chosen.insert(candidate).second) {
+      chosen.insert(j);
+    }
+  }
+  std::vector<GeneId> ids(chosen.begin(), chosen.end());
+  rng->Shuffle(&ids);
+  return ids;
+}
+
+}  // namespace
+
+GeneMatrix GenerateSyntheticMatrix(SourceId source, size_t num_genes,
+                                   size_t num_samples,
+                                   const SyntheticConfig& config, Rng* rng,
+                                   GoldStandard* truth) {
+  IMGRN_CHECK_GE(num_genes, 2u);
+  IMGRN_CHECK_GE(num_samples, 2u);
+  const size_t n = num_genes;
+  const size_t l = num_samples;
+  const double edge_probability =
+      std::min(1.0, config.expected_in_degree / static_cast<double>(n - 1));
+
+  double damping = 1.0;
+  for (int attempt = 0;; ++attempt) {
+    // Adjacency B: each off-diagonal element nonzero with the Section-6.1
+    // probability n*deg / (n*(n-1)) = deg / (n-1).
+    DenseMatrix b(n, n);
+    GoldStandard edges;
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        if (r == c) continue;
+        if (rng->Bernoulli(edge_probability)) {
+          b.At(r, c) =
+              DrawEdgeWeight(config.weight_distribution, damping, rng);
+          const uint32_t lo = static_cast<uint32_t>(std::min(r, c));
+          const uint32_t hi = static_cast<uint32_t>(std::max(r, c));
+          edges.emplace_back(lo, hi);
+        }
+      }
+    }
+
+    Result<GeneMatrix> matrix = GenerateExpressionFromAdjacency(
+        source, b, l, config.noise_sigma,
+        SampleGeneIds(config.gene_universe, n, rng), rng);
+    if (!matrix.ok()) {
+      // Near-singular / exploding draw; dampen weights and retry.
+      if (attempt >= 8) damping *= 0.8;
+      continue;
+    }
+
+    if (truth != nullptr) {
+      // Deduplicate (r,c)/(c,r) doubles into one undirected edge.
+      std::sort(edges.begin(), edges.end());
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+      *truth = std::move(edges);
+    }
+    return std::move(matrix).value();
+  }
+}
+
+Result<GeneMatrix> GenerateExpressionFromAdjacency(
+    SourceId source, const DenseMatrix& b, size_t num_samples,
+    double noise_sigma, std::vector<GeneId> gene_ids, Rng* rng) {
+  const size_t n = b.rows();
+  IMGRN_CHECK_EQ(b.cols(), n);
+  IMGRN_CHECK_EQ(gene_ids.size(), n);
+  // M = E (I - B)^{-1}  <=>  (I - B)^T M^T = E^T. One LU factorization,
+  // then one solve per sample row.
+  DenseMatrix i_minus_b = DenseMatrix::Identity(n).Subtract(b);
+  Result<LuDecomposition> lu = LuDecomposition::Factor(i_minus_b.Transpose());
+  if (!lu.ok()) {
+    return Status::FailedPrecondition("I - B is numerically singular");
+  }
+  GeneMatrix matrix(source, num_samples, std::move(gene_ids));
+  std::vector<double> error_row(n);
+  for (size_t j = 0; j < num_samples; ++j) {
+    for (size_t k = 0; k < n; ++k) {
+      error_row[k] = rng->Gaussian(0.0, noise_sigma);
+    }
+    const std::vector<double> row = lu->Solve(error_row);
+    for (size_t k = 0; k < n; ++k) {
+      if (!std::isfinite(row[k]) || std::fabs(row[k]) > kBlowUpLimit) {
+        return Status::FailedPrecondition("linear model blew up");
+      }
+      matrix.At(j, k) = row[k];
+    }
+  }
+  return matrix;
+}
+
+GeneDatabase GenerateSyntheticDatabase(const SyntheticConfig& config,
+                                       std::vector<GoldStandard>* truths) {
+  IMGRN_CHECK_LE(config.genes_min, config.genes_max);
+  IMGRN_CHECK_LE(config.samples_min, config.samples_max);
+  Rng rng(config.seed);
+  GeneDatabase database;
+  if (truths != nullptr) {
+    truths->clear();
+    truths->reserve(config.num_matrices);
+  }
+  for (SourceId i = 0; i < config.num_matrices; ++i) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(
+        static_cast<int>(config.genes_min), static_cast<int>(config.genes_max)));
+    const size_t l = static_cast<size_t>(
+        rng.UniformInt(static_cast<int>(config.samples_min),
+                       static_cast<int>(config.samples_max)));
+    GoldStandard truth;
+    database.Add(GenerateSyntheticMatrix(
+        i, n, l, config, &rng, truths != nullptr ? &truth : nullptr));
+    if (truths != nullptr) {
+      truths->push_back(std::move(truth));
+    }
+  }
+  return database;
+}
+
+void AddGaussianNoise(GeneMatrix* matrix, double sigma, Rng* rng) {
+  for (size_t k = 0; k < matrix->num_genes(); ++k) {
+    for (double& value : matrix->MutableColumn(k)) {
+      value += rng->Gaussian(0.0, sigma);
+    }
+  }
+  matrix->InvalidateStandardization();
+}
+
+void AddOutlierNoise(GeneMatrix* matrix, double rate, double magnitude,
+                     Rng* rng) {
+  // Scale outliers relative to the matrix's own dispersion.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double value : matrix->data()) {
+    sum += value;
+    sum_sq += value * value;
+  }
+  const double count = static_cast<double>(matrix->data().size());
+  const double mean = sum / count;
+  const double sigma =
+      std::sqrt(std::max(1e-12, sum_sq / count - mean * mean));
+  for (size_t k = 0; k < matrix->num_genes(); ++k) {
+    for (double& value : matrix->MutableColumn(k)) {
+      if (rng->Bernoulli(rate)) {
+        value = rng->Gaussian(0.0, magnitude * sigma);
+      }
+    }
+  }
+  matrix->InvalidateStandardization();
+}
+
+}  // namespace imgrn

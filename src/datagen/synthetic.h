@@ -1,0 +1,99 @@
+#ifndef IMGRN_DATAGEN_SYNTHETIC_H_
+#define IMGRN_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "inference/roc.h"
+#include "matrix/dense_matrix.h"
+#include "matrix/gene_matrix.h"
+
+namespace imgrn {
+
+/// Distribution of the nonzero entries e of the adjacency matrix B_i
+/// (Section 6.1): both distributions place e in [-1, -0.5] u [0.5, 1].
+enum class EdgeWeightDistribution {
+  /// `Uni`: uniform over the two ranges.
+  kUniform,
+  /// `Gau`: e' ~ N(1, 0.01); e = e' if e' <= 1, else e' - 2.
+  kGaussian,
+};
+
+/// Parameters of the Section-6.1 synthetic generator.
+struct SyntheticConfig {
+  /// N: number of matrices (data sources).
+  size_t num_matrices = 100;
+
+  /// [n_min, n_max]: genes per matrix (Table 2 default [50, 100]).
+  size_t genes_min = 50;
+  size_t genes_max = 100;
+
+  /// [l_min, l_max]: samples (patients) per matrix. The paper does not
+  /// state its range; 30-50 keeps per-pair permutation populations large
+  /// (l! >> sample budget) while staying laptop-fast.
+  size_t samples_min = 30;
+  size_t samples_max = 50;
+
+  /// deg(G): expected in-degree of each vertex (Table 2 text: default 1).
+  double expected_in_degree = 1.0;
+
+  EdgeWeightDistribution weight_distribution =
+      EdgeWeightDistribution::kUniform;
+
+  /// Std-dev of the error matrix E_i (the paper's N(0, 0.01) read as
+  /// variance 0.01).
+  double noise_sigma = 0.1;
+
+  /// Gene labels are drawn from {0, ..., gene_universe-1}; overlapping
+  /// universes across matrices are what make cross-source matching
+  /// meaningful.
+  GeneId gene_universe = 1000;
+
+  uint64_t seed = 123;
+};
+
+/// Generates one l x n matrix via the linear model M = E (I - B)^{-1}
+/// (Section 6.1). `truth`, if non-null, receives the undirected gold
+/// edges (column pairs with a nonzero B entry in either direction).
+/// Numerically unstable draws of B (near-singular I - B or exploding
+/// inverse) are retried with progressively damped weights.
+GeneMatrix GenerateSyntheticMatrix(SourceId source, size_t num_genes,
+                                   size_t num_samples,
+                                   const SyntheticConfig& config, Rng* rng,
+                                   GoldStandard* truth = nullptr);
+
+/// Generates the full database of `config.num_matrices` matrices with
+/// random sizes in the configured ranges. `truths`, if non-null, receives
+/// one gold standard per matrix.
+GeneDatabase GenerateSyntheticDatabase(
+    const SyntheticConfig& config,
+    std::vector<GoldStandard>* truths = nullptr);
+
+/// Adds i.i.d. Gaussian noise N(0, sigma^2) to every element (the paper's
+/// "+ noise" data sets use sigma^2 = 0.3, i.e. sigma = sqrt(0.3)).
+void AddGaussianNoise(GeneMatrix* matrix, double sigma, Rng* rng);
+
+/// Adds sparse outlier spikes: each element is replaced, with probability
+/// `rate`, by a draw from N(0, (magnitude * sigma_of_matrix)^2). Models the
+/// heavy-tailed measurement artifacts of real microarray data (probe
+/// saturation, hybridization spots) that the Gaussian surrogate otherwise
+/// lacks; robustness to exactly this kind of contamination is what
+/// separates the permutation-based IM-GRN measure from raw |Pearson|
+/// (a single aligned spike pair can fabricate a high correlation).
+void AddOutlierNoise(GeneMatrix* matrix, double rate, double magnitude,
+                     Rng* rng);
+
+/// Low-level linear-model step shared with the DREAM5-like simulator:
+/// given an n x n adjacency B (B[k][j] != 0 means gene k regulates gene j),
+/// generates M = E (I - B)^{-1} with E ~ N(0, noise_sigma^2) i.i.d.
+/// Returns FailedPrecondition when I - B is (near-)singular or the inverse
+/// blows up; callers retry with damped weights.
+Result<GeneMatrix> GenerateExpressionFromAdjacency(
+    SourceId source, const DenseMatrix& b, size_t num_samples,
+    double noise_sigma, std::vector<GeneId> gene_ids, Rng* rng);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_DATAGEN_SYNTHETIC_H_

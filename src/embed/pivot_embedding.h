@@ -1,0 +1,67 @@
+#ifndef IMGRN_EMBED_PIVOT_EMBEDDING_H_
+#define IMGRN_EMBED_PIVOT_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "inference/permutation_cache.h"
+#include "matrix/gene_matrix.h"
+
+namespace imgrn {
+
+/// The d pivot vectors selected for one matrix (columns of that matrix, so
+/// all share its sample count l_i). See pivot_selection.h for how they are
+/// chosen.
+struct PivotSet {
+  /// Column indices of the pivots within the source matrix.
+  std::vector<size_t> columns;
+  /// The pivot vectors themselves (standardized), each of length l_i.
+  std::vector<std::vector<double>> vectors;
+
+  size_t size() const { return vectors.size(); }
+};
+
+/// The 2d-dimensional embedding g_{i,s} of one gene feature vector
+/// (Section 4.2):
+///   x[w] = dist(X_s, piv_w)
+///   y[w] = E[dist(X_s^R, piv_w)]   (estimated offline by sampling).
+struct EmbeddedPoint {
+  std::vector<double> x;
+  std::vector<double> y;
+  GeneId gene = 0;
+
+  size_t num_pivots() const { return x.size(); }
+
+  /// Flattens to the (2d+1)-dimensional index point
+  /// (x[0], y[0], ..., x[d-1], y[d-1], gene) of Section 5.1.
+  std::vector<double> ToIndexPoint() const;
+};
+
+/// Embeds every column of `matrix` (standardized internally if necessary)
+/// against `pivots`. `cache` supplies the permutations for the y
+/// coordinates.
+std::vector<EmbeddedPoint> EmbedMatrix(const GeneMatrix& matrix,
+                                       const PivotSet& pivots,
+                                       PermutationCache* cache);
+
+/// The pivot-based pruning condition of Section 4.2 (Eq. 8/9): returns true
+/// when pivots certify that e_{s,t}.p <= gamma, i.e. the potential edge
+/// between the genes embedded as `s` and `t` can be pruned. The condition
+/// treats `t` as the randomized endpoint; since the measure is symmetric,
+/// callers may also try the swapped orientation for extra pruning power.
+///
+/// Prunes iff there exist dimensions w, r with
+///   x_t[r] >= x_s[r] + x_s[w]          (Case 2: C > 0)
+///   y_t[w] <= gamma * (x_t[r] - x_s[r] - x_s[w]).
+bool PivotPruneEdge(const EmbeddedPoint& s, const EmbeddedPoint& t,
+                    double gamma);
+
+/// The pivot-based probability upper bound
+///   ub_P(e_{s,t}) = min_w ub_P(e_{s,t}, piv_w)
+/// with ub_P(e, piv_w) = y_t[w] / (max_r (x_t[r] - x_s[r]) - x_s[w]) when
+/// the denominator is positive, else 1 (Case 1). Clamped to [0, 1].
+double PivotUpperBound(const EmbeddedPoint& s, const EmbeddedPoint& t);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_EMBED_PIVOT_EMBEDDING_H_

@@ -1,0 +1,33 @@
+#include "graph/appearance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+double AppearanceProbability(const ProbGraph& query, const ProbGraph& data,
+                             const Embedding& embedding) {
+  IMGRN_CHECK_EQ(embedding.size(), query.num_vertices());
+  double probability = 1.0;
+  for (const ProbEdge& qe : query.edges()) {
+    const VertexId gu = embedding[qe.u];
+    const VertexId gv = embedding[qe.v];
+    probability *= data.EdgeProbability(gu, gv);
+  }
+  return probability;
+}
+
+bool GraphExistencePrune(double appearance_upper_bound, double alpha) {
+  return appearance_upper_bound <= alpha;
+}
+
+double AppearanceUpperBound(const std::vector<double>& edge_upper_bounds) {
+  double bound = 1.0;
+  for (double ub : edge_upper_bounds) {
+    bound *= std::clamp(ub, 0.0, 1.0);
+  }
+  return bound;
+}
+
+}  // namespace imgrn

@@ -1,0 +1,30 @@
+#ifndef IMGRN_GRAPH_APPEARANCE_H_
+#define IMGRN_GRAPH_APPEARANCE_H_
+
+#include "graph/prob_graph.h"
+#include "graph/subgraph_iso.h"
+
+namespace imgrn {
+
+/// Eq. (3): appearance probability of the data subgraph G matched by
+/// `embedding` — the product over every query edge qe_{s,t} in E(Q) of the
+/// existence probability of the corresponding data edge
+/// (embedding[s], embedding[t]) in `data`. Every corresponding data edge
+/// must exist (checked); the embedding comes from SubgraphIsomorphism,
+/// which guarantees that.
+double AppearanceProbability(const ProbGraph& query, const ProbGraph& data,
+                             const Embedding& embedding);
+
+/// Lemma 5 (graph existence pruning): given an upper bound on Pr{G}
+/// (computed by multiplying per-edge probability upper bounds ub_P, as the
+/// paper does below Lemma 5), the candidate subgraph can be discarded when
+/// the bound is <= alpha.
+bool GraphExistencePrune(double appearance_upper_bound, double alpha);
+
+/// Upper bound of Pr{G} from per-edge upper bounds: the product, clamped to
+/// [0, 1]. `edge_upper_bounds` holds one ub_P(e) per query edge.
+double AppearanceUpperBound(const std::vector<double>& edge_upper_bounds);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_GRAPH_APPEARANCE_H_

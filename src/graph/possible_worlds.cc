@@ -1,0 +1,57 @@
+#include "graph/possible_worlds.h"
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+PossibleWorlds::PossibleWorlds(const ProbGraph& graph) : graph_(graph) {
+  IMGRN_CHECK_LE(graph.num_edges(), 24u)
+      << "possible-worlds enumeration is exponential; keep |E| <= 24";
+}
+
+uint64_t PossibleWorlds::NumWorlds() const {
+  return uint64_t{1} << graph_.num_edges();
+}
+
+double PossibleWorlds::WorldProbability(uint64_t edge_mask) const {
+  double probability = 1.0;
+  const auto& edges = graph_.edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const double p = edges[e].probability;
+    probability *= (edge_mask >> e) & 1 ? p : (1.0 - p);
+  }
+  return probability;
+}
+
+ProbGraph PossibleWorlds::Materialize(uint64_t edge_mask) const {
+  ProbGraph world;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    world.AddVertex(graph_.label(v));
+  }
+  const auto& edges = graph_.edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if ((edge_mask >> e) & 1) {
+      world.AddEdge(edges[e].u, edges[e].v, 1.0);
+    }
+  }
+  return world;
+}
+
+double PossibleWorlds::ProbabilityOf(
+    const std::function<bool(uint64_t)>& predicate) const {
+  double total = 0.0;
+  const uint64_t worlds = NumWorlds();
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    if (predicate(mask)) {
+      total += WorldProbability(mask);
+    }
+  }
+  return total;
+}
+
+double PossibleWorlds::ProbabilityAllPresent(uint64_t edge_mask) const {
+  return ProbabilityOf(
+      [edge_mask](uint64_t mask) { return (mask & edge_mask) == edge_mask; });
+}
+
+}  // namespace imgrn

@@ -1,0 +1,51 @@
+#ifndef IMGRN_GRAPH_POSSIBLE_WORLDS_H_
+#define IMGRN_GRAPH_POSSIBLE_WORLDS_H_
+
+#include <functional>
+
+#include "graph/prob_graph.h"
+
+namespace imgrn {
+
+/// Exact possible-worlds semantics over a probabilistic graph (Section 1:
+/// each of the 2^|E| worlds materializes a subset of edges, with probability
+/// given by the product of per-edge existence / non-existence
+/// probabilities). Exponential — usable only for small graphs; the library
+/// uses it exclusively to *validate* the polynomial-time formulas (Eq. 3)
+/// and the pruning lemmas in tests and to document the semantics.
+class PossibleWorlds {
+ public:
+  /// `graph` must have at most 24 edges (2^24 worlds) and outlive this
+  /// object. Temporaries are rejected at compile time.
+  explicit PossibleWorlds(const ProbGraph& graph);
+  explicit PossibleWorlds(ProbGraph&&) = delete;
+
+  /// Number of worlds, 2^|E|.
+  uint64_t NumWorlds() const;
+
+  /// Probability of the world selected by `edge_mask` (bit e set = edge e of
+  /// graph.edges() exists).
+  double WorldProbability(uint64_t edge_mask) const;
+
+  /// Materializes the deterministic graph of a world: same vertices/labels,
+  /// edges from the mask, all probabilities 1.
+  ProbGraph Materialize(uint64_t edge_mask) const;
+
+  /// Sums the probabilities of all worlds for which `predicate(mask)` is
+  /// true. This is the generic "probability that the possible world
+  /// satisfies P" query; tests instantiate it with subgraph-isomorphism
+  /// predicates.
+  double ProbabilityOf(const std::function<bool(uint64_t)>& predicate) const;
+
+  /// Probability that all edges in `edge_mask` co-exist. By independence
+  /// this must equal the product of their probabilities — exactly Eq. (3);
+  /// tests assert the two agree.
+  double ProbabilityAllPresent(uint64_t edge_mask) const;
+
+ private:
+  const ProbGraph& graph_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_GRAPH_POSSIBLE_WORLDS_H_

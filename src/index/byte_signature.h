@@ -1,0 +1,39 @@
+#ifndef IMGRN_INDEX_BYTE_SIGNATURE_H_
+#define IMGRN_INDEX_BYTE_SIGNATURE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace imgrn {
+
+/// Raw-byte hashed bit-vector signatures, the wire format of the V_f / V_d
+/// synopses stored in R*-tree entry payloads (Section 5.1). Semantics match
+/// common/bitvector.h's HashSignature (double hashing, no false negatives);
+/// this flat form exists so signatures can live inside the fixed-size,
+/// monoid-merged payload bytes of RTreeEntry.
+struct ByteSignatureLayout {
+  size_t num_bits = 128;
+  int num_hashes = 2;
+
+  size_t num_bytes() const { return (num_bits + 7) / 8; }
+};
+
+/// Sets the bits of `id` in `sig` (which must hold layout.num_bytes()).
+void ByteSignatureAdd(const ByteSignatureLayout& layout, uint64_t id,
+                      std::span<uint8_t> sig);
+
+/// No-false-negative membership probe.
+bool ByteSignatureMayContain(const ByteSignatureLayout& layout, uint64_t id,
+                             std::span<const uint8_t> sig);
+
+/// True iff (a & b) != 0 — the Fig. 4 "qV ∧ V ≠ 0" test.
+bool ByteSignaturesIntersect(std::span<const uint8_t> a,
+                             std::span<const uint8_t> b);
+
+/// dst |= src, byte-wise. The RTree payload-merge monoid.
+void ByteSignatureMerge(uint8_t* dst, const uint8_t* src, size_t num_bytes);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_INDEX_BYTE_SIGNATURE_H_

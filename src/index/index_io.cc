@@ -1,0 +1,219 @@
+#include "index/index_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace imgrn {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'M', 'G', 'N', '-', 'I', 'X', '1'};
+
+// --- Little binary codec over iostreams. All integers are fixed-width
+// little-endian (host order; the format is not meant for cross-endian
+// transport, which the magic check would not catch — documented scope).
+
+template <typename T>
+void WritePod(std::ostream* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream* in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in->read(reinterpret_cast<char*>(value), sizeof(T));
+  return in->good();
+}
+
+void WriteDoubleVector(std::ostream* out, const std::vector<double>& values) {
+  WritePod<uint64_t>(out, values.size());
+  out->write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(values.size() * sizeof(double)));
+}
+
+bool ReadDoubleVector(std::istream* in, std::vector<double>* values) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  if (count > (1ull << 32)) return false;  // Corruption guard.
+  values->resize(count);
+  in->read(reinterpret_cast<char*>(values->data()),
+           static_cast<std::streamsize>(count * sizeof(double)));
+  return in->good();
+}
+
+}  // namespace
+
+Status SaveIndex(const ImGrnIndex& index, std::ostream* out) {
+  if (!index.is_built()) {
+    return Status::FailedPrecondition("index is not built");
+  }
+  out->write(kMagic, sizeof(kMagic));
+  const ImGrnIndexOptions& options = index.options();
+  WritePod<uint64_t>(out, options.num_pivots);
+  WritePod<uint64_t>(out, options.signature_bits);
+  WritePod<int32_t>(out, options.signature_hashes);
+  WritePod<uint64_t>(out, options.embed_samples);
+  WritePod<uint64_t>(out, options.page_size);
+  WritePod<uint64_t>(out, options.rtree_max_entries);
+  WritePod<uint64_t>(out, options.buffer_pool_pages);
+  WritePod<uint64_t>(out, options.seed);
+
+  const size_t n = index.pivot_sets().size();
+  WritePod<uint64_t>(out, n);
+  for (SourceId i = 0; i < n; ++i) {
+    WritePod<uint8_t>(out, index.active_flags()[i] ? 1 : 0);
+    const PivotSet& pivots = index.pivot_sets()[i];
+    WritePod<uint64_t>(out, pivots.columns.size());
+    for (size_t column : pivots.columns) {
+      WritePod<uint64_t>(out, column);
+    }
+    for (const auto& vector : pivots.vectors) {
+      WriteDoubleVector(out, vector);
+    }
+    const auto& points = index.embedded_points(i);
+    WritePod<uint64_t>(out, points.size());
+    for (const EmbeddedPoint& point : points) {
+      WriteDoubleVector(out, point.x);
+      WriteDoubleVector(out, point.y);
+      WritePod<uint32_t>(out, point.gene);
+    }
+  }
+
+  WritePod<uint64_t>(out, index.inverted_file().size());
+  for (const auto& [gene, sig] : index.inverted_file()) {
+    WritePod<uint32_t>(out, gene);
+    WritePod<uint64_t>(out, sig.size());
+    out->write(reinterpret_cast<const char*>(sig.data()),
+               static_cast<std::streamsize>(sig.size()));
+  }
+  if (!out->good()) {
+    return Status::Internal("write failure while saving index");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ImGrnIndex>> LoadIndex(std::istream* in,
+                                              GeneDatabase* database) {
+  char magic[sizeof(kMagic)];
+  in->read(magic, sizeof(magic));
+  if (!in->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a persisted IM-GRN index");
+  }
+  ImGrnIndexOptions options;
+  uint64_t u64 = 0;
+  int32_t i32 = 0;
+  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  options.num_pivots = u64;
+  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  options.signature_bits = u64;
+  if (!ReadPod(in, &i32)) return Status::InvalidArgument("truncated index");
+  options.signature_hashes = i32;
+  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  options.embed_samples = u64;
+  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  options.page_size = u64;
+  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  options.rtree_max_entries = u64;
+  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  options.buffer_pool_pages = u64;
+  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  options.seed = u64;
+
+  uint64_t num_sources = 0;
+  if (!ReadPod(in, &num_sources)) {
+    return Status::InvalidArgument("truncated index");
+  }
+  std::vector<PivotSet> pivot_sets(num_sources);
+  std::vector<std::vector<EmbeddedPoint>> embeddings(num_sources);
+  std::vector<bool> active(num_sources, true);
+  for (uint64_t i = 0; i < num_sources; ++i) {
+    uint8_t is_active = 0;
+    if (!ReadPod(in, &is_active)) {
+      return Status::InvalidArgument("truncated index");
+    }
+    active[i] = is_active != 0;
+    uint64_t num_pivots = 0;
+    if (!ReadPod(in, &num_pivots) || num_pivots > (1u << 20)) {
+      return Status::InvalidArgument("truncated index");
+    }
+    PivotSet& pivots = pivot_sets[i];
+    pivots.columns.resize(num_pivots);
+    for (uint64_t w = 0; w < num_pivots; ++w) {
+      uint64_t column = 0;
+      if (!ReadPod(in, &column)) {
+        return Status::InvalidArgument("truncated index");
+      }
+      pivots.columns[w] = column;
+    }
+    pivots.vectors.resize(num_pivots);
+    for (uint64_t w = 0; w < num_pivots; ++w) {
+      if (!ReadDoubleVector(in, &pivots.vectors[w])) {
+        return Status::InvalidArgument("truncated pivot vectors");
+      }
+    }
+    uint64_t num_points = 0;
+    if (!ReadPod(in, &num_points) || num_points > (1ull << 32)) {
+      return Status::InvalidArgument("truncated index");
+    }
+    embeddings[i].resize(num_points);
+    for (uint64_t s = 0; s < num_points; ++s) {
+      EmbeddedPoint& point = embeddings[i][s];
+      if (!ReadDoubleVector(in, &point.x) ||
+          !ReadDoubleVector(in, &point.y)) {
+        return Status::InvalidArgument("truncated embedded points");
+      }
+      uint32_t gene = 0;
+      if (!ReadPod(in, &gene)) {
+        return Status::InvalidArgument("truncated embedded points");
+      }
+      point.gene = gene;
+    }
+  }
+
+  uint64_t if_count = 0;
+  if (!ReadPod(in, &if_count)) {
+    return Status::InvalidArgument("truncated inverted file");
+  }
+  std::unordered_map<GeneId, std::vector<uint8_t>> inverted_file;
+  inverted_file.reserve(if_count);
+  for (uint64_t e = 0; e < if_count; ++e) {
+    uint32_t gene = 0;
+    uint64_t bytes = 0;
+    if (!ReadPod(in, &gene) || !ReadPod(in, &bytes) || bytes > (1u << 20)) {
+      return Status::InvalidArgument("truncated inverted file");
+    }
+    std::vector<uint8_t> sig(bytes);
+    in->read(reinterpret_cast<char*>(sig.data()),
+             static_cast<std::streamsize>(bytes));
+    if (!in->good()) {
+      return Status::InvalidArgument("truncated inverted file");
+    }
+    inverted_file.emplace(gene, std::move(sig));
+  }
+
+  return ImGrnIndex::Restore(std::move(options), database,
+                             std::move(pivot_sets), std::move(embeddings),
+                             std::move(active), std::move(inverted_file));
+}
+
+Status SaveIndexToFile(const ImGrnIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  return SaveIndex(index, &out);
+}
+
+Result<std::unique_ptr<ImGrnIndex>> LoadIndexFromFile(
+    const std::string& path, GeneDatabase* database) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  return LoadIndex(&in, database);
+}
+
+}  // namespace imgrn

@@ -1,0 +1,35 @@
+#ifndef IMGRN_INDEX_INDEX_IO_H_
+#define IMGRN_INDEX_INDEX_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "index/imgrn_index.h"
+
+namespace imgrn {
+
+/// Binary persistence for a built ImGrnIndex. What is stored is everything
+/// that was *expensive* to compute — the per-matrix pivot sets and the
+/// Monte Carlo embedded points (the y coordinates cost permutation
+/// sampling), the inverted file, the active flags, and the options. The
+/// R*-tree itself is rebuilt on load by re-inserting the stored points,
+/// which is cheap and yields a structurally equivalent (deterministic)
+/// tree.
+///
+/// The gene feature database is persisted separately (matrix_io.h); on
+/// load it must have exactly the same number of matrices the index was
+/// built over.
+
+Status SaveIndex(const ImGrnIndex& index, std::ostream* out);
+
+Result<std::unique_ptr<ImGrnIndex>> LoadIndex(std::istream* in,
+                                              GeneDatabase* database);
+
+Status SaveIndexToFile(const ImGrnIndex& index, const std::string& path);
+Result<std::unique_ptr<ImGrnIndex>> LoadIndexFromFile(
+    const std::string& path, GeneDatabase* database);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_INDEX_INDEX_IO_H_

@@ -1,0 +1,58 @@
+#include "inference/grn_inference.h"
+
+#include "common/logging.h"
+#include "matrix/vector_ops.h"
+#include "prob/markov_bound.h"
+
+namespace imgrn {
+
+ProbGraph InferGrn(const GeneMatrix& matrix, double gamma,
+                   const GrnInferenceOptions& options,
+                   GrnInferenceStats* stats) {
+  PermutationCache cache(options.num_samples, options.seed);
+  return InferGrnWithCache(matrix, gamma, options, &cache, stats);
+}
+
+ProbGraph InferGrnWithCache(const GeneMatrix& matrix, double gamma,
+                            const GrnInferenceOptions& options,
+                            PermutationCache* cache,
+                            GrnInferenceStats* stats) {
+  IMGRN_CHECK_GE(gamma, 0.0);
+  IMGRN_CHECK_LT(gamma, 1.0);
+  GeneMatrix standardized = matrix;
+  standardized.StandardizeColumns();
+  const size_t n = standardized.num_genes();
+  const size_t l = standardized.num_samples();
+
+  ProbGraph grn;
+  for (size_t s = 0; s < n; ++s) {
+    grn.AddVertex(standardized.gene_id(s));
+  }
+  GrnInferenceStats local_stats;
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t t = s + 1; t < n; ++t) {
+      ++local_stats.pairs_total;
+      if (options.use_edge_pruning) {
+        const double distance =
+            EuclideanDistance(standardized.Column(s), standardized.Column(t));
+        if (EdgeInferencePrune(distance, l, gamma)) {
+          ++local_stats.pairs_pruned;
+          continue;
+        }
+      }
+      ++local_stats.pairs_estimated;
+      const double p = EstimateEdgeProbabilityCached(
+          standardized.Column(s), standardized.Column(t), cache);
+      if (p > gamma) {
+        grn.AddEdge(static_cast<VertexId>(s), static_cast<VertexId>(t), p);
+        ++local_stats.edges_inferred;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return grn;
+}
+
+}  // namespace imgrn

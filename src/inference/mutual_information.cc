@@ -1,0 +1,74 @@
+#include "inference/mutual_information.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+namespace {
+
+/// Maps each value to its equal-width bin in [0, num_bins).
+void Discretize(std::span<const double> values, size_t num_bins,
+                std::vector<size_t>* bins) {
+  double lo = values[0];
+  double hi = values[0];
+  for (double value : values) {
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+  }
+  bins->resize(values.size());
+  if (hi <= lo) {
+    // Constant vector: everything in bin 0.
+    std::fill(bins->begin(), bins->end(), 0u);
+    return;
+  }
+  const double width = (hi - lo) / static_cast<double>(num_bins);
+  for (size_t i = 0; i < values.size(); ++i) {
+    size_t bin = static_cast<size_t>((values[i] - lo) / width);
+    if (bin >= num_bins) bin = num_bins - 1;  // hi lands in the last bin.
+    (*bins)[i] = bin;
+  }
+}
+
+}  // namespace
+
+double MutualInformation(std::span<const double> x, std::span<const double> y,
+                         size_t num_bins) {
+  IMGRN_CHECK_EQ(x.size(), y.size());
+  IMGRN_CHECK_GT(x.size(), 0u);
+  IMGRN_CHECK_GE(num_bins, 2u);
+  std::vector<size_t> bx, by;
+  Discretize(x, num_bins, &bx);
+  Discretize(y, num_bins, &by);
+
+  const size_t l = x.size();
+  std::vector<double> joint(num_bins * num_bins, 0.0);
+  std::vector<double> marginal_x(num_bins, 0.0);
+  std::vector<double> marginal_y(num_bins, 0.0);
+  const double weight = 1.0 / static_cast<double>(l);
+  for (size_t i = 0; i < l; ++i) {
+    joint[bx[i] * num_bins + by[i]] += weight;
+    marginal_x[bx[i]] += weight;
+    marginal_y[by[i]] += weight;
+  }
+  double mi = 0.0;
+  for (size_t i = 0; i < num_bins; ++i) {
+    if (marginal_x[i] == 0.0) continue;
+    for (size_t j = 0; j < num_bins; ++j) {
+      const double pij = joint[i * num_bins + j];
+      if (pij == 0.0 || marginal_y[j] == 0.0) continue;
+      mi += pij * std::log(pij / (marginal_x[i] * marginal_y[j]));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+size_t DefaultMutualInformationBins(size_t num_samples) {
+  const double bins = std::sqrt(static_cast<double>(num_samples) / 5.0);
+  return std::max<size_t>(2, static_cast<size_t>(std::lround(bins)));
+}
+
+}  // namespace imgrn

@@ -1,0 +1,30 @@
+#ifndef IMGRN_INFERENCE_MUTUAL_INFORMATION_H_
+#define IMGRN_INFERENCE_MUTUAL_INFORMATION_H_
+
+#include <cstddef>
+#include <span>
+
+namespace imgrn {
+
+/// Histogram (equal-width binned) mutual information estimator between two
+/// continuous gene feature vectors — the scoring function of relevance-
+/// networks-by-MI [3] and ARACNE [23], which the paper lists as the other
+/// major scoring-based GRN inference family (Section 2.2 / Section 7 leave
+/// a randomized-vector variant of it as future work; this module provides
+/// both the plain score and that variant).
+///
+///   I(X; Y) = sum_{i,j} p(i,j) log( p(i,j) / (p(i) p(j)) )
+///
+/// with `num_bins` equal-width bins per variable over each vector's
+/// observed range. Returns nats. I >= 0, with 0 for independent (or
+/// constant) inputs; estimator bias grows with num_bins^2 / l, so callers
+/// should keep num_bins ~ sqrt(l / 5).
+double MutualInformation(std::span<const double> x, std::span<const double> y,
+                         size_t num_bins);
+
+/// Reasonable bin count for sample size l (sqrt rule, clamped to >= 2).
+size_t DefaultMutualInformationBins(size_t num_samples);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_INFERENCE_MUTUAL_INFORMATION_H_

@@ -1,0 +1,78 @@
+#include "inference/permutation_cache.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "matrix/vector_ops.h"
+
+namespace imgrn {
+
+PermutationCache::PermutationCache(size_t num_samples, uint64_t seed)
+    : num_samples_(num_samples), rng_(seed) {
+  IMGRN_CHECK_GT(num_samples, 0u);
+}
+
+const std::vector<std::vector<uint32_t>>& PermutationCache::ForLength(
+    size_t l) {
+  auto it = cache_.find(l);
+  if (it != cache_.end()) return it->second;
+  std::vector<std::vector<uint32_t>> perms(num_samples_);
+  for (auto& perm : perms) {
+    rng_.Permutation(l, &perm);
+  }
+  return cache_.emplace(l, std::move(perms)).first->second;
+}
+
+double EstimateEdgeProbabilityCached(std::span<const double> xs,
+                                     std::span<const double> xt,
+                                     PermutationCache* cache) {
+  IMGRN_CHECK_EQ(xs.size(), xt.size());
+  const auto& perms = cache->ForLength(xt.size());
+  const double observed = SquaredEuclideanDistance(xs, xt);
+  std::vector<double> permuted(xt.size());
+  size_t hits = 0;
+  for (const auto& perm : perms) {
+    ApplyPermutation(xt, perm, permuted);
+    if (SquaredEuclideanDistance(xs, permuted) > observed) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(perms.size());
+}
+
+double EstimateEdgeProbabilityAbsoluteCached(std::span<const double> xs,
+                                             std::span<const double> xt,
+                                             PermutationCache* cache) {
+  IMGRN_CHECK_EQ(xs.size(), xt.size());
+  const auto& perms = cache->ForLength(xt.size());
+  const double two_l = 2.0 * static_cast<double>(xs.size());
+  const double observed =
+      std::fabs(1.0 - SquaredEuclideanDistance(xs, xt) / two_l);
+  std::vector<double> permuted(xt.size());
+  size_t hits = 0;
+  for (const auto& perm : perms) {
+    ApplyPermutation(xt, perm, permuted);
+    const double randomized =
+        std::fabs(1.0 - SquaredEuclideanDistance(xs, permuted) / two_l);
+    if (observed > randomized) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(perms.size());
+}
+
+double ExpectedPermutedDistanceCached(std::span<const double> x,
+                                      std::span<const double> pivot,
+                                      PermutationCache* cache) {
+  IMGRN_CHECK_EQ(x.size(), pivot.size());
+  const auto& perms = cache->ForLength(x.size());
+  std::vector<double> permuted(x.size());
+  double sum = 0.0;
+  for (const auto& perm : perms) {
+    ApplyPermutation(x, perm, permuted);
+    sum += EuclideanDistance(permuted, pivot);
+  }
+  return sum / static_cast<double>(perms.size());
+}
+
+}  // namespace imgrn

@@ -1,0 +1,88 @@
+#include "inference/roc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+namespace {
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+RocCurve::RocCurve(const DenseMatrix& scores, const GoldStandard& truth,
+                   const std::vector<double>& thresholds) {
+  IMGRN_CHECK_EQ(scores.rows(), scores.cols());
+  const size_t n = scores.rows();
+  std::unordered_set<uint64_t> true_edges;
+  for (const auto& [a, b] : truth) {
+    IMGRN_CHECK_LT(a, n);
+    IMGRN_CHECK_LT(b, n);
+    IMGRN_CHECK_NE(a, b);
+    true_edges.insert(PairKey(a, b));
+  }
+  const double num_positive = static_cast<double>(true_edges.size());
+  const double num_pairs = static_cast<double>(n * (n - 1) / 2);
+  const double num_negative = num_pairs - num_positive;
+  IMGRN_CHECK_GT(num_positive, 0.0) << "gold standard has no edges";
+  IMGRN_CHECK_GT(num_negative, 0.0) << "gold standard is a complete graph";
+
+  points_.reserve(thresholds.size());
+  for (double threshold : thresholds) {
+    size_t true_positive = 0;
+    size_t false_positive = 0;
+    for (uint32_t s = 0; s < n; ++s) {
+      for (uint32_t t = s + 1; t < n; ++t) {
+        if (scores.At(s, t) > threshold) {
+          if (true_edges.contains(PairKey(s, t))) {
+            ++true_positive;
+          } else {
+            ++false_positive;
+          }
+        }
+      }
+    }
+    RocPoint point;
+    point.threshold = threshold;
+    point.true_positive_rate = static_cast<double>(true_positive) /
+                               num_positive;
+    point.false_positive_rate = static_cast<double>(false_positive) /
+                                num_negative;
+    points_.push_back(point);
+  }
+}
+
+double RocCurve::Auc() const {
+  // Collect (FPR, TPR), anchor at (0,0) and (1,1), sort by FPR (ties by
+  // TPR), integrate trapezoidally.
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(points_.size() + 2);
+  pts.emplace_back(0.0, 0.0);
+  for (const RocPoint& p : points_) {
+    pts.emplace_back(p.false_positive_rate, p.true_positive_rate);
+  }
+  pts.emplace_back(1.0, 1.0);
+  std::sort(pts.begin(), pts.end());
+  double auc = 0.0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const double dx = pts[i].first - pts[i - 1].first;
+    auc += dx * 0.5 * (pts[i].second + pts[i - 1].second);
+  }
+  return auc;
+}
+
+std::vector<double> RocCurve::UniformThresholds(double step) {
+  std::vector<double> thresholds;
+  for (double t = 0.0; t <= 1.0 + 1e-12; t += step) {
+    thresholds.push_back(t);
+  }
+  return thresholds;
+}
+
+}  // namespace imgrn

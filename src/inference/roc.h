@@ -1,0 +1,51 @@
+#ifndef IMGRN_INFERENCE_ROC_H_
+#define IMGRN_INFERENCE_ROC_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "matrix/dense_matrix.h"
+
+namespace imgrn {
+
+/// A gold-standard network: the set of true undirected edges, as unordered
+/// column-index pairs of the matrix the scores were computed on.
+using GoldStandard = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// One operating point of the ROC sweep.
+struct RocPoint {
+  double threshold = 0.0;
+  double false_positive_rate = 0.0;  // FPR: fraction of non-edges inferred.
+  double true_positive_rate = 0.0;   // TPR (recall): fraction of edges found.
+};
+
+/// ROC evaluation of a symmetric pairwise score matrix against the gold
+/// standard (Section 6.2): for each threshold, an edge is inferred when
+/// score > threshold; TPR = inferred true edges / true edges; FPR =
+/// inferred non-edges / non-edges.
+class RocCurve {
+ public:
+  /// `scores` must be square/symmetric; `num_genes` pairs over the upper
+  /// triangle are classified. `thresholds` are evaluated as given (the
+  /// paper sweeps 0..1 in 0.01 steps; see UniformThresholds).
+  RocCurve(const DenseMatrix& scores, const GoldStandard& truth,
+           const std::vector<double>& thresholds);
+
+  const std::vector<RocPoint>& points() const { return points_; }
+
+  /// Area under the ROC curve via trapezoidal integration over the sweep
+  /// (points are sorted by FPR internally; the (0,0) and (1,1) anchors are
+  /// included).
+  double Auc() const;
+
+  /// The paper's sweep: 0.00, 0.01, ..., 1.00.
+  static std::vector<double> UniformThresholds(double step = 0.01);
+
+ private:
+  std::vector<RocPoint> points_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_INFERENCE_ROC_H_

@@ -1,0 +1,107 @@
+#include "matrix/dense_matrix.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  IMGRN_CHECK_EQ(data_.size(), rows_ * cols_);
+}
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix eye(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    eye.At(i, i) = 1.0;
+  }
+  return eye;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  IMGRN_CHECK_EQ(cols_, other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = At(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += aik * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out.At(j, i) = At(i, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Add(const DenseMatrix& other) const {
+  IMGRN_CHECK_EQ(rows_, other.rows_);
+  IMGRN_CHECK_EQ(cols_, other.cols_);
+  DenseMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Subtract(const DenseMatrix& other) const {
+  IMGRN_CHECK_EQ(rows_, other.rows_);
+  IMGRN_CHECK_EQ(cols_, other.cols_);
+  DenseMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] - other.data_[i];
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Scale(double factor) const {
+  DenseMatrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] * factor;
+  }
+  return out;
+}
+
+double DenseMatrix::MaxAbsDifference(const DenseMatrix& other) const {
+  IMGRN_CHECK_EQ(rows_, other.rows_);
+  IMGRN_CHECK_EQ(cols_, other.cols_);
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string DenseMatrix::DebugString() const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  for (size_t i = 0; i < rows_; ++i) {
+    out << (i == 0 ? "[" : " [");
+    for (size_t j = 0; j < cols_; ++j) {
+      if (j > 0) out << ", ";
+      out << At(i, j);
+    }
+    out << "]";
+    if (i + 1 < rows_) out << "\n";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace imgrn

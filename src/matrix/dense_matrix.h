@@ -1,0 +1,66 @@
+#ifndef IMGRN_MATRIX_DENSE_MATRIX_H_
+#define IMGRN_MATRIX_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imgrn {
+
+/// A dense row-major matrix of doubles. This is the general-purpose linear
+/// algebra workhorse used by the synthetic data generator
+/// (M = E (I - B)^{-1}, Section 6.1) and by partial correlation (precision
+/// matrix). Gene feature data uses the column-oriented GeneMatrix instead.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a rows x cols matrix filled with zeros.
+  DenseMatrix(size_t rows, size_t cols);
+
+  /// Creates a matrix from row-major initializer data. `values.size()` must
+  /// equal rows * cols.
+  DenseMatrix(size_t rows, size_t cols, std::vector<double> values);
+
+  /// Returns the n x n identity matrix.
+  static DenseMatrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Returns this * other. Dimensions must agree (checked).
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// Returns the transpose.
+  DenseMatrix Transpose() const;
+
+  /// Returns this + other (element-wise). Dimensions must agree.
+  DenseMatrix Add(const DenseMatrix& other) const;
+
+  /// Returns this - other (element-wise). Dimensions must agree.
+  DenseMatrix Subtract(const DenseMatrix& other) const;
+
+  /// Returns this scaled by `factor`.
+  DenseMatrix Scale(double factor) const;
+
+  /// Maximum absolute element difference vs `other`; used by tests.
+  double MaxAbsDifference(const DenseMatrix& other) const;
+
+  /// Compact multi-line rendering for test diagnostics.
+  std::string DebugString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_MATRIX_DENSE_MATRIX_H_

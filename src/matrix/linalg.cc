@@ -1,0 +1,128 @@
+#include "matrix/linalg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+namespace {
+
+// Pivots smaller than this (relative to the column scale) are treated as
+// singular.
+constexpr double kSingularEpsilon = 1e-12;
+
+}  // namespace
+
+Result<LuDecomposition> LuDecomposition::Factor(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU factorization requires a square matrix");
+  }
+  const size_t n = a.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("LU factorization of an empty matrix");
+  }
+  DenseMatrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k at/below k.
+    size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu.At(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      double mag = std::fabs(lu.At(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag < kSingularEpsilon) {
+      return Status::FailedPrecondition(
+          "matrix is singular (zero pivot during LU factorization)");
+    }
+    if (pivot_row != k) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(lu.At(k, j), lu.At(pivot_row, j));
+      }
+      std::swap(perm[k], perm[pivot_row]);
+      sign = -sign;
+    }
+    const double pivot = lu.At(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = lu.At(i, k) / pivot;
+      lu.At(i, k) = factor;
+      for (size_t j = k + 1; j < n; ++j) {
+        lu.At(i, j) -= factor * lu.At(k, j);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+std::vector<double> LuDecomposition::Solve(const std::vector<double>& b) const {
+  const size_t n = dim();
+  IMGRN_CHECK_EQ(b.size(), n);
+  std::vector<double> x(n);
+  // Forward substitution on permuted b with unit-lower L.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) {
+      sum -= lu_.At(i, j) * x[j];
+    }
+    x[i] = sum;
+  }
+  // Back substitution with U.
+  for (size_t i = n; i-- > 0;) {
+    double sum = x[i];
+    for (size_t j = i + 1; j < n; ++j) {
+      sum -= lu_.At(i, j) * x[j];
+    }
+    x[i] = sum / lu_.At(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuDecomposition::Solve(const DenseMatrix& b) const {
+  const size_t n = dim();
+  IMGRN_CHECK_EQ(b.rows(), n);
+  DenseMatrix x(n, b.cols());
+  std::vector<double> column(n);
+  for (size_t c = 0; c < b.cols(); ++c) {
+    for (size_t r = 0; r < n; ++r) column[r] = b.At(r, c);
+    std::vector<double> solved = Solve(column);
+    for (size_t r = 0; r < n; ++r) x.At(r, c) = solved[r];
+  }
+  return x;
+}
+
+DenseMatrix LuDecomposition::Inverse() const {
+  return Solve(DenseMatrix::Identity(dim()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = perm_sign_;
+  for (size_t i = 0; i < dim(); ++i) {
+    det *= lu_.At(i, i);
+  }
+  return det;
+}
+
+Result<DenseMatrix> InvertMatrix(const DenseMatrix& a) {
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  if (!lu.ok()) return lu.status();
+  return lu->Inverse();
+}
+
+Result<std::vector<double>> SolveLinearSystem(const DenseMatrix& a,
+                                              const std::vector<double>& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch in SolveLinearSystem");
+  }
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  if (!lu.ok()) return lu.status();
+  return lu->Solve(b);
+}
+
+}  // namespace imgrn

@@ -1,0 +1,56 @@
+#ifndef IMGRN_MATRIX_LINALG_H_
+#define IMGRN_MATRIX_LINALG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "matrix/dense_matrix.h"
+
+namespace imgrn {
+
+/// LU decomposition with partial pivoting (Doolittle). Factors a square
+/// matrix A as P·A = L·U where L is unit lower triangular and U is upper
+/// triangular; P is stored as a row-permutation vector.
+///
+/// Used by the synthetic generator (inverting I - B, Section 6.1) and by
+/// partial correlation (inverting the covariance matrix, Appendix H).
+class LuDecomposition {
+ public:
+  /// Factors `a` (must be square). Returns InvalidArgument for non-square
+  /// input and FailedPrecondition for (numerically) singular matrices.
+  static Result<LuDecomposition> Factor(const DenseMatrix& a);
+
+  size_t dim() const { return lu_.rows(); }
+
+  /// Solves A·x = b. `b.size()` must equal dim().
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves A·X = B column-by-column.
+  DenseMatrix Solve(const DenseMatrix& b) const;
+
+  /// Returns A^{-1}.
+  DenseMatrix Inverse() const;
+
+  /// Determinant of A (product of U's diagonal times permutation sign).
+  double Determinant() const;
+
+ private:
+  LuDecomposition(DenseMatrix lu, std::vector<size_t> perm, int perm_sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), perm_sign_(perm_sign) {}
+
+  DenseMatrix lu_;            // Packed L (below diagonal) and U.
+  std::vector<size_t> perm_;  // Row permutation.
+  int perm_sign_ = 1;
+};
+
+/// Convenience: returns A^{-1} or an error if A is singular/non-square.
+Result<DenseMatrix> InvertMatrix(const DenseMatrix& a);
+
+/// Solves A·x = b. Returns an error if A is singular/non-square or the
+/// dimensions disagree.
+Result<std::vector<double>> SolveLinearSystem(const DenseMatrix& a,
+                                              const std::vector<double>& b);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_MATRIX_LINALG_H_

@@ -1,0 +1,44 @@
+#ifndef IMGRN_MATRIX_MATRIX_IO_H_
+#define IMGRN_MATRIX_MATRIX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "matrix/gene_matrix.h"
+
+namespace imgrn {
+
+/// Plain-text persistence for gene feature matrices and databases, so real
+/// expression data can be loaded without writing C++. Format (whitespace
+/// separated):
+///
+///   IMGRN-MATRIX 1
+///   <source_id> <num_samples l> <num_genes n>
+///   <gene_id_1> ... <gene_id_n>
+///   <row 1: n feature values>
+///   ...
+///   <row l: n feature values>
+///
+/// A database file is the header `IMGRN-DB 1`, a matrix count, and that
+/// many matrix blocks whose source ids must be 0..N-1 in order.
+///
+/// Writers emit full double precision (%.17g equivalent); readers accept
+/// any stream of tokens, so exported files round-trip exactly.
+
+Status WriteGeneMatrix(const GeneMatrix& matrix, std::ostream* out);
+Result<GeneMatrix> ReadGeneMatrix(std::istream* in);
+
+Status WriteGeneDatabase(const GeneDatabase& database, std::ostream* out);
+Result<GeneDatabase> ReadGeneDatabase(std::istream* in);
+
+/// File-path conveniences.
+Status SaveGeneDatabase(const GeneDatabase& database,
+                        const std::string& path);
+Result<GeneDatabase> LoadGeneDatabase(const std::string& path);
+Status SaveGeneMatrix(const GeneMatrix& matrix, const std::string& path);
+Result<GeneMatrix> LoadGeneMatrix(const std::string& path);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_MATRIX_MATRIX_IO_H_

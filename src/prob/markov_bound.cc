@@ -1,0 +1,38 @@
+#include "prob/markov_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "matrix/vector_ops.h"
+#include "prob/edge_probability.h"
+
+namespace imgrn {
+
+double MarkovUpperBoundClosedForm(double distance, size_t length) {
+  IMGRN_CHECK_GT(length, 0u);
+  if (distance <= 0.0) {
+    // Identical vectors: the bound is vacuous.
+    return 1.0;
+  }
+  const double expected_z = std::sqrt(2.0 * static_cast<double>(length));
+  return std::min(1.0, expected_z / distance);
+}
+
+double MarkovUpperBoundSampled(std::span<const double> xs,
+                               std::span<const double> xt, size_t num_samples,
+                               Rng* rng) {
+  const double distance = EuclideanDistance(xs, xt);
+  if (distance <= 0.0) {
+    return 1.0;
+  }
+  const double expected_z =
+      SampledExpectedPermutedDistance(xt, xs, num_samples, rng);
+  return std::min(1.0, expected_z / distance);
+}
+
+bool EdgeInferencePrune(double distance, size_t length, double gamma) {
+  return MarkovUpperBoundClosedForm(distance, length) <= gamma;
+}
+
+}  // namespace imgrn

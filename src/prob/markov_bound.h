@@ -1,0 +1,42 @@
+#ifndef IMGRN_PROB_MARKOV_BOUND_H_
+#define IMGRN_PROB_MARKOV_BOUND_H_
+
+#include <cstddef>
+#include <span>
+
+#include "common/random.h"
+
+namespace imgrn {
+
+/// Lemma 4: Markov upper bound on the edge existence probability,
+///
+///   ub_P(e_{s,t}) = E(Z) / dist(X_s, X_t),   Z = dist(X_s, X_t^R).
+///
+/// For standardized vectors (mean 0, ||X||^2 = l) the cross term
+/// E[X_s . X_t^R] vanishes, so E[Z^2] = ||X_s||^2 + ||X_t||^2 = 2l exactly
+/// and Jensen gives the closed form E[Z] <= sqrt(2 l). Substituting the
+/// Jensen bound for E(Z) keeps ub_P an upper bound, so Lemma-3 pruning with
+/// it is still safe (no false dismissals). This closed form costs O(1) given
+/// the observed distance — the whole point of the edge-inference pruning.
+///
+/// Returns min(bound, 1.0). `distance` must be > 0.
+double MarkovUpperBoundClosedForm(double distance, size_t length);
+
+/// Markov bound with a sampled E(Z) (tighter than the Jensen closed form but
+/// costs `num_samples` permutations). Still a valid upper bound only up to
+/// Monte Carlo error; the library uses it for diagnostics and ablations, not
+/// for default pruning.
+double MarkovUpperBoundSampled(std::span<const double> xs,
+                               std::span<const double> xt, size_t num_samples,
+                               Rng* rng);
+
+/// Lemma 3 (edge inference pruning): returns true when the Markov closed
+/// form certifies e.p <= gamma, i.e. the potential edge (X_s, X_t) cannot
+/// exist in the inferred GRN and can be skipped without running Monte Carlo.
+/// `distance` is dist(X_s, X_t) between standardized vectors of length
+/// `length`.
+bool EdgeInferencePrune(double distance, size_t length, double gamma);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_PROB_MARKOV_BOUND_H_

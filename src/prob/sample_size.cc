@@ -1,0 +1,18 @@
+#include "prob/sample_size.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+size_t RequiredSampleSize(double epsilon, double delta) {
+  IMGRN_CHECK_GT(epsilon, 0.0);
+  IMGRN_CHECK_LT(epsilon, 1.0);
+  IMGRN_CHECK_GT(delta, 0.0);
+  IMGRN_CHECK_LT(delta, 1.0);
+  const double bound = 3.0 / (epsilon * epsilon) * std::log(2.0 / delta);
+  return static_cast<size_t>(std::ceil(bound));
+}
+
+}  // namespace imgrn

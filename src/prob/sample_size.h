@@ -1,0 +1,19 @@
+#ifndef IMGRN_PROB_SAMPLE_SIZE_H_
+#define IMGRN_PROB_SAMPLE_SIZE_H_
+
+#include <cstddef>
+
+namespace imgrn {
+
+/// Lemma 2 (after [15]): with S >= (3 / eps^2) * ln(2 / delta) Monte Carlo
+/// samples, the estimated edge existence probability rho_hat is an
+/// eps-approximation of the true rho with probability at least 1 - delta:
+///   Pr{ (1-eps) rho <= rho_hat <= (1+eps) rho } >= 1 - delta.
+///
+/// Returns the smallest integer S satisfying the bound. Requires
+/// 0 < epsilon < 1 and 0 < delta < 1 (checked).
+size_t RequiredSampleSize(double epsilon, double delta);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_PROB_SAMPLE_SIZE_H_

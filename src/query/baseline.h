@@ -1,0 +1,74 @@
+#ifndef IMGRN_QUERY_BASELINE_H_
+#define IMGRN_QUERY_BASELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/prob_graph.h"
+#include "matrix/gene_matrix.h"
+#include "query/query_types.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace imgrn {
+
+/// Knobs for the Baseline competitor.
+struct BaselineOptions {
+  /// Monte Carlo permutations per pair during offline materialization.
+  size_t num_samples = 64;
+  size_t page_size = kDefaultPageSize;
+  size_t buffer_pool_pages = 128;
+  uint64_t seed = 17;
+};
+
+/// The Baseline competitor of Section 6.1: offline pre-compute and store
+/// the existence probabilities of ALL pairwise edges of every matrix
+/// (complete GRNs); online, scan the stored probabilities to materialize
+/// every GRN G_i at the ad-hoc gamma and subgraph-match the query against
+/// each. Probabilities live on pages read through a buffer pool, so the
+/// scan's page accesses are accounted exactly like the index's — this is
+/// the method the paper shows losing by 2-3 orders of magnitude.
+class BaselineMaterialization {
+ public:
+  explicit BaselineMaterialization(BaselineOptions options = {});
+
+  /// Offline phase. Standardizes the database in place; it must outlive
+  /// this object.
+  Status Build(GeneDatabase* database);
+
+  double build_seconds() const { return build_seconds_; }
+  size_t total_pages() const { return file_->num_pages(); }
+
+  /// Online phase: matches `query_graph` against every matrix. Only
+  /// gamma/alpha of `params` and the pruning-free semantics of Definition 4
+  /// apply (the Baseline has no pruning). Fills the CPU / I/O / candidate
+  /// fields of `stats` (every matrix is a "candidate").
+  std::vector<QueryMatch> Query(const ProbGraph& query_graph,
+                                const QueryParams& params,
+                                QueryStats* stats = nullptr) const;
+
+  /// Reads one stored pairwise probability (columns s < t of matrix
+  /// `source`) through the buffer pool. Exposed for tests.
+  double ReadProbability(SourceId source, size_t s, size_t t) const;
+
+ private:
+  struct SourceLayout {
+    std::vector<PageId> pages;
+    size_t num_genes = 0;
+  };
+
+  size_t PairIndex(const SourceLayout& layout, size_t s, size_t t) const;
+
+  BaselineOptions options_;
+  GeneDatabase* database_ = nullptr;
+  std::unique_ptr<PagedFile> file_;
+  mutable std::unique_ptr<BufferPool> pool_;
+  std::vector<SourceLayout> layouts_;
+  double build_seconds_ = 0.0;
+  size_t doubles_per_page_ = 0;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_QUERY_BASELINE_H_

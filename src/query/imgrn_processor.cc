@@ -1,0 +1,336 @@
+#include "query/imgrn_processor.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "inference/grn_inference.h"
+#include "matrix/vector_ops.h"
+#include "prob/markov_bound.h"
+#include "query/refinement.h"
+
+namespace imgrn {
+
+namespace {
+
+/// Priority-queue element: a pair of index nodes that may contain the
+/// anchor gene (in `a`) and one of its query neighbors (in `b`). Lower key
+/// (= node level) pops first, giving the depth-first order of Fig. 4.
+struct QueueElement {
+  int key = 0;
+  NodeId a = kInvalidNodeId;
+  NodeId b = kInvalidNodeId;
+};
+
+struct QueueCompare {
+  bool operator()(const QueueElement& lhs, const QueueElement& rhs) const {
+    return lhs.key > rhs.key;  // Min-heap on key.
+  }
+};
+
+}  // namespace
+
+struct ImGrnQueryProcessor::TraversalContext {
+  GeneId anchor_gene = 0;
+  std::unordered_set<GeneId> neighbor_genes;
+
+  // Query-side signatures (Fig. 4 lines 3-6).
+  std::vector<uint8_t> anchor_gene_sig;     // qV_f(s)
+  std::vector<uint8_t> neighbor_gene_sig;   // qV_f(t)
+  std::vector<uint8_t> source_filter_sig;   // qV_d(s) & qV_d(t)
+
+  // Surviving candidate anchor/neighbor pairs, grouped by source.
+  struct CandidatePair {
+    SourceId source;
+    uint32_t anchor_column;
+    uint32_t neighbor_column;
+  };
+  std::vector<CandidatePair> candidates;
+  std::unordered_set<SourceId> candidate_sources;
+};
+
+ImGrnQueryProcessor::ImGrnQueryProcessor(const ImGrnIndex* index)
+    : index_(index) {
+  IMGRN_CHECK(index != nullptr);
+  IMGRN_CHECK(index->is_built());
+}
+
+Result<std::vector<QueryMatch>> ImGrnQueryProcessor::Query(
+    const GeneMatrix& query_matrix, const QueryParams& params,
+    QueryStats* stats) const {
+  if (params.gamma < 0.0 || params.gamma >= 1.0) {
+    return Status::InvalidArgument("gamma must be in [0, 1)");
+  }
+  if (params.alpha < 0.0 || params.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1)");
+  }
+  Stopwatch inference_timer;
+  GrnInferenceOptions inference_options;
+  inference_options.num_samples = params.query_num_samples;
+  inference_options.seed = params.seed;
+  const ProbGraph query_graph =
+      InferGrn(query_matrix, params.gamma, inference_options);
+  const double inference_seconds = inference_timer.ElapsedSeconds();
+
+  Result<std::vector<QueryMatch>> result =
+      QueryWithGraph(query_graph, params, stats);
+  if (stats != nullptr) {
+    stats->inference_seconds = inference_seconds;
+    stats->total_seconds += inference_seconds;
+  }
+  return result;
+}
+
+Result<std::vector<QueryMatch>> ImGrnQueryProcessor::QueryWithGraph(
+    const ProbGraph& query_graph, const QueryParams& params,
+    QueryStats* stats) const {
+  if (params.gamma < 0.0 || params.gamma >= 1.0) {
+    return Status::InvalidArgument("gamma must be in [0, 1)");
+  }
+  if (params.alpha < 0.0 || params.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1)");
+  }
+  if (query_graph.num_vertices() == 0) {
+    return Status::InvalidArgument("query graph has no vertices");
+  }
+  QueryStats local_stats;
+  local_stats.query_vertices = query_graph.num_vertices();
+  local_stats.query_edges = query_graph.num_edges();
+
+  Stopwatch total_timer;
+  const IoStats io_before = index_->rtree().io_stats();
+
+  std::vector<QueryMatch> matches;
+  if (query_graph.num_edges() == 0) {
+    matches = MatchEdgeless(query_graph);
+    FinalizeMatches(params.top_k, &matches);
+    local_stats.answers = matches.size();
+    local_stats.total_seconds = total_timer.ElapsedSeconds();
+    if (stats != nullptr) *stats = local_stats;
+    return matches;
+  }
+
+  // --- Traversal (Fig. 4 lines 2-27) ---
+  Stopwatch traversal_timer;
+  TraversalContext ctx;
+  TraverseIndex(query_graph, params, &ctx, &local_stats);
+  local_stats.traversal_seconds = traversal_timer.ElapsedSeconds();
+  local_stats.candidate_pairs = ctx.candidates.size();
+  local_stats.candidate_matrices = ctx.candidate_sources.size();
+
+  // --- Refinement (Fig. 4 lines 28-30) ---
+  Stopwatch refinement_timer;
+  PermutationCache cache(params.refine_num_samples, params.seed ^ 0x5EEDu);
+  std::vector<SourceId> sources(ctx.candidate_sources.begin(),
+                                ctx.candidate_sources.end());
+  std::sort(sources.begin(), sources.end());
+  for (SourceId source : sources) {
+    QueryMatch match;
+    if (RefineMatrix(*index_, source, query_graph, params, &cache, &match,
+                     &local_stats)) {
+      matches.push_back(std::move(match));
+    }
+  }
+  local_stats.refinement_seconds = refinement_timer.ElapsedSeconds();
+  FinalizeMatches(params.top_k, &matches);
+  local_stats.answers = matches.size();
+  local_stats.total_seconds = total_timer.ElapsedSeconds();
+
+  const IoStats io_after = index_->rtree().io_stats();
+  local_stats.page_accesses = io_after.misses - io_before.misses;
+  local_stats.page_fetches = io_after.fetches - io_before.fetches;
+  if (stats != nullptr) *stats = local_stats;
+  return matches;
+}
+
+void ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
+                                        const QueryParams& params,
+                                        TraversalContext* ctx,
+                                        QueryStats* stats) const {
+  const RTree& rtree = index_->rtree();
+  const ByteSignatureLayout layout = index_->signature_layout();
+  const size_t sig_bytes = layout.num_bytes();
+  const size_t d = index_->num_pivots();
+
+  // Anchor gene: highest degree in Q (Fig. 4 line 2).
+  const VertexId anchor = query.MaxDegreeVertex();
+  ctx->anchor_gene = query.label(anchor);
+  for (VertexId neighbor : query.Neighbors(anchor)) {
+    ctx->neighbor_genes.insert(query.label(neighbor));
+  }
+
+  // Query-side signatures (lines 3-6).
+  ctx->anchor_gene_sig.assign(sig_bytes, 0);
+  ByteSignatureAdd(layout, ctx->anchor_gene, ctx->anchor_gene_sig);
+  ctx->neighbor_gene_sig.assign(sig_bytes, 0);
+  std::vector<uint8_t> source_sig_s(
+      index_->InvertedFileEntry(ctx->anchor_gene).begin(),
+      index_->InvertedFileEntry(ctx->anchor_gene).end());
+  std::vector<uint8_t> source_sig_t(sig_bytes, 0);
+  for (GeneId gene : ctx->neighbor_genes) {
+    std::vector<uint8_t> one(sig_bytes, 0);
+    ByteSignatureAdd(layout, gene, one);
+    ByteSignatureMerge(ctx->neighbor_gene_sig.data(), one.data(), sig_bytes);
+    const std::span<const uint8_t> if_entry = index_->InvertedFileEntry(gene);
+    ByteSignatureMerge(source_sig_t.data(), if_entry.data(), sig_bytes);
+  }
+  // Sources must contain the anchor gene AND at least one neighbor gene:
+  // qV_d(s) & qV_d(t).
+  ctx->source_filter_sig.resize(sig_bytes);
+  for (size_t i = 0; i < sig_bytes; ++i) {
+    ctx->source_filter_sig[i] = source_sig_s[i] & source_sig_t[i];
+  }
+
+  // The gene-ID dimension of the index (position 2d, Section 5.1) groups
+  // equal genes, so a node's MBR carries the exact range of gene IDs under
+  // it: a subtree can hold the anchor (resp. a neighbor) only if its range
+  // covers that ID. This structural check complements the hashed
+  // signatures, which saturate near the root where subtrees span many
+  // genes.
+  const size_t gene_dim = 2 * d;
+  const double anchor_value = static_cast<double>(ctx->anchor_gene);
+  auto gene_ranges_feasible = [&](const RTreeEntry& ea,
+                                  const RTreeEntry& eb) {
+    if (ea.mbr.lo(gene_dim) > anchor_value ||
+        ea.mbr.hi(gene_dim) < anchor_value) {
+      return false;
+    }
+    for (GeneId gene : ctx->neighbor_genes) {
+      const double value = static_cast<double>(gene);
+      if (eb.mbr.lo(gene_dim) <= value && value <= eb.mbr.hi(gene_dim)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Examines one ordered child pair; returns true when it survives the
+  // gene-range + signature + Lemma-6 pruning.
+  auto pair_survives = [&](const RTreeEntry& ea, const RTreeEntry& eb) {
+    ++stats->node_pairs_examined;
+    if (!gene_ranges_feasible(ea, eb) ||
+        !index_->EntryMayContainGene(ea, ctx->anchor_gene) ||
+        !ByteSignaturesIntersect(index_->GeneSignature(eb),
+                                 ctx->neighbor_gene_sig) ||
+        !index_->EntryMayIntersectSources(ea, ctx->source_filter_sig) ||
+        !index_->EntryMayIntersectSources(eb, ctx->source_filter_sig)) {
+      ++stats->node_pairs_pruned_signature;
+      return false;
+    }
+    if (params.use_index_pruning &&
+        (ImGrnIndex::IndexPruneNodePair(ea.mbr, eb.mbr, d, params.gamma) ||
+         ImGrnIndex::IndexPruneNodePair(eb.mbr, ea.mbr, d, params.gamma))) {
+      ++stats->node_pairs_pruned_index;
+      return false;
+    }
+    return true;
+  };
+
+  // Processes a leaf node pair (lines 16-21).
+  auto process_leaf_pair = [&](const RTreeNode& leaf_a,
+                               const RTreeNode& leaf_b) {
+    for (const RTreeEntry& pa : leaf_a.entries) {
+      const EmbeddedPoint point_a = index_->PointFromLeafEntry(pa);
+      if (point_a.gene != ctx->anchor_gene) continue;
+      const RecordRef ref_a = DecodeRecordRef(pa.handle);
+      for (const RTreeEntry& pb : leaf_b.entries) {
+        const EmbeddedPoint point_b = index_->PointFromLeafEntry(pb);
+        if (!ctx->neighbor_genes.contains(point_b.gene)) continue;
+        const RecordRef ref_b = DecodeRecordRef(pb.handle);
+        if (ref_a.source != ref_b.source) continue;
+        ++stats->leaf_pairs_examined;
+
+        if (params.use_pivot_pruning &&
+            (PivotPruneEdge(point_a, point_b, params.gamma) ||
+             PivotPruneEdge(point_b, point_a, params.gamma))) {
+          ++stats->leaf_pairs_pruned_pivot;
+          continue;
+        }
+        if (params.use_edge_pruning) {
+          const GeneMatrix& matrix = index_->database().matrix(ref_a.source);
+          const double distance =
+              EuclideanDistance(matrix.Column(ref_a.column),
+                                matrix.Column(ref_b.column));
+          if (EdgeInferencePrune(distance, matrix.num_samples(),
+                                 params.gamma)) {
+            ++stats->leaf_pairs_pruned_edge;
+            continue;
+          }
+        }
+        ctx->candidates.push_back(TraversalContext::CandidatePair{
+            ref_a.source, ref_a.column, ref_b.column});
+        ctx->candidate_sources.insert(ref_a.source);
+      }
+    }
+  };
+
+  if (rtree.root_id() == kInvalidNodeId) return;
+  std::priority_queue<QueueElement, std::vector<QueueElement>, QueueCompare>
+      queue;
+
+  const RTreeNode& root = rtree.node(rtree.root_id());
+  if (root.IsLeaf()) {
+    process_leaf_pair(root, root);
+    return;
+  }
+  // Seed with surviving ordered pairs of root entries (lines 9-13).
+  for (const RTreeEntry& ea : root.entries) {
+    for (const RTreeEntry& eb : root.entries) {
+      if (!pair_survives(ea, eb)) continue;
+      queue.push(QueueElement{root.level - 1,
+                              static_cast<NodeId>(ea.handle),
+                              static_cast<NodeId>(eb.handle)});
+    }
+  }
+
+  // Main loop (lines 14-27).
+  while (!queue.empty()) {
+    const QueueElement element = queue.top();
+    queue.pop();
+    const RTreeNode& node_a = rtree.node(element.a);
+    const RTreeNode& node_b = rtree.node(element.b);
+    if (node_a.IsLeaf()) {
+      process_leaf_pair(node_a, node_b);
+      continue;
+    }
+    for (const RTreeEntry& ca : node_a.entries) {
+      for (const RTreeEntry& cb : node_b.entries) {
+        if (!pair_survives(ca, cb)) continue;
+        queue.push(QueueElement{element.key - 1,
+                                static_cast<NodeId>(ca.handle),
+                                static_cast<NodeId>(cb.handle)});
+      }
+    }
+  }
+}
+
+std::vector<QueryMatch> ImGrnQueryProcessor::MatchEdgeless(
+    const ProbGraph& query) const {
+  std::vector<QueryMatch> matches;
+  const GeneDatabase& database = index_->database();
+  for (SourceId i = 0; i < database.size(); ++i) {
+    if (!index_->IsActive(i)) continue;
+    const GeneMatrix& matrix = database.matrix(i);
+    QueryMatch match;
+    match.source = i;
+    match.probability = 1.0;  // Empty product of Eq. 3.
+    bool all_present = true;
+    for (VertexId q = 0; q < query.num_vertices(); ++q) {
+      const int column = matrix.ColumnOfGene(query.label(q));
+      if (column < 0) {
+        all_present = false;
+        break;
+      }
+      match.mapping.emplace_back(query.label(q),
+                                 static_cast<uint32_t>(column));
+    }
+    if (all_present) {
+      matches.push_back(std::move(match));
+    }
+  }
+  return matches;
+}
+
+}  // namespace imgrn

@@ -1,0 +1,21 @@
+#include "query/query_types.h"
+
+#include <algorithm>
+
+namespace imgrn {
+
+void FinalizeMatches(size_t top_k, std::vector<QueryMatch>* matches) {
+  if (top_k == 0) return;
+  std::sort(matches->begin(), matches->end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.source < b.source;
+            });
+  if (matches->size() > top_k) {
+    matches->resize(top_k);
+  }
+}
+
+}  // namespace imgrn

@@ -1,0 +1,91 @@
+#ifndef IMGRN_QUERY_QUERY_TYPES_H_
+#define IMGRN_QUERY_QUERY_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "matrix/gene_matrix.h"
+
+namespace imgrn {
+
+/// Parameters of an IM-GRN query (Definition 4) plus processing knobs.
+struct QueryParams {
+  /// Ad-hoc inference threshold gamma in [0, 1).
+  double gamma = 0.5;
+
+  /// Probabilistic (appearance) threshold alpha in [0, 1).
+  double alpha = 0.5;
+
+  /// Monte Carlo permutations for inferring the query GRN from M_Q.
+  size_t query_num_samples = 128;
+
+  /// Monte Carlo permutations for exact edge probabilities in refinement.
+  size_t refine_num_samples = 128;
+
+  /// Pruning toggles (all on by default; benches ablate them).
+  bool use_edge_pruning = true;   // Lemma 3 (Markov closed form).
+  bool use_pivot_pruning = true;  // Section 4.2 (PPR).
+  bool use_index_pruning = true;  // Lemma 6 (node pairs).
+  bool use_graph_pruning = true;  // Lemma 5 (appearance upper bound).
+
+  /// If > 0, return only the top-k matches ranked by appearance
+  /// probability Pr{G} (descending, ties by source id). 0 returns all
+  /// matches in source order.
+  size_t top_k = 0;
+
+  uint64_t seed = 99;
+};
+
+/// One IM-GRN answer: matrix M_i matched the query.
+struct QueryMatch {
+  SourceId source = 0;
+
+  /// Appearance probability Pr{G} (Eq. 3) of the best matching embedding.
+  double probability = 0.0;
+
+  /// The matched embedding: (query gene id, column in M_i) per query vertex.
+  std::vector<std::pair<GeneId, uint32_t>> mapping;
+};
+
+/// Applies the top_k policy: ranks by probability (descending, ties by
+/// source) and truncates when `top_k` > 0. Shared by every query method so
+/// their outputs stay comparable.
+void FinalizeMatches(size_t top_k, std::vector<QueryMatch>* matches);
+
+/// Metrics of one query execution, mirroring the paper's reported series
+/// (CPU time, I/O cost as page accesses, number of candidates) plus
+/// per-pruning-stage counters used by the ablation bench.
+struct QueryStats {
+  double inference_seconds = 0.0;
+  double traversal_seconds = 0.0;
+  double refinement_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Physical page accesses (buffer-pool misses) during the query.
+  uint64_t page_accesses = 0;
+  /// Logical page fetches (including buffer-pool hits).
+  uint64_t page_fetches = 0;
+
+  size_t query_vertices = 0;
+  size_t query_edges = 0;
+
+  size_t node_pairs_examined = 0;
+  size_t node_pairs_pruned_signature = 0;
+  size_t node_pairs_pruned_index = 0;  // Lemma 6.
+  size_t leaf_pairs_examined = 0;
+  size_t leaf_pairs_pruned_pivot = 0;  // Section 4.2.
+  size_t leaf_pairs_pruned_edge = 0;   // Lemma 3.
+
+  /// Candidate gene pairs surviving the index traversal + pruning (the
+  /// paper's "number of candidates").
+  size_t candidate_pairs = 0;
+  /// Distinct candidate matrices entering refinement.
+  size_t candidate_matrices = 0;
+  size_t matrices_pruned_graph = 0;  // Lemma 5 during refinement.
+  size_t answers = 0;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_QUERY_QUERY_TYPES_H_

@@ -1,0 +1,142 @@
+#include "rtree/mbr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+Mbr::Mbr(size_t dims)
+    : lo_(dims, std::numeric_limits<double>::infinity()),
+      hi_(dims, -std::numeric_limits<double>::infinity()) {}
+
+Mbr Mbr::FromPoint(const std::vector<double>& point) {
+  Mbr mbr;
+  mbr.lo_ = point;
+  mbr.hi_ = point;
+  return mbr;
+}
+
+Mbr Mbr::FromBounds(std::vector<double> lo, std::vector<double> hi) {
+  IMGRN_CHECK_EQ(lo.size(), hi.size());
+  for (size_t i = 0; i < lo.size(); ++i) {
+    IMGRN_CHECK_LE(lo[i], hi[i]);
+  }
+  Mbr mbr;
+  mbr.lo_ = std::move(lo);
+  mbr.hi_ = std::move(hi);
+  return mbr;
+}
+
+bool Mbr::IsEmpty() const {
+  if (lo_.empty()) return true;
+  return lo_[0] > hi_[0];
+}
+
+void Mbr::Merge(const Mbr& other) {
+  IMGRN_CHECK_EQ(dims(), other.dims());
+  if (other.IsEmpty()) return;
+  for (size_t i = 0; i < dims(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+}
+
+void Mbr::MergePoint(const std::vector<double>& point) {
+  IMGRN_CHECK_EQ(dims(), point.size());
+  for (size_t i = 0; i < dims(); ++i) {
+    lo_[i] = std::min(lo_[i], point[i]);
+    hi_[i] = std::max(hi_[i], point[i]);
+  }
+}
+
+double Mbr::Area() const {
+  if (IsEmpty()) return 0.0;
+  double area = 1.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    area *= hi_[i] - lo_[i];
+  }
+  return area;
+}
+
+double Mbr::Margin() const {
+  if (IsEmpty()) return 0.0;
+  double margin = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    margin += hi_[i] - lo_[i];
+  }
+  return margin;
+}
+
+double Mbr::OverlapArea(const Mbr& other) const {
+  IMGRN_CHECK_EQ(dims(), other.dims());
+  if (IsEmpty() || other.IsEmpty()) return 0.0;
+  double area = 1.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    const double lo = std::max(lo_[i], other.lo_[i]);
+    const double hi = std::min(hi_[i], other.hi_[i]);
+    if (lo > hi) return 0.0;
+    area *= hi - lo;
+  }
+  return area;
+}
+
+double Mbr::Enlargement(const Mbr& other) const {
+  Mbr merged = *this;
+  merged.Merge(other);
+  return merged.Area() - Area();
+}
+
+bool Mbr::Intersects(const Mbr& other) const {
+  IMGRN_CHECK_EQ(dims(), other.dims());
+  if (IsEmpty() || other.IsEmpty()) return false;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (lo_[i] > other.hi_[i] || hi_[i] < other.lo_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::Contains(const Mbr& other) const {
+  IMGRN_CHECK_EQ(dims(), other.dims());
+  if (other.IsEmpty()) return true;
+  if (IsEmpty()) return false;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Mbr::ContainsPoint(const std::vector<double>& point) const {
+  IMGRN_CHECK_EQ(dims(), point.size());
+  if (IsEmpty()) return false;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (point[i] < lo_[i] || point[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+double Mbr::CenterDistanceSquared(const Mbr& other) const {
+  IMGRN_CHECK_EQ(dims(), other.dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    const double diff = Center(i) - other.Center(i);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+std::string Mbr::DebugString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < dims(); ++i) {
+    if (i > 0) out << " x ";
+    out << "(" << lo_[i] << "," << hi_[i] << ")";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace imgrn

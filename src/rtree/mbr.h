@@ -1,0 +1,76 @@
+#ifndef IMGRN_RTREE_MBR_H_
+#define IMGRN_RTREE_MBR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace imgrn {
+
+/// A d-dimensional minimum bounding rectangle, the geometric primitive of
+/// the R*-tree [1] and of the Lemma-6 index-pruning condition, which reads
+/// per-dimension minima/maxima of node MBRs.
+class Mbr {
+ public:
+  Mbr() = default;
+
+  /// Creates an "empty" MBR of the given dimensionality (lo=+inf, hi=-inf)
+  /// that extends to whatever is merged into it.
+  explicit Mbr(size_t dims);
+
+  /// Creates a degenerate point MBR.
+  static Mbr FromPoint(const std::vector<double>& point);
+
+  /// Creates an MBR with explicit bounds; lo[i] <= hi[i] must hold.
+  static Mbr FromBounds(std::vector<double> lo, std::vector<double> hi);
+
+  size_t dims() const { return lo_.size(); }
+  bool IsEmpty() const;
+
+  double lo(size_t dim) const { return lo_[dim]; }
+  double hi(size_t dim) const { return hi_[dim]; }
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+
+  /// Extends this MBR to cover `other`.
+  void Merge(const Mbr& other);
+
+  /// Extends this MBR to cover `point`.
+  void MergePoint(const std::vector<double>& point);
+
+  /// Product of side lengths.
+  double Area() const;
+
+  /// Sum of side lengths (the R*-split "margin" criterion).
+  double Margin() const;
+
+  /// Area of the intersection with `other` (0 when disjoint).
+  double OverlapArea(const Mbr& other) const;
+
+  /// Area increase required to cover `other`.
+  double Enlargement(const Mbr& other) const;
+
+  bool Intersects(const Mbr& other) const;
+  bool Contains(const Mbr& other) const;
+  bool ContainsPoint(const std::vector<double>& point) const;
+
+  /// Center coordinate along `dim`.
+  double Center(size_t dim) const { return 0.5 * (lo_[dim] + hi_[dim]); }
+
+  /// Squared Euclidean distance between centers; used by forced reinsert.
+  double CenterDistanceSquared(const Mbr& other) const;
+
+  bool operator==(const Mbr& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_RTREE_MBR_H_

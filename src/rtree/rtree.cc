@@ -1,0 +1,654 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+RTree::RTree(RTreeOptions options) : options_(std::move(options)) {
+  IMGRN_CHECK_GE(options_.dims, 1u);
+  if (options_.payload_size > 0) {
+    IMGRN_CHECK(options_.payload_merge != nullptr)
+        << "payload_size > 0 requires a payload_merge monoid";
+  }
+  file_ = std::make_unique<PagedFile>(options_.page_size);
+  pool_ = std::make_unique<BufferPool>(file_.get(), options_.buffer_pool_pages);
+
+  if (options_.max_entries > 0) {
+    max_entries_ = options_.max_entries;
+  } else {
+    const size_t entry_size =
+        SerializedEntrySize(options_.dims, options_.payload_size);
+    const size_t available = options_.page_size - SerializedNodeHeaderSize();
+    max_entries_ = available / entry_size;
+    IMGRN_CHECK_GE(max_entries_, 4u)
+        << "page too small for R*-tree nodes at dims=" << options_.dims;
+  }
+  min_entries_ =
+      std::max<size_t>(2, max_entries_ * options_.min_fill_percent / 100);
+  IMGRN_CHECK_LE(min_entries_, max_entries_ / 2);
+  reinsert_count_ =
+      std::min(max_entries_ * options_.reinsert_percent / 100,
+               max_entries_ + 1 - min_entries_);
+}
+
+RTreeNode& RTree::MutableNode(NodeId id) {
+  IMGRN_CHECK_LT(id, nodes_.size());
+  return *nodes_[id];
+}
+
+const RTreeNode& RTree::NodeUnaccounted(NodeId id) const {
+  IMGRN_CHECK_LT(id, nodes_.size());
+  return *nodes_[id];
+}
+
+const RTreeNode& RTree::node(NodeId id) const {
+  const RTreeNode& n = NodeUnaccounted(id);
+  pool_->FetchPage(n.page);
+  return n;
+}
+
+NodeId RTree::AllocateNode(int level) {
+  NodeId id;
+  if (!free_nodes_.empty()) {
+    id = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[id]->level = level;
+    nodes_[id]->entries.clear();
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    auto node = std::make_unique<RTreeNode>();
+    node->level = level;
+    node->page = file_->Allocate();
+    nodes_.push_back(std::move(node));
+  }
+  ++num_live_nodes_;
+  return id;
+}
+
+void RTree::FreeNode(NodeId id) {
+  nodes_[id]->entries.clear();
+  free_nodes_.push_back(id);
+  --num_live_nodes_;
+}
+
+void RTree::MergedPayload(const RTreeNode& node,
+                          std::vector<uint8_t>* out) const {
+  out->assign(options_.payload_size, 0);
+  if (options_.payload_size == 0) return;
+  for (const RTreeEntry& entry : node.entries) {
+    options_.payload_merge(out->data(), entry.payload.data());
+  }
+}
+
+RTreeEntry RTree::MakeParentEntry(NodeId child) const {
+  const RTreeNode& child_node = NodeUnaccounted(child);
+  RTreeEntry entry;
+  entry.mbr = child_node.ComputeMbr(options_.dims);
+  entry.handle = child;
+  MergedPayload(child_node, &entry.payload);
+  return entry;
+}
+
+size_t RTree::ChooseSubtree(NodeId node_id, const Mbr& mbr) const {
+  const RTreeNode& node = NodeUnaccounted(node_id);
+  IMGRN_CHECK(!node.entries.empty());
+  const bool children_are_leaves = node.level == 1;
+
+  size_t best = 0;
+  if (children_are_leaves) {
+    // R*: minimize overlap enlargement; resolve ties by area enlargement,
+    // then by area.
+    double best_overlap_delta = std::numeric_limits<double>::infinity();
+    double best_area_delta = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      Mbr enlarged = node.entries[i].mbr;
+      enlarged.Merge(mbr);
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += node.entries[i].mbr.OverlapArea(node.entries[j].mbr);
+        overlap_after += enlarged.OverlapArea(node.entries[j].mbr);
+      }
+      const double overlap_delta = overlap_after - overlap_before;
+      const double area = node.entries[i].mbr.Area();
+      const double area_delta = enlarged.Area() - area;
+      if (overlap_delta < best_overlap_delta ||
+          (overlap_delta == best_overlap_delta &&
+           (area_delta < best_area_delta ||
+            (area_delta == best_area_delta && area < best_area)))) {
+        best = i;
+        best_overlap_delta = overlap_delta;
+        best_area_delta = area_delta;
+        best_area = area;
+      }
+    }
+  } else {
+    // Minimize area enlargement; ties by area.
+    double best_area_delta = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const double area = node.entries[i].mbr.Area();
+      const double area_delta = node.entries[i].mbr.Enlargement(mbr);
+      if (area_delta < best_area_delta ||
+          (area_delta == best_area_delta && area < best_area)) {
+        best = i;
+        best_area_delta = area_delta;
+        best_area = area;
+      }
+    }
+  }
+  return best;
+}
+
+void RTree::Insert(const std::vector<double>& point, uint64_t record_id,
+                   std::span<const uint8_t> payload) {
+  InsertMbr(Mbr::FromPoint(point), record_id, payload);
+}
+
+void RTree::InsertMbr(const Mbr& mbr, uint64_t record_id,
+                      std::span<const uint8_t> payload) {
+  IMGRN_CHECK_EQ(mbr.dims(), options_.dims);
+  IMGRN_CHECK_EQ(payload.size(), options_.payload_size);
+  RTreeEntry entry;
+  entry.mbr = mbr;
+  entry.handle = record_id;
+  entry.payload.assign(payload.begin(), payload.end());
+
+  // One forced reinsertion per level per public insert (R* policy). 64
+  // levels is beyond any practical tree height.
+  std::vector<bool> reinserted_levels(64, false);
+  InsertEntryAtLevel(std::move(entry), /*target_level=*/0,
+                     &reinserted_levels);
+  ++num_records_;
+}
+
+void RTree::InsertEntryAtLevel(RTreeEntry entry, int target_level,
+                               std::vector<bool>* reinserted_levels) {
+  if (root_ == kInvalidNodeId) {
+    IMGRN_CHECK_EQ(target_level, 0);
+    root_ = AllocateNode(0);
+  }
+  IMGRN_CHECK_GE(NodeUnaccounted(root_).level, target_level);
+
+  std::vector<PathStep> path;
+  NodeId current = root_;
+  while (NodeUnaccounted(current).level > target_level) {
+    const size_t child_index = ChooseSubtree(current, entry.mbr);
+    path.push_back(PathStep{current, child_index});
+    current = static_cast<NodeId>(
+        NodeUnaccounted(current).entries[child_index].handle);
+  }
+
+  MutableNode(current).entries.push_back(std::move(entry));
+  if (MutableNode(current).entries.size() > max_entries_) {
+    HandleOverflow(path, current, reinserted_levels);
+  } else {
+    AdjustPath(path);
+  }
+}
+
+void RTree::HandleOverflow(std::vector<PathStep>& path, NodeId node_id,
+                           std::vector<bool>* reinserted_levels) {
+  const int level = NodeUnaccounted(node_id).level;
+  const bool can_reinsert =
+      reinsert_count_ > 0 && node_id != root_ &&
+      !(*reinserted_levels)[static_cast<size_t>(level)];
+  if (can_reinsert) {
+    (*reinserted_levels)[static_cast<size_t>(level)] = true;
+    ForcedReinsert(path, node_id, reinserted_levels);
+    return;
+  }
+
+  const NodeId sibling = SplitNode(node_id);
+  if (node_id == root_) {
+    IMGRN_CHECK(path.empty());
+    GrowRoot(sibling);
+    return;
+  }
+
+  RTreeNode& parent = MutableNode(path.back().node);
+  const size_t child_index = path.back().child_index;
+  parent.entries[child_index] = MakeParentEntry(node_id);
+  parent.entries.push_back(MakeParentEntry(sibling));
+  const NodeId parent_id = path.back().node;
+  path.pop_back();
+  if (parent.entries.size() > max_entries_) {
+    HandleOverflow(path, parent_id, reinserted_levels);
+  } else {
+    AdjustPath(path);
+  }
+}
+
+void RTree::ForcedReinsert(std::vector<PathStep>& path, NodeId node_id,
+                           std::vector<bool>* reinserted_levels) {
+  RTreeNode& node = MutableNode(node_id);
+  const int level = node.level;
+  const Mbr node_mbr = node.ComputeMbr(options_.dims);
+
+  // Sort entries by distance of their centers from the node center,
+  // descending, and remove the `reinsert_count_` farthest.
+  std::vector<size_t> order(node.entries.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<double> distance(node.entries.size());
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    distance[i] = node.entries[i].mbr.CenterDistanceSquared(node_mbr);
+  }
+  std::sort(order.begin(), order.end(), [&distance](size_t a, size_t b) {
+    return distance[a] > distance[b];
+  });
+
+  std::vector<RTreeEntry> removed;
+  removed.reserve(reinsert_count_);
+  std::vector<bool> keep(node.entries.size(), true);
+  for (size_t k = 0; k < reinsert_count_; ++k) {
+    keep[order[k]] = false;
+    removed.push_back(std::move(node.entries[order[k]]));
+  }
+  std::vector<RTreeEntry> kept;
+  kept.reserve(node.entries.size() - reinsert_count_);
+  for (size_t i = 0; i < node.entries.size(); ++i) {
+    if (keep[i]) kept.push_back(std::move(node.entries[i]));
+  }
+  node.entries = std::move(kept);
+
+  // Shrink ancestors before reinserting ("close reinsert": nearest-removed
+  // entries go back first, i.e. reverse of the descending sort).
+  AdjustPath(path);
+  for (size_t k = removed.size(); k-- > 0;) {
+    InsertEntryAtLevel(std::move(removed[k]), level, reinserted_levels);
+  }
+}
+
+NodeId RTree::SplitNode(NodeId node_id) {
+  RTreeNode& node = MutableNode(node_id);
+  std::vector<RTreeEntry> entries = std::move(node.entries);
+  node.entries.clear();
+  const size_t total = entries.size();
+  const size_t m = min_entries_;
+  IMGRN_CHECK_GE(total, 2 * m);
+
+  const size_t dims = options_.dims;
+  // For each axis and each sort key (lo / hi), evaluate all distributions
+  // (first k entries vs rest for k in [m, total-m]) and pick:
+  //   axis   := argmin sum of margins over all its distributions,
+  //   split  := argmin overlap (ties: min total area) on that axis.
+  double best_axis_margin = std::numeric_limits<double>::infinity();
+  size_t best_axis = 0;
+  std::vector<std::vector<size_t>> axis_orders(2);  // For the chosen axis.
+
+  std::vector<size_t> order(total);
+  for (size_t axis = 0; axis < dims; ++axis) {
+    double margin_sum = 0.0;
+    std::vector<std::vector<size_t>> orders(2);
+    for (int key = 0; key < 2; ++key) {
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(),
+                [&entries, axis, key](size_t a, size_t b) {
+                  const double va = key == 0 ? entries[a].mbr.lo(axis)
+                                             : entries[a].mbr.hi(axis);
+                  const double vb = key == 0 ? entries[b].mbr.lo(axis)
+                                             : entries[b].mbr.hi(axis);
+                  return va < vb;
+                });
+      // Prefix / suffix MBRs for O(total) margin evaluation.
+      std::vector<Mbr> prefix(total, Mbr(dims)), suffix(total, Mbr(dims));
+      for (size_t i = 0; i < total; ++i) {
+        if (i > 0) prefix[i] = prefix[i - 1];
+        prefix[i].Merge(entries[order[i]].mbr);
+      }
+      for (size_t i = total; i-- > 0;) {
+        if (i + 1 < total) suffix[i] = suffix[i + 1];
+        suffix[i].Merge(entries[order[i]].mbr);
+      }
+      for (size_t k = m; k + m <= total; ++k) {
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+      orders[key] = order;
+    }
+    if (margin_sum < best_axis_margin) {
+      best_axis_margin = margin_sum;
+      best_axis = axis;
+      axis_orders = orders;
+    }
+  }
+  (void)best_axis;
+
+  // On the chosen axis, pick the distribution with minimum overlap.
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  int best_key = 0;
+  size_t best_k = m;
+  for (int key = 0; key < 2; ++key) {
+    const std::vector<size_t>& sorted = axis_orders[key];
+    std::vector<Mbr> prefix(total, Mbr(dims)), suffix(total, Mbr(dims));
+    for (size_t i = 0; i < total; ++i) {
+      if (i > 0) prefix[i] = prefix[i - 1];
+      prefix[i].Merge(entries[sorted[i]].mbr);
+    }
+    for (size_t i = total; i-- > 0;) {
+      if (i + 1 < total) suffix[i] = suffix[i + 1];
+      suffix[i].Merge(entries[sorted[i]].mbr);
+    }
+    for (size_t k = m; k + m <= total; ++k) {
+      const double overlap = prefix[k - 1].OverlapArea(suffix[k]);
+      const double area = prefix[k - 1].Area() + suffix[k].Area();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_key = key;
+        best_k = k;
+      }
+    }
+  }
+
+  const NodeId sibling_id = AllocateNode(node.level);
+  RTreeNode& sibling = MutableNode(sibling_id);
+  // Re-resolve `node` reference: AllocateNode may have grown nodes_.
+  RTreeNode& left = MutableNode(node_id);
+  const std::vector<size_t>& sorted = axis_orders[best_key];
+  for (size_t i = 0; i < total; ++i) {
+    RTreeEntry& entry = entries[sorted[i]];
+    if (i < best_k) {
+      left.entries.push_back(std::move(entry));
+    } else {
+      sibling.entries.push_back(std::move(entry));
+    }
+  }
+  return sibling_id;
+}
+
+void RTree::StrOrder(std::span<RTreeEntry> entries, size_t axis,
+                     size_t num_groups) const {
+  if (num_groups <= 1 || entries.size() <= 1) return;
+  const size_t dims = options_.dims;
+  // Slab count for this axis: spread the remaining group budget across the
+  // remaining dimensions (classic STR S = ceil(k^(1/(d - axis)))).
+  const double remaining_dims = static_cast<double>(dims - axis);
+  size_t slabs = static_cast<size_t>(std::ceil(
+      std::pow(static_cast<double>(num_groups), 1.0 / remaining_dims)));
+  slabs = std::clamp<size_t>(slabs, 1, num_groups);
+
+  std::sort(entries.begin(), entries.end(),
+            [axis](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.mbr.Center(axis) < b.mbr.Center(axis);
+            });
+  if (slabs == 1 || axis + 1 >= dims) return;
+
+  // Even slab sizes; distribute group budget proportionally.
+  const size_t n = entries.size();
+  const size_t base = n / slabs;
+  const size_t extra = n % slabs;
+  const size_t groups_base = num_groups / slabs;
+  const size_t groups_extra = num_groups % slabs;
+  size_t offset = 0;
+  for (size_t s = 0; s < slabs; ++s) {
+    const size_t size = base + (s < extra ? 1 : 0);
+    const size_t slab_groups = groups_base + (s < groups_extra ? 1 : 0);
+    StrOrder(entries.subspan(offset, size), axis + 1,
+             std::max<size_t>(1, slab_groups));
+    offset += size;
+  }
+}
+
+void RTree::BulkLoad(std::vector<RTreeEntry> entries) {
+  IMGRN_CHECK_EQ(num_records_, 0u);
+  IMGRN_CHECK(root_ == kInvalidNodeId) << "BulkLoad requires an empty tree";
+  if (entries.empty()) return;
+  for (const RTreeEntry& entry : entries) {
+    IMGRN_CHECK_EQ(entry.mbr.dims(), options_.dims);
+    IMGRN_CHECK_EQ(entry.payload.size(), options_.payload_size);
+  }
+  num_records_ = entries.size();
+
+  int level = 0;
+  while (true) {
+    const size_t n = entries.size();
+    if (n <= max_entries_) {
+      // Everything fits in the root.
+      const NodeId root = AllocateNode(level);
+      MutableNode(root).entries = std::move(entries);
+      root_ = root;
+      return;
+    }
+    // Even group sizes keep every node within [m, M]: with
+    // k = ceil(n / M), floor(n / k) >= M/2 >= m (min fill <= 50%).
+    const size_t num_groups = (n + max_entries_ - 1) / max_entries_;
+    StrOrder(std::span<RTreeEntry>(entries), 0, num_groups);
+
+    std::vector<RTreeEntry> parents;
+    parents.reserve(num_groups);
+    const size_t base = n / num_groups;
+    const size_t extra = n % num_groups;
+    size_t offset = 0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      const size_t size = base + (g < extra ? 1 : 0);
+      const NodeId node_id = AllocateNode(level);
+      RTreeNode& node = MutableNode(node_id);
+      node.entries.assign(
+          std::make_move_iterator(entries.begin() +
+                                  static_cast<long>(offset)),
+          std::make_move_iterator(entries.begin() +
+                                  static_cast<long>(offset + size)));
+      offset += size;
+      parents.push_back(MakeParentEntry(node_id));
+    }
+    entries = std::move(parents);
+    ++level;
+  }
+}
+
+void RTree::AdjustPath(const std::vector<PathStep>& path) {
+  for (size_t k = path.size(); k-- > 0;) {
+    RTreeNode& node = MutableNode(path[k].node);
+    IMGRN_CHECK_LT(path[k].child_index, node.entries.size());
+    const NodeId child =
+        static_cast<NodeId>(node.entries[path[k].child_index].handle);
+    node.entries[path[k].child_index] = MakeParentEntry(child);
+  }
+}
+
+void RTree::GrowRoot(NodeId sibling) {
+  const int new_level = NodeUnaccounted(root_).level + 1;
+  const NodeId old_root = root_;
+  const NodeId new_root = AllocateNode(new_level);
+  RTreeNode& root_node = MutableNode(new_root);
+  root_node.entries.push_back(MakeParentEntry(old_root));
+  root_node.entries.push_back(MakeParentEntry(sibling));
+  root_ = new_root;
+}
+
+size_t RTree::Search(
+    const Mbr& box,
+    const std::function<bool(const RTreeEntry&)>& callback) const {
+  if (root_ == kInvalidNodeId) return 0;
+  size_t delivered = 0;
+  bool keep_going = true;
+  // Explicit stack to avoid recursion in the hot path.
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty() && keep_going) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const RTreeNode& n = node(id);  // Accounted access.
+    for (const RTreeEntry& entry : n.entries) {
+      if (!entry.mbr.Intersects(box)) continue;
+      if (n.IsLeaf()) {
+        ++delivered;
+        if (!callback(entry)) {
+          keep_going = false;
+          break;
+        }
+      } else {
+        stack.push_back(static_cast<NodeId>(entry.handle));
+      }
+    }
+  }
+  return delivered;
+}
+
+int RTree::height() const {
+  if (root_ == kInvalidNodeId) return 0;
+  return NodeUnaccounted(root_).level + 1;
+}
+
+bool RTree::FindLeaf(NodeId node_id, const Mbr& mbr, uint64_t record_id,
+                     std::vector<PathStep>* path) const {
+  const RTreeNode& n = NodeUnaccounted(node_id);
+  if (n.IsLeaf()) {
+    for (const RTreeEntry& entry : n.entries) {
+      if (entry.handle == record_id && entry.mbr == mbr) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    if (!n.entries[i].mbr.Contains(mbr)) continue;
+    path->push_back(PathStep{node_id, i});
+    if (FindLeaf(static_cast<NodeId>(n.entries[i].handle), mbr, record_id,
+                 path)) {
+      return true;
+    }
+    path->pop_back();
+  }
+  return false;
+}
+
+bool RTree::Delete(const std::vector<double>& point, uint64_t record_id) {
+  if (root_ == kInvalidNodeId) return false;
+  const Mbr mbr = Mbr::FromPoint(point);
+  std::vector<PathStep> path;
+  if (!FindLeaf(root_, mbr, record_id, &path)) {
+    return false;
+  }
+  const NodeId leaf_id =
+      path.empty() ? root_
+                   : static_cast<NodeId>(NodeUnaccounted(path.back().node)
+                                             .entries[path.back().child_index]
+                                             .handle);
+  RTreeNode& leaf = MutableNode(leaf_id);
+  bool removed = false;
+  for (size_t i = 0; i < leaf.entries.size(); ++i) {
+    if (leaf.entries[i].handle == record_id && leaf.entries[i].mbr == mbr) {
+      leaf.entries.erase(leaf.entries.begin() + static_cast<long>(i));
+      removed = true;
+      break;
+    }
+  }
+  IMGRN_CHECK(removed);
+  --num_records_;
+  CondenseTree(path);
+  return true;
+}
+
+void RTree::CondenseTree(std::vector<PathStep>& path) {
+  // Walk from the leaf's parent up, removing underfull nodes and collecting
+  // their surviving entries for reinsertion at their original levels.
+  std::vector<std::pair<int, RTreeEntry>> orphans;
+  NodeId child_id =
+      path.empty() ? root_
+                   : static_cast<NodeId>(NodeUnaccounted(path.back().node)
+                                             .entries[path.back().child_index]
+                                             .handle);
+  for (size_t k = path.size(); k-- > 0;) {
+    RTreeNode& parent = MutableNode(path[k].node);
+    const size_t child_index = path[k].child_index;
+    RTreeNode& child = MutableNode(child_id);
+    if (child.entries.size() < min_entries_) {
+      for (RTreeEntry& entry : child.entries) {
+        orphans.emplace_back(child.level, std::move(entry));
+      }
+      parent.entries.erase(parent.entries.begin() +
+                           static_cast<long>(child_index));
+      FreeNode(child_id);
+    } else {
+      parent.entries[child_index] = MakeParentEntry(child_id);
+    }
+    child_id = path[k].node;
+  }
+
+  // Reinsert orphans while the tree still has its old height.
+  for (auto& [level, entry] : orphans) {
+    std::vector<bool> reinserted_levels(64, false);
+    InsertEntryAtLevel(std::move(entry), level, &reinserted_levels);
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  while (root_ != kInvalidNodeId && !NodeUnaccounted(root_).IsLeaf() &&
+         NodeUnaccounted(root_).entries.size() == 1) {
+    const NodeId old_root = root_;
+    root_ = static_cast<NodeId>(NodeUnaccounted(root_).entries[0].handle);
+    FreeNode(old_root);
+  }
+}
+
+Status RTree::ValidateNode(NodeId id, int expected_level, bool is_root,
+                           size_t* record_count) const {
+  const RTreeNode& n = NodeUnaccounted(id);
+  if (n.level != expected_level) {
+    return Status::Internal("node level mismatch");
+  }
+  if (!is_root && n.entries.size() < min_entries_) {
+    return Status::Internal("non-root node underfull");
+  }
+  if (n.entries.size() > max_entries_) {
+    return Status::Internal("node overfull");
+  }
+  if (n.IsLeaf()) {
+    *record_count += n.entries.size();
+    return Status::Ok();
+  }
+  std::vector<uint8_t> merged;
+  for (const RTreeEntry& entry : n.entries) {
+    const NodeId child = static_cast<NodeId>(entry.handle);
+    const RTreeNode& child_node = NodeUnaccounted(child);
+    const Mbr tight = child_node.ComputeMbr(options_.dims);
+    if (!(entry.mbr == tight)) {
+      return Status::Internal("parent entry MBR is not tight");
+    }
+    if (options_.payload_size > 0) {
+      MergedPayload(child_node, &merged);
+      if (merged != entry.payload) {
+        return Status::Internal("parent entry payload is not the child merge");
+      }
+    }
+    IMGRN_RETURN_IF_ERROR(
+        ValidateNode(child, expected_level - 1, false, record_count));
+  }
+  return Status::Ok();
+}
+
+Status RTree::Validate() const {
+  if (root_ == kInvalidNodeId) {
+    if (num_records_ != 0) {
+      return Status::Internal("records recorded but no root");
+    }
+    return Status::Ok();
+  }
+  size_t record_count = 0;
+  IMGRN_RETURN_IF_ERROR(ValidateNode(root_, NodeUnaccounted(root_).level,
+                                     /*is_root=*/true, &record_count));
+  if (record_count != num_records_) {
+    return Status::Internal("record count mismatch");
+  }
+  return Status::Ok();
+}
+
+void RTree::SerializeAllNodes() {
+  std::vector<bool> live(nodes_.size(), true);
+  for (NodeId id : free_nodes_) live[id] = false;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live[id]) continue;
+    Page* page = file_->GetPage(nodes_[id]->page);
+    SerializeNode(*nodes_[id], options_.dims, options_.payload_size, page);
+  }
+}
+
+}  // namespace imgrn

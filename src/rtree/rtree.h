@@ -1,0 +1,202 @@
+#ifndef IMGRN_RTREE_RTREE_H_
+#define IMGRN_RTREE_RTREE_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/rtree_node.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace imgrn {
+
+/// Configuration for an RTree instance.
+struct RTreeOptions {
+  /// Dimensionality of indexed rectangles/points. Required, >= 1.
+  size_t dims = 0;
+
+  /// Opaque augmentation bytes per entry (0 disables payloads). When > 0 a
+  /// `payload_merge` monoid must be supplied.
+  size_t payload_size = 0;
+
+  /// Commutative, associative merge with all-zero identity:
+  /// dst = dst (+) src. The IM-GRN index passes bitwise OR.
+  std::function<void(uint8_t* dst, const uint8_t* src)> payload_merge;
+
+  /// Page size of the backing file.
+  size_t page_size = kDefaultPageSize;
+
+  /// Node capacity M. 0 derives the largest M whose serialized node fits a
+  /// page. Tests pass small values to force deep trees.
+  size_t max_entries = 0;
+
+  /// Minimum fill m as a percentage of M (R* recommends 40%).
+  size_t min_fill_percent = 40;
+
+  /// Fraction of M removed by forced reinsertion on first overflow (R*
+  /// recommends 30%). 0 disables forced reinsertion.
+  size_t reinsert_percent = 30;
+
+  /// Buffer-pool capacity in pages, for I/O accounting.
+  size_t buffer_pool_pages = 64;
+};
+
+/// An R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990 [1]) over
+/// runtime-dimensioned points/rectangles, with:
+///   - R* choose-subtree (overlap-enlargement at the leaf level),
+///   - forced reinsertion on first overflow per level,
+///   - the R* margin-driven split,
+///   - deletion with tree condensation and orphan reinsertion,
+///   - per-entry monoid payloads (bit-vector synopses for IM-GRN, Sec. 5.1),
+///   - one page per node and buffer-pool-accounted node access, so queries
+///     report the paper's "number of page accesses" I/O metric.
+class RTree {
+ public:
+  explicit RTree(RTreeOptions options);
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Inserts a point record. `payload` must have payload_size bytes (or be
+  /// empty when payload_size is 0).
+  void Insert(const std::vector<double>& point, uint64_t record_id,
+              std::span<const uint8_t> payload = {});
+
+  /// Inserts a rectangle record.
+  void InsertMbr(const Mbr& mbr, uint64_t record_id,
+                 std::span<const uint8_t> payload = {});
+
+  /// Bulk-loads an EMPTY tree with Sort-Tile-Recursive packing
+  /// (Leutenegger et al.): O(n log n) with near-full nodes, typically much
+  /// faster and better-clustered than one-at-a-time insertion. Groups at
+  /// every level are evenly sized, so the min-fill invariant holds and the
+  /// tree remains fully updatable afterwards. No-op for an empty input.
+  void BulkLoad(std::vector<RTreeEntry> entries);
+
+  /// Deletes the record with the given point and id. Returns false if no
+  /// such record exists.
+  bool Delete(const std::vector<double>& point, uint64_t record_id);
+
+  /// Range query: invokes `callback` for every leaf entry whose MBR
+  /// intersects `box`; stops early if the callback returns false. Node
+  /// accesses are I/O-accounted. Returns the number of results delivered.
+  size_t Search(const Mbr& box,
+                const std::function<bool(const RTreeEntry&)>& callback) const;
+
+  /// Number of records stored.
+  size_t size() const { return num_records_; }
+
+  /// Number of live nodes.
+  size_t num_nodes() const { return num_live_nodes_; }
+
+  /// Height of the tree (1 = root is a leaf).
+  int height() const;
+
+  NodeId root_id() const { return root_; }
+
+  /// Buffer-pool-accounted node access; the IM-GRN query processor uses
+  /// this for its custom pairwise traversal (Fig. 4).
+  const RTreeNode& node(NodeId id) const;
+
+  size_t max_entries() const { return max_entries_; }
+  size_t min_entries() const { return min_entries_; }
+  size_t dims() const { return options_.dims; }
+  size_t payload_size() const { return options_.payload_size; }
+
+  const IoStats& io_stats() const { return pool_->stats(); }
+  void ResetIoStats() { pool_->ResetStats(); }
+
+  /// Drops the buffer pool contents (cold-cache queries).
+  void FlushBufferPool() { pool_->FlushAll(); }
+
+  /// Structural invariant check for tests: entry counts within [m, M] (root
+  /// exempt), parent MBRs tightly contain children, levels decrease by one,
+  /// payloads equal the merge of the child subtree, record count matches.
+  Status Validate() const;
+
+  /// Serializes every live node to its page (see rtree_node.h) so the index
+  /// could be persisted; DeserializeNode round-trips are tested.
+  void SerializeAllNodes();
+
+ private:
+  struct PathStep {
+    NodeId node;
+    size_t child_index;  // Index of the followed child entry.
+  };
+
+  RTreeNode& MutableNode(NodeId id);
+  const RTreeNode& NodeUnaccounted(NodeId id) const;
+  NodeId AllocateNode(int level);
+  void FreeNode(NodeId id);
+
+  /// Builds the internal-node entry describing `child`.
+  RTreeEntry MakeParentEntry(NodeId child) const;
+
+  /// Merges all entry payloads of `node` into `out` (resized/zeroed first).
+  void MergedPayload(const RTreeNode& node, std::vector<uint8_t>* out) const;
+
+  /// Chooses the child of `node_id` to descend into for `mbr`.
+  size_t ChooseSubtree(NodeId node_id, const Mbr& mbr) const;
+
+  /// Core insertion of an entry at `target_level` (0 for records).
+  /// `reinserted_levels` tracks which levels already did forced reinsertion
+  /// during the current public Insert, per the R* overflow policy.
+  void InsertEntryAtLevel(RTreeEntry entry, int target_level,
+                          std::vector<bool>* reinserted_levels);
+
+  /// Handles an overflowing node at the top of `path` (possibly the root).
+  void HandleOverflow(std::vector<PathStep>& path, NodeId node_id,
+                      std::vector<bool>* reinserted_levels);
+
+  /// R* forced reinsert: removes reinsert_count entries farthest from the
+  /// node-MBR center and re-inserts them at the node's level.
+  void ForcedReinsert(std::vector<PathStep>& path, NodeId node_id,
+                      std::vector<bool>* reinserted_levels);
+
+  /// R* split; returns the new sibling node id.
+  NodeId SplitNode(NodeId node_id);
+
+  /// Recomputes MBR + payload of the followed child entries along `path`
+  /// bottom-up.
+  void AdjustPath(const std::vector<PathStep>& path);
+
+  /// Grows a new root over the old root and `sibling`.
+  void GrowRoot(NodeId sibling);
+
+  /// Recursive leaf lookup for Delete.
+  bool FindLeaf(NodeId node_id, const Mbr& mbr, uint64_t record_id,
+                std::vector<PathStep>* path) const;
+
+  /// STR helper: reorders `entries` so that chopping the result into
+  /// `num_groups` even slices yields spatially clustered groups.
+  void StrOrder(std::span<RTreeEntry> entries, size_t axis,
+                size_t num_groups) const;
+
+  /// Post-delete condensation: removes underfull nodes along `path`,
+  /// collecting orphan entries for reinsertion.
+  void CondenseTree(std::vector<PathStep>& path);
+
+  Status ValidateNode(NodeId id, int expected_level, bool is_root,
+                      size_t* record_count) const;
+
+  RTreeOptions options_;
+  size_t max_entries_ = 0;
+  size_t min_entries_ = 0;
+  size_t reinsert_count_ = 0;
+
+  std::unique_ptr<PagedFile> file_;
+  mutable std::unique_ptr<BufferPool> pool_;
+
+  std::vector<std::unique_ptr<RTreeNode>> nodes_;
+  std::vector<NodeId> free_nodes_;
+  NodeId root_ = kInvalidNodeId;
+  size_t num_records_ = 0;
+  size_t num_live_nodes_ = 0;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_RTREE_RTREE_H_

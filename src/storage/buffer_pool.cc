@@ -1,0 +1,43 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+BufferPool::BufferPool(PagedFile* file, size_t capacity)
+    : file_(file), capacity_(capacity) {
+  IMGRN_CHECK(file != nullptr);
+  IMGRN_CHECK_GE(capacity, 1u);
+}
+
+Page* BufferPool::FetchPage(PageId id) {
+  ++stats_.fetches;
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    // Hit: move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return file_->GetPage(id);
+  }
+  // Miss: count it, make room, admit.
+  ++stats_.misses;
+  if (lru_.size() >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(id);
+  resident_[id] = lru_.begin();
+  return file_->GetPage(id);
+}
+
+bool BufferPool::IsResident(PageId id) const {
+  return resident_.contains(id);
+}
+
+void BufferPool::FlushAll() {
+  lru_.clear();
+  resident_.clear();
+}
+
+}  // namespace imgrn

@@ -1,0 +1,67 @@
+#ifndef IMGRN_STORAGE_BUFFER_POOL_H_
+#define IMGRN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/page.h"
+#include "storage/paged_file.h"
+
+namespace imgrn {
+
+/// I/O statistics gathered by the buffer pool. `fetches` counts every
+/// logical page access; `misses` counts accesses not served from the pool
+/// (these are the physical "page accesses" the paper's I/O-cost figures
+/// report — on the paper's testbed a miss is a disk read).
+struct IoStats {
+  uint64_t fetches = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  void Reset() { *this = IoStats{}; }
+};
+
+/// A fixed-capacity LRU buffer pool over a PagedFile. Every component that
+/// reads index pages does so through FetchPage so I/O is accounted in one
+/// place.
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident pages. Must be >= 1.
+  BufferPool(PagedFile* file, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches a page, counting a miss if it was not resident, and marks it
+  /// most-recently-used. The pointer stays valid until the page is evicted
+  /// (i.e. after `capacity` distinct subsequent fetches at worst); callers
+  /// must not hold it across further fetches unless they re-fetch.
+  Page* FetchPage(PageId id);
+
+  /// True if `id` is currently resident (does not affect stats or LRU).
+  bool IsResident(PageId id) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t num_resident() const { return lru_.size(); }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Drops every resident page (e.g. between queries, to model a cold
+  /// cache). Does not change stats.
+  void FlushAll();
+
+ private:
+  PagedFile* file_;
+  size_t capacity_;
+  IoStats stats_;
+
+  // LRU list, most recent at front; map from page id to list iterator.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> resident_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,27 @@
+#include "storage/page.h"
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+void Page::WriteBytes(size_t offset, const void* src, size_t count) {
+  CheckRange(offset, count);
+  std::memcpy(bytes_.data() + offset, src, count);
+}
+
+void Page::ReadBytes(size_t offset, void* dst, size_t count) const {
+  CheckRange(offset, count);
+  std::memcpy(dst, bytes_.data() + offset, count);
+}
+
+void Page::Clear() {
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+void Page::CheckRange(size_t offset, size_t count) const {
+  IMGRN_CHECK_LE(offset + count, bytes_.size())
+      << "page access out of bounds (offset " << offset << ", count " << count
+      << ", page size " << bytes_.size() << ")";
+}
+
+}  // namespace imgrn

@@ -1,0 +1,22 @@
+#include "storage/paged_file.h"
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+PageId PagedFile::Allocate() {
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Page* PagedFile::GetPage(PageId id) {
+  IMGRN_CHECK_LT(id, pages_.size());
+  return pages_[id].get();
+}
+
+const Page* PagedFile::GetPage(PageId id) const {
+  IMGRN_CHECK_LT(id, pages_.size());
+  return pages_[id].get();
+}
+
+}  // namespace imgrn

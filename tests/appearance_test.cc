@@ -1,0 +1,118 @@
+#include "graph/appearance.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/possible_worlds.h"
+#include "graph/subgraph_iso.h"
+
+namespace imgrn {
+namespace {
+
+TEST(AppearanceProbabilityTest, ProductOverQueryEdges) {
+  ProbGraph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  query.AddVertex(3);
+  query.AddEdge(0, 1, 1.0);
+  query.AddEdge(1, 2, 1.0);
+
+  ProbGraph data;
+  data.AddVertex(1);
+  data.AddVertex(2);
+  data.AddVertex(3);
+  data.AddEdge(0, 1, 0.9);
+  data.AddEdge(1, 2, 0.5);
+  data.AddEdge(0, 2, 0.4);
+
+  const Embedding identity = {0, 1, 2};
+  EXPECT_NEAR(AppearanceProbability(query, data, identity), 0.45, 1e-12);
+}
+
+TEST(AppearanceProbabilityTest, EdgelessQueryHasProbabilityOne) {
+  ProbGraph query;
+  query.AddVertex(1);
+  ProbGraph data;
+  data.AddVertex(1);
+  const Embedding embedding = {0};
+  EXPECT_DOUBLE_EQ(AppearanceProbability(query, data, embedding), 1.0);
+}
+
+TEST(AppearanceProbabilityTest, AgreesWithPossibleWorldSemantics) {
+  // Eq. (3) == P(all matched edges co-exist) under the possible-worlds
+  // model, for every embedding of the query.
+  ProbGraph query;
+  query.AddVertex(7);
+  query.AddVertex(7);
+  query.AddEdge(0, 1, 1.0);
+
+  ProbGraph data;
+  data.AddVertex(7);
+  data.AddVertex(7);
+  data.AddVertex(7);
+  data.AddEdge(0, 1, 0.25);
+  data.AddEdge(1, 2, 0.75);
+
+  PossibleWorlds worlds(data);
+  SubgraphIsomorphism iso(query, data);
+  size_t checked = 0;
+  iso.Enumerate([&](const Embedding& embedding) {
+    // Mask of the data edges this embedding uses.
+    uint64_t mask = 0;
+    for (const ProbEdge& qe : query.edges()) {
+      const VertexId gu = embedding[qe.u];
+      const VertexId gv = embedding[qe.v];
+      for (size_t e = 0; e < data.edges().size(); ++e) {
+        const ProbEdge& de = data.edges()[e];
+        if ((de.u == gu && de.v == gv) || (de.u == gv && de.v == gu)) {
+          mask |= uint64_t{1} << e;
+        }
+      }
+    }
+    EXPECT_NEAR(AppearanceProbability(query, data, embedding),
+                worlds.ProbabilityAllPresent(mask), 1e-12);
+    ++checked;
+    return true;
+  });
+  EXPECT_EQ(checked, 4u);  // 2 data edges x 2 orientations.
+}
+
+TEST(GraphExistencePruneTest, PrunesAtOrBelowAlpha) {
+  EXPECT_TRUE(GraphExistencePrune(0.5, 0.5));
+  EXPECT_TRUE(GraphExistencePrune(0.4, 0.5));
+  EXPECT_FALSE(GraphExistencePrune(0.6, 0.5));
+}
+
+TEST(AppearanceUpperBoundTest, ProductAndClamping) {
+  EXPECT_NEAR(AppearanceUpperBound({0.5, 0.5}), 0.25, 1e-12);
+  EXPECT_NEAR(AppearanceUpperBound({}), 1.0, 1e-12);
+  // Markov bounds above 1 are clamped before multiplying.
+  EXPECT_NEAR(AppearanceUpperBound({2.0, 0.5}), 0.5, 1e-12);
+}
+
+TEST(Lemma5Test, UpperBoundProductDominatesTrueAppearance) {
+  // If each factor dominates its edge probability, the product dominates
+  // Pr{G} — so Lemma 5 never prunes a true answer.
+  ProbGraph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  query.AddVertex(3);
+  query.AddEdge(0, 1, 1.0);
+  query.AddEdge(1, 2, 1.0);
+
+  ProbGraph data = query;  // Same shape; set probabilities below.
+  ProbGraph data2;
+  data2.AddVertex(1);
+  data2.AddVertex(2);
+  data2.AddVertex(3);
+  data2.AddEdge(0, 1, 0.8);
+  data2.AddEdge(1, 2, 0.6);
+
+  const Embedding identity = {0, 1, 2};
+  const double truth = AppearanceProbability(query, data2, identity);
+  const double bound = AppearanceUpperBound({0.9, 0.7});
+  EXPECT_GE(bound, truth);
+  EXPECT_FALSE(GraphExistencePrune(bound, truth - 1e-9));
+}
+
+}  // namespace
+}  // namespace imgrn

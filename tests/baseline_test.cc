@@ -1,0 +1,142 @@
+#include "query/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "inference/permutation_cache.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePathQuery;
+using testing_util::MakePlantedMatrix;
+
+GeneDatabase MakeDatabase(uint64_t seed) {
+  Rng rng(seed);
+  GeneDatabase database;
+  database.Add(MakePlantedMatrix(0, 30, {{1, 2, 3}}, {10, 11}, 0.97, &rng));
+  database.Add(MakePlantedMatrix(1, 30, {}, {1, 2, 3, 12}, 0.0, &rng));
+  database.Add(MakePlantedMatrix(2, 30, {{1, 2, 3}}, {13}, 0.97, &rng));
+  return database;
+}
+
+TEST(BaselineTest, BuildRejectsEmptyDatabase) {
+  BaselineMaterialization baseline;
+  GeneDatabase empty;
+  EXPECT_FALSE(baseline.Build(&empty).ok());
+}
+
+TEST(BaselineTest, StoredProbabilitiesMatchDirectEstimates) {
+  GeneDatabase database = MakeDatabase(1);
+  BaselineOptions options;
+  options.num_samples = 64;
+  options.seed = 5;
+  BaselineMaterialization baseline(options);
+  ASSERT_TRUE(baseline.Build(&database).ok());
+  // Recompute pair (0, 1) of matrix 0 with the same cache configuration.
+  PermutationCache cache(64, 5);
+  const GeneMatrix& matrix = database.matrix(0);
+  const double direct = EstimateEdgeProbabilityCached(
+      matrix.Column(0), matrix.Column(1), &cache);
+  EXPECT_DOUBLE_EQ(baseline.ReadProbability(0, 0, 1), direct);
+}
+
+TEST(BaselineTest, ReadProbabilitySymmetricAccess) {
+  GeneDatabase database = MakeDatabase(2);
+  BaselineMaterialization baseline;
+  ASSERT_TRUE(baseline.Build(&database).ok());
+  EXPECT_DOUBLE_EQ(baseline.ReadProbability(0, 1, 3),
+                   baseline.ReadProbability(0, 3, 1));
+}
+
+TEST(BaselineTest, MaterializationAllocatesPages) {
+  GeneDatabase database = MakeDatabase(3);
+  BaselineMaterialization baseline;
+  ASSERT_TRUE(baseline.Build(&database).ok());
+  EXPECT_GE(baseline.total_pages(), database.size());
+  EXPECT_GT(baseline.build_seconds(), 0.0);
+}
+
+TEST(BaselineTest, QueryFindsPlantedCluster) {
+  GeneDatabase database = MakeDatabase(4);
+  BaselineMaterialization baseline;
+  ASSERT_TRUE(baseline.Build(&database).ok());
+  const ProbGraph query = MakePathQuery({1, 2, 3});
+  QueryParams params;
+  params.gamma = 0.5;
+  params.alpha = 0.3;
+  QueryStats stats;
+  std::vector<QueryMatch> matches = baseline.Query(query, params, &stats);
+  std::set<SourceId> sources;
+  for (const QueryMatch& match : matches) sources.insert(match.source);
+  EXPECT_TRUE(sources.contains(0));
+  EXPECT_TRUE(sources.contains(2));
+  EXPECT_EQ(stats.answers, matches.size());
+}
+
+TEST(BaselineTest, QueryScansEveryMatrix) {
+  GeneDatabase database = MakeDatabase(5);
+  BaselineMaterialization baseline;
+  ASSERT_TRUE(baseline.Build(&database).ok());
+  const ProbGraph query = MakePathQuery({1, 2});
+  QueryParams params;
+  QueryStats stats;
+  baseline.Query(query, params, &stats);
+  EXPECT_EQ(stats.candidate_matrices, database.size());
+  EXPECT_GT(stats.page_accesses, 0u);
+  EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(BaselineTest, HigherGammaNeverAddsMatches) {
+  GeneDatabase database = MakeDatabase(6);
+  BaselineMaterialization baseline;
+  ASSERT_TRUE(baseline.Build(&database).ok());
+  const ProbGraph query = MakePathQuery({1, 2, 3});
+  QueryParams loose;
+  loose.gamma = 0.3;
+  loose.alpha = 0.2;
+  QueryParams strict = loose;
+  strict.gamma = 0.9;
+  std::vector<QueryMatch> loose_matches = baseline.Query(query, loose);
+  std::vector<QueryMatch> strict_matches = baseline.Query(query, strict);
+  std::set<SourceId> loose_sources;
+  for (const QueryMatch& match : loose_matches) {
+    loose_sources.insert(match.source);
+  }
+  for (const QueryMatch& match : strict_matches) {
+    EXPECT_TRUE(loose_sources.contains(match.source));
+  }
+}
+
+TEST(BaselineTest, MatchProbabilityConsistentWithStoredEdges) {
+  GeneDatabase database = MakeDatabase(7);
+  BaselineMaterialization baseline;
+  ASSERT_TRUE(baseline.Build(&database).ok());
+  const ProbGraph query = MakePathQuery({1, 2, 3});
+  QueryParams params;
+  params.gamma = 0.5;
+  params.alpha = 0.2;
+  std::vector<QueryMatch> matches = baseline.Query(query, params);
+  for (const QueryMatch& match : matches) {
+    // Recompute Pr{G} from the stored pair probabilities.
+    const GeneMatrix& matrix = database.matrix(match.source);
+    double expected = 1.0;
+    for (size_t e = 0; e + 1 < match.mapping.size(); ++e) {
+      // Path edges are consecutive query vertices.
+      const int col_a = matrix.ColumnOfGene(match.mapping[e].first);
+      const int col_b = matrix.ColumnOfGene(match.mapping[e + 1].first);
+      ASSERT_GE(col_a, 0);
+      ASSERT_GE(col_b, 0);
+      expected *= baseline.ReadProbability(
+          match.source, static_cast<size_t>(col_a),
+          static_cast<size_t>(col_b));
+    }
+    EXPECT_NEAR(match.probability, expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace imgrn

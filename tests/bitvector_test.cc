@@ -1,0 +1,191 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace imgrn {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector bits(100);
+  EXPECT_EQ(bits.num_bits(), 100u);
+  EXPECT_TRUE(bits.IsZero());
+  EXPECT_EQ(bits.PopCount(), 0u);
+}
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bits(70);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(69);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(69));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.PopCount(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, ResetZeroesEverything) {
+  BitVector bits(130);
+  for (size_t i = 0; i < 130; i += 7) bits.Set(i);
+  bits.Reset();
+  EXPECT_TRUE(bits.IsZero());
+}
+
+TEST(BitVectorTest, UnionWith) {
+  BitVector a(64), b(64);
+  a.Set(1);
+  b.Set(2);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_FALSE(b.Test(1));
+}
+
+TEST(BitVectorTest, IntersectWith) {
+  BitVector a(64), b(64);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  a.IntersectWith(b);
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_FALSE(a.Test(3));
+}
+
+TEST(BitVectorTest, Intersects) {
+  BitVector a(128), b(128);
+  a.Set(100);
+  b.Set(101);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(100);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitVectorTest, EqualityComparesContent) {
+  BitVector a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVectorTest, DebugStringRendersBits) {
+  BitVector bits(4);
+  bits.Set(1);
+  EXPECT_EQ(bits.DebugString(), "0100");
+}
+
+TEST(BitVectorDeathTest, OutOfRangeSetAborts) {
+  BitVector bits(8);
+  EXPECT_DEATH(bits.Set(8), "Check failed");
+}
+
+TEST(BitVectorDeathTest, SizeMismatchUnionAborts) {
+  BitVector a(8), b(16);
+  EXPECT_DEATH(a.UnionWith(b), "Check failed");
+}
+
+TEST(MixHashTest, DeterministicAndSpread) {
+  EXPECT_EQ(MixHash64(42), MixHash64(42));
+  EXPECT_NE(MixHash64(42), MixHash64(43));
+  EXPECT_NE(MixHash64(42), MixHash64Alt(42));
+}
+
+TEST(HashSignatureTest, NoFalseNegatives) {
+  HashSignature sig(256, 3);
+  for (uint64_t id = 0; id < 40; ++id) {
+    sig.Add(id * 17 + 3);
+  }
+  for (uint64_t id = 0; id < 40; ++id) {
+    EXPECT_TRUE(sig.MayContain(id * 17 + 3));
+  }
+}
+
+TEST(HashSignatureTest, MostAbsentIdsRejected) {
+  HashSignature sig(1024, 3);
+  for (uint64_t id = 0; id < 20; ++id) {
+    sig.Add(id);
+  }
+  int false_positives = 0;
+  for (uint64_t id = 1000; id < 2000; ++id) {
+    if (sig.MayContain(id)) ++false_positives;
+  }
+  // ~20 items in 1024 bits with 3 hashes: fp rate well under 5%.
+  EXPECT_LT(false_positives, 50);
+}
+
+TEST(HashSignatureTest, UnionPreservesMembership) {
+  HashSignature a(256, 2);
+  HashSignature b(256, 2);
+  a.Add(1);
+  b.Add(2);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.MayContain(1));
+  EXPECT_TRUE(a.MayContain(2));
+}
+
+TEST(HashSignatureTest, IntersectsDetectsSharedItems) {
+  HashSignature a(512, 2);
+  HashSignature b(512, 2);
+  a.Add(77);
+  b.Add(78);
+  // Different single items usually do not collide at 512 bits.
+  EXPECT_FALSE(a.Intersects(b));
+  b.Add(77);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(HashSignatureTest, MakeQuerySignatureMatchesShape) {
+  HashSignature sig(128, 4);
+  HashSignature query = sig.MakeQuerySignature(9);
+  EXPECT_EQ(query.num_bits(), 128u);
+  EXPECT_EQ(query.num_hashes(), 4);
+  EXPECT_TRUE(query.MayContain(9));
+}
+
+TEST(HashSignatureTest, QuerySignatureIntersectsContainingSignature) {
+  HashSignature sig(256, 2);
+  for (uint64_t id = 0; id < 10; ++id) sig.Add(id);
+  for (uint64_t id = 0; id < 10; ++id) {
+    EXPECT_TRUE(sig.Intersects(sig.MakeQuerySignature(id)));
+  }
+}
+
+class HashSignatureParamTest
+    : public ::testing::TestWithParam<std::pair<size_t, int>> {};
+
+TEST_P(HashSignatureParamTest, NoFalseNegativesAcrossShapes) {
+  const auto [bits, hashes] = GetParam();
+  HashSignature sig(bits, hashes);
+  Rng rng(bits * 31 + static_cast<uint64_t>(hashes));
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 25; ++i) {
+    ids.push_back(rng.NextUint64());
+    sig.Add(ids.back());
+  }
+  for (uint64_t id : ids) {
+    EXPECT_TRUE(sig.MayContain(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HashSignatureParamTest,
+    ::testing::Values(std::make_pair<size_t, int>(64, 1),
+                      std::make_pair<size_t, int>(128, 2),
+                      std::make_pair<size_t, int>(256, 3),
+                      std::make_pair<size_t, int>(1024, 4),
+                      std::make_pair<size_t, int>(100, 2)));
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,118 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace imgrn {
+namespace {
+
+TEST(BufferPoolTest, FirstFetchIsMiss) {
+  PagedFile file(64);
+  PageId page = file.Allocate();
+  BufferPool pool(&file, 4);
+  pool.FetchPage(page);
+  EXPECT_EQ(pool.stats().fetches, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, SecondFetchIsHit) {
+  PagedFile file(64);
+  PageId page = file.Allocate();
+  BufferPool pool(&file, 4);
+  pool.FetchPage(page);
+  pool.FetchPage(page);
+  EXPECT_EQ(pool.stats().fetches, 2u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  PageId c = file.Allocate();
+  BufferPool pool(&file, 2);
+  pool.FetchPage(a);
+  pool.FetchPage(b);
+  pool.FetchPage(c);  // Evicts a.
+  EXPECT_FALSE(pool.IsResident(a));
+  EXPECT_TRUE(pool.IsResident(b));
+  EXPECT_TRUE(pool.IsResident(c));
+  EXPECT_EQ(pool.stats().evictions, 1u);
+}
+
+TEST(BufferPoolTest, TouchRefreshesRecency) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  PageId c = file.Allocate();
+  BufferPool pool(&file, 2);
+  pool.FetchPage(a);
+  pool.FetchPage(b);
+  pool.FetchPage(a);  // a becomes most recent; b is LRU.
+  pool.FetchPage(c);  // Evicts b, not a.
+  EXPECT_TRUE(pool.IsResident(a));
+  EXPECT_FALSE(pool.IsResident(b));
+}
+
+TEST(BufferPoolTest, RefetchAfterEvictionCountsMiss) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  BufferPool pool(&file, 1);
+  pool.FetchPage(a);
+  pool.FetchPage(b);
+  pool.FetchPage(a);
+  EXPECT_EQ(pool.stats().misses, 3u);
+}
+
+TEST(BufferPoolTest, ResetStatsClearsCountersOnly) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 2);
+  pool.FetchPage(a);
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().fetches, 0u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+  EXPECT_TRUE(pool.IsResident(a));
+  pool.FetchPage(a);  // Still resident -> hit.
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST(BufferPoolTest, FlushAllColdsTheCache) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 2);
+  pool.FetchPage(a);
+  pool.FlushAll();
+  EXPECT_FALSE(pool.IsResident(a));
+  EXPECT_EQ(pool.num_resident(), 0u);
+  pool.FetchPage(a);
+  EXPECT_EQ(pool.stats().misses, 2u);
+}
+
+TEST(BufferPoolTest, FetchReturnsBackingPage) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 2);
+  Page* page = pool.FetchPage(a);
+  page->WriteAt<uint32_t>(0, 77);
+  EXPECT_EQ(file.GetPage(a)->ReadAt<uint32_t>(0), 77u);
+}
+
+TEST(BufferPoolTest, CapacityRespected) {
+  PagedFile file(64);
+  std::vector<PageId> pages;
+  for (int i = 0; i < 10; ++i) pages.push_back(file.Allocate());
+  BufferPool pool(&file, 3);
+  for (PageId page : pages) pool.FetchPage(page);
+  EXPECT_EQ(pool.num_resident(), 3u);
+  EXPECT_EQ(pool.stats().misses, 10u);
+  EXPECT_EQ(pool.stats().evictions, 7u);
+}
+
+TEST(BufferPoolDeathTest, ZeroCapacityAborts) {
+  PagedFile file(64);
+  EXPECT_DEATH(BufferPool(&file, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,51 @@
+#!/bin/sh
+# End-to-end smoke test of the imgrn CLI prototype: generate a database,
+# build + persist the index, extract a query, run it (with and without the
+# persisted index), and run single-matrix inference. Invoked by ctest with
+# the CLI binary path as $1.
+set -eu
+
+IMGRN="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+"$IMGRN" generate --out="$WORKDIR/db.txt" --n_matrices=30 \
+    --genes_min=15 --genes_max=30 --gene_universe=200 --seed=5 \
+    | grep -q "wrote 30 matrices"
+
+"$IMGRN" build-index --db="$WORKDIR/db.txt" --out="$WORKDIR/db.idx" \
+    | grep -q "indexed 30 matrices"
+
+"$IMGRN" extract-query --db="$WORKDIR/db.txt" --out="$WORKDIR/q.txt" \
+    --genes=3 --gamma=0.6 | grep -q "3-gene query"
+
+# Query through the persisted index.
+"$IMGRN" query --db="$WORKDIR/db.txt" --index="$WORKDIR/db.idx" \
+    --query="$WORKDIR/q.txt" --gamma=0.5 --alpha=0.1 --top_k=3 \
+    > "$WORKDIR/with_index.out"
+grep -q "stats:" "$WORKDIR/with_index.out"
+
+# Query with an in-memory index; the answer set must match.
+"$IMGRN" query --db="$WORKDIR/db.txt" --query="$WORKDIR/q.txt" \
+    --gamma=0.5 --alpha=0.1 --top_k=3 > "$WORKDIR/without_index.out"
+grep '^match' "$WORKDIR/with_index.out" > "$WORKDIR/a" || true
+grep '^match' "$WORKDIR/without_index.out" > "$WORKDIR/b" || true
+diff "$WORKDIR/a" "$WORKDIR/b"
+
+"$IMGRN" infer --matrix="$WORKDIR/q.txt" --gamma=0.5 \
+    | grep -q "inferred GRN"
+"$IMGRN" infer --matrix="$WORKDIR/q.txt" --measure=correlation \
+    --gamma=0.5 | grep -q "edges above"
+
+# Error paths exit non-zero.
+if "$IMGRN" query --db="/nonexistent" --query="$WORKDIR/q.txt" \
+    2>/dev/null; then
+  echo "expected failure on missing database" >&2
+  exit 1
+fi
+if "$IMGRN" bogus-subcommand 2>/dev/null; then
+  echo "expected failure on bogus subcommand" >&2
+  exit 1
+fi
+
+echo "cli smoke test passed"

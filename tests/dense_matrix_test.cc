@@ -1,0 +1,133 @@
+#include "matrix/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace imgrn {
+namespace {
+
+TEST(DenseMatrixTest, ZeroInitialized) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m.At(r, c), 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, ConstructFromValuesRowMajor) {
+  DenseMatrix m(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(m.At(0, 0), 1);
+  EXPECT_EQ(m.At(0, 1), 2);
+  EXPECT_EQ(m.At(1, 0), 3);
+  EXPECT_EQ(m.At(1, 1), 4);
+}
+
+TEST(DenseMatrixDeathTest, ValueCountMismatchAborts) {
+  EXPECT_DEATH(DenseMatrix(2, 2, {1, 2, 3}), "Check failed");
+}
+
+TEST(DenseMatrixTest, IdentityHasOnesOnDiagonal) {
+  DenseMatrix eye = DenseMatrix::Identity(4);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(eye.At(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixTest, MultiplyKnownProduct) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  DenseMatrix c = a.Multiply(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c.At(0, 0), 58);
+  EXPECT_EQ(c.At(0, 1), 64);
+  EXPECT_EQ(c.At(1, 0), 139);
+  EXPECT_EQ(c.At(1, 1), 154);
+}
+
+TEST(DenseMatrixTest, MultiplyByIdentityIsIdentityOp) {
+  Rng rng(1);
+  DenseMatrix a(3, 3);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t c = 0; c < 3; ++c) a.At(r, c) = rng.Gaussian();
+  DenseMatrix product = a.Multiply(DenseMatrix::Identity(3));
+  EXPECT_EQ(product.MaxAbsDifference(a), 0.0);
+}
+
+TEST(DenseMatrixDeathTest, MultiplyDimensionMismatchAborts) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(2, 3);
+  EXPECT_DEATH(a.Multiply(b), "Check failed");
+}
+
+TEST(DenseMatrixTest, TransposeSwapsIndices) {
+  DenseMatrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  DenseMatrix t = a.Transpose();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(a.At(r, c), t.At(c, r));
+    }
+  }
+}
+
+TEST(DenseMatrixTest, TransposeTwiceIsIdentity) {
+  Rng rng(2);
+  DenseMatrix a(4, 2);
+  for (size_t r = 0; r < 4; ++r)
+    for (size_t c = 0; c < 2; ++c) a.At(r, c) = rng.Gaussian();
+  EXPECT_EQ(a.Transpose().Transpose().MaxAbsDifference(a), 0.0);
+}
+
+TEST(DenseMatrixTest, AddSubtractRoundTrip) {
+  DenseMatrix a(2, 2, {1, 2, 3, 4});
+  DenseMatrix b(2, 2, {5, 6, 7, 8});
+  DenseMatrix sum = a.Add(b);
+  EXPECT_EQ(sum.At(1, 1), 12);
+  DenseMatrix back = sum.Subtract(b);
+  EXPECT_EQ(back.MaxAbsDifference(a), 0.0);
+}
+
+TEST(DenseMatrixTest, ScaleMultipliesEveryElement) {
+  DenseMatrix a(2, 2, {1, -2, 3, -4});
+  DenseMatrix scaled = a.Scale(-2.0);
+  EXPECT_EQ(scaled.At(0, 0), -2);
+  EXPECT_EQ(scaled.At(0, 1), 4);
+  EXPECT_EQ(scaled.At(1, 0), -6);
+  EXPECT_EQ(scaled.At(1, 1), 8);
+}
+
+TEST(DenseMatrixTest, MaxAbsDifference) {
+  DenseMatrix a(1, 3, {1, 2, 3});
+  DenseMatrix b(1, 3, {1, 2.5, 2});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(b), 1.0);
+}
+
+TEST(DenseMatrixTest, DebugStringMentionsShape) {
+  DenseMatrix a(1, 2, {1, 2});
+  EXPECT_NE(a.DebugString().find("1x2"), std::string::npos);
+}
+
+TEST(DenseMatrixTest, MultiplyAssociativityProperty) {
+  Rng rng(3);
+  DenseMatrix a(3, 4), b(4, 2), c(2, 5);
+  for (size_t r = 0; r < 3; ++r)
+    for (size_t j = 0; j < 4; ++j) a.At(r, j) = rng.Gaussian();
+  for (size_t r = 0; r < 4; ++r)
+    for (size_t j = 0; j < 2; ++j) b.At(r, j) = rng.Gaussian();
+  for (size_t r = 0; r < 2; ++r)
+    for (size_t j = 0; j < 5; ++j) c.At(r, j) = rng.Gaussian();
+  DenseMatrix left = a.Multiply(b).Multiply(c);
+  DenseMatrix right = a.Multiply(b.Multiply(c));
+  EXPECT_LT(left.MaxAbsDifference(right), 1e-12);
+}
+
+}  // namespace
+}  // namespace imgrn

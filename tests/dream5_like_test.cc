@@ -1,0 +1,121 @@
+#include "datagen/dream5_like.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace imgrn {
+namespace {
+
+TEST(OrganismSpecTest, PublishedShapes) {
+  const OrganismSpec& ecoli = GetOrganismSpec(Organism::kEcoli);
+  EXPECT_STREQ(ecoli.name, "E.coli");
+  EXPECT_EQ(ecoli.num_samples, 805u);
+  EXPECT_EQ(ecoli.num_genes, 4511u);
+  EXPECT_EQ(ecoli.num_gold_edges, 2066u);
+
+  const OrganismSpec& saureus = GetOrganismSpec(Organism::kSaureus);
+  EXPECT_EQ(saureus.num_samples, 160u);
+  EXPECT_EQ(saureus.num_genes, 2810u);
+
+  const OrganismSpec& yeast = GetOrganismSpec(Organism::kScerevisiae);
+  EXPECT_EQ(yeast.num_samples, 536u);
+  EXPECT_EQ(yeast.num_genes, 5950u);
+}
+
+TEST(Dream5LikeTest, ScaledShape) {
+  Dream5LikeConfig config;
+  config.organism = Organism::kEcoli;
+  config.scale = 0.02;
+  Dream5DataSet data = GenerateDream5Like(config);
+  EXPECT_EQ(data.name, "E.coli");
+  EXPECT_NEAR(static_cast<double>(data.matrix.num_genes()), 4511 * 0.02, 2);
+  EXPECT_NEAR(static_cast<double>(data.matrix.num_samples()), 805 * 0.02, 2);
+  EXPECT_NEAR(static_cast<double>(data.gold.size()), 2066 * 0.02, 5);
+}
+
+TEST(Dream5LikeTest, GoldEdgesValidAndUnique) {
+  Dream5LikeConfig config;
+  config.scale = 0.03;
+  Dream5DataSet data = GenerateDream5Like(config);
+  const size_t n = data.matrix.num_genes();
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (const auto& [a, b] : data.gold) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, n);
+    EXPECT_TRUE(seen.insert({a, b}).second);
+  }
+}
+
+TEST(Dream5LikeTest, ExpressionValuesFinite) {
+  Dream5LikeConfig config;
+  config.scale = 0.02;
+  Dream5DataSet data = GenerateDream5Like(config);
+  for (double value : data.matrix.data()) {
+    EXPECT_TRUE(std::isfinite(value));
+  }
+}
+
+TEST(Dream5LikeTest, DeterministicBySeed) {
+  Dream5LikeConfig config;
+  config.scale = 0.02;
+  Dream5DataSet a = GenerateDream5Like(config);
+  Dream5DataSet b = GenerateDream5Like(config);
+  EXPECT_EQ(a.matrix.data(), b.matrix.data());
+  EXPECT_EQ(a.gold, b.gold);
+}
+
+TEST(Dream5LikeTest, SeedsVaryData) {
+  Dream5LikeConfig config_a;
+  config_a.scale = 0.02;
+  Dream5LikeConfig config_b = config_a;
+  config_b.seed = config_a.seed + 1;
+  EXPECT_NE(GenerateDream5Like(config_a).matrix.data(),
+            GenerateDream5Like(config_b).matrix.data());
+}
+
+TEST(Dream5LikeTest, HubStructurePresent) {
+  // Preferential attachment should concentrate degree on regulators.
+  Dream5LikeConfig config;
+  config.scale = 0.05;
+  Dream5DataSet data = GenerateDream5Like(config);
+  std::vector<size_t> degree(data.matrix.num_genes(), 0);
+  for (const auto& [a, b] : data.gold) {
+    ++degree[a];
+    ++degree[b];
+  }
+  size_t max_degree = 0;
+  size_t total_degree = 0;
+  for (size_t d : degree) {
+    max_degree = std::max(max_degree, d);
+    total_degree += d;
+  }
+  const double mean_degree =
+      static_cast<double>(total_degree) / static_cast<double>(degree.size());
+  EXPECT_GT(static_cast<double>(max_degree), 3.0 * mean_degree);
+}
+
+TEST(Dream5LikeTest, AllOrganismsGenerate) {
+  for (Organism organism : {Organism::kEcoli, Organism::kSaureus,
+                            Organism::kScerevisiae}) {
+    Dream5LikeConfig config;
+    config.organism = organism;
+    config.scale = 0.02;
+    Dream5DataSet data = GenerateDream5Like(config);
+    EXPECT_GE(data.matrix.num_genes(), 10u);
+    EXPECT_GE(data.matrix.num_samples(), 10u);
+    EXPECT_GT(data.gold.size(), 0u);
+  }
+}
+
+TEST(Dream5LikeTest, MinimumSizesEnforced) {
+  Dream5LikeConfig config;
+  config.scale = 1e-6;
+  Dream5DataSet data = GenerateDream5Like(config);
+  EXPECT_GE(data.matrix.num_genes(), 10u);
+  EXPECT_GE(data.matrix.num_samples(), 10u);
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,209 @@
+#include "prob/edge_probability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "matrix/vector_ops.h"
+
+namespace imgrn {
+namespace {
+
+std::vector<double> RandomStandardized(size_t l, Rng* rng) {
+  std::vector<double> values(l);
+  for (double& value : values) value = rng->Gaussian();
+  StandardizeInPlace(values);
+  return values;
+}
+
+/// Makes a vector correlated with `base` (cor ~ rho for large l).
+std::vector<double> Correlated(const std::vector<double>& base, double rho,
+                               Rng* rng) {
+  std::vector<double> values(base.size());
+  const double noise_scale = std::sqrt(1.0 - rho * rho);
+  for (size_t i = 0; i < base.size(); ++i) {
+    values[i] = rho * base[i] + noise_scale * rng->Gaussian();
+  }
+  StandardizeInPlace(values);
+  return values;
+}
+
+TEST(EdgeProbabilityTest, ResultAlwaysInUnitInterval) {
+  Rng rng(1);
+  EdgeProbabilityEstimator estimator(100);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a = RandomStandardized(12, &rng);
+    std::vector<double> b = RandomStandardized(12, &rng);
+    const double p = estimator.Estimate(a, b, &rng);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(EdgeProbabilityTest, HighlyCorrelatedPairScoresHigh) {
+  Rng rng(2);
+  std::vector<double> a = RandomStandardized(60, &rng);
+  std::vector<double> b = Correlated(a, 0.95, &rng);
+  EdgeProbabilityEstimator estimator(400);
+  EXPECT_GT(estimator.Estimate(a, b, &rng), 0.9);
+}
+
+TEST(EdgeProbabilityTest, StronglyAntiCorrelatedPairScoresLow) {
+  // Negative correlation means the observed distance is LARGE; randomized
+  // vectors rarely land farther, so the Euclidean-reduction probability is
+  // small. (This is where the abs-correlation variant differs; see below.)
+  Rng rng(3);
+  std::vector<double> a = RandomStandardized(60, &rng);
+  std::vector<double> b = Correlated(a, -0.95, &rng);
+  EdgeProbabilityEstimator estimator(400);
+  EXPECT_LT(estimator.Estimate(a, b, &rng), 0.1);
+}
+
+TEST(EdgeProbabilityTest, IndependentPairScoresMidRange) {
+  Rng rng(4);
+  // Average over pairs: for independent vectors e.p is ~Uniform(0,1), so
+  // the mean over many pairs approaches 0.5.
+  EdgeProbabilityEstimator estimator(200);
+  double sum = 0.0;
+  constexpr int kPairs = 60;
+  for (int trial = 0; trial < kPairs; ++trial) {
+    std::vector<double> a = RandomStandardized(20, &rng);
+    std::vector<double> b = RandomStandardized(20, &rng);
+    sum += estimator.Estimate(a, b, &rng);
+  }
+  EXPECT_NEAR(sum / kPairs, 0.5, 0.12);
+}
+
+TEST(EdgeProbabilityTest, MatchesExactEnumerationForTinyVectors) {
+  Rng rng(5);
+  EdgeProbabilityEstimator exact_estimator(1);
+  EdgeProbabilityEstimator mc_estimator(20000);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> a = RandomStandardized(6, &rng);
+    std::vector<double> b = RandomStandardized(6, &rng);
+    const double exact = exact_estimator.ExactByEnumeration(a, b);
+    const double estimated = mc_estimator.Estimate(a, b, &rng);
+    EXPECT_NEAR(estimated, exact, 0.03) << "trial " << trial;
+  }
+}
+
+TEST(EdgeProbabilityTest, SymmetricInArguments) {
+  // e.p is symmetric: permuting X_t against X_s has the same distribution
+  // as permuting X_s against X_t (common relabeling of coordinates).
+  Rng rng(6);
+  EdgeProbabilityEstimator estimator(4000);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> a = RandomStandardized(15, &rng);
+    std::vector<double> b = Correlated(a, 0.5, &rng);
+    const double p_ab = estimator.Estimate(a, b, &rng);
+    const double p_ba = estimator.Estimate(b, a, &rng);
+    EXPECT_NEAR(p_ab, p_ba, 0.05) << "trial " << trial;
+  }
+}
+
+TEST(EdgeProbabilityTest, ExactEnumerationSymmetric) {
+  Rng rng(7);
+  EdgeProbabilityEstimator estimator(1);
+  std::vector<double> a = RandomStandardized(6, &rng);
+  std::vector<double> b = RandomStandardized(6, &rng);
+  EXPECT_NEAR(estimator.ExactByEnumeration(a, b),
+              estimator.ExactByEnumeration(b, a), 1e-12);
+}
+
+// Lemma 1: the Euclidean-space estimator and the signed-correlation-space
+// estimator define the same probability.
+TEST(Lemma1ReductionTest, EuclideanEqualsSignedCorrelation) {
+  Rng rng(8);
+  EdgeProbabilityEstimator estimator(3000);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<double> a = RandomStandardized(18, &rng);
+    std::vector<double> b = Correlated(a, 0.4, &rng);
+    Rng rng_a(1000 + trial);
+    Rng rng_b(1000 + trial);  // Same permutation stream for both.
+    const double p_euclid = estimator.Estimate(a, b, &rng_a);
+    const double p_cor = estimator.EstimateViaCorrelation(a, b, &rng_b);
+    // Identical permutations -> identical indicator outcomes.
+    EXPECT_DOUBLE_EQ(p_euclid, p_cor) << "trial " << trial;
+  }
+}
+
+TEST(Lemma1ReductionTest, AbsoluteCorrelationAgreesForPositivePairs) {
+  // For positively correlated pairs (and mostly-positive randomized
+  // correlations near 0), |cor| ordering and cor ordering agree with high
+  // probability, so the two estimates should be close.
+  Rng rng(9);
+  EdgeProbabilityEstimator estimator(2000);
+  std::vector<double> a = RandomStandardized(40, &rng);
+  std::vector<double> b = Correlated(a, 0.9, &rng);
+  const double p_euclid = estimator.Estimate(a, b, &rng);
+  const double p_abs = estimator.EstimateViaAbsoluteCorrelation(a, b, &rng);
+  EXPECT_NEAR(p_euclid, p_abs, 0.05);
+}
+
+TEST(EdgeProbabilityTest, DeterministicGivenRngState) {
+  Rng rng_a(10);
+  Rng rng_b(10);
+  Rng data_rng(11);
+  std::vector<double> a = RandomStandardized(10, &data_rng);
+  std::vector<double> b = RandomStandardized(10, &data_rng);
+  EdgeProbabilityEstimator estimator(500);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(a, b, &rng_a),
+                   estimator.Estimate(a, b, &rng_b));
+}
+
+TEST(EdgeProbabilityDeathTest, MismatchedLengthsAbort) {
+  Rng rng(12);
+  std::vector<double> a = {1, -1};
+  std::vector<double> b = {1, 0, -1};
+  EdgeProbabilityEstimator estimator(10);
+  EXPECT_DEATH(estimator.Estimate(a, b, &rng), "Check failed");
+}
+
+TEST(SampledExpectedPermutedDistanceTest, MatchesClosedFormBound) {
+  // For standardized x and pivot, E[dist^2] = 2l exactly, so the sampled
+  // E[dist] must be <= sqrt(2l) (Jensen) and close to it for large l.
+  Rng rng(13);
+  const size_t l = 50;
+  std::vector<double> x = RandomStandardized(l, &rng);
+  std::vector<double> pivot = RandomStandardized(l, &rng);
+  const double expected =
+      SampledExpectedPermutedDistance(x, pivot, 2000, &rng);
+  const double jensen = std::sqrt(2.0 * static_cast<double>(l));
+  EXPECT_LE(expected, jensen + 1e-9);
+  EXPECT_GT(expected, 0.85 * jensen);
+}
+
+TEST(SampledExpectedPermutedDistanceTest, ZeroPivotGivesNormOfX) {
+  // dist(x^R, 0) = ||x|| regardless of the permutation.
+  Rng rng(14);
+  std::vector<double> x = RandomStandardized(20, &rng);
+  std::vector<double> zero(20, 0.0);
+  const double expected = SampledExpectedPermutedDistance(x, zero, 50, &rng);
+  EXPECT_NEAR(expected, std::sqrt(SquaredNorm(x)), 1e-9);
+}
+
+class EstimatorSampleSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EstimatorSampleSweep, ConvergesTowardLargeSampleEstimate) {
+  Rng data_rng(15);
+  std::vector<double> a = RandomStandardized(25, &data_rng);
+  std::vector<double> b = Correlated(a, 0.6, &data_rng);
+  Rng ref_rng(16);
+  EdgeProbabilityEstimator reference(20000);
+  const double ref = reference.Estimate(a, b, &ref_rng);
+  Rng rng(17);
+  EdgeProbabilityEstimator estimator(GetParam());
+  const double estimate = estimator.Estimate(a, b, &rng);
+  // Tolerance ~ 4 standard errors of a Bernoulli mean.
+  const double tolerance =
+      4.0 * std::sqrt(0.25 / static_cast<double>(GetParam())) + 0.02;
+  EXPECT_NEAR(estimate, ref, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, EstimatorSampleSweep,
+                         ::testing::Values(50, 100, 200, 500, 1000, 5000));
+
+}  // namespace
+}  // namespace imgrn

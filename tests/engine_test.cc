@@ -1,0 +1,104 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePathQuery;
+using testing_util::MakePlantedMatrix;
+
+GeneDatabase MakeDatabase(uint64_t seed) {
+  Rng rng(seed);
+  GeneDatabase database;
+  database.Add(MakePlantedMatrix(0, 30, {{1, 2, 3}}, {10}, 0.97, &rng));
+  database.Add(MakePlantedMatrix(1, 30, {{1, 2, 3}}, {11, 12}, 0.97, &rng));
+  database.Add(MakePlantedMatrix(2, 30, {{20, 21}}, {22}, 0.97, &rng));
+  return database;
+}
+
+TEST(EngineTest, QueryBeforeBuildFails) {
+  ImGrnEngine engine;
+  const ProbGraph query = MakePathQuery({1, 2});
+  EXPECT_FALSE(engine.QueryWithGraph(query, {}).ok());
+}
+
+TEST(EngineTest, BuildWithoutDatabaseFails) {
+  ImGrnEngine engine;
+  EXPECT_FALSE(engine.BuildIndex().ok());
+}
+
+TEST(EngineTest, BuildAndQueryEndToEnd) {
+  ImGrnEngine engine;
+  engine.LoadDatabase(MakeDatabase(1));
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  EXPECT_TRUE(engine.has_index());
+
+  QueryParams params;
+  params.gamma = 0.5;
+  params.alpha = 0.3;
+  QueryStats stats;
+  Result<std::vector<QueryMatch>> matches =
+      engine.QueryWithGraph(MakePathQuery({1, 2, 3}), params, &stats);
+  ASSERT_TRUE(matches.ok());
+  std::set<SourceId> sources;
+  for (const QueryMatch& match : *matches) sources.insert(match.source);
+  EXPECT_TRUE(sources.contains(0));
+  EXPECT_TRUE(sources.contains(1));
+  EXPECT_FALSE(sources.contains(2));
+}
+
+TEST(EngineTest, QueryFromMatrixEndToEnd) {
+  ImGrnEngine engine;
+  engine.LoadDatabase(MakeDatabase(2));
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  // Build a query matrix from matrix 0's cluster columns.
+  const GeneMatrix& matrix = engine.database().matrix(0);
+  std::vector<size_t> columns;
+  for (GeneId gene : {1u, 2u, 3u}) {
+    columns.push_back(static_cast<size_t>(matrix.ColumnOfGene(gene)));
+  }
+  Result<GeneMatrix> query = matrix.ExtractColumns(columns);
+  ASSERT_TRUE(query.ok());
+  QueryParams params;
+  params.gamma = 0.5;
+  params.alpha = 0.3;
+  Result<std::vector<QueryMatch>> matches = engine.Query(*query, params);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_FALSE(matches->empty());
+}
+
+TEST(EngineTest, LoadDatabaseInvalidatesIndex) {
+  ImGrnEngine engine;
+  engine.LoadDatabase(MakeDatabase(3));
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  engine.LoadDatabase(MakeDatabase(4));
+  EXPECT_FALSE(engine.has_index());
+  EXPECT_FALSE(engine.QueryWithGraph(MakePathQuery({1, 2}), {}).ok());
+}
+
+TEST(EngineTest, IndexAccessorExposesStats) {
+  ImGrnEngine engine;
+  engine.LoadDatabase(MakeDatabase(5));
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  EXPECT_GT(engine.index().build_seconds(), 0.0);
+  EXPECT_EQ(engine.index().rtree().size(),
+            engine.database().TotalGeneVectors());
+}
+
+TEST(EngineTest, CustomIndexOptionsPropagate) {
+  EngineOptions options;
+  options.index.num_pivots = 3;
+  ImGrnEngine engine(options);
+  engine.LoadDatabase(MakeDatabase(6));
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  EXPECT_EQ(engine.index().dims(), 7u);
+}
+
+}  // namespace
+}  // namespace imgrn

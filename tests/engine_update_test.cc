@@ -1,0 +1,183 @@
+// Incremental index maintenance (ImGrnEngine::AddMatrix / RemoveMatrix)
+// and the top-k query policy.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePathQuery;
+using testing_util::MakePlantedMatrix;
+
+GeneMatrix ClusterMatrix(SourceId source, uint64_t seed,
+                         GeneId filler_base) {
+  Rng rng(seed);
+  return MakePlantedMatrix(source, 32, {{1, 2, 3}},
+                           {filler_base, filler_base + 1}, 0.97, &rng);
+}
+
+class EngineUpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneDatabase database;
+    database.Add(ClusterMatrix(0, 100, 50));
+    database.Add(ClusterMatrix(1, 101, 60));
+    engine_.LoadDatabase(std::move(database));
+    ASSERT_TRUE(engine_.BuildIndex().ok());
+    params_.gamma = 0.5;
+    params_.alpha = 0.3;
+  }
+
+  std::set<SourceId> QuerySources() {
+    Result<std::vector<QueryMatch>> matches =
+        engine_.QueryWithGraph(MakePathQuery({1, 2, 3}), params_);
+    EXPECT_TRUE(matches.ok());
+    std::set<SourceId> sources;
+    for (const QueryMatch& match : *matches) sources.insert(match.source);
+    return sources;
+  }
+
+  ImGrnEngine engine_;
+  QueryParams params_;
+};
+
+TEST_F(EngineUpdateTest, AddMatrixBecomesQueryable) {
+  EXPECT_EQ(QuerySources(), (std::set<SourceId>{0, 1}));
+  ASSERT_TRUE(engine_.AddMatrix(ClusterMatrix(2, 102, 70)).ok());
+  EXPECT_EQ(engine_.database().size(), 3u);
+  EXPECT_EQ(QuerySources(), (std::set<SourceId>{0, 1, 2}));
+  EXPECT_TRUE(engine_.index().rtree().Validate().ok());
+}
+
+TEST_F(EngineUpdateTest, AddMatrixRejectsWrongSourceId) {
+  EXPECT_FALSE(engine_.AddMatrix(ClusterMatrix(5, 103, 70)).ok());
+  EXPECT_EQ(engine_.database().size(), 2u);
+}
+
+TEST_F(EngineUpdateTest, RemoveMatrixDisappearsFromResults) {
+  ASSERT_TRUE(engine_.RemoveMatrix(0).ok());
+  EXPECT_FALSE(engine_.index().IsActive(0));
+  EXPECT_TRUE(engine_.index().IsActive(1));
+  EXPECT_EQ(engine_.index().num_active(), 1u);
+  EXPECT_EQ(QuerySources(), (std::set<SourceId>{1}));
+  EXPECT_TRUE(engine_.index().rtree().Validate().ok());
+}
+
+TEST_F(EngineUpdateTest, RemoveMatrixAffectsEdgelessQueriesToo) {
+  ASSERT_TRUE(engine_.RemoveMatrix(1).ok());
+  ProbGraph edgeless;
+  edgeless.AddVertex(1);
+  Result<std::vector<QueryMatch>> matches =
+      engine_.QueryWithGraph(edgeless, params_);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].source, 0u);
+}
+
+TEST_F(EngineUpdateTest, DoubleRemoveRejected) {
+  ASSERT_TRUE(engine_.RemoveMatrix(0).ok());
+  EXPECT_FALSE(engine_.RemoveMatrix(0).ok());
+}
+
+TEST_F(EngineUpdateTest, RemoveUnknownSourceRejected) {
+  EXPECT_FALSE(engine_.RemoveMatrix(7).ok());
+}
+
+TEST_F(EngineUpdateTest, RemoveThenAddNewSource) {
+  ASSERT_TRUE(engine_.RemoveMatrix(0).ok());
+  ASSERT_TRUE(engine_.AddMatrix(ClusterMatrix(2, 104, 80)).ok());
+  EXPECT_EQ(QuerySources(), (std::set<SourceId>{1, 2}));
+}
+
+TEST_F(EngineUpdateTest, RemoveAllThenQueryYieldsNothing) {
+  ASSERT_TRUE(engine_.RemoveMatrix(0).ok());
+  ASSERT_TRUE(engine_.RemoveMatrix(1).ok());
+  EXPECT_TRUE(QuerySources().empty());
+  EXPECT_EQ(engine_.index().rtree().size(), 0u);
+}
+
+TEST_F(EngineUpdateTest, UpdatesBeforeBuildRejected) {
+  ImGrnEngine fresh;
+  EXPECT_FALSE(fresh.AddMatrix(ClusterMatrix(0, 105, 50)).ok());
+  EXPECT_FALSE(fresh.RemoveMatrix(0).ok());
+}
+
+TEST_F(EngineUpdateTest, IncrementalEqualsBulkBuild) {
+  // Index built incrementally should answer like a bulk-built one.
+  ImGrnEngine bulk;
+  {
+    GeneDatabase database;
+    database.Add(ClusterMatrix(0, 100, 50));
+    database.Add(ClusterMatrix(1, 101, 60));
+    database.Add(ClusterMatrix(2, 102, 70));
+    bulk.LoadDatabase(std::move(database));
+    ASSERT_TRUE(bulk.BuildIndex().ok());
+  }
+  ASSERT_TRUE(engine_.AddMatrix(ClusterMatrix(2, 102, 70)).ok());
+
+  Result<std::vector<QueryMatch>> incremental =
+      engine_.QueryWithGraph(MakePathQuery({1, 2, 3}), params_);
+  Result<std::vector<QueryMatch>> bulk_matches =
+      bulk.QueryWithGraph(MakePathQuery({1, 2, 3}), params_);
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(bulk_matches.ok());
+  std::set<SourceId> a, b;
+  for (const QueryMatch& match : *incremental) a.insert(match.source);
+  for (const QueryMatch& match : *bulk_matches) b.insert(match.source);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(EngineUpdateTest, TopKLimitsAndRanks) {
+  ASSERT_TRUE(engine_.AddMatrix(ClusterMatrix(2, 102, 70)).ok());
+  params_.top_k = 2;
+  Result<std::vector<QueryMatch>> matches =
+      engine_.QueryWithGraph(MakePathQuery({1, 2, 3}), params_);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 2u);
+  EXPECT_GE((*matches)[0].probability, (*matches)[1].probability);
+
+  // top_k larger than the answer count returns everything, ranked.
+  params_.top_k = 100;
+  matches = engine_.QueryWithGraph(MakePathQuery({1, 2, 3}), params_);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 3u);
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_GE((*matches)[i - 1].probability, (*matches)[i].probability);
+  }
+}
+
+TEST(FinalizeMatchesTest, ZeroKeepsOrderAndAll) {
+  std::vector<QueryMatch> matches(3);
+  matches[0].source = 5;
+  matches[0].probability = 0.2;
+  matches[1].source = 1;
+  matches[1].probability = 0.9;
+  matches[2].source = 3;
+  matches[2].probability = 0.5;
+  FinalizeMatches(0, &matches);
+  EXPECT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].source, 5u);  // Untouched.
+}
+
+TEST(FinalizeMatchesTest, RanksByProbabilityThenSource) {
+  std::vector<QueryMatch> matches(3);
+  matches[0].source = 5;
+  matches[0].probability = 0.5;
+  matches[1].source = 1;
+  matches[1].probability = 0.9;
+  matches[2].source = 3;
+  matches[2].probability = 0.5;
+  FinalizeMatches(2, &matches);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].source, 1u);
+  EXPECT_EQ(matches[1].source, 3u);  // Tie broken by source id.
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,148 @@
+#include "matrix/gene_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "matrix/vector_ops.h"
+
+namespace imgrn {
+namespace {
+
+GeneMatrix MakeMatrix(SourceId source, size_t l, std::vector<GeneId> genes,
+                      uint64_t seed) {
+  GeneMatrix matrix(source, l, std::move(genes));
+  Rng rng(seed);
+  for (size_t k = 0; k < matrix.num_genes(); ++k) {
+    for (size_t j = 0; j < l; ++j) {
+      matrix.At(j, k) = rng.Gaussian();
+    }
+  }
+  return matrix;
+}
+
+TEST(GeneMatrixTest, ShapeAndIds) {
+  GeneMatrix matrix(3, 4, {10, 20, 30});
+  EXPECT_EQ(matrix.source_id(), 3u);
+  EXPECT_EQ(matrix.num_samples(), 4u);
+  EXPECT_EQ(matrix.num_genes(), 3u);
+  EXPECT_EQ(matrix.gene_id(1), 20u);
+}
+
+TEST(GeneMatrixDeathTest, DuplicateGeneIdsAbort) {
+  EXPECT_DEATH(GeneMatrix(0, 4, {1, 2, 1}), "duplicate gene id");
+}
+
+TEST(GeneMatrixTest, ColumnOfGeneFindsAndMisses) {
+  GeneMatrix matrix(0, 2, {5, 9, 7});
+  EXPECT_EQ(matrix.ColumnOfGene(9), 1);
+  EXPECT_EQ(matrix.ColumnOfGene(6), -1);
+}
+
+TEST(GeneMatrixTest, ColumnIsContiguousAndWritable) {
+  GeneMatrix matrix(0, 3, {1, 2});
+  matrix.At(0, 1) = 10;
+  matrix.At(1, 1) = 11;
+  matrix.At(2, 1) = 12;
+  std::span<const double> column = matrix.Column(1);
+  ASSERT_EQ(column.size(), 3u);
+  EXPECT_EQ(column[0], 10);
+  EXPECT_EQ(column[1], 11);
+  EXPECT_EQ(column[2], 12);
+}
+
+TEST(GeneMatrixTest, StandardizeColumnsSetsInvariant) {
+  GeneMatrix matrix = MakeMatrix(0, 20, {1, 2, 3}, 42);
+  EXPECT_FALSE(matrix.is_standardized());
+  matrix.StandardizeColumns();
+  EXPECT_TRUE(matrix.is_standardized());
+  for (size_t k = 0; k < matrix.num_genes(); ++k) {
+    EXPECT_TRUE(IsStandardized(matrix.Column(k)));
+  }
+}
+
+TEST(GeneMatrixTest, StandardizeIsIdempotent) {
+  GeneMatrix matrix = MakeMatrix(0, 10, {1, 2}, 43);
+  matrix.StandardizeColumns();
+  const std::vector<double> snapshot = matrix.data();
+  matrix.StandardizeColumns();
+  EXPECT_EQ(matrix.data(), snapshot);
+}
+
+TEST(GeneMatrixTest, InvalidateStandardizationAllowsRerun) {
+  GeneMatrix matrix = MakeMatrix(0, 10, {1, 2}, 44);
+  matrix.StandardizeColumns();
+  matrix.MutableColumn(0)[0] += 100.0;
+  matrix.InvalidateStandardization();
+  EXPECT_FALSE(matrix.is_standardized());
+  matrix.StandardizeColumns();
+  EXPECT_TRUE(IsStandardized(matrix.Column(0)));
+}
+
+TEST(GeneMatrixTest, ExtractColumnsKeepsDataAndIds) {
+  GeneMatrix matrix = MakeMatrix(5, 6, {10, 11, 12, 13}, 45);
+  Result<GeneMatrix> sub = matrix.ExtractColumns({2, 0});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_genes(), 2u);
+  EXPECT_EQ(sub->num_samples(), 6u);
+  EXPECT_EQ(sub->gene_id(0), 12u);
+  EXPECT_EQ(sub->gene_id(1), 10u);
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(sub->At(j, 0), matrix.At(j, 2));
+    EXPECT_EQ(sub->At(j, 1), matrix.At(j, 0));
+  }
+}
+
+TEST(GeneMatrixTest, ExtractColumnsOutOfRange) {
+  GeneMatrix matrix = MakeMatrix(0, 3, {1, 2}, 46);
+  Result<GeneMatrix> sub = matrix.ExtractColumns({0, 2});
+  EXPECT_FALSE(sub.ok());
+  EXPECT_EQ(sub.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GeneMatrixTest, ExtractPreservesStandardizedFlag) {
+  GeneMatrix matrix = MakeMatrix(0, 8, {1, 2, 3}, 47);
+  matrix.StandardizeColumns();
+  Result<GeneMatrix> sub = matrix.ExtractColumns({1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->is_standardized());
+}
+
+TEST(GeneDatabaseTest, AddAndAccess) {
+  GeneDatabase database;
+  EXPECT_TRUE(database.empty());
+  database.Add(MakeMatrix(0, 4, {1, 2}, 48));
+  database.Add(MakeMatrix(1, 5, {2, 3, 4}, 49));
+  EXPECT_EQ(database.size(), 2u);
+  EXPECT_EQ(database.matrix(1).num_genes(), 3u);
+  EXPECT_EQ(database.TotalGeneVectors(), 5u);
+}
+
+TEST(GeneDatabaseDeathTest, OutOfOrderSourceIdAborts) {
+  GeneDatabase database;
+  EXPECT_DEATH(database.Add(MakeMatrix(3, 4, {1}, 50)),
+               "insertion order");
+}
+
+TEST(GeneDatabaseTest, StandardizeAll) {
+  GeneDatabase database;
+  database.Add(MakeMatrix(0, 4, {1, 2}, 51));
+  database.Add(MakeMatrix(1, 6, {3}, 52));
+  database.StandardizeAll();
+  EXPECT_TRUE(database.matrix(0).is_standardized());
+  EXPECT_TRUE(database.matrix(1).is_standardized());
+}
+
+TEST(GeneDatabaseTest, GeneIdUniverse) {
+  GeneDatabase database;
+  database.Add(MakeMatrix(0, 4, {1, 17}, 53));
+  database.Add(MakeMatrix(1, 4, {3, 9}, 54));
+  EXPECT_EQ(database.GeneIdUniverse(), 18u);
+}
+
+TEST(GeneDatabaseTest, EmptyUniverseIsZero) {
+  GeneDatabase database;
+  EXPECT_EQ(database.GeneIdUniverse(), 0u);
+}
+
+}  // namespace
+}  // namespace imgrn

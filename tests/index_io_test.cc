@@ -1,0 +1,194 @@
+#include "index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "query/imgrn_processor.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePathQuery;
+using testing_util::MakePlantedMatrix;
+
+GeneDatabase MakeDatabase(uint64_t seed) {
+  Rng rng(seed);
+  GeneDatabase database;
+  database.Add(MakePlantedMatrix(0, 28, {{1, 2, 3}}, {10, 11}, 0.97, &rng));
+  database.Add(MakePlantedMatrix(1, 28, {}, {1, 2, 3, 12}, 0.0, &rng));
+  database.Add(MakePlantedMatrix(2, 28, {{1, 2, 3}}, {13}, 0.97, &rng));
+  return database;
+}
+
+ImGrnIndexOptions SmallOptions() {
+  ImGrnIndexOptions options;
+  options.num_pivots = 2;
+  options.embed_samples = 32;
+  options.pivot_selection.global_iterations = 2;
+  options.pivot_selection.swap_iterations = 4;
+  return options;
+}
+
+std::set<SourceId> Query(const ImGrnIndex& index) {
+  ImGrnQueryProcessor processor(&index);
+  QueryParams params;
+  params.gamma = 0.5;
+  params.alpha = 0.3;
+  Result<std::vector<QueryMatch>> matches =
+      processor.QueryWithGraph(MakePathQuery({1, 2, 3}), params);
+  EXPECT_TRUE(matches.ok());
+  std::set<SourceId> sources;
+  for (const QueryMatch& match : *matches) sources.insert(match.source);
+  return sources;
+}
+
+TEST(IndexIoTest, SaveRequiresBuiltIndex) {
+  ImGrnIndex index(SmallOptions());
+  std::stringstream buffer;
+  EXPECT_FALSE(SaveIndex(index, &buffer).ok());
+}
+
+TEST(IndexIoTest, RoundTripPreservesEverything) {
+  GeneDatabase database = MakeDatabase(1);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+  Result<std::unique_ptr<ImGrnIndex>> loaded =
+      LoadIndex(&buffer, &database);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const ImGrnIndex& restored = **loaded;
+  EXPECT_TRUE(restored.is_built());
+  EXPECT_EQ(restored.num_pivots(), original.num_pivots());
+  EXPECT_EQ(restored.rtree().size(), original.rtree().size());
+  EXPECT_TRUE(restored.rtree().Validate().ok());
+  for (SourceId i = 0; i < database.size(); ++i) {
+    EXPECT_EQ(restored.pivots(i).columns, original.pivots(i).columns);
+    const auto& points_a = restored.embedded_points(i);
+    const auto& points_b = original.embedded_points(i);
+    ASSERT_EQ(points_a.size(), points_b.size());
+    for (size_t s = 0; s < points_a.size(); ++s) {
+      EXPECT_EQ(points_a[s].x, points_b[s].x);
+      EXPECT_EQ(points_a[s].y, points_b[s].y);
+      EXPECT_EQ(points_a[s].gene, points_b[s].gene);
+    }
+  }
+}
+
+TEST(IndexIoTest, RestoredIndexAnswersIdentically) {
+  GeneDatabase database = MakeDatabase(2);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+  const std::set<SourceId> before = Query(original);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+  Result<std::unique_ptr<ImGrnIndex>> loaded =
+      LoadIndex(&buffer, &database);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(Query(**loaded), before);
+}
+
+TEST(IndexIoTest, RemovedSourcesStayRemoved) {
+  GeneDatabase database = MakeDatabase(3);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+  ASSERT_TRUE(original.RemoveMatrix(0).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+  Result<std::unique_ptr<ImGrnIndex>> loaded =
+      LoadIndex(&buffer, &database);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE((*loaded)->IsActive(0));
+  EXPECT_TRUE((*loaded)->IsActive(2));
+  const std::set<SourceId> sources = Query(**loaded);
+  EXPECT_FALSE(sources.contains(0));
+  EXPECT_TRUE(sources.contains(2));
+}
+
+TEST(IndexIoTest, DatabaseSizeMismatchRejected) {
+  GeneDatabase database = MakeDatabase(4);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+
+  Rng rng(5);
+  GeneDatabase other;
+  other.Add(MakePlantedMatrix(0, 20, {{1, 2}}, {}, 0.9, &rng));
+  Result<std::unique_ptr<ImGrnIndex>> loaded = LoadIndex(&buffer, &other);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(IndexIoTest, GarbageRejected) {
+  GeneDatabase database = MakeDatabase(6);
+  std::stringstream buffer("definitely not an index file");
+  EXPECT_FALSE(LoadIndex(&buffer, &database).ok());
+}
+
+TEST(IndexIoTest, TruncatedStreamRejected) {
+  GeneDatabase database = MakeDatabase(7);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(LoadIndex(&truncated, &database).ok());
+}
+
+TEST(IndexIoTest, RestoredIndexSupportsIncrementalAdds) {
+  GeneDatabase database = MakeDatabase(8);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+  Result<std::unique_ptr<ImGrnIndex>> loaded =
+      LoadIndex(&buffer, &database);
+  ASSERT_TRUE(loaded.ok());
+
+  Rng rng(9);
+  database.Add(MakePlantedMatrix(3, 28, {{1, 2, 3}}, {14}, 0.97, &rng));
+  ASSERT_TRUE((*loaded)->AddMatrix(3).ok());
+  EXPECT_TRUE(Query(**loaded).contains(3));
+}
+
+TEST(IndexIoTest, EngineSaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/imgrn_index_test.idx";
+  ImGrnEngine engine;
+  engine.LoadDatabase(MakeDatabase(10));
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  ASSERT_TRUE(engine.SaveIndexTo(path).ok());
+
+  ImGrnEngine restarted;
+  restarted.LoadDatabase(MakeDatabase(10));
+  ASSERT_TRUE(restarted.LoadIndexFrom(path).ok());
+  EXPECT_TRUE(restarted.has_index());
+
+  QueryParams params;
+  params.gamma = 0.5;
+  params.alpha = 0.3;
+  Result<std::vector<QueryMatch>> matches =
+      restarted.QueryWithGraph(MakePathQuery({1, 2, 3}), params);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_FALSE(matches->empty());
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, EngineSaveBeforeBuildRejected) {
+  ImGrnEngine engine;
+  engine.LoadDatabase(MakeDatabase(11));
+  EXPECT_FALSE(engine.SaveIndexTo("/tmp/never.idx").ok());
+}
+
+}  // namespace
+}  // namespace imgrn

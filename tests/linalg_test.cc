@@ -1,0 +1,155 @@
+#include "matrix/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace imgrn {
+namespace {
+
+DenseMatrix RandomWellConditioned(size_t n, uint64_t seed) {
+  // Diagonally dominant random matrix: always invertible.
+  Rng rng(seed);
+  DenseMatrix a(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      a.At(r, c) = rng.Gaussian();
+      row_sum += std::fabs(a.At(r, c));
+    }
+    a.At(r, r) = row_sum + 1.0 + rng.UniformDouble();
+  }
+  return a;
+}
+
+TEST(LuDecompositionTest, RejectsNonSquare) {
+  DenseMatrix a(2, 3);
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LuDecompositionTest, RejectsEmpty) {
+  DenseMatrix a(0, 0);
+  EXPECT_FALSE(LuDecomposition::Factor(a).ok());
+}
+
+TEST(LuDecompositionTest, RejectsSingular) {
+  DenseMatrix a(2, 2, {1, 2, 2, 4});
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LuDecompositionTest, SolveKnownSystem) {
+  // x + y = 3; x - y = 1  ->  x = 2, y = 1.
+  DenseMatrix a(2, 2, {1, 1, 1, -1});
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  std::vector<double> x = lu->Solve(std::vector<double>{3, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LuDecompositionTest, SolveRequiresPivoting) {
+  // Leading zero forces a row swap.
+  DenseMatrix a(2, 2, {0, 1, 1, 0});
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  std::vector<double> x = lu->Solve(std::vector<double>{5, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(LuDecompositionTest, DeterminantOfKnownMatrix) {
+  DenseMatrix a(2, 2, {3, 1, 4, 2});
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 2.0, 1e-12);
+}
+
+TEST(LuDecompositionTest, DeterminantOfIdentity) {
+  Result<LuDecomposition> lu =
+      LuDecomposition::Factor(DenseMatrix::Identity(5));
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 1.0, 1e-12);
+}
+
+TEST(LuDecompositionTest, DeterminantSignUnderRowStructure) {
+  // Permutation matrix swapping two rows has determinant -1.
+  DenseMatrix a(2, 2, {0, 1, 1, 0});
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -1.0, 1e-12);
+}
+
+TEST(InvertMatrixTest, InverseTimesOriginalIsIdentity) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    DenseMatrix a = RandomWellConditioned(6, seed);
+    Result<DenseMatrix> inv = InvertMatrix(a);
+    ASSERT_TRUE(inv.ok());
+    DenseMatrix product = a.Multiply(*inv);
+    EXPECT_LT(product.MaxAbsDifference(DenseMatrix::Identity(6)), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(InvertMatrixTest, SingularReported) {
+  DenseMatrix a(3, 3);  // All zeros.
+  EXPECT_FALSE(InvertMatrix(a).ok());
+}
+
+TEST(SolveLinearSystemTest, MatchesManualSolution) {
+  DenseMatrix a(3, 3, {2, 0, 0, 0, 3, 0, 0, 0, 4});
+  Result<std::vector<double>> x = SolveLinearSystem(a, {2, 6, 12});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[2], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, DimensionMismatchRejected) {
+  DenseMatrix a(3, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
+}
+
+TEST(LuDecompositionTest, SolveMatrixRhsMatchesVectorSolves) {
+  DenseMatrix a = RandomWellConditioned(4, 99);
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Rng rng(100);
+  DenseMatrix b(4, 3);
+  for (size_t r = 0; r < 4; ++r)
+    for (size_t c = 0; c < 3; ++c) b.At(r, c) = rng.Gaussian();
+  DenseMatrix x = lu->Solve(b);
+  // Check A X == B.
+  EXPECT_LT(a.Multiply(x).MaxAbsDifference(b), 1e-9);
+}
+
+class LinalgSizeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LinalgSizeSweepTest, RandomSolveResidualSmall) {
+  const size_t n = GetParam();
+  DenseMatrix a = RandomWellConditioned(n, 7 * n + 1);
+  Rng rng(n);
+  std::vector<double> b(n);
+  for (double& value : b) value = rng.Gaussian();
+  Result<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  std::vector<double> x = lu->Solve(b);
+  // Residual ||Ax - b||_inf must be tiny.
+  for (size_t r = 0; r < n; ++r) {
+    double dot = 0.0;
+    for (size_t c = 0; c < n; ++c) dot += a.At(r, c) * x[c];
+    EXPECT_NEAR(dot, b[r], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinalgSizeSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40, 100));
+
+}  // namespace
+}  // namespace imgrn

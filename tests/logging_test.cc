@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace imgrn {
+namespace {
+
+TEST(LoggingTest, MinLevelRoundTrips) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(MinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, InfoDoesNotAbort) {
+  IMGRN_LOG(Info) << "informational message " << 42;
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ IMGRN_CHECK(1 == 2) << "should die"; }, "Check failed");
+}
+
+TEST(CheckDeathTest, CheckEqFailureAborts) {
+  int a = 1;
+  int b = 2;
+  EXPECT_DEATH({ IMGRN_CHECK_EQ(a, b); }, "1 vs 2");
+}
+
+TEST(CheckDeathTest, CheckLtFailureAborts) {
+  EXPECT_DEATH({ IMGRN_CHECK_LT(5, 3); }, "Check failed");
+}
+
+TEST(CheckDeathTest, CheckOkFailureAborts) {
+  EXPECT_DEATH({ IMGRN_CHECK_OK(Status::Internal("kaput")); }, "kaput");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  IMGRN_CHECK(true);
+  IMGRN_CHECK_EQ(1, 1);
+  IMGRN_CHECK_NE(1, 2);
+  IMGRN_CHECK_LT(1, 2);
+  IMGRN_CHECK_LE(2, 2);
+  IMGRN_CHECK_GT(3, 2);
+  IMGRN_CHECK_GE(3, 3);
+  IMGRN_CHECK_OK(Status::Ok());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,136 @@
+#include "prob/markov_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "matrix/vector_ops.h"
+#include "prob/edge_probability.h"
+
+namespace imgrn {
+namespace {
+
+std::vector<double> RandomStandardized(size_t l, Rng* rng) {
+  std::vector<double> values(l);
+  for (double& value : values) value = rng->Gaussian();
+  StandardizeInPlace(values);
+  return values;
+}
+
+TEST(MarkovBoundTest, ClosedFormValue) {
+  // E[Z] <= sqrt(2l); bound = sqrt(2l)/dist, capped at 1.
+  EXPECT_DOUBLE_EQ(MarkovUpperBoundClosedForm(10.0, 8), std::sqrt(16.0) / 10.0);
+}
+
+TEST(MarkovBoundTest, CapsAtOne) {
+  EXPECT_DOUBLE_EQ(MarkovUpperBoundClosedForm(0.5, 50), 1.0);
+}
+
+TEST(MarkovBoundTest, ZeroDistanceIsVacuous) {
+  EXPECT_DOUBLE_EQ(MarkovUpperBoundClosedForm(0.0, 10), 1.0);
+}
+
+TEST(MarkovBoundTest, DecreasesWithDistance) {
+  EXPECT_GT(MarkovUpperBoundClosedForm(5.0, 10),
+            MarkovUpperBoundClosedForm(10.0, 10));
+}
+
+// The soundness property behind Lemma 3: the closed-form bound dominates
+// the TRUE probability (exact enumeration on tiny vectors).
+TEST(MarkovBoundTest, ClosedFormDominatesExactProbability) {
+  Rng rng(1);
+  EdgeProbabilityEstimator estimator(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> a = RandomStandardized(7, &rng);
+    std::vector<double> b = RandomStandardized(7, &rng);
+    const double exact = estimator.ExactByEnumeration(a, b);
+    const double bound =
+        MarkovUpperBoundClosedForm(EuclideanDistance(a, b), 7);
+    EXPECT_GE(bound, exact - 1e-12) << "trial " << trial;
+  }
+}
+
+// And against high-sample Monte Carlo estimates on larger vectors.
+TEST(MarkovBoundTest, ClosedFormDominatesMonteCarloEstimate) {
+  Rng rng(2);
+  EdgeProbabilityEstimator estimator(3000);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<double> a = RandomStandardized(30, &rng);
+    std::vector<double> b = RandomStandardized(30, &rng);
+    const double estimate = estimator.Estimate(a, b, &rng);
+    const double bound =
+        MarkovUpperBoundClosedForm(EuclideanDistance(a, b), 30);
+    // Allow Monte Carlo noise of a few standard errors.
+    EXPECT_GE(bound, estimate - 0.04) << "trial " << trial;
+  }
+}
+
+TEST(MarkovBoundTest, SampledBoundDominatesExactProbability) {
+  Rng rng(3);
+  EdgeProbabilityEstimator estimator(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a = RandomStandardized(7, &rng);
+    std::vector<double> b = RandomStandardized(7, &rng);
+    const double exact = estimator.ExactByEnumeration(a, b);
+    const double bound = MarkovUpperBoundSampled(a, b, 2000, &rng);
+    EXPECT_GE(bound, exact - 0.05) << "trial " << trial;
+  }
+}
+
+TEST(MarkovBoundTest, SampledBoundIsTighterThanClosedForm) {
+  // E[Z] <= sqrt(E[Z^2]) strictly unless Z is constant, so the sampled
+  // bound should (statistically) be below the Jensen closed form.
+  Rng rng(4);
+  std::vector<double> a = RandomStandardized(40, &rng);
+  std::vector<double> b = RandomStandardized(40, &rng);
+  const double closed =
+      MarkovUpperBoundClosedForm(EuclideanDistance(a, b), 40);
+  const double sampled = MarkovUpperBoundSampled(a, b, 2000, &rng);
+  EXPECT_LE(sampled, closed + 0.01);
+}
+
+TEST(EdgeInferencePruneTest, PrunesOnlyWhenBoundBelowGamma) {
+  // dist = 8, l = 8 -> bound = 0.5.
+  EXPECT_TRUE(EdgeInferencePrune(8.0, 8, 0.5));
+  EXPECT_TRUE(EdgeInferencePrune(8.0, 8, 0.6));
+  EXPECT_FALSE(EdgeInferencePrune(8.0, 8, 0.4));
+}
+
+TEST(EdgeInferencePruneTest, NeverPrunesCoincidentVectors) {
+  EXPECT_FALSE(EdgeInferencePrune(0.0, 10, 0.99));
+}
+
+// Lemma 3 end-to-end: whenever the prune fires, the true probability is
+// indeed <= gamma (no false dismissals).
+TEST(EdgeInferencePruneTest, NoFalseDismissals) {
+  Rng rng(5);
+  EdgeProbabilityEstimator estimator(1);
+  int prunes = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a = RandomStandardized(6, &rng);
+    std::vector<double> b = RandomStandardized(6, &rng);
+    const double gamma = rng.UniformDouble(0.1, 0.9);
+    if (EdgeInferencePrune(EuclideanDistance(a, b), 6, gamma)) {
+      ++prunes;
+      EXPECT_LE(estimator.ExactByEnumeration(a, b), gamma + 1e-12);
+    }
+  }
+  // The sweep must actually exercise the pruning branch.
+  EXPECT_GT(prunes, 5);
+}
+
+class MarkovLengthSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MarkovLengthSweep, BoundScalesWithSqrtLength) {
+  const size_t l = GetParam();
+  const double d = 3.0 * std::sqrt(static_cast<double>(l));
+  EXPECT_NEAR(MarkovUpperBoundClosedForm(d, l), std::sqrt(2.0) / 3.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MarkovLengthSweep,
+                         ::testing::Values(2, 4, 8, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,126 @@
+#include "matrix/matrix_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/random.h"
+#include "datagen/synthetic.h"
+
+namespace imgrn {
+namespace {
+
+GeneMatrix MakeMatrix(SourceId source, uint64_t seed) {
+  GeneMatrix matrix(source, 5, {3, 14, 159});
+  Rng rng(seed);
+  for (size_t k = 0; k < matrix.num_genes(); ++k) {
+    for (size_t j = 0; j < matrix.num_samples(); ++j) {
+      matrix.At(j, k) = rng.Gaussian();
+    }
+  }
+  return matrix;
+}
+
+TEST(MatrixIoTest, MatrixRoundTripsExactly) {
+  GeneMatrix original = MakeMatrix(7, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGeneMatrix(original, &buffer).ok());
+  Result<GeneMatrix> loaded = ReadGeneMatrix(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->source_id(), 7u);
+  EXPECT_EQ(loaded->gene_ids(), original.gene_ids());
+  EXPECT_EQ(loaded->data(), original.data());  // Bit-exact.
+}
+
+TEST(MatrixIoTest, DatabaseRoundTripsExactly) {
+  GeneDatabase original;
+  original.Add(MakeMatrix(0, 2));
+  original.Add(MakeMatrix(1, 3));
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGeneDatabase(original, &buffer).ok());
+  Result<GeneDatabase> loaded = ReadGeneDatabase(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  for (SourceId i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded->matrix(i).data(), original.matrix(i).data());
+    EXPECT_EQ(loaded->matrix(i).gene_ids(), original.matrix(i).gene_ids());
+  }
+}
+
+TEST(MatrixIoTest, SyntheticDatabaseRoundTrip) {
+  SyntheticConfig config;
+  config.num_matrices = 4;
+  config.genes_min = 5;
+  config.genes_max = 8;
+  config.samples_min = 6;
+  config.samples_max = 9;
+  config.gene_universe = 40;
+  GeneDatabase original = GenerateSyntheticDatabase(config);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGeneDatabase(original, &buffer).ok());
+  Result<GeneDatabase> loaded = ReadGeneDatabase(&buffer);
+  ASSERT_TRUE(loaded.ok());
+  for (SourceId i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->matrix(i).data(), original.matrix(i).data());
+  }
+}
+
+TEST(MatrixIoTest, BadMagicRejected) {
+  std::stringstream buffer("NOT-A-MATRIX 1\n");
+  Result<GeneMatrix> loaded = ReadGeneMatrix(&buffer);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(MatrixIoTest, WrongVersionRejected) {
+  std::stringstream buffer("IMGRN-MATRIX 99\n0 2 2\n1 2\n0 0\n0 0\n");
+  EXPECT_FALSE(ReadGeneMatrix(&buffer).ok());
+}
+
+TEST(MatrixIoTest, TruncatedValuesRejected) {
+  std::stringstream buffer("IMGRN-MATRIX 1\n0 2 2\n1 2\n0.5 0.5\n");
+  Result<GeneMatrix> loaded = ReadGeneMatrix(&buffer);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(MatrixIoTest, ZeroDimensionsRejected) {
+  std::stringstream buffer("IMGRN-MATRIX 1\n0 0 3\n1 2 3\n");
+  EXPECT_FALSE(ReadGeneMatrix(&buffer).ok());
+}
+
+TEST(MatrixIoTest, DuplicateGeneIdsRejectedWithoutAborting) {
+  std::stringstream buffer("IMGRN-MATRIX 1\n0 1 2\n5 5\n0.1 0.2\n");
+  Result<GeneMatrix> loaded = ReadGeneMatrix(&buffer);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixIoTest, OutOfOrderSourceIdsRejected) {
+  GeneMatrix matrix = MakeMatrix(3, 4);  // source 3 in slot 0.
+  std::stringstream buffer;
+  buffer << "IMGRN-DB 1\n1\n";
+  ASSERT_TRUE(WriteGeneMatrix(matrix, &buffer).ok());
+  EXPECT_FALSE(ReadGeneDatabase(&buffer).ok());
+}
+
+TEST(MatrixIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/imgrn_io_test.db";
+  GeneDatabase original;
+  original.Add(MakeMatrix(0, 5));
+  ASSERT_TRUE(SaveGeneDatabase(original, path).ok());
+  Result<GeneDatabase> loaded = LoadGeneDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->matrix(0).data(), original.matrix(0).data());
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIoTest, MissingFileReported) {
+  Result<GeneDatabase> loaded =
+      LoadGeneDatabase("/nonexistent/imgrn.db");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace imgrn

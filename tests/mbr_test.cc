@@ -1,0 +1,137 @@
+#include "rtree/mbr.h"
+
+#include <gtest/gtest.h>
+
+namespace imgrn {
+namespace {
+
+TEST(MbrTest, EmptyMbr) {
+  Mbr mbr(3);
+  EXPECT_TRUE(mbr.IsEmpty());
+  EXPECT_EQ(mbr.Area(), 0.0);
+  EXPECT_EQ(mbr.Margin(), 0.0);
+}
+
+TEST(MbrTest, FromPointIsDegenerate) {
+  Mbr mbr = Mbr::FromPoint({1.0, 2.0});
+  EXPECT_FALSE(mbr.IsEmpty());
+  EXPECT_EQ(mbr.lo(0), 1.0);
+  EXPECT_EQ(mbr.hi(0), 1.0);
+  EXPECT_EQ(mbr.Area(), 0.0);
+}
+
+TEST(MbrTest, FromBounds) {
+  Mbr mbr = Mbr::FromBounds({0, 0}, {2, 3});
+  EXPECT_EQ(mbr.Area(), 6.0);
+  EXPECT_EQ(mbr.Margin(), 5.0);
+}
+
+TEST(MbrDeathTest, InvertedBoundsAbort) {
+  EXPECT_DEATH(Mbr::FromBounds({1.0}, {0.0}), "Check failed");
+}
+
+TEST(MbrTest, MergeGrowsToCover) {
+  Mbr a = Mbr::FromBounds({0, 0}, {1, 1});
+  Mbr b = Mbr::FromBounds({2, -1}, {3, 0.5});
+  a.Merge(b);
+  EXPECT_EQ(a.lo(0), 0.0);
+  EXPECT_EQ(a.hi(0), 3.0);
+  EXPECT_EQ(a.lo(1), -1.0);
+  EXPECT_EQ(a.hi(1), 1.0);
+  EXPECT_TRUE(a.Contains(b));
+}
+
+TEST(MbrTest, MergeWithEmptyIsNoop) {
+  Mbr a = Mbr::FromBounds({0}, {1});
+  Mbr empty(1);
+  a.Merge(empty);
+  EXPECT_EQ(a.lo(0), 0.0);
+  EXPECT_EQ(a.hi(0), 1.0);
+}
+
+TEST(MbrTest, MergeIntoEmptyAdopts) {
+  Mbr empty(2);
+  Mbr b = Mbr::FromBounds({1, 1}, {2, 2});
+  empty.Merge(b);
+  EXPECT_EQ(empty, b);
+}
+
+TEST(MbrTest, MergePoint) {
+  Mbr mbr = Mbr::FromPoint({1.0});
+  mbr.MergePoint({3.0});
+  EXPECT_EQ(mbr.lo(0), 1.0);
+  EXPECT_EQ(mbr.hi(0), 3.0);
+}
+
+TEST(MbrTest, OverlapArea) {
+  Mbr a = Mbr::FromBounds({0, 0}, {2, 2});
+  Mbr b = Mbr::FromBounds({1, 1}, {3, 3});
+  EXPECT_EQ(a.OverlapArea(b), 1.0);
+  Mbr c = Mbr::FromBounds({5, 5}, {6, 6});
+  EXPECT_EQ(a.OverlapArea(c), 0.0);
+}
+
+TEST(MbrTest, OverlapAreaSharedBoundaryIsZero) {
+  Mbr a = Mbr::FromBounds({0, 0}, {1, 1});
+  Mbr b = Mbr::FromBounds({1, 0}, {2, 1});
+  EXPECT_EQ(a.OverlapArea(b), 0.0);
+  EXPECT_TRUE(a.Intersects(b));  // Touching counts as intersecting.
+}
+
+TEST(MbrTest, Enlargement) {
+  Mbr a = Mbr::FromBounds({0, 0}, {1, 1});
+  Mbr b = Mbr::FromBounds({2, 0}, {3, 1});
+  // Merged: [0,3]x[0,1], area 3; original area 1 -> enlargement 2.
+  EXPECT_EQ(a.Enlargement(b), 2.0);
+  EXPECT_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(MbrTest, IntersectsAndContains) {
+  Mbr a = Mbr::FromBounds({0, 0}, {4, 4});
+  Mbr inner = Mbr::FromBounds({1, 1}, {2, 2});
+  Mbr crossing = Mbr::FromBounds({3, 3}, {5, 5});
+  Mbr outside = Mbr::FromBounds({5, 5}, {6, 6});
+  EXPECT_TRUE(a.Contains(inner));
+  EXPECT_FALSE(inner.Contains(a));
+  EXPECT_TRUE(a.Intersects(crossing));
+  EXPECT_FALSE(a.Contains(crossing));
+  EXPECT_FALSE(a.Intersects(outside));
+}
+
+TEST(MbrTest, ContainsPoint) {
+  Mbr a = Mbr::FromBounds({0, 0}, {1, 1});
+  EXPECT_TRUE(a.ContainsPoint({0.5, 0.5}));
+  EXPECT_TRUE(a.ContainsPoint({1.0, 1.0}));  // Boundary inclusive.
+  EXPECT_FALSE(a.ContainsPoint({1.1, 0.5}));
+}
+
+TEST(MbrTest, CenterAndCenterDistance) {
+  Mbr a = Mbr::FromBounds({0, 0}, {2, 2});
+  Mbr b = Mbr::FromBounds({3, 4}, {3, 4});
+  EXPECT_EQ(a.Center(0), 1.0);
+  // Centers (1,1) and (3,4): squared distance 4 + 9 = 13.
+  EXPECT_EQ(a.CenterDistanceSquared(b), 13.0);
+}
+
+TEST(MbrTest, EqualityAndDebugString) {
+  Mbr a = Mbr::FromBounds({0}, {1});
+  Mbr b = Mbr::FromBounds({0}, {1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.DebugString().find("(0,1)"), std::string::npos);
+}
+
+TEST(MbrTest, HigherDimensionalArea) {
+  Mbr a = Mbr::FromBounds({0, 0, 0, 0, 0}, {1, 2, 3, 1, 2});
+  EXPECT_EQ(a.Area(), 12.0);
+  EXPECT_EQ(a.Margin(), 9.0);
+}
+
+TEST(MbrDeathTest, DimensionMismatchAborts) {
+  Mbr a = Mbr::FromBounds({0}, {1});
+  Mbr b = Mbr::FromBounds({0, 0}, {1, 1});
+  EXPECT_DEATH(a.Merge(b), "Check failed");
+  EXPECT_DEATH(a.Intersects(b), "Check failed");
+}
+
+}  // namespace
+}  // namespace imgrn

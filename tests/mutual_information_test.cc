@@ -1,0 +1,156 @@
+#include "inference/mutual_information.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "inference/measures.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+std::vector<double> RandomVector(size_t l, Rng* rng) {
+  std::vector<double> values(l);
+  for (double& value : values) value = rng->Gaussian();
+  return values;
+}
+
+TEST(MutualInformationTest, NonNegative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x = RandomVector(50, &rng);
+    std::vector<double> y = RandomVector(50, &rng);
+    EXPECT_GE(MutualInformation(x, y, 5), 0.0);
+  }
+}
+
+TEST(MutualInformationTest, Symmetric) {
+  Rng rng(2);
+  std::vector<double> x = RandomVector(100, &rng);
+  std::vector<double> y = RandomVector(100, &rng);
+  EXPECT_NEAR(MutualInformation(x, y, 6), MutualInformation(y, x, 6), 1e-12);
+}
+
+TEST(MutualInformationTest, IdenticalVectorsGiveEntropy) {
+  // I(X; X) = H(X_binned) >= I(X; Y) for any Y.
+  Rng rng(3);
+  std::vector<double> x = RandomVector(200, &rng);
+  std::vector<double> y = RandomVector(200, &rng);
+  EXPECT_GT(MutualInformation(x, x, 6), MutualInformation(x, y, 6));
+}
+
+TEST(MutualInformationTest, DependentPairBeatsIndependentPair) {
+  Rng rng(4);
+  std::vector<double> x = RandomVector(300, &rng);
+  std::vector<double> linear(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    linear[i] = 0.9 * x[i] + 0.3 * rng.Gaussian();
+  }
+  std::vector<double> independent = RandomVector(300, &rng);
+  EXPECT_GT(MutualInformation(x, linear, 6),
+            MutualInformation(x, independent, 6) + 0.1);
+}
+
+TEST(MutualInformationTest, CapturesNonlinearDependence) {
+  // y = x^2 has ~zero Pearson correlation but high MI — the reason MI
+  // inference methods (ARACNE) exist.
+  Rng rng(5);
+  std::vector<double> x = RandomVector(500, &rng);
+  std::vector<double> squared(x.size());
+  for (size_t i = 0; i < x.size(); ++i) squared[i] = x[i] * x[i];
+  std::vector<double> independent = RandomVector(500, &rng);
+  EXPECT_GT(MutualInformation(x, squared, 8),
+            MutualInformation(x, independent, 8) + 0.2);
+}
+
+TEST(MutualInformationTest, IndependentPairNearZero) {
+  Rng rng(6);
+  std::vector<double> x = RandomVector(2000, &rng);
+  std::vector<double> y = RandomVector(2000, &rng);
+  // Estimator bias ~ (bins-1)^2 / (2 l); with 4 bins and l=2000 that's
+  // ~0.002, so a loose bound suffices.
+  EXPECT_LT(MutualInformation(x, y, 4), 0.05);
+}
+
+TEST(MutualInformationTest, ConstantVectorGivesZero) {
+  std::vector<double> constant(50, 3.0);
+  Rng rng(7);
+  std::vector<double> y = RandomVector(50, &rng);
+  EXPECT_DOUBLE_EQ(MutualInformation(constant, y, 5), 0.0);
+}
+
+TEST(MutualInformationTest, InvariantToMonotoneAffineTransform) {
+  Rng rng(8);
+  std::vector<double> x = RandomVector(150, &rng);
+  std::vector<double> y = RandomVector(150, &rng);
+  const double base = MutualInformation(x, y, 5);
+  std::vector<double> scaled(y.size());
+  for (size_t i = 0; i < y.size(); ++i) scaled[i] = 4.0 * y[i] - 3.0;
+  // Equal-width binning commutes with affine maps.
+  EXPECT_NEAR(MutualInformation(x, scaled, 5), base, 1e-12);
+}
+
+TEST(MutualInformationTest, DefaultBinsFollowSqrtRule) {
+  EXPECT_EQ(DefaultMutualInformationBins(5), 2u);
+  EXPECT_EQ(DefaultMutualInformationBins(20), 2u);
+  EXPECT_EQ(DefaultMutualInformationBins(80), 4u);
+  EXPECT_EQ(DefaultMutualInformationBins(500), 10u);
+}
+
+TEST(MutualInformationDeathTest, InvalidArgumentsAbort) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_DEATH(MutualInformation(x, y, 4), "Check failed");
+  std::vector<double> z = {1, 2};
+  EXPECT_DEATH(MutualInformation(x, z, 1), "Check failed");
+}
+
+TEST(MiScoreMatrixTest, MiMeasureProducesValidScores) {
+  Rng rng(9);
+  GeneMatrix matrix = testing_util::MakePlantedMatrix(
+      0, 60, {{1, 2}}, {3, 4}, 0.95, &rng);
+  Result<DenseMatrix> scores =
+      ComputeScoreMatrix(matrix, InferenceMeasure::kMutualInformation);
+  ASSERT_TRUE(scores.ok());
+  for (size_t s = 0; s < 4; ++s) {
+    for (size_t t = 0; t < 4; ++t) {
+      EXPECT_GE(scores->At(s, t), 0.0);
+      EXPECT_LT(scores->At(s, t), 1.0);
+      EXPECT_DOUBLE_EQ(scores->At(s, t), scores->At(t, s));
+    }
+  }
+  // The planted pair scores above the independent pair.
+  EXPECT_GT(scores->At(0, 1), scores->At(2, 3));
+}
+
+TEST(MiScoreMatrixTest, RandomizedMiMeasureRanksPlantedPairHigh) {
+  Rng rng(10);
+  GeneMatrix matrix = testing_util::MakePlantedMatrix(
+      0, 60, {{1, 2}}, {3, 4}, 0.95, &rng);
+  ScoreOptions options;
+  options.num_samples = 64;
+  Result<DenseMatrix> scores = ComputeScoreMatrix(
+      matrix, InferenceMeasure::kImGrnMutualInformation, options);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(scores->At(0, 1), 0.8);
+  for (size_t s = 0; s < 4; ++s) {
+    for (size_t t = 0; t < 4; ++t) {
+      EXPECT_GE(scores->At(s, t), 0.0);
+      EXPECT_LE(scores->At(s, t), 1.0);
+    }
+  }
+}
+
+TEST(MiScoreMatrixTest, MeasureNamesCoverNewMeasures) {
+  EXPECT_STREQ(InferenceMeasureName(InferenceMeasure::kMutualInformation),
+               "MI");
+  EXPECT_STREQ(
+      InferenceMeasureName(InferenceMeasure::kImGrnMutualInformation),
+      "IM-GRN(MI)");
+}
+
+}  // namespace
+}  // namespace imgrn

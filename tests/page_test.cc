@@ -1,0 +1,103 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/paged_file.h"
+
+namespace imgrn {
+namespace {
+
+TEST(PageTest, DefaultSizeAndZeroed) {
+  Page page;
+  EXPECT_EQ(page.size(), kDefaultPageSize);
+  for (size_t i = 0; i < page.size(); i += 997) {
+    EXPECT_EQ(page.data()[i], 0);
+  }
+}
+
+TEST(PageTest, TypedRoundTrip) {
+  Page page(256);
+  page.WriteAt<uint64_t>(0, 0xDEADBEEFCAFEBABEull);
+  page.WriteAt<double>(8, 3.25);
+  page.WriteAt<int32_t>(16, -42);
+  EXPECT_EQ(page.ReadAt<uint64_t>(0), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(page.ReadAt<double>(8), 3.25);
+  EXPECT_EQ(page.ReadAt<int32_t>(16), -42);
+}
+
+TEST(PageTest, ByteRoundTrip) {
+  Page page(64);
+  const char data[] = "gene-features";
+  page.WriteBytes(10, data, sizeof(data));
+  char out[sizeof(data)];
+  page.ReadBytes(10, out, sizeof(data));
+  EXPECT_STREQ(out, data);
+}
+
+TEST(PageTest, ClearZeroes) {
+  Page page(64);
+  page.WriteAt<uint64_t>(0, 123);
+  page.Clear();
+  EXPECT_EQ(page.ReadAt<uint64_t>(0), 0u);
+}
+
+TEST(PageDeathTest, OutOfBoundsWriteAborts) {
+  Page page(16);
+  EXPECT_DEATH(page.WriteAt<uint64_t>(12, 1), "out of bounds");
+}
+
+TEST(PageDeathTest, OutOfBoundsReadAborts) {
+  Page page(16);
+  EXPECT_DEATH(page.ReadAt<double>(9), "out of bounds");
+}
+
+TEST(PageCursorTest, SequentialWritesAdvance) {
+  Page page(64);
+  PageCursor writer(&page);
+  writer.Write<uint32_t>(7);
+  writer.Write<double>(1.5);
+  writer.Write<uint8_t>(9);
+  EXPECT_EQ(writer.offset(), 13u);
+
+  PageCursor reader(&page);
+  EXPECT_EQ(reader.Read<uint32_t>(), 7u);
+  EXPECT_EQ(reader.Read<double>(), 1.5);
+  EXPECT_EQ(reader.Read<uint8_t>(), 9);
+}
+
+TEST(PageCursorTest, SeekRepositions) {
+  Page page(64);
+  PageCursor cursor(&page);
+  cursor.Write<uint32_t>(1);
+  cursor.Seek(0);
+  EXPECT_EQ(cursor.Read<uint32_t>(), 1u);
+}
+
+TEST(PagedFileTest, AllocateSequentialIds) {
+  PagedFile file(128);
+  EXPECT_EQ(file.num_pages(), 0u);
+  EXPECT_EQ(file.Allocate(), 0u);
+  EXPECT_EQ(file.Allocate(), 1u);
+  EXPECT_EQ(file.num_pages(), 2u);
+  EXPECT_EQ(file.page_size(), 128u);
+}
+
+TEST(PagedFileTest, PagesAreIndependent) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  file.GetPage(a)->WriteAt<uint64_t>(0, 111);
+  file.GetPage(b)->WriteAt<uint64_t>(0, 222);
+  EXPECT_EQ(file.GetPage(a)->ReadAt<uint64_t>(0), 111u);
+  EXPECT_EQ(file.GetPage(b)->ReadAt<uint64_t>(0), 222u);
+}
+
+TEST(PagedFileDeathTest, InvalidPageIdAborts) {
+  PagedFile file;
+  EXPECT_DEATH(file.GetPage(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,196 @@
+#include "embed/pivot_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "embed/pivot_selection.h"
+#include "matrix/vector_ops.h"
+#include "prob/edge_probability.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePlantedMatrix;
+
+PivotSet PivotsFromColumns(const GeneMatrix& standardized,
+                           const std::vector<size_t>& columns) {
+  PivotSet pivots;
+  pivots.columns = columns;
+  for (size_t column : columns) {
+    std::span<const double> view = standardized.Column(column);
+    pivots.vectors.emplace_back(view.begin(), view.end());
+  }
+  return pivots;
+}
+
+TEST(EmbedMatrixTest, CoordinatesMatchDefinitions) {
+  Rng rng(1);
+  GeneMatrix matrix = MakePlantedMatrix(0, 20, {{1, 2}}, {3, 4}, 0.9, &rng);
+  matrix.StandardizeColumns();
+  PivotSet pivots = PivotsFromColumns(matrix, {0, 3});
+  PermutationCache cache(512, 2);
+  std::vector<EmbeddedPoint> points = EmbedMatrix(matrix, pivots, &cache);
+  ASSERT_EQ(points.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(points[s].gene, matrix.gene_id(s));
+    for (size_t w = 0; w < 2; ++w) {
+      EXPECT_NEAR(points[s].x[w],
+                  EuclideanDistance(matrix.Column(s), pivots.vectors[w]),
+                  1e-12);
+      // y[w] ~ E[dist(X^R, piv_w)] <= sqrt(2l) (Jensen, standardized data).
+      EXPECT_GT(points[s].y[w], 0.0);
+      EXPECT_LE(points[s].y[w], std::sqrt(2.0 * 20.0) + 1e-9);
+    }
+  }
+}
+
+TEST(EmbedMatrixTest, PivotColumnHasZeroSelfDistance) {
+  Rng rng(2);
+  GeneMatrix matrix = MakePlantedMatrix(0, 15, {{1, 2}}, {3}, 0.9, &rng);
+  matrix.StandardizeColumns();
+  PivotSet pivots = PivotsFromColumns(matrix, {1});
+  PermutationCache cache(64, 3);
+  std::vector<EmbeddedPoint> points = EmbedMatrix(matrix, pivots, &cache);
+  EXPECT_NEAR(points[1].x[0], 0.0, 1e-12);
+}
+
+TEST(EmbedMatrixTest, ToIndexPointLayout) {
+  EmbeddedPoint point;
+  point.x = {1.0, 3.0};
+  point.y = {2.0, 4.0};
+  point.gene = 77;
+  const std::vector<double> flat = point.ToIndexPoint();
+  ASSERT_EQ(flat.size(), 5u);
+  EXPECT_EQ(flat[0], 1.0);
+  EXPECT_EQ(flat[1], 2.0);
+  EXPECT_EQ(flat[2], 3.0);
+  EXPECT_EQ(flat[3], 4.0);
+  EXPECT_EQ(flat[4], 77.0);
+}
+
+TEST(PivotPruneEdgeTest, NeverFiresWhenGapNonPositive) {
+  // x_t[r] < x_s[r] + x_s[w] for all r, w -> Case 1 everywhere, no pruning.
+  EmbeddedPoint s{{2.0}, {1.0}, 0};
+  EmbeddedPoint t{{2.5}, {0.0}, 1};
+  EXPECT_FALSE(PivotPruneEdge(s, t, 0.99));
+}
+
+TEST(PivotPruneEdgeTest, FiresOnClearGap) {
+  // x_s = 1, x_t = 10 -> C = 10 - 1 - 1 = 8; y_t = 2 <= gamma * 8 for
+  // gamma >= 0.25.
+  EmbeddedPoint s{{1.0}, {5.0}, 0};
+  EmbeddedPoint t{{10.0}, {2.0}, 1};
+  EXPECT_TRUE(PivotPruneEdge(s, t, 0.3));
+  EXPECT_FALSE(PivotPruneEdge(s, t, 0.2));
+}
+
+TEST(PivotUpperBoundTest, MatchesManualComputation) {
+  EmbeddedPoint s{{1.0}, {5.0}, 0};
+  EmbeddedPoint t{{10.0}, {2.0}, 1};
+  // C = 8, bound = y_t / C = 0.25.
+  EXPECT_NEAR(PivotUpperBound(s, t), 0.25, 1e-12);
+  // Case 1: bound 1.
+  EmbeddedPoint close{{1.5}, {2.0}, 2};
+  EXPECT_DOUBLE_EQ(PivotUpperBound(s, close), 1.0);
+}
+
+TEST(PivotUpperBoundTest, MorePivotsNeverLoosen) {
+  // Adding a pivot dimension can only lower (or keep) the min-bound.
+  EmbeddedPoint s1{{1.0}, {5.0}, 0};
+  EmbeddedPoint t1{{10.0}, {2.0}, 1};
+  EmbeddedPoint s2{{1.0, 0.5}, {5.0, 4.0}, 0};
+  EmbeddedPoint t2{{10.0, 9.0}, {2.0, 1.0}, 1};
+  EXPECT_LE(PivotUpperBound(s2, t2), PivotUpperBound(s1, t1) + 1e-12);
+}
+
+// The soundness property of Section 4.2: the pivot bound must dominate the
+// true edge probability, so PivotPruneEdge never kills a real edge.
+// Note the bound's floor: y ~ sqrt(2l) and x <= 2 sqrt(l), so the bound is
+// never below ~1/sqrt(2) — pruning fires only at large gamma, on pairs far
+// apart whose anchor endpoint is near a pivot.
+TEST(PivotPruneSoundnessTest, BoundDominatesExactProbability) {
+  Rng rng(4);
+  EdgeProbabilityEstimator exact(1);
+  PermutationCache cache(2000, 5);
+  const double gamma = 0.85;
+  for (int trial = 0; trial < 40; ++trial) {
+    // Small vectors so the exact probability is enumerable.
+    GeneMatrix matrix = MakePlantedMatrix(
+        0, 7, {{1, 2}}, {3, 4, 5}, rng.UniformDouble(0.3, 0.95), &rng);
+    matrix.StandardizeColumns();
+    PivotSet pivots = PivotsFromColumns(matrix, {4});
+    std::vector<EmbeddedPoint> points = EmbedMatrix(matrix, pivots, &cache);
+    for (size_t a = 0; a < points.size(); ++a) {
+      for (size_t b = 0; b < points.size(); ++b) {
+        if (a == b) continue;
+        const double truth =
+            exact.ExactByEnumeration(matrix.Column(a), matrix.Column(b));
+        const double bound = PivotUpperBound(points[a], points[b]);
+        // The y coordinate is itself sampled, so allow small Monte Carlo
+        // slack on the dominance check.
+        EXPECT_GE(bound, truth - 0.05)
+            << "trial " << trial << " pair " << a << "," << b;
+        if (PivotPruneEdge(points[a], points[b], gamma)) {
+          EXPECT_LE(truth, gamma + 0.05);
+        }
+      }
+    }
+  }
+}
+
+TEST(PivotPruneSoundnessTest, FiresOnAntiCorrelatedPairNearPivot) {
+  // Deterministic geometry where pruning must fire: the anchor s IS the
+  // pivot (x_s = 0) and t is its negation (x_t = 2 sqrt(l)), so
+  // C = 2 sqrt(l) and y_t / C ~ sqrt(2l) / (2 sqrt(l)) = 0.707 < 0.8.
+  Rng rng(6);
+  const size_t l = 24;
+  GeneMatrix matrix(0, l, {1, 2, 3});
+  for (size_t j = 0; j < l; ++j) {
+    const double base = rng.Gaussian();
+    matrix.At(j, 0) = base;
+    matrix.At(j, 1) = -base + 0.01 * rng.Gaussian();
+    matrix.At(j, 2) = rng.Gaussian();
+  }
+  matrix.StandardizeColumns();
+  PivotSet pivots = PivotsFromColumns(matrix, {0});
+  PermutationCache cache(2000, 7);
+  std::vector<EmbeddedPoint> points = EmbedMatrix(matrix, pivots, &cache);
+  EXPECT_TRUE(PivotPruneEdge(points[0], points[1], 0.8));
+  // And the edge it prunes is indeed improbable: anti-correlated pairs have
+  // near-zero probability that a random permutation lies even farther.
+  PermutationCache est_cache(2000, 8);
+  const double p = EstimateEdgeProbabilityCached(matrix.Column(0),
+                                                 matrix.Column(1), &est_cache);
+  EXPECT_LT(p, 0.1);
+}
+
+TEST(PivotPruneEdgeTest, ConsistentWithUpperBound) {
+  // PivotPruneEdge(gamma) fires exactly when PivotUpperBound <= gamma
+  // (modulo the shared Case-2 condition), for random embedded points.
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t d = 1 + static_cast<size_t>(rng.UniformUint64(3));
+    EmbeddedPoint s, t;
+    for (size_t w = 0; w < d; ++w) {
+      s.x.push_back(rng.UniformDouble(0, 10));
+      s.y.push_back(rng.UniformDouble(0, 10));
+      t.x.push_back(rng.UniformDouble(0, 10));
+      t.y.push_back(rng.UniformDouble(0, 10));
+    }
+    const double gamma = rng.UniformDouble(0.05, 0.95);
+    const bool pruned = PivotPruneEdge(s, t, gamma);
+    const double bound = PivotUpperBound(s, t);
+    if (pruned) {
+      EXPECT_LE(bound, gamma + 1e-12);
+    }
+    if (bound > gamma) {
+      EXPECT_FALSE(pruned);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,129 @@
+#include "graph/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/subgraph_iso.h"
+
+namespace imgrn {
+namespace {
+
+ProbGraph TwoEdgePath() {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddVertex(3);
+  g.AddEdge(0, 1, 0.6);
+  g.AddEdge(1, 2, 0.3);
+  return g;
+}
+
+TEST(PossibleWorldsTest, NumWorlds) {
+  const ProbGraph graph = TwoEdgePath();
+  PossibleWorlds worlds(graph);
+  EXPECT_EQ(worlds.NumWorlds(), 4u);
+}
+
+TEST(PossibleWorldsTest, WorldProbabilities) {
+  ProbGraph g = TwoEdgePath();
+  PossibleWorlds worlds(g);
+  EXPECT_NEAR(worlds.WorldProbability(0b00), 0.4 * 0.7, 1e-12);
+  EXPECT_NEAR(worlds.WorldProbability(0b01), 0.6 * 0.7, 1e-12);
+  EXPECT_NEAR(worlds.WorldProbability(0b10), 0.4 * 0.3, 1e-12);
+  EXPECT_NEAR(worlds.WorldProbability(0b11), 0.6 * 0.3, 1e-12);
+}
+
+TEST(PossibleWorldsTest, WorldProbabilitiesSumToOne) {
+  const ProbGraph graph = TwoEdgePath();
+  PossibleWorlds worlds(graph);
+  double total = 0.0;
+  for (uint64_t mask = 0; mask < worlds.NumWorlds(); ++mask) {
+    total += worlds.WorldProbability(mask);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, MaterializeSelectsEdges) {
+  const ProbGraph graph = TwoEdgePath();
+  PossibleWorlds worlds(graph);
+  ProbGraph world = worlds.Materialize(0b10);
+  EXPECT_EQ(world.num_vertices(), 3u);
+  EXPECT_EQ(world.num_edges(), 1u);
+  EXPECT_FALSE(world.HasEdge(0, 1));
+  EXPECT_TRUE(world.HasEdge(1, 2));
+  EXPECT_DOUBLE_EQ(world.EdgeProbability(1, 2), 1.0);
+}
+
+TEST(PossibleWorldsTest, ProbabilityOfTautologyIsOne) {
+  const ProbGraph graph = TwoEdgePath();
+  PossibleWorlds worlds(graph);
+  EXPECT_NEAR(worlds.ProbabilityOf([](uint64_t) { return true; }), 1.0,
+              1e-12);
+}
+
+TEST(PossibleWorldsTest, ProbabilityAllPresentEqualsEqThreeProduct) {
+  // The heart of Eq. (3): P(all edges in a set exist) = product of their
+  // probabilities, by edge independence.
+  ProbGraph g = TwoEdgePath();
+  PossibleWorlds worlds(g);
+  EXPECT_NEAR(worlds.ProbabilityAllPresent(0b11), 0.6 * 0.3, 1e-12);
+  EXPECT_NEAR(worlds.ProbabilityAllPresent(0b01), 0.6, 1e-12);
+  EXPECT_NEAR(worlds.ProbabilityAllPresent(0b10), 0.3, 1e-12);
+  EXPECT_NEAR(worlds.ProbabilityAllPresent(0b00), 1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, MatchProbabilityViaWorldsDominatesSingleEmbedding) {
+  // P(Q matches somewhere in a world) >= P(one fixed embedding present):
+  // the fixed-embedding product (Eq. 3) is a lower bound of the
+  // any-embedding matching probability under possible-world semantics.
+  ProbGraph data;
+  data.AddVertex(1);
+  data.AddVertex(2);
+  data.AddVertex(3);
+  data.AddEdge(0, 1, 0.5);
+  data.AddEdge(1, 2, 0.5);
+  data.AddEdge(0, 2, 0.5);
+
+  ProbGraph query;
+  query.AddVertex(1);
+  query.AddVertex(2);
+  query.AddEdge(0, 1, 1.0);
+
+  PossibleWorlds worlds(data);
+  const double match_probability =
+      worlds.ProbabilityOf([&](uint64_t mask) {
+        ProbGraph world = worlds.Materialize(mask);
+        SubgraphIsoOptions options;
+        options.match_labels = true;
+        SubgraphIsomorphism iso(query, world, options);
+        return iso.Exists();
+      });
+  // The labeled query edge (1,2) corresponds to data edge (0,1) only.
+  EXPECT_NEAR(match_probability, 0.5, 1e-12);
+  EXPECT_NEAR(worlds.ProbabilityAllPresent(0b001), 0.5, 1e-12);
+}
+
+TEST(PossibleWorldsTest, DeterministicGraphHasOneLiveWorld) {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddEdge(0, 1, 1.0);
+  PossibleWorlds worlds(g);
+  EXPECT_NEAR(worlds.WorldProbability(0b1), 1.0, 1e-12);
+  EXPECT_NEAR(worlds.WorldProbability(0b0), 0.0, 1e-12);
+}
+
+TEST(PossibleWorldsDeathTest, TooManyEdgesAborts) {
+  ProbGraph g;
+  for (int i = 0; i < 30; ++i) g.AddVertex(static_cast<GeneId>(i));
+  int edges = 0;
+  for (VertexId u = 0; u < 30 && edges < 25; ++u) {
+    for (VertexId v = u + 1; v < 30 && edges < 25; ++v) {
+      g.AddEdge(u, v, 0.5);
+      ++edges;
+    }
+  }
+  EXPECT_DEATH(PossibleWorlds{g}, "exponential");
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,138 @@
+#include "graph/prob_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace imgrn {
+namespace {
+
+ProbGraph Triangle() {
+  ProbGraph g;
+  g.AddVertex(10);
+  g.AddVertex(20);
+  g.AddVertex(30);
+  g.AddEdge(0, 1, 0.9);
+  g.AddEdge(1, 2, 0.8);
+  g.AddEdge(0, 2, 0.7);
+  return g;
+}
+
+TEST(ProbGraphTest, EmptyGraph) {
+  ProbGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(ProbGraphTest, AddVertexAssignsSequentialIds) {
+  ProbGraph g;
+  EXPECT_EQ(g.AddVertex(5), 0u);
+  EXPECT_EQ(g.AddVertex(6), 1u);
+  EXPECT_EQ(g.label(0), 5u);
+  EXPECT_EQ(g.label(1), 6u);
+}
+
+TEST(ProbGraphTest, EdgesAreUndirected) {
+  ProbGraph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(1, 0), 0.9);
+}
+
+TEST(ProbGraphTest, MissingEdge) {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+}
+
+TEST(ProbGraphTest, DegreesAndNeighbors) {
+  ProbGraph g = Triangle();
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Neighbors(0).size(), 2u);
+}
+
+TEST(ProbGraphTest, VertexWithLabel) {
+  ProbGraph g = Triangle();
+  ASSERT_TRUE(g.VertexWithLabel(20).has_value());
+  EXPECT_EQ(*g.VertexWithLabel(20), 1u);
+  EXPECT_FALSE(g.VertexWithLabel(99).has_value());
+}
+
+TEST(ProbGraphTest, MaxDegreeVertex) {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddVertex(3);
+  g.AddVertex(4);
+  g.AddEdge(2, 0, 0.5);
+  g.AddEdge(2, 1, 0.5);
+  g.AddEdge(2, 3, 0.5);
+  EXPECT_EQ(g.MaxDegreeVertex(), 2u);
+}
+
+TEST(ProbGraphTest, ConnectivityDetection) {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddVertex(3);
+  g.AddEdge(0, 1, 0.5);
+  EXPECT_FALSE(g.IsConnected());
+  g.AddEdge(1, 2, 0.5);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(ProbGraphTest, SingleVertexIsConnected) {
+  ProbGraph g;
+  g.AddVertex(1);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(ProbGraphDeathTest, SelfLoopAborts) {
+  ProbGraph g;
+  g.AddVertex(1);
+  EXPECT_DEATH(g.AddEdge(0, 0, 0.5), "Check failed");
+}
+
+TEST(ProbGraphDeathTest, DuplicateEdgeAborts) {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  g.AddEdge(0, 1, 0.5);
+  EXPECT_DEATH(g.AddEdge(1, 0, 0.6), "duplicate edge");
+}
+
+TEST(ProbGraphDeathTest, ProbabilityOutOfRangeAborts) {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  EXPECT_DEATH(g.AddEdge(0, 1, 1.5), "Check failed");
+  EXPECT_DEATH(g.AddEdge(0, 1, -0.1), "Check failed");
+}
+
+TEST(ProbGraphDeathTest, MissingEdgeProbabilityAborts) {
+  ProbGraph g;
+  g.AddVertex(1);
+  g.AddVertex(2);
+  EXPECT_DEATH(g.EdgeProbability(0, 1), "no edge");
+}
+
+TEST(ProbGraphTest, DebugStringListsEdges) {
+  ProbGraph g = Triangle();
+  const std::string debug = g.DebugString();
+  EXPECT_NE(debug.find("n=3"), std::string::npos);
+  EXPECT_NE(debug.find("m=3"), std::string::npos);
+  EXPECT_NE(debug.find("g10"), std::string::npos);
+}
+
+TEST(ProbGraphTest, EdgesVectorPreservesInsertionOrder) {
+  ProbGraph g = Triangle();
+  ASSERT_EQ(g.edges().size(), 3u);
+  EXPECT_EQ(g.edges()[0].u, 0u);
+  EXPECT_EQ(g.edges()[0].v, 1u);
+  EXPECT_DOUBLE_EQ(g.edges()[2].probability, 0.7);
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,110 @@
+// Randomized end-to-end agreement: over many random databases and queries,
+// the indexed Fig.-4 processor must return exactly the matrices the
+// pruning-free linear scan returns (shared refinement code + seeds), and
+// the traversal must never miss a candidate the refinement would accept.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "datagen/query_gen.h"
+#include "datagen/synthetic.h"
+#include "inference/grn_inference.h"
+#include "query/imgrn_processor.h"
+#include "query/linear_scan.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePlantedMatrix;
+
+std::set<SourceId> Sources(const std::vector<QueryMatch>& matches) {
+  std::set<SourceId> sources;
+  for (const QueryMatch& match : matches) sources.insert(match.source);
+  return sources;
+}
+
+class ProcessorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProcessorFuzzTest, IndexedProcessorEqualsLinearScan) {
+  const uint64_t seed = GetParam();
+  // Random planted database: a few shared clusters + per-source noise.
+  Rng rng(seed);
+  GeneDatabase database;
+  const size_t num_matrices = 12 + rng.UniformUint64(10);
+  for (SourceId i = 0; i < num_matrices; ++i) {
+    std::vector<std::vector<GeneId>> clusters;
+    if (rng.Bernoulli(0.5)) clusters.push_back({1, 2, 3});
+    if (rng.Bernoulli(0.3)) clusters.push_back({7, 8});
+    std::vector<GeneId> singletons = {
+        static_cast<GeneId>(100 + 3 * i),
+        static_cast<GeneId>(101 + 3 * i),
+        static_cast<GeneId>(102 + 3 * i)};
+    if (clusters.empty()) {
+      singletons.insert(singletons.end(), {1, 2, 3});
+    }
+    database.Add(MakePlantedMatrix(i, 20 + rng.UniformUint64(15), clusters,
+                                   singletons,
+                                   rng.UniformDouble(0.85, 0.98), &rng));
+  }
+
+  ImGrnIndexOptions index_options;
+  index_options.num_pivots = 1 + rng.UniformUint64(3);
+  index_options.embed_samples = 32;
+  index_options.pivot_selection.global_iterations = 1;
+  index_options.pivot_selection.swap_iterations = 4;
+  index_options.rtree_max_entries = 4 + rng.UniformUint64(30);
+  index_options.seed = seed;
+  ImGrnIndex index(index_options);
+  ASSERT_TRUE(index.Build(&database).ok());
+  ASSERT_TRUE(index.rtree().Validate().ok());
+
+  ImGrnQueryProcessor processor(&index);
+  LinearScanProcessor scan(&index);
+
+  // Several random queries per database.
+  for (int q = 0; q < 4; ++q) {
+    ProbGraph query;
+    if (q % 2 == 0) {
+      query.AddVertex(1);
+      query.AddVertex(2);
+      query.AddVertex(3);
+      query.AddEdge(0, 1, 1.0);
+      query.AddEdge(1, 2, 1.0);
+      if (rng.Bernoulli(0.5)) query.AddEdge(0, 2, 1.0);
+    } else {
+      query.AddVertex(7);
+      query.AddVertex(8);
+      query.AddEdge(0, 1, 1.0);
+    }
+    QueryParams params;
+    params.gamma = rng.UniformDouble(0.2, 0.85);
+    params.alpha = rng.UniformDouble(0.1, 0.7);
+    params.seed = seed * 31 + static_cast<uint64_t>(q);
+
+    Result<std::vector<QueryMatch>> indexed =
+        processor.QueryWithGraph(query, params);
+    ASSERT_TRUE(indexed.ok());
+    std::vector<QueryMatch> scanned = scan.QueryWithGraph(query, params);
+    EXPECT_EQ(Sources(*indexed), Sources(scanned))
+        << "seed " << seed << " query " << q << " gamma " << params.gamma
+        << " alpha " << params.alpha;
+    // Same matches -> same probabilities (identical estimator draws).
+    for (const QueryMatch& match : *indexed) {
+      for (const QueryMatch& other : scanned) {
+        if (other.source == match.source) {
+          EXPECT_DOUBLE_EQ(match.probability, other.probability);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcessorFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12));
+
+}  // namespace
+}  // namespace imgrn

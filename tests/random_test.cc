@@ -1,0 +1,251 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace imgrn {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsProduceDifferentStreams) {
+  Rng a(7);
+  Rng b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformUint64BoundOneAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformUint64(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformUint64CoversAllResidues) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.UniformUint64(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformUint64IsApproximatelyUniform) {
+  Rng rng(3);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformUint64(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int count : counts) {
+    EXPECT_NEAR(count, expected, 0.05 * expected);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int value = rng.UniformInt(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.UniformDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformDoubleRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.UniformDouble(-3.0, -1.0);
+    EXPECT_GE(value, -3.0);
+    EXPECT_LT(value, -1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(8);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double value = rng.Gaussian();
+    sum += value;
+    sum_sq += value * value;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(9);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Gaussian(5.0, 0.5);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(10);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(12);
+  std::vector<uint32_t> perm;
+  rng.Permutation(50, &perm);
+  ASSERT_EQ(perm.size(), 50u);
+  std::vector<uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(RngTest, PermutationOfSizeZeroAndOne) {
+  Rng rng(13);
+  std::vector<uint32_t> perm;
+  rng.Permutation(0, &perm);
+  EXPECT_TRUE(perm.empty());
+  rng.Permutation(1, &perm);
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_EQ(perm[0], 0u);
+}
+
+TEST(RngTest, PermutationIsUniformOverSmallSymmetricGroup) {
+  // All 6 permutations of 3 elements should appear with frequency ~1/6.
+  Rng rng(14);
+  std::map<std::vector<uint32_t>, int> counts;
+  constexpr int kDraws = 60000;
+  std::vector<uint32_t> perm;
+  for (int i = 0; i < kDraws; ++i) {
+    rng.Permutation(3, &perm);
+    ++counts[perm];
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 6.0, 0.05 * kDraws / 6.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(15);
+  std::vector<int> values = {1, 2, 2, 3, 5, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleEmptyIsNoop) {
+  Rng rng(16);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.Split();
+  // Child stream should not track the parent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(18);
+  Rng b(18);
+  Rng child_a = a.Split();
+  Rng child_b = b.Split();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child_a.NextUint64(), child_b.NextUint64());
+  }
+}
+
+class RngBoundSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweepTest, AllValuesBelowBound) {
+  Rng rng(GetParam());
+  const uint64_t bound = GetParam();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweepTest,
+                         ::testing::Values(2, 3, 7, 10, 64, 100, 1000,
+                                           1u << 20));
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,122 @@
+#include "inference/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace imgrn {
+namespace {
+
+/// Builds a symmetric score matrix from explicit upper-triangle values.
+DenseMatrix Scores(size_t n,
+                   const std::vector<std::tuple<uint32_t, uint32_t, double>>&
+                       values) {
+  DenseMatrix scores(n, n);
+  for (const auto& [s, t, value] : values) {
+    scores.At(s, t) = value;
+    scores.At(t, s) = value;
+  }
+  return scores;
+}
+
+TEST(RocCurveTest, PerfectScoresGiveAucOne) {
+  // True edges scored 0.9, non-edges 0.1.
+  DenseMatrix scores =
+      Scores(4, {{0, 1, 0.9}, {1, 2, 0.9}, {0, 2, 0.1}, {0, 3, 0.1},
+                 {1, 3, 0.1}, {2, 3, 0.1}});
+  GoldStandard truth = {{0, 1}, {1, 2}};
+  RocCurve roc(scores, truth, RocCurve::UniformThresholds(0.05));
+  EXPECT_NEAR(roc.Auc(), 1.0, 1e-9);
+}
+
+TEST(RocCurveTest, InvertedScoresGiveAucZero) {
+  DenseMatrix scores =
+      Scores(3, {{0, 1, 0.1}, {1, 2, 0.1}, {0, 2, 0.9}});
+  GoldStandard truth = {{0, 1}, {1, 2}};
+  RocCurve roc(scores, truth, RocCurve::UniformThresholds(0.05));
+  EXPECT_LT(roc.Auc(), 0.2);
+}
+
+TEST(RocCurveTest, EndpointBehavior) {
+  DenseMatrix scores = Scores(3, {{0, 1, 0.5}, {1, 2, 0.5}, {0, 2, 0.5}});
+  GoldStandard truth = {{0, 1}};
+  RocCurve roc(scores, truth, {0.0, 0.5, 1.0});
+  // Threshold 0: every pair inferred -> TPR = FPR = 1.
+  EXPECT_DOUBLE_EQ(roc.points()[0].true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(roc.points()[0].false_positive_rate, 1.0);
+  // Threshold 0.5 with strict '>' comparison: nothing inferred.
+  EXPECT_DOUBLE_EQ(roc.points()[1].true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(roc.points()[1].false_positive_rate, 0.0);
+  // Threshold 1: nothing inferred.
+  EXPECT_DOUBLE_EQ(roc.points()[2].true_positive_rate, 0.0);
+}
+
+TEST(RocCurveTest, TprAndFprMonotoneInThreshold) {
+  Rng rng(1);
+  const size_t n = 20;
+  DenseMatrix scores(n, n);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = s + 1; t < n; ++t) {
+      const double value = rng.UniformDouble();
+      scores.At(s, t) = value;
+      scores.At(t, s) = value;
+    }
+  }
+  GoldStandard truth;
+  for (uint32_t s = 0; s + 1 < n; ++s) truth.emplace_back(s, s + 1);
+  RocCurve roc(scores, truth, RocCurve::UniformThresholds(0.1));
+  for (size_t i = 1; i < roc.points().size(); ++i) {
+    EXPECT_LE(roc.points()[i].true_positive_rate,
+              roc.points()[i - 1].true_positive_rate);
+    EXPECT_LE(roc.points()[i].false_positive_rate,
+              roc.points()[i - 1].false_positive_rate);
+  }
+}
+
+TEST(RocCurveTest, RandomScoresGiveAucNearHalf) {
+  Rng rng(2);
+  const size_t n = 40;
+  DenseMatrix scores(n, n);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t t = s + 1; t < n; ++t) {
+      const double value = rng.UniformDouble();
+      scores.At(s, t) = value;
+      scores.At(t, s) = value;
+    }
+  }
+  GoldStandard truth;
+  for (uint32_t s = 0; s < n; s += 2) truth.emplace_back(s, s + 1);
+  RocCurve roc(scores, truth, RocCurve::UniformThresholds(0.01));
+  EXPECT_NEAR(roc.Auc(), 0.5, 0.15);
+}
+
+TEST(RocCurveTest, UniformThresholdsSpanUnitInterval) {
+  const std::vector<double> thresholds = RocCurve::UniformThresholds(0.01);
+  EXPECT_EQ(thresholds.size(), 101u);
+  EXPECT_DOUBLE_EQ(thresholds.front(), 0.0);
+  EXPECT_NEAR(thresholds.back(), 1.0, 1e-9);
+}
+
+TEST(RocCurveTest, ThresholdRecordedInPoints) {
+  DenseMatrix scores = Scores(3, {{0, 1, 0.9}, {1, 2, 0.2}, {0, 2, 0.1}});
+  GoldStandard truth = {{0, 1}};
+  RocCurve roc(scores, truth, {0.3});
+  ASSERT_EQ(roc.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(roc.points()[0].threshold, 0.3);
+  EXPECT_DOUBLE_EQ(roc.points()[0].true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(roc.points()[0].false_positive_rate, 0.0);
+}
+
+TEST(RocCurveDeathTest, EmptyGoldStandardAborts) {
+  DenseMatrix scores(3, 3);
+  EXPECT_DEATH(RocCurve(scores, {}, {0.5}), "no edges");
+}
+
+TEST(RocCurveDeathTest, CompleteGoldStandardAborts) {
+  DenseMatrix scores(3, 3);
+  GoldStandard truth = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_DEATH(RocCurve(scores, truth, {0.5}), "complete graph");
+}
+
+}  // namespace
+}  // namespace imgrn

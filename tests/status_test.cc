@@ -1,0 +1,119 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace imgrn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status status = Status::InvalidArgument("bad gamma");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad gamma");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad gamma");
+}
+
+TEST(StatusTest, NotFound) {
+  Status status = Status::NotFound("no gene");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.ToString(), "NotFound: no gene");
+}
+
+TEST(StatusTest, OutOfRange) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusTest, FailedPrecondition) {
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, Internal) {
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status status = Status::Internal("boom");
+  Status copy = status;
+  EXPECT_EQ(copy.code(), StatusCode::kInternal);
+  EXPECT_EQ(copy.message(), "boom");
+}
+
+TEST(StatusCodeNameTest, AllCodesNamed) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result = std::string("genes");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(ResultTest, MutableValue) {
+  Result<std::vector<int>> result = std::vector<int>{1};
+  result->push_back(2);
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return Status::Ok();
+}
+
+Status Chained(int x) {
+  IMGRN_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::Ok();
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  EXPECT_FALSE(Chained(-1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  EXPECT_TRUE(Chained(1).ok());
+}
+
+}  // namespace
+}  // namespace imgrn

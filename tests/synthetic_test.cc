@@ -1,0 +1,235 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "matrix/vector_ops.h"
+
+namespace imgrn {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig config;
+  config.num_matrices = 5;
+  config.genes_min = 8;
+  config.genes_max = 12;
+  config.samples_min = 10;
+  config.samples_max = 15;
+  config.gene_universe = 50;
+  config.seed = 99;
+  return config;
+}
+
+TEST(SyntheticTest, DatabaseShapeRespectsConfig) {
+  SyntheticConfig config = SmallConfig();
+  GeneDatabase database = GenerateSyntheticDatabase(config);
+  ASSERT_EQ(database.size(), 5u);
+  for (SourceId i = 0; i < database.size(); ++i) {
+    const GeneMatrix& matrix = database.matrix(i);
+    EXPECT_EQ(matrix.source_id(), i);
+    EXPECT_GE(matrix.num_genes(), config.genes_min);
+    EXPECT_LE(matrix.num_genes(), config.genes_max);
+    EXPECT_GE(matrix.num_samples(), config.samples_min);
+    EXPECT_LE(matrix.num_samples(), config.samples_max);
+  }
+}
+
+TEST(SyntheticTest, GeneIdsWithinUniverseAndDistinct) {
+  GeneDatabase database = GenerateSyntheticDatabase(SmallConfig());
+  for (const GeneMatrix& matrix : database.matrices()) {
+    std::set<GeneId> seen;
+    for (GeneId gene : matrix.gene_ids()) {
+      EXPECT_LT(gene, 50u);
+      EXPECT_TRUE(seen.insert(gene).second);
+    }
+  }
+}
+
+TEST(SyntheticTest, ValuesAreFinite) {
+  GeneDatabase database = GenerateSyntheticDatabase(SmallConfig());
+  for (const GeneMatrix& matrix : database.matrices()) {
+    for (double value : matrix.data()) {
+      EXPECT_TRUE(std::isfinite(value));
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  GeneDatabase a = GenerateSyntheticDatabase(SmallConfig());
+  GeneDatabase b = GenerateSyntheticDatabase(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (SourceId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.matrix(i).data(), b.matrix(i).data());
+    EXPECT_EQ(a.matrix(i).gene_ids(), b.matrix(i).gene_ids());
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig config_a = SmallConfig();
+  SyntheticConfig config_b = SmallConfig();
+  config_b.seed = 100;
+  GeneDatabase a = GenerateSyntheticDatabase(config_a);
+  GeneDatabase b = GenerateSyntheticDatabase(config_b);
+  EXPECT_NE(a.matrix(0).data(), b.matrix(0).data());
+}
+
+TEST(SyntheticTest, TruthEdgesAreValidColumnPairs) {
+  std::vector<GoldStandard> truths;
+  GeneDatabase database =
+      GenerateSyntheticDatabase(SmallConfig(), &truths);
+  ASSERT_EQ(truths.size(), database.size());
+  for (SourceId i = 0; i < database.size(); ++i) {
+    const size_t n = database.matrix(i).num_genes();
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (const auto& [a, b] : truths[i]) {
+      EXPECT_LT(a, b);
+      EXPECT_LT(b, n);
+      EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate edge";
+    }
+  }
+}
+
+TEST(SyntheticTest, ExpectedDegreeControlsEdgeCount) {
+  SyntheticConfig sparse = SmallConfig();
+  sparse.expected_in_degree = 0.5;
+  sparse.num_matrices = 20;
+  SyntheticConfig dense = sparse;
+  dense.expected_in_degree = 3.0;
+  std::vector<GoldStandard> sparse_truths, dense_truths;
+  GenerateSyntheticDatabase(sparse, &sparse_truths);
+  GenerateSyntheticDatabase(dense, &dense_truths);
+  size_t sparse_total = 0, dense_total = 0;
+  for (const auto& truth : sparse_truths) sparse_total += truth.size();
+  for (const auto& truth : dense_truths) dense_total += truth.size();
+  EXPECT_GT(dense_total, sparse_total);
+}
+
+TEST(SyntheticTest, GaussianWeightsProduceValidMatrices) {
+  SyntheticConfig config = SmallConfig();
+  config.weight_distribution = EdgeWeightDistribution::kGaussian;
+  GeneDatabase database = GenerateSyntheticDatabase(config);
+  EXPECT_EQ(database.size(), 5u);
+  for (const GeneMatrix& matrix : database.matrices()) {
+    for (double value : matrix.data()) {
+      EXPECT_TRUE(std::isfinite(value));
+    }
+  }
+}
+
+TEST(SyntheticTest, PlantedEdgesCarryCorrelationSignal) {
+  // Genes connected in B should on average correlate more strongly than
+  // random pairs — that is the premise of the whole evaluation.
+  SyntheticConfig config = SmallConfig();
+  config.num_matrices = 10;
+  config.genes_min = 15;
+  config.genes_max = 15;
+  config.samples_min = 60;
+  config.samples_max = 60;
+  std::vector<GoldStandard> truths;
+  GeneDatabase database = GenerateSyntheticDatabase(config, &truths);
+  double edge_total = 0.0, edge_count = 0.0;
+  double non_total = 0.0, non_count = 0.0;
+  for (SourceId i = 0; i < database.size(); ++i) {
+    const GeneMatrix& matrix = database.matrix(i);
+    std::set<uint64_t> edge_keys;
+    for (const auto& [a, b] : truths[i]) {
+      edge_keys.insert((static_cast<uint64_t>(a) << 32) | b);
+    }
+    for (uint32_t a = 0; a < matrix.num_genes(); ++a) {
+      for (uint32_t b = a + 1; b < matrix.num_genes(); ++b) {
+        const double cor = AbsolutePearsonCorrelation(matrix.Column(a),
+                                                      matrix.Column(b));
+        if (edge_keys.contains((static_cast<uint64_t>(a) << 32) | b)) {
+          edge_total += cor;
+          edge_count += 1;
+        } else {
+          non_total += cor;
+          non_count += 1;
+        }
+      }
+    }
+  }
+  ASSERT_GT(edge_count, 0);
+  ASSERT_GT(non_count, 0);
+  EXPECT_GT(edge_total / edge_count, non_total / non_count);
+}
+
+TEST(AddGaussianNoiseTest, ChangesDataAndClearsFlag) {
+  Rng rng(1);
+  GeneDatabase database = GenerateSyntheticDatabase(SmallConfig());
+  GeneMatrix matrix = database.matrix(0);
+  matrix.StandardizeColumns();
+  const std::vector<double> before = matrix.data();
+  AddGaussianNoise(&matrix, 0.5, &rng);
+  EXPECT_NE(matrix.data(), before);
+  EXPECT_FALSE(matrix.is_standardized());
+}
+
+TEST(AddOutlierNoiseTest, ReplacesExpectedFraction) {
+  Rng rng(2);
+  GeneDatabase database = GenerateSyntheticDatabase(SmallConfig());
+  GeneMatrix matrix = database.matrix(0);
+  const std::vector<double> before = matrix.data();
+  AddOutlierNoise(&matrix, /*rate=*/0.2, /*magnitude=*/10.0, &rng);
+  size_t changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (matrix.data()[i] != before[i]) ++changed;
+  }
+  const double fraction =
+      static_cast<double>(changed) / static_cast<double>(before.size());
+  EXPECT_NEAR(fraction, 0.2, 0.1);
+  EXPECT_FALSE(matrix.is_standardized());
+}
+
+TEST(AddOutlierNoiseTest, ZeroRateIsNoop) {
+  Rng rng(3);
+  GeneDatabase database = GenerateSyntheticDatabase(SmallConfig());
+  GeneMatrix matrix = database.matrix(0);
+  const std::vector<double> before = matrix.data();
+  AddOutlierNoise(&matrix, 0.0, 10.0, &rng);
+  EXPECT_EQ(matrix.data(), before);
+}
+
+TEST(AddOutlierNoiseTest, OutliersScaleWithMagnitude) {
+  Rng rng(4);
+  GeneDatabase database = GenerateSyntheticDatabase(SmallConfig());
+  GeneMatrix matrix = database.matrix(0);
+  // Baseline dispersion.
+  double max_abs_before = 0.0;
+  for (double value : matrix.data()) {
+    max_abs_before = std::max(max_abs_before, std::fabs(value));
+  }
+  AddOutlierNoise(&matrix, 0.5, 50.0, &rng);
+  double max_abs_after = 0.0;
+  for (double value : matrix.data()) {
+    max_abs_after = std::max(max_abs_after, std::fabs(value));
+  }
+  EXPECT_GT(max_abs_after, 3.0 * max_abs_before);
+}
+
+TEST(GenerateExpressionFromAdjacencyTest, ZeroAdjacencyGivesPureNoise) {
+  Rng rng(2);
+  DenseMatrix b(4, 4);
+  Result<GeneMatrix> matrix =
+      GenerateExpressionFromAdjacency(0, b, 200, 1.0, {0, 1, 2, 3}, &rng);
+  ASSERT_TRUE(matrix.ok());
+  // With B = 0, M = E: variance ~ 1, mean ~ 0 per column.
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(Mean(matrix->Column(k)), 0.0, 0.3);
+    EXPECT_NEAR(Variance(matrix->Column(k)), 1.0, 0.4);
+  }
+}
+
+TEST(GenerateExpressionFromAdjacencyTest, SingularAdjacencyRejected) {
+  Rng rng(3);
+  // B = I makes I - B singular.
+  DenseMatrix b = DenseMatrix::Identity(3);
+  Result<GeneMatrix> matrix =
+      GenerateExpressionFromAdjacency(0, b, 10, 0.1, {0, 1, 2}, &rng);
+  EXPECT_FALSE(matrix.ok());
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,64 @@
+#ifndef IMGRN_TESTS_TEST_UTIL_H_
+#define IMGRN_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/prob_graph.h"
+#include "matrix/gene_matrix.h"
+
+namespace imgrn {
+namespace testing_util {
+
+/// Builds an l x n matrix with *planted correlation clusters*: genes inside
+/// one cluster share a latent factor (pairwise correlation ~ strength^2),
+/// genes in different clusters (and singletons) are independent. This gives
+/// tests precise control over which gene pairs the IM-GRN measure should
+/// connect.
+inline GeneMatrix MakePlantedMatrix(
+    SourceId source, size_t num_samples,
+    const std::vector<std::vector<GeneId>>& clusters,
+    const std::vector<GeneId>& singleton_genes, double strength, Rng* rng) {
+  std::vector<GeneId> all_genes;
+  for (const auto& cluster : clusters) {
+    all_genes.insert(all_genes.end(), cluster.begin(), cluster.end());
+  }
+  all_genes.insert(all_genes.end(), singleton_genes.begin(),
+                   singleton_genes.end());
+  GeneMatrix matrix(source, num_samples, all_genes);
+  const double noise = std::sqrt(std::max(0.0, 1.0 - strength * strength));
+  size_t column = 0;
+  for (const auto& cluster : clusters) {
+    std::vector<double> factor(num_samples);
+    for (double& value : factor) value = rng->Gaussian();
+    for (size_t g = 0; g < cluster.size(); ++g) {
+      for (size_t j = 0; j < num_samples; ++j) {
+        matrix.At(j, column) = strength * factor[j] + noise * rng->Gaussian();
+      }
+      ++column;
+    }
+  }
+  for (size_t g = 0; g < singleton_genes.size(); ++g) {
+    for (size_t j = 0; j < num_samples; ++j) {
+      matrix.At(j, column) = rng->Gaussian();
+    }
+    ++column;
+  }
+  return matrix;
+}
+
+/// A labeled path query g0 - g1 - ... - g_{k-1} with edge probabilities 1.
+inline ProbGraph MakePathQuery(const std::vector<GeneId>& genes) {
+  ProbGraph query;
+  for (GeneId gene : genes) query.AddVertex(gene);
+  for (VertexId v = 0; v + 1 < genes.size(); ++v) {
+    query.AddEdge(v, v + 1, 1.0);
+  }
+  return query;
+}
+
+}  // namespace testing_util
+}  // namespace imgrn
+
+#endif  // IMGRN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,313 @@
+// imgrn — the command-line prototype system the paper's Section 8
+// envisions: organize gene feature data from various sources, build the
+// IM-GRN index once, and serve ad-hoc IM-GRN queries.
+//
+// Subcommands:
+//   imgrn generate --out=db.txt [--n_matrices=100] [--dist=Uni|Gau] ...
+//       Generate a synthetic gene feature database (Section 6.1 model).
+//   imgrn build-index --db=db.txt --out=db.idx [--pivots=2]
+//       Build and persist the IM-GRN index.
+//   imgrn query --db=db.txt --index=db.idx --query=q.txt
+//               [--gamma=0.5] [--alpha=0.5] [--top_k=0]
+//       Run one IM-GRN query; q.txt is a gene matrix file (matrix_io.h).
+//   imgrn extract-query --db=db.txt --out=q.txt [--genes=5] [--gamma=0.5]
+//       Extract a connected query matrix from the database (for demos).
+//   imgrn infer --matrix=m.txt [--measure=imgrn] [--gamma=0.5]
+//       Infer and print the GRN of a single matrix.
+//
+// All file formats are the plain-text / binary formats of matrix_io.h and
+// index_io.h.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/imgrn.h"
+
+namespace imgrn {
+namespace cli {
+namespace {
+
+/// --key=value parser with defaults; unknown keys are fatal.
+class Args {
+ public:
+  Args(int argc, char** argv, int first,
+       std::map<std::string, std::string> defaults)
+      : values_(std::move(defaults)) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      const size_t eq = arg.find('=');
+      if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+        std::fprintf(stderr, "bad argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      const std::string key = arg.substr(2, eq - 2);
+      if (!values_.contains(key)) {
+        std::fprintf(stderr, "unknown flag --%s for this subcommand\n",
+                     key.c_str());
+        std::exit(2);
+      }
+      values_[key] = arg.substr(eq + 1);
+    }
+  }
+
+  std::string Get(const std::string& key) const { return values_.at(key); }
+  double GetDouble(const std::string& key) const {
+    return std::strtod(values_.at(key).c_str(), nullptr);
+  }
+  int64_t GetInt(const std::string& key) const {
+    return std::strtoll(values_.at(key).c_str(), nullptr, 10);
+  }
+  bool Has(const std::string& key) const {
+    return !values_.at(key).empty();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"out", ""},
+             {"n_matrices", "100"},
+             {"genes_min", "50"},
+             {"genes_max", "100"},
+             {"samples_min", "30"},
+             {"samples_max", "50"},
+             {"gene_universe", "1000"},
+             {"dist", "Uni"},
+             {"seed", "2017"}});
+  if (!args.Has("out")) {
+    std::fprintf(stderr, "generate requires --out=FILE\n");
+    return 2;
+  }
+  SyntheticConfig config;
+  config.num_matrices = static_cast<size_t>(args.GetInt("n_matrices"));
+  config.genes_min = static_cast<size_t>(args.GetInt("genes_min"));
+  config.genes_max = static_cast<size_t>(args.GetInt("genes_max"));
+  config.samples_min = static_cast<size_t>(args.GetInt("samples_min"));
+  config.samples_max = static_cast<size_t>(args.GetInt("samples_max"));
+  config.gene_universe =
+      static_cast<GeneId>(args.GetInt("gene_universe"));
+  config.weight_distribution = args.Get("dist") == "Gau"
+                                   ? EdgeWeightDistribution::kGaussian
+                                   : EdgeWeightDistribution::kUniform;
+  config.seed = static_cast<uint64_t>(args.GetInt("seed"));
+  GeneDatabase database = GenerateSyntheticDatabase(config);
+  Status status = SaveGeneDatabase(database, args.Get("out"));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu matrices (%zu gene vectors) to %s\n",
+              database.size(), database.TotalGeneVectors(),
+              args.Get("out").c_str());
+  return 0;
+}
+
+int CmdBuildIndex(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"db", ""}, {"out", ""}, {"pivots", "2"}, {"seed", "7"}});
+  if (!args.Has("db") || !args.Has("out")) {
+    std::fprintf(stderr, "build-index requires --db=FILE --out=FILE\n");
+    return 2;
+  }
+  Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
+  if (!database.ok()) return Fail(database.status());
+
+  EngineOptions options;
+  options.index.num_pivots = static_cast<size_t>(args.GetInt("pivots"));
+  options.index.seed = static_cast<uint64_t>(args.GetInt("seed"));
+  ImGrnEngine engine(options);
+  engine.LoadDatabase(std::move(*database));
+  Status status = engine.BuildIndex();
+  if (!status.ok()) return Fail(status);
+  status = engine.SaveIndexTo(args.Get("out"));
+  if (!status.ok()) return Fail(status);
+  std::printf("indexed %zu matrices in %.3f s (R*-tree: %zu points, "
+              "height %d); index written to %s\n",
+              engine.database().size(), engine.index().build_seconds(),
+              engine.index().rtree().size(),
+              engine.index().rtree().height(), args.Get("out").c_str());
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"db", ""},
+             {"index", ""},
+             {"query", ""},
+             {"gamma", "0.5"},
+             {"alpha", "0.5"},
+             {"top_k", "0"},
+             {"seed", "99"}});
+  if (!args.Has("db") || !args.Has("query")) {
+    std::fprintf(stderr, "query requires --db=FILE --query=FILE\n");
+    return 2;
+  }
+  Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
+  if (!database.ok()) return Fail(database.status());
+  Result<GeneMatrix> query_matrix = LoadGeneMatrix(args.Get("query"));
+  if (!query_matrix.ok()) return Fail(query_matrix.status());
+
+  ImGrnEngine engine;
+  engine.LoadDatabase(std::move(*database));
+  if (args.Has("index")) {
+    Status status = engine.LoadIndexFrom(args.Get("index"));
+    if (!status.ok()) return Fail(status);
+  } else {
+    std::fprintf(stderr, "(no --index given; building in memory)\n");
+    Status status = engine.BuildIndex();
+    if (!status.ok()) return Fail(status);
+  }
+
+  QueryParams params;
+  params.gamma = args.GetDouble("gamma");
+  params.alpha = args.GetDouble("alpha");
+  params.top_k = static_cast<size_t>(args.GetInt("top_k"));
+  params.seed = static_cast<uint64_t>(args.GetInt("seed"));
+  QueryStats stats;
+  Result<std::vector<QueryMatch>> matches =
+      engine.Query(*query_matrix, params, &stats);
+  if (!matches.ok()) return Fail(matches.status());
+
+  std::printf("query: %zu genes, %zu inferred edges (gamma=%.2f)\n",
+              stats.query_vertices, stats.query_edges, params.gamma);
+  std::printf("stats: %.4f s CPU, %llu page accesses, %zu candidates, "
+              "%zu answers\n",
+              stats.total_seconds,
+              static_cast<unsigned long long>(stats.page_accesses),
+              stats.candidate_pairs, matches->size());
+  for (const QueryMatch& match : *matches) {
+    std::printf("match source=%u Pr=%.4f mapping:", match.source,
+                match.probability);
+    for (const auto& [gene, column] : match.mapping) {
+      std::printf(" g%u->c%u", gene, column);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdExtractQuery(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"db", ""},
+             {"out", ""},
+             {"genes", "5"},
+             {"gamma", "0.5"},
+             {"seed", "4242"}});
+  if (!args.Has("db") || !args.Has("out")) {
+    std::fprintf(stderr, "extract-query requires --db=FILE --out=FILE\n");
+    return 2;
+  }
+  Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
+  if (!database.ok()) return Fail(database.status());
+  QueryGenConfig config;
+  config.num_genes = static_cast<size_t>(args.GetInt("genes"));
+  config.gamma = args.GetDouble("gamma");
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed")));
+  Result<GeneMatrix> query = ExtractQueryMatrix(*database, config, &rng);
+  if (!query.ok()) return Fail(query.status());
+  Status status = SaveGeneMatrix(*query, args.Get("out"));
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu-gene query matrix to %s (genes:", query->num_genes(),
+              args.Get("out").c_str());
+  for (GeneId gene : query->gene_ids()) std::printf(" %u", gene);
+  std::printf(")\n");
+  return 0;
+}
+
+int CmdInfer(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"matrix", ""},
+             {"measure", "imgrn"},
+             {"gamma", "0.5"},
+             {"samples", "128"},
+             {"seed", "42"}});
+  if (!args.Has("matrix")) {
+    std::fprintf(stderr, "infer requires --matrix=FILE\n");
+    return 2;
+  }
+  Result<GeneMatrix> matrix = LoadGeneMatrix(args.Get("matrix"));
+  if (!matrix.ok()) return Fail(matrix.status());
+  const double gamma = args.GetDouble("gamma");
+
+  if (args.Get("measure") == "imgrn") {
+    GrnInferenceOptions options;
+    options.num_samples = static_cast<size_t>(args.GetInt("samples"));
+    options.seed = static_cast<uint64_t>(args.GetInt("seed"));
+    GrnInferenceStats stats;
+    const ProbGraph grn = InferGrn(*matrix, gamma, options, &stats);
+    std::printf("inferred GRN: %zu vertices, %zu edges (%zu of %zu pairs "
+                "pruned by Lemma 3)\n",
+                grn.num_vertices(), grn.num_edges(), stats.pairs_pruned,
+                stats.pairs_total);
+    for (const ProbEdge& edge : grn.edges()) {
+      std::printf("edge g%u g%u p=%.4f\n", grn.label(edge.u),
+                  grn.label(edge.v), edge.probability);
+    }
+    return 0;
+  }
+  InferenceMeasure measure;
+  if (args.Get("measure") == "correlation") {
+    measure = InferenceMeasure::kCorrelation;
+  } else if (args.Get("measure") == "pcorr") {
+    measure = InferenceMeasure::kPartialCorrelation;
+  } else if (args.Get("measure") == "mi") {
+    measure = InferenceMeasure::kMutualInformation;
+  } else {
+    std::fprintf(stderr, "unknown measure '%s'\n",
+                 args.Get("measure").c_str());
+    return 2;
+  }
+  Result<DenseMatrix> scores = ComputeScoreMatrix(*matrix, measure);
+  if (!scores.ok()) return Fail(scores.status());
+  size_t edges = 0;
+  for (size_t s = 0; s < matrix->num_genes(); ++s) {
+    for (size_t t = s + 1; t < matrix->num_genes(); ++t) {
+      if (scores->At(s, t) > gamma) {
+        std::printf("edge g%u g%u score=%.4f\n", matrix->gene_id(s),
+                    matrix->gene_id(t), scores->At(s, t));
+        ++edges;
+      }
+    }
+  }
+  std::printf("%zu edges above %.2f (%s)\n", edges, gamma,
+              InferenceMeasureName(measure));
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: imgrn <generate|build-index|extract-query|query|infer> "
+      "[--flags]\n(see the header comment of tools/imgrn_cli.cc)\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* command = argv[1];
+  if (std::strcmp(command, "generate") == 0) return CmdGenerate(argc, argv);
+  if (std::strcmp(command, "build-index") == 0) {
+    return CmdBuildIndex(argc, argv);
+  }
+  if (std::strcmp(command, "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(command, "extract-query") == 0) {
+    return CmdExtractQuery(argc, argv);
+  }
+  if (std::strcmp(command, "infer") == 0) return CmdInfer(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace imgrn
+
+int main(int argc, char** argv) {
+  return imgrn::cli::Main(argc, argv);
+}
