@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05a_roc_ecoli"
+  "../bench/fig05a_roc_ecoli.pdb"
+  "CMakeFiles/fig05a_roc_ecoli.dir/fig05a_roc_ecoli.cc.o"
+  "CMakeFiles/fig05a_roc_ecoli.dir/fig05a_roc_ecoli.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05a_roc_ecoli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05a_roc_ecoli.
+# This may be replaced when dependencies are built.

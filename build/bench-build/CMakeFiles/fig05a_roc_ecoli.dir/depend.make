@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05a_roc_ecoli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05b_inference_time"
+  "../bench/fig05b_inference_time.pdb"
+  "CMakeFiles/fig05b_inference_time.dir/fig05b_inference_time.cc.o"
+  "CMakeFiles/fig05b_inference_time.dir/fig05b_inference_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05b_inference_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_vs_baseline"
+  "../bench/fig06_vs_baseline.pdb"
+  "CMakeFiles/fig06_vs_baseline.dir/fig06_vs_baseline.cc.o"
+  "CMakeFiles/fig06_vs_baseline.dir/fig06_vs_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

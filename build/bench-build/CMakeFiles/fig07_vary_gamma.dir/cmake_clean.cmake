@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_vary_gamma"
+  "../bench/fig07_vary_gamma.pdb"
+  "CMakeFiles/fig07_vary_gamma.dir/fig07_vary_gamma.cc.o"
+  "CMakeFiles/fig07_vary_gamma.dir/fig07_vary_gamma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vary_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

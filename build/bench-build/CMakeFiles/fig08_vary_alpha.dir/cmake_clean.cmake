@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_vary_alpha"
+  "../bench/fig08_vary_alpha.pdb"
+  "CMakeFiles/fig08_vary_alpha.dir/fig08_vary_alpha.cc.o"
+  "CMakeFiles/fig08_vary_alpha.dir/fig08_vary_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vary_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_vary_pivots"
+  "../bench/fig09_vary_pivots.pdb"
+  "CMakeFiles/fig09_vary_pivots.dir/fig09_vary_pivots.cc.o"
+  "CMakeFiles/fig09_vary_pivots.dir/fig09_vary_pivots.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vary_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

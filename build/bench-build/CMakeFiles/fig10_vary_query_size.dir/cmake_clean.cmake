@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_vary_query_size"
+  "../bench/fig10_vary_query_size.pdb"
+  "CMakeFiles/fig10_vary_query_size.dir/fig10_vary_query_size.cc.o"
+  "CMakeFiles/fig10_vary_query_size.dir/fig10_vary_query_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_vary_database_size"
+  "../bench/fig12_vary_database_size.pdb"
+  "CMakeFiles/fig12_vary_database_size.dir/fig12_vary_database_size.cc.o"
+  "CMakeFiles/fig12_vary_database_size.dir/fig12_vary_database_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_vary_database_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_index_construction"
+  "../bench/fig13_index_construction.pdb"
+  "CMakeFiles/fig13_index_construction.dir/fig13_index_construction.cc.o"
+  "CMakeFiles/fig13_index_construction.dir/fig13_index_construction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_index_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

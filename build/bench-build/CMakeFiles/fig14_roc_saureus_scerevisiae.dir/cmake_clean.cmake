@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_roc_saureus_scerevisiae"
+  "../bench/fig14_roc_saureus_scerevisiae.pdb"
+  "CMakeFiles/fig14_roc_saureus_scerevisiae.dir/fig14_roc_saureus_scerevisiae.cc.o"
+  "CMakeFiles/fig14_roc_saureus_scerevisiae.dir/fig14_roc_saureus_scerevisiae.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_roc_saureus_scerevisiae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_roc_pcorr"
+  "../bench/fig15_roc_pcorr.pdb"
+  "CMakeFiles/fig15_roc_pcorr.dir/fig15_roc_pcorr.cc.o"
+  "CMakeFiles/fig15_roc_pcorr.dir/fig15_roc_pcorr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_roc_pcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/imgrn_bench_common.dir/bench_common.cc.o.d"
+  "libimgrn_bench_common.a"
+  "libimgrn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

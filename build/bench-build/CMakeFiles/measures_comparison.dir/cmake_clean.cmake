@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/measures_comparison"
+  "../bench/measures_comparison.pdb"
+  "CMakeFiles/measures_comparison.dir/measures_comparison.cc.o"
+  "CMakeFiles/measures_comparison.dir/measures_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measures_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

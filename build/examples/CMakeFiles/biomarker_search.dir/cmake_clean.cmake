@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biomarker_search.dir/biomarker_search.cc.o"
+  "CMakeFiles/biomarker_search.dir/biomarker_search.cc.o.d"
+  "biomarker_search"
+  "biomarker_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biomarker_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

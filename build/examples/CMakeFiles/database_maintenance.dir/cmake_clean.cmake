@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_maintenance.dir/database_maintenance.cc.o"
+  "CMakeFiles/database_maintenance.dir/database_maintenance.cc.o.d"
+  "database_maintenance"
+  "database_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

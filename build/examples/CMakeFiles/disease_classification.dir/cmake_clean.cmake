@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disease_classification.dir/disease_classification.cc.o"
+  "CMakeFiles/disease_classification.dir/disease_classification.cc.o.d"
+  "disease_classification"
+  "disease_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disease_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

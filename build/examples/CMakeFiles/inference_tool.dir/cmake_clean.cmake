@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_tool.dir/inference_tool.cc.o"
+  "CMakeFiles/inference_tool.dir/inference_tool.cc.o.d"
+  "inference_tool"
+  "inference_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_common.dir/bitvector.cc.o"
+  "CMakeFiles/imgrn_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/imgrn_common.dir/logging.cc.o"
+  "CMakeFiles/imgrn_common.dir/logging.cc.o.d"
+  "CMakeFiles/imgrn_common.dir/random.cc.o"
+  "CMakeFiles/imgrn_common.dir/random.cc.o.d"
+  "CMakeFiles/imgrn_common.dir/status.cc.o"
+  "CMakeFiles/imgrn_common.dir/status.cc.o.d"
+  "CMakeFiles/imgrn_common.dir/stopwatch.cc.o"
+  "CMakeFiles/imgrn_common.dir/stopwatch.cc.o.d"
+  "libimgrn_common.a"
+  "libimgrn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_core.dir/engine.cc.o"
+  "CMakeFiles/imgrn_core.dir/engine.cc.o.d"
+  "libimgrn_core.a"
+  "libimgrn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dream5_like.cc" "src/datagen/CMakeFiles/imgrn_datagen.dir/dream5_like.cc.o" "gcc" "src/datagen/CMakeFiles/imgrn_datagen.dir/dream5_like.cc.o.d"
+  "/root/repo/src/datagen/query_gen.cc" "src/datagen/CMakeFiles/imgrn_datagen.dir/query_gen.cc.o" "gcc" "src/datagen/CMakeFiles/imgrn_datagen.dir/query_gen.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/imgrn_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/imgrn_datagen.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/imgrn_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/imgrn_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/imgrn_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/imgrn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

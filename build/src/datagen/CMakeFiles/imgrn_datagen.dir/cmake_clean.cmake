@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_datagen.dir/dream5_like.cc.o"
+  "CMakeFiles/imgrn_datagen.dir/dream5_like.cc.o.d"
+  "CMakeFiles/imgrn_datagen.dir/query_gen.cc.o"
+  "CMakeFiles/imgrn_datagen.dir/query_gen.cc.o.d"
+  "CMakeFiles/imgrn_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/imgrn_datagen.dir/synthetic.cc.o.d"
+  "libimgrn_datagen.a"
+  "libimgrn_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_embed.dir/pivot_embedding.cc.o"
+  "CMakeFiles/imgrn_embed.dir/pivot_embedding.cc.o.d"
+  "CMakeFiles/imgrn_embed.dir/pivot_selection.cc.o"
+  "CMakeFiles/imgrn_embed.dir/pivot_selection.cc.o.d"
+  "libimgrn_embed.a"
+  "libimgrn_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/appearance.cc" "src/graph/CMakeFiles/imgrn_graph.dir/appearance.cc.o" "gcc" "src/graph/CMakeFiles/imgrn_graph.dir/appearance.cc.o.d"
+  "/root/repo/src/graph/possible_worlds.cc" "src/graph/CMakeFiles/imgrn_graph.dir/possible_worlds.cc.o" "gcc" "src/graph/CMakeFiles/imgrn_graph.dir/possible_worlds.cc.o.d"
+  "/root/repo/src/graph/prob_graph.cc" "src/graph/CMakeFiles/imgrn_graph.dir/prob_graph.cc.o" "gcc" "src/graph/CMakeFiles/imgrn_graph.dir/prob_graph.cc.o.d"
+  "/root/repo/src/graph/subgraph_iso.cc" "src/graph/CMakeFiles/imgrn_graph.dir/subgraph_iso.cc.o" "gcc" "src/graph/CMakeFiles/imgrn_graph.dir/subgraph_iso.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/imgrn_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

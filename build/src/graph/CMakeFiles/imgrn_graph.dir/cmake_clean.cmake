@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_graph.dir/appearance.cc.o"
+  "CMakeFiles/imgrn_graph.dir/appearance.cc.o.d"
+  "CMakeFiles/imgrn_graph.dir/possible_worlds.cc.o"
+  "CMakeFiles/imgrn_graph.dir/possible_worlds.cc.o.d"
+  "CMakeFiles/imgrn_graph.dir/prob_graph.cc.o"
+  "CMakeFiles/imgrn_graph.dir/prob_graph.cc.o.d"
+  "CMakeFiles/imgrn_graph.dir/subgraph_iso.cc.o"
+  "CMakeFiles/imgrn_graph.dir/subgraph_iso.cc.o.d"
+  "libimgrn_graph.a"
+  "libimgrn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

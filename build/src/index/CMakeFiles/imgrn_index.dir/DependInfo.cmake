@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/byte_signature.cc" "src/index/CMakeFiles/imgrn_index.dir/byte_signature.cc.o" "gcc" "src/index/CMakeFiles/imgrn_index.dir/byte_signature.cc.o.d"
+  "/root/repo/src/index/imgrn_index.cc" "src/index/CMakeFiles/imgrn_index.dir/imgrn_index.cc.o" "gcc" "src/index/CMakeFiles/imgrn_index.dir/imgrn_index.cc.o.d"
+  "/root/repo/src/index/index_io.cc" "src/index/CMakeFiles/imgrn_index.dir/index_io.cc.o" "gcc" "src/index/CMakeFiles/imgrn_index.dir/index_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/imgrn_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/imgrn_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/imgrn_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/imgrn_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/imgrn_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imgrn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/imgrn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

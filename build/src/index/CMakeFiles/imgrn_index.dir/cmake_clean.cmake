@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_index.dir/byte_signature.cc.o"
+  "CMakeFiles/imgrn_index.dir/byte_signature.cc.o.d"
+  "CMakeFiles/imgrn_index.dir/imgrn_index.cc.o"
+  "CMakeFiles/imgrn_index.dir/imgrn_index.cc.o.d"
+  "CMakeFiles/imgrn_index.dir/index_io.cc.o"
+  "CMakeFiles/imgrn_index.dir/index_io.cc.o.d"
+  "libimgrn_index.a"
+  "libimgrn_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/grn_inference.cc" "src/inference/CMakeFiles/imgrn_inference.dir/grn_inference.cc.o" "gcc" "src/inference/CMakeFiles/imgrn_inference.dir/grn_inference.cc.o.d"
+  "/root/repo/src/inference/measures.cc" "src/inference/CMakeFiles/imgrn_inference.dir/measures.cc.o" "gcc" "src/inference/CMakeFiles/imgrn_inference.dir/measures.cc.o.d"
+  "/root/repo/src/inference/mutual_information.cc" "src/inference/CMakeFiles/imgrn_inference.dir/mutual_information.cc.o" "gcc" "src/inference/CMakeFiles/imgrn_inference.dir/mutual_information.cc.o.d"
+  "/root/repo/src/inference/permutation_cache.cc" "src/inference/CMakeFiles/imgrn_inference.dir/permutation_cache.cc.o" "gcc" "src/inference/CMakeFiles/imgrn_inference.dir/permutation_cache.cc.o.d"
+  "/root/repo/src/inference/roc.cc" "src/inference/CMakeFiles/imgrn_inference.dir/roc.cc.o" "gcc" "src/inference/CMakeFiles/imgrn_inference.dir/roc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/imgrn_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/imgrn_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/imgrn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

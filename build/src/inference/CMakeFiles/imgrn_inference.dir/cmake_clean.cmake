@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_inference.dir/grn_inference.cc.o"
+  "CMakeFiles/imgrn_inference.dir/grn_inference.cc.o.d"
+  "CMakeFiles/imgrn_inference.dir/measures.cc.o"
+  "CMakeFiles/imgrn_inference.dir/measures.cc.o.d"
+  "CMakeFiles/imgrn_inference.dir/mutual_information.cc.o"
+  "CMakeFiles/imgrn_inference.dir/mutual_information.cc.o.d"
+  "CMakeFiles/imgrn_inference.dir/permutation_cache.cc.o"
+  "CMakeFiles/imgrn_inference.dir/permutation_cache.cc.o.d"
+  "CMakeFiles/imgrn_inference.dir/roc.cc.o"
+  "CMakeFiles/imgrn_inference.dir/roc.cc.o.d"
+  "libimgrn_inference.a"
+  "libimgrn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/dense_matrix.cc" "src/matrix/CMakeFiles/imgrn_matrix.dir/dense_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/imgrn_matrix.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/matrix/gene_matrix.cc" "src/matrix/CMakeFiles/imgrn_matrix.dir/gene_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/imgrn_matrix.dir/gene_matrix.cc.o.d"
+  "/root/repo/src/matrix/linalg.cc" "src/matrix/CMakeFiles/imgrn_matrix.dir/linalg.cc.o" "gcc" "src/matrix/CMakeFiles/imgrn_matrix.dir/linalg.cc.o.d"
+  "/root/repo/src/matrix/matrix_io.cc" "src/matrix/CMakeFiles/imgrn_matrix.dir/matrix_io.cc.o" "gcc" "src/matrix/CMakeFiles/imgrn_matrix.dir/matrix_io.cc.o.d"
+  "/root/repo/src/matrix/vector_ops.cc" "src/matrix/CMakeFiles/imgrn_matrix.dir/vector_ops.cc.o" "gcc" "src/matrix/CMakeFiles/imgrn_matrix.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

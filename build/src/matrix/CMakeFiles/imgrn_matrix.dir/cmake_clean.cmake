@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_matrix.dir/dense_matrix.cc.o"
+  "CMakeFiles/imgrn_matrix.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/imgrn_matrix.dir/gene_matrix.cc.o"
+  "CMakeFiles/imgrn_matrix.dir/gene_matrix.cc.o.d"
+  "CMakeFiles/imgrn_matrix.dir/linalg.cc.o"
+  "CMakeFiles/imgrn_matrix.dir/linalg.cc.o.d"
+  "CMakeFiles/imgrn_matrix.dir/matrix_io.cc.o"
+  "CMakeFiles/imgrn_matrix.dir/matrix_io.cc.o.d"
+  "CMakeFiles/imgrn_matrix.dir/vector_ops.cc.o"
+  "CMakeFiles/imgrn_matrix.dir/vector_ops.cc.o.d"
+  "libimgrn_matrix.a"
+  "libimgrn_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimgrn_matrix.a"
+)

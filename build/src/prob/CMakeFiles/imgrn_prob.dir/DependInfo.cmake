@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/edge_probability.cc" "src/prob/CMakeFiles/imgrn_prob.dir/edge_probability.cc.o" "gcc" "src/prob/CMakeFiles/imgrn_prob.dir/edge_probability.cc.o.d"
+  "/root/repo/src/prob/markov_bound.cc" "src/prob/CMakeFiles/imgrn_prob.dir/markov_bound.cc.o" "gcc" "src/prob/CMakeFiles/imgrn_prob.dir/markov_bound.cc.o.d"
+  "/root/repo/src/prob/sample_size.cc" "src/prob/CMakeFiles/imgrn_prob.dir/sample_size.cc.o" "gcc" "src/prob/CMakeFiles/imgrn_prob.dir/sample_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/imgrn_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

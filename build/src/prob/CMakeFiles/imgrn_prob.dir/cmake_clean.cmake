@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_prob.dir/edge_probability.cc.o"
+  "CMakeFiles/imgrn_prob.dir/edge_probability.cc.o.d"
+  "CMakeFiles/imgrn_prob.dir/markov_bound.cc.o"
+  "CMakeFiles/imgrn_prob.dir/markov_bound.cc.o.d"
+  "CMakeFiles/imgrn_prob.dir/sample_size.cc.o"
+  "CMakeFiles/imgrn_prob.dir/sample_size.cc.o.d"
+  "libimgrn_prob.a"
+  "libimgrn_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/baseline.cc" "src/query/CMakeFiles/imgrn_query.dir/baseline.cc.o" "gcc" "src/query/CMakeFiles/imgrn_query.dir/baseline.cc.o.d"
+  "/root/repo/src/query/imgrn_processor.cc" "src/query/CMakeFiles/imgrn_query.dir/imgrn_processor.cc.o" "gcc" "src/query/CMakeFiles/imgrn_query.dir/imgrn_processor.cc.o.d"
+  "/root/repo/src/query/linear_scan.cc" "src/query/CMakeFiles/imgrn_query.dir/linear_scan.cc.o" "gcc" "src/query/CMakeFiles/imgrn_query.dir/linear_scan.cc.o.d"
+  "/root/repo/src/query/query_types.cc" "src/query/CMakeFiles/imgrn_query.dir/query_types.cc.o" "gcc" "src/query/CMakeFiles/imgrn_query.dir/query_types.cc.o.d"
+  "/root/repo/src/query/refinement.cc" "src/query/CMakeFiles/imgrn_query.dir/refinement.cc.o" "gcc" "src/query/CMakeFiles/imgrn_query.dir/refinement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/imgrn_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/imgrn_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/imgrn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/imgrn_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/imgrn_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/imgrn_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/imgrn_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imgrn_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

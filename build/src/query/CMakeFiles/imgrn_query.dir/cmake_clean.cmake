@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_query.dir/baseline.cc.o"
+  "CMakeFiles/imgrn_query.dir/baseline.cc.o.d"
+  "CMakeFiles/imgrn_query.dir/imgrn_processor.cc.o"
+  "CMakeFiles/imgrn_query.dir/imgrn_processor.cc.o.d"
+  "CMakeFiles/imgrn_query.dir/linear_scan.cc.o"
+  "CMakeFiles/imgrn_query.dir/linear_scan.cc.o.d"
+  "CMakeFiles/imgrn_query.dir/query_types.cc.o"
+  "CMakeFiles/imgrn_query.dir/query_types.cc.o.d"
+  "CMakeFiles/imgrn_query.dir/refinement.cc.o"
+  "CMakeFiles/imgrn_query.dir/refinement.cc.o.d"
+  "libimgrn_query.a"
+  "libimgrn_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtree/mbr.cc" "src/rtree/CMakeFiles/imgrn_rtree.dir/mbr.cc.o" "gcc" "src/rtree/CMakeFiles/imgrn_rtree.dir/mbr.cc.o.d"
+  "/root/repo/src/rtree/rtree.cc" "src/rtree/CMakeFiles/imgrn_rtree.dir/rtree.cc.o" "gcc" "src/rtree/CMakeFiles/imgrn_rtree.dir/rtree.cc.o.d"
+  "/root/repo/src/rtree/rtree_node.cc" "src/rtree/CMakeFiles/imgrn_rtree.dir/rtree_node.cc.o" "gcc" "src/rtree/CMakeFiles/imgrn_rtree.dir/rtree_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imgrn_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_rtree.dir/mbr.cc.o"
+  "CMakeFiles/imgrn_rtree.dir/mbr.cc.o.d"
+  "CMakeFiles/imgrn_rtree.dir/rtree.cc.o"
+  "CMakeFiles/imgrn_rtree.dir/rtree.cc.o.d"
+  "CMakeFiles/imgrn_rtree.dir/rtree_node.cc.o"
+  "CMakeFiles/imgrn_rtree.dir/rtree_node.cc.o.d"
+  "libimgrn_rtree.a"
+  "libimgrn_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/imgrn_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/imgrn_storage.dir/page.cc.o"
+  "CMakeFiles/imgrn_storage.dir/page.cc.o.d"
+  "CMakeFiles/imgrn_storage.dir/paged_file.cc.o"
+  "CMakeFiles/imgrn_storage.dir/paged_file.cc.o.d"
+  "libimgrn_storage.a"
+  "libimgrn_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appearance_test.dir/appearance_test.cc.o"
+  "CMakeFiles/appearance_test.dir/appearance_test.cc.o.d"
+  "appearance_test"
+  "appearance_test.pdb"
+  "appearance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appearance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_signature_test.dir/byte_signature_test.cc.o"
+  "CMakeFiles/byte_signature_test.dir/byte_signature_test.cc.o.d"
+  "byte_signature_test"
+  "byte_signature_test.pdb"
+  "byte_signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

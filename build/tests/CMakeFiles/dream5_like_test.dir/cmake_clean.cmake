@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dream5_like_test.dir/dream5_like_test.cc.o"
+  "CMakeFiles/dream5_like_test.dir/dream5_like_test.cc.o.d"
+  "dream5_like_test"
+  "dream5_like_test.pdb"
+  "dream5_like_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dream5_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

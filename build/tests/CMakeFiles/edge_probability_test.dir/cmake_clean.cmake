@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_probability_test.dir/edge_probability_test.cc.o"
+  "CMakeFiles/edge_probability_test.dir/edge_probability_test.cc.o.d"
+  "edge_probability_test"
+  "edge_probability_test.pdb"
+  "edge_probability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_probability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_matrix_test.dir/gene_matrix_test.cc.o"
+  "CMakeFiles/gene_matrix_test.dir/gene_matrix_test.cc.o.d"
+  "gene_matrix_test"
+  "gene_matrix_test.pdb"
+  "gene_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

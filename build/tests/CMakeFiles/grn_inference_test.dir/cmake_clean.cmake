@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grn_inference_test.dir/grn_inference_test.cc.o"
+  "CMakeFiles/grn_inference_test.dir/grn_inference_test.cc.o.d"
+  "grn_inference_test"
+  "grn_inference_test.pdb"
+  "grn_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grn_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imgrn_index_test.cc" "tests/CMakeFiles/imgrn_index_test.dir/imgrn_index_test.cc.o" "gcc" "tests/CMakeFiles/imgrn_index_test.dir/imgrn_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/imgrn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/imgrn_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/imgrn_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtree/CMakeFiles/imgrn_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/imgrn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/imgrn_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/imgrn_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/imgrn_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/imgrn_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/imgrn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/imgrn_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/imgrn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

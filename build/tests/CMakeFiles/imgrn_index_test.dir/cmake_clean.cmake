@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_index_test.dir/imgrn_index_test.cc.o"
+  "CMakeFiles/imgrn_index_test.dir/imgrn_index_test.cc.o.d"
+  "imgrn_index_test"
+  "imgrn_index_test.pdb"
+  "imgrn_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_processor_test.dir/imgrn_processor_test.cc.o"
+  "CMakeFiles/imgrn_processor_test.dir/imgrn_processor_test.cc.o.d"
+  "imgrn_processor_test"
+  "imgrn_processor_test.pdb"
+  "imgrn_processor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

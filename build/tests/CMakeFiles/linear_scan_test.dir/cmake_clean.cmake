@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_scan_test.dir/linear_scan_test.cc.o"
+  "CMakeFiles/linear_scan_test.dir/linear_scan_test.cc.o.d"
+  "linear_scan_test"
+  "linear_scan_test.pdb"
+  "linear_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

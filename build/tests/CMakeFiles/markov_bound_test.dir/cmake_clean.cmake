@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_bound_test.dir/markov_bound_test.cc.o"
+  "CMakeFiles/markov_bound_test.dir/markov_bound_test.cc.o.d"
+  "markov_bound_test"
+  "markov_bound_test.pdb"
+  "markov_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_information_test.dir/mutual_information_test.cc.o"
+  "CMakeFiles/mutual_information_test.dir/mutual_information_test.cc.o.d"
+  "mutual_information_test"
+  "mutual_information_test.pdb"
+  "mutual_information_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_information_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permutation_cache_test.dir/permutation_cache_test.cc.o"
+  "CMakeFiles/permutation_cache_test.dir/permutation_cache_test.cc.o.d"
+  "permutation_cache_test"
+  "permutation_cache_test.pdb"
+  "permutation_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permutation_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

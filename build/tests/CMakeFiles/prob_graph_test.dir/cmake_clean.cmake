@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_graph_test.dir/prob_graph_test.cc.o"
+  "CMakeFiles/prob_graph_test.dir/prob_graph_test.cc.o.d"
+  "prob_graph_test"
+  "prob_graph_test.pdb"
+  "prob_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_size_test.dir/sample_size_test.cc.o"
+  "CMakeFiles/sample_size_test.dir/sample_size_test.cc.o.d"
+  "sample_size_test"
+  "sample_size_test.pdb"
+  "sample_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

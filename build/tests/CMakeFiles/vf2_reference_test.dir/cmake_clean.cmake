@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vf2_reference_test.dir/vf2_reference_test.cc.o"
+  "CMakeFiles/vf2_reference_test.dir/vf2_reference_test.cc.o.d"
+  "vf2_reference_test"
+  "vf2_reference_test.pdb"
+  "vf2_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vf2_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imgrn_cli.dir/imgrn_cli.cc.o"
+  "CMakeFiles/imgrn_cli.dir/imgrn_cli.cc.o.d"
+  "imgrn"
+  "imgrn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imgrn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
