@@ -1,0 +1,155 @@
+// Serving throughput of the QueryService: queries/sec and tail latency at
+// 1, 2, 4, 8 worker threads over one shared engine, on the synthetic
+// default workload. Emits one JSON line per thread count so the serving
+// trajectory can be tracked across PRs, e.g.:
+//
+//   {"bench":"service_throughput","threads":4,"queries":96,
+//    "qps":812.4,"p50_ms":3.1,"p95_ms":7.9,"speedup_vs_1":3.2}
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "datagen/query_gen.h"
+#include "service/query_service.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+std::vector<size_t> ParseThreadList(const std::string& spec) {
+  std::vector<size_t> threads;
+  size_t value = 0;
+  bool have_digit = false;
+  for (char c : spec) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<size_t>(c - '0');
+      have_digit = true;
+    } else {
+      if (have_digit && value > 0) threads.push_back(value);
+      value = 0;
+      have_digit = false;
+    }
+  }
+  if (have_digit && value > 0) threads.push_back(value);
+  return threads;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"n_matrices", "200 | database size N"},
+               {"num_queries", "24 | distinct query matrices extracted"},
+               {"rounds", "4 | times the query set is replayed per setting"},
+               {"threads", "1,2,4,8 | comma-separated worker counts"},
+               {"gamma", "0.5 | inference threshold"},
+               {"alpha", "0.5 | appearance threshold"},
+               {"num_samples", "1024 | Monte Carlo permutations per query"},
+               {"seed", "2017 | master seed"}});
+
+  BenchDefaults defaults;
+  defaults.num_matrices = static_cast<size_t>(flags.GetInt("n_matrices"));
+  defaults.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetInt("num_queries"));
+  const size_t rounds = static_cast<size_t>(flags.GetInt("rounds"));
+  const std::vector<size_t> thread_counts =
+      ParseThreadList(flags.GetString("threads"));
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "no valid worker counts in --threads=%s\n",
+                 flags.GetString("threads").c_str());
+    return 1;
+  }
+
+  QueryParams params;
+  params.gamma = flags.GetDouble("gamma");
+  params.alpha = flags.GetDouble("alpha");
+  // CPU cost per request is dominated by the Monte Carlo permutations; a
+  // serving bench wants realistic (non-trivial) per-query work.
+  params.query_num_samples =
+      static_cast<size_t>(flags.GetInt("num_samples"));
+  params.refine_num_samples = params.query_num_samples;
+  params.seed = defaults.seed;
+
+  PrintHeader("service_throughput",
+              "QueryService queries/sec vs worker threads (shared engine, "
+              "full query pipeline per request)",
+              "N=" + std::to_string(defaults.num_matrices) +
+                  " queries=" + std::to_string(num_queries) +
+                  " rounds=" + std::to_string(rounds));
+
+  GeneDatabase database = BuildSyntheticDatabase("Uni", defaults);
+  ImGrnEngine engine;
+  engine.LoadDatabase(std::move(database));
+  const Status built = engine.BuildIndex();
+  if (!built.ok()) {
+    std::fprintf(stderr, "BuildIndex failed: %s\n",
+                 built.ToString().c_str());
+    return 1;
+  }
+
+  // The query workload: extracted query *matrices* (the full serving path
+  // including ad-hoc inference, the part a real client pays per request).
+  Rng rng(defaults.seed ^ 0xD1CEu);
+  QueryGenConfig query_config;
+  query_config.num_genes = defaults.query_genes;
+  query_config.gamma = params.gamma;
+  std::vector<GeneMatrix> queries;
+  while (queries.size() < num_queries) {
+    Result<GeneMatrix> query =
+        ExtractQueryMatrix(engine.database(), query_config, &rng);
+    if (!query.ok()) break;  // Extremely rare; run with what we have.
+    queries.push_back(std::move(*query));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "no query matrices could be extracted\n");
+    return 1;
+  }
+
+  double qps_at_1 = 0.0;
+  for (size_t num_threads : thread_counts) {
+    ImGrnEngine* engine_ptr = &engine;
+    QueryServiceOptions options;
+    options.num_threads = num_threads;
+    options.max_queue_depth = queries.size() * rounds + 1;
+    QueryService service(engine_ptr, options);
+
+    // One warmup pass (buffer pool, first-touch) outside the clock.
+    (void)service.QueryBatch(queries, params);
+
+    Stopwatch timer;
+    std::vector<QueryService::PendingQuery> pending;
+    pending.reserve(queries.size() * rounds);
+    for (size_t round = 0; round < rounds; ++round) {
+      for (const GeneMatrix& query : queries) {
+        pending.push_back(service.SubmitQuery(query, params));
+      }
+    }
+    size_t failed = 0;
+    for (QueryService::PendingQuery& request : pending) {
+      if (!request.result.get().ok()) ++failed;
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const size_t total = pending.size();
+    const double qps = seconds > 0 ? static_cast<double>(total) / seconds
+                                   : 0.0;
+    if (num_threads == 1) qps_at_1 = qps;
+
+    const ServiceMetricsSnapshot snapshot = service.MetricsSnapshot();
+    std::printf(
+        "{\"bench\":\"service_throughput\",\"threads\":%zu,"
+        "\"queries\":%zu,\"failed\":%zu,\"qps\":%.1f,"
+        "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"speedup_vs_1\":%.2f}\n",
+        num_threads, total, failed, qps, snapshot.latency_p50_ms,
+        snapshot.latency_p95_ms, qps_at_1 > 0 ? qps / qps_at_1 : 0.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) { return imgrn::bench::Main(argc, argv); }

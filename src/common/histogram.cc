@@ -1,0 +1,79 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace imgrn {
+
+size_t LatencyHistogram::BucketFor(double seconds) {
+  if (!(seconds > kMinValue)) return 0;
+  const double index = std::log(seconds / kMinValue) / std::log(kGrowth);
+  if (index >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+  return static_cast<size_t>(index);
+}
+
+double LatencyHistogram::BucketUpperBound(size_t bucket) {
+  return kMinValue * std::pow(kGrowth, static_cast<double>(bucket + 1));
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::SumSeconds() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  const uint64_t count = Count();
+  return count == 0 ? 0.0 : SumSeconds() / static_cast<double>(count);
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Snapshot the buckets; concurrent writers may add entries while we scan,
+  // so derive the total from the snapshot rather than count_.
+  std::array<uint64_t, kNumBuckets> snapshot;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += snapshot[i];
+    if (seen >= rank && snapshot[i] > 0) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+std::string LatencyHistogram::DebugString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "count=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms",
+                static_cast<unsigned long long>(Count()),
+                MeanSeconds() * 1e3, Percentile(0.50) * 1e3,
+                Percentile(0.95) * 1e3, Percentile(0.99) * 1e3);
+  return buffer;
+}
+
+}  // namespace imgrn

@@ -1,0 +1,71 @@
+#ifndef IMGRN_COMMON_HISTOGRAM_H_
+#define IMGRN_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace imgrn {
+
+/// A lock-free histogram over positive values with geometrically growing
+/// buckets, built for concurrent latency recording: Record() is a single
+/// relaxed atomic increment, safe from any number of threads; readers
+/// (Percentile, Count, DebugString) may run concurrently with writers and
+/// see some consistent recent prefix of the recordings.
+///
+/// Buckets cover [kMinValue * kGrowth^i, kMinValue * kGrowth^{i+1}); with
+/// kMinValue = 1 microsecond and kGrowth = 1.3 the 64 buckets span about
+/// 1 us .. 20 min of latency at <= 30% relative quantile error — plenty for
+/// serving metrics (this is not a statistics class; use exact samples for
+/// science).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+  static constexpr double kMinValue = 1e-6;  // Seconds.
+  static constexpr double kGrowth = 1.3;
+
+  LatencyHistogram() = default;
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one observation (in seconds). Values below kMinValue land in
+  /// the first bucket, values beyond the last bucket in the last.
+  void Record(double seconds);
+
+  /// Number of recorded observations.
+  uint64_t Count() const;
+
+  /// Sum of recorded observations, in seconds (from exact nanosecond
+  /// accumulation, not bucket midpoints).
+  double SumSeconds() const;
+
+  double MeanSeconds() const;
+
+  /// Quantile estimate in seconds, e.g. Percentile(0.95). Returns the upper
+  /// bound of the bucket holding the q-th observation (a conservative, i.e.
+  /// pessimistic, latency estimate). Returns 0 for an empty histogram.
+  /// `q` is clamped to [0, 1].
+  double Percentile(double q) const;
+
+  /// Resets every bucket. Not atomic with respect to concurrent writers;
+  /// call quiescent (tests / between bench rounds).
+  void Reset();
+
+  /// One line: "count=... mean=...ms p50=...ms p95=...ms p99=...ms".
+  std::string DebugString() const;
+
+ private:
+  static size_t BucketFor(double seconds);
+  static double BucketUpperBound(size_t bucket);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_COMMON_HISTOGRAM_H_

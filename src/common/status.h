@@ -16,6 +16,9 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -52,6 +55,15 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -71,20 +71,20 @@ const ImGrnIndex& ImGrnEngine::index() const {
 
 Result<std::vector<QueryMatch>> ImGrnEngine::Query(
     const GeneMatrix& query_matrix, const QueryParams& params,
-    QueryStats* stats) const {
+    QueryStats* stats, const QueryControl* control) const {
   if (processor_ == nullptr) {
     return Status::FailedPrecondition("BuildIndex() has not run");
   }
-  return processor_->Query(query_matrix, params, stats);
+  return processor_->Query(query_matrix, params, stats, control);
 }
 
 Result<std::vector<QueryMatch>> ImGrnEngine::QueryWithGraph(
     const ProbGraph& query_graph, const QueryParams& params,
-    QueryStats* stats) const {
+    QueryStats* stats, const QueryControl* control) const {
   if (processor_ == nullptr) {
     return Status::FailedPrecondition("BuildIndex() has not run");
   }
-  return processor_->QueryWithGraph(query_graph, params, stats);
+  return processor_->QueryWithGraph(query_graph, params, stats, control);
 }
 
 }  // namespace imgrn

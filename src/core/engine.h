@@ -31,6 +31,15 @@ struct EngineOptions {
 ///   IMGRN_CHECK_OK(engine.BuildIndex());
 ///   QueryParams params{.gamma = 0.5, .alpha = 0.5};
 ///   auto matches = engine.Query(query_matrix, params, &stats);
+///
+/// Concurrency contract (what service/query_service.h builds on): the const
+/// methods — Query, QueryWithGraph, database(), index(), SaveIndexTo — are
+/// safe to call from many threads at once on a built index; every piece of
+/// mutable state they reach is either per-call (PermutationCache, stats) or
+/// internally synchronized (the R*-tree buffer pool). The non-const methods
+/// (LoadDatabase, BuildIndex, AddMatrix, RemoveMatrix, LoadIndexFrom,
+/// mutable_database) require exclusive access: no other call may overlap
+/// them. QueryService enforces exactly this with a reader-writer lock.
 class ImGrnEngine {
  public:
   explicit ImGrnEngine(EngineOptions options = {});
@@ -71,15 +80,20 @@ class ImGrnEngine {
   const ImGrnIndex& index() const;
 
   /// Runs one IM-GRN query (Definition 4): infer Q from `query_matrix`,
-  /// retrieve matching matrices. `stats` may be null.
-  Result<std::vector<QueryMatch>> Query(const GeneMatrix& query_matrix,
-                                        const QueryParams& params,
-                                        QueryStats* stats = nullptr) const;
+  /// retrieve matching matrices. `stats` may be null. `control`, when
+  /// non-null, carries the request's deadline/cancellation flag (see
+  /// query/query_control.h); a stopped query returns DeadlineExceeded or
+  /// Cancelled.
+  Result<std::vector<QueryMatch>> Query(
+      const GeneMatrix& query_matrix, const QueryParams& params,
+      QueryStats* stats = nullptr, const QueryControl* control = nullptr)
+      const;
 
   /// Variant taking an already-inferred query GRN.
   Result<std::vector<QueryMatch>> QueryWithGraph(
       const ProbGraph& query_graph, const QueryParams& params,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, const QueryControl* control = nullptr)
+      const;
 
  private:
   EngineOptions options_;

@@ -18,6 +18,15 @@ namespace imgrn {
 /// materialization and full-GRN inference use this; the plain
 /// EdgeProbabilityEstimator (fresh permutations per pair) remains the
 /// reference implementation.
+///
+/// Thread compatibility: NOT thread-safe — ForLength() mutates the cache
+/// (and the internal Rng) on a miss, so a single instance must not be
+/// shared across threads without external synchronization. The query
+/// pipeline never shares one: ImGrnQueryProcessor, refinement, and
+/// InferGrn each construct a per-call cache seeded from the query params,
+/// which is also what makes concurrent queries bit-reproducible (see
+/// QueryService). ImGrnIndex's long-lived embed cache is only touched on
+/// the update path, which QueryService serializes behind its writer lock.
 class PermutationCache {
  public:
   /// `num_samples` permutations are generated per distinct length, seeded

@@ -59,12 +59,15 @@ ImGrnQueryProcessor::ImGrnQueryProcessor(const ImGrnIndex* index)
 
 Result<std::vector<QueryMatch>> ImGrnQueryProcessor::Query(
     const GeneMatrix& query_matrix, const QueryParams& params,
-    QueryStats* stats) const {
+    QueryStats* stats, const QueryControl* control) const {
   if (params.gamma < 0.0 || params.gamma >= 1.0) {
     return Status::InvalidArgument("gamma must be in [0, 1)");
   }
   if (params.alpha < 0.0 || params.alpha >= 1.0) {
     return Status::InvalidArgument("alpha must be in [0, 1)");
+  }
+  if (control != nullptr) {
+    IMGRN_RETURN_IF_ERROR(control->Check());
   }
   Stopwatch inference_timer;
   GrnInferenceOptions inference_options;
@@ -75,7 +78,7 @@ Result<std::vector<QueryMatch>> ImGrnQueryProcessor::Query(
   const double inference_seconds = inference_timer.ElapsedSeconds();
 
   Result<std::vector<QueryMatch>> result =
-      QueryWithGraph(query_graph, params, stats);
+      QueryWithGraph(query_graph, params, stats, control);
   if (stats != nullptr) {
     stats->inference_seconds = inference_seconds;
     stats->total_seconds += inference_seconds;
@@ -85,7 +88,7 @@ Result<std::vector<QueryMatch>> ImGrnQueryProcessor::Query(
 
 Result<std::vector<QueryMatch>> ImGrnQueryProcessor::QueryWithGraph(
     const ProbGraph& query_graph, const QueryParams& params,
-    QueryStats* stats) const {
+    QueryStats* stats, const QueryControl* control) const {
   if (params.gamma < 0.0 || params.gamma >= 1.0) {
     return Status::InvalidArgument("gamma must be in [0, 1)");
   }
@@ -94,6 +97,9 @@ Result<std::vector<QueryMatch>> ImGrnQueryProcessor::QueryWithGraph(
   }
   if (query_graph.num_vertices() == 0) {
     return Status::InvalidArgument("query graph has no vertices");
+  }
+  if (control != nullptr) {
+    IMGRN_RETURN_IF_ERROR(control->Check());
   }
   QueryStats local_stats;
   local_stats.query_vertices = query_graph.num_vertices();
@@ -115,7 +121,8 @@ Result<std::vector<QueryMatch>> ImGrnQueryProcessor::QueryWithGraph(
   // --- Traversal (Fig. 4 lines 2-27) ---
   Stopwatch traversal_timer;
   TraversalContext ctx;
-  TraverseIndex(query_graph, params, &ctx, &local_stats);
+  IMGRN_RETURN_IF_ERROR(
+      TraverseIndex(query_graph, params, control, &ctx, &local_stats));
   local_stats.traversal_seconds = traversal_timer.ElapsedSeconds();
   local_stats.candidate_pairs = ctx.candidates.size();
   local_stats.candidate_matrices = ctx.candidate_sources.size();
@@ -127,6 +134,9 @@ Result<std::vector<QueryMatch>> ImGrnQueryProcessor::QueryWithGraph(
                                 ctx.candidate_sources.end());
   std::sort(sources.begin(), sources.end());
   for (SourceId source : sources) {
+    if (control != nullptr) {
+      IMGRN_RETURN_IF_ERROR(control->Check());
+    }
     QueryMatch match;
     if (RefineMatrix(*index_, source, query_graph, params, &cache, &match,
                      &local_stats)) {
@@ -145,10 +155,11 @@ Result<std::vector<QueryMatch>> ImGrnQueryProcessor::QueryWithGraph(
   return matches;
 }
 
-void ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
-                                        const QueryParams& params,
-                                        TraversalContext* ctx,
-                                        QueryStats* stats) const {
+Status ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
+                                          const QueryParams& params,
+                                          const QueryControl* control,
+                                          TraversalContext* ctx,
+                                          QueryStats* stats) const {
   const RTree& rtree = index_->rtree();
   const ByteSignatureLayout layout = index_->signature_layout();
   const size_t sig_bytes = layout.num_bytes();
@@ -266,14 +277,14 @@ void ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
     }
   };
 
-  if (rtree.root_id() == kInvalidNodeId) return;
+  if (rtree.root_id() == kInvalidNodeId) return Status::Ok();
   std::priority_queue<QueueElement, std::vector<QueueElement>, QueueCompare>
       queue;
 
   const RTreeNode& root = rtree.node(rtree.root_id());
   if (root.IsLeaf()) {
     process_leaf_pair(root, root);
-    return;
+    return Status::Ok();
   }
   // Seed with surviving ordered pairs of root entries (lines 9-13).
   for (const RTreeEntry& ea : root.entries) {
@@ -285,8 +296,13 @@ void ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
     }
   }
 
-  // Main loop (lines 14-27).
+  // Main loop (lines 14-27). The control checkpoint sits here — once per
+  // popped node pair — so a deadline or cancel stops the traversal within
+  // one pair's worth of work.
   while (!queue.empty()) {
+    if (control != nullptr) {
+      IMGRN_RETURN_IF_ERROR(control->Check());
+    }
     const QueueElement element = queue.top();
     queue.pop();
     const RTreeNode& node_a = rtree.node(element.a);
@@ -304,6 +320,7 @@ void ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
       }
     }
   }
+  return Status::Ok();
 }
 
 std::vector<QueryMatch> ImGrnQueryProcessor::MatchEdgeless(

@@ -5,6 +5,7 @@
 
 #include "graph/prob_graph.h"
 #include "index/imgrn_index.h"
+#include "query/query_control.h"
 #include "query/query_types.h"
 
 namespace imgrn {
@@ -31,21 +32,30 @@ class ImGrnQueryProcessor {
 
   /// Full pipeline: infers Q from the query gene feature matrix, then
   /// matches. Returns InvalidArgument for out-of-range gamma/alpha.
-  Result<std::vector<QueryMatch>> Query(const GeneMatrix& query_matrix,
-                                        const QueryParams& params,
-                                        QueryStats* stats = nullptr) const;
+  ///
+  /// `control`, when non-null, is polled at the pipeline checkpoints
+  /// (before inference, per R*-tree pair pop, per refined matrix); an
+  /// expired deadline or a cancel request unwinds the query with
+  /// DeadlineExceeded / Cancelled instead of a result.
+  Result<std::vector<QueryMatch>> Query(
+      const GeneMatrix& query_matrix, const QueryParams& params,
+      QueryStats* stats = nullptr, const QueryControl* control = nullptr)
+      const;
 
   /// Matching against an already-inferred query graph (used by benches that
   /// reuse one Q across competitor methods, and by tests).
   Result<std::vector<QueryMatch>> QueryWithGraph(
       const ProbGraph& query_graph, const QueryParams& params,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, const QueryControl* control = nullptr)
+      const;
 
  private:
   struct TraversalContext;
 
-  void TraverseIndex(const ProbGraph& query, const QueryParams& params,
-                     TraversalContext* ctx, QueryStats* stats) const;
+  /// Returns non-OK when `control` stopped the traversal mid-way.
+  Status TraverseIndex(const ProbGraph& query, const QueryParams& params,
+                       const QueryControl* control, TraversalContext* ctx,
+                       QueryStats* stats) const;
 
   /// Edgeless queries match any matrix containing all query genes
   /// (Pr{G} = 1, the empty product of Eq. 3).

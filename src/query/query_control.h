@@ -1,0 +1,72 @@
+#ifndef IMGRN_QUERY_QUERY_CONTROL_H_
+#define IMGRN_QUERY_QUERY_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace imgrn {
+
+/// Per-request cooperative cancellation + deadline, in the spirit of
+/// std::stop_token: the owner (typically the QueryService) hands a pointer
+/// into the query pipeline, which polls Check() at its traversal and
+/// refinement checkpoints and unwinds with DeadlineExceeded / Cancelled.
+///
+/// Thread safety: RequestCancel may be called from any thread while a query
+/// runs; the deadline must be set before the query starts (it is plain data
+/// read concurrently afterwards). A QueryControl must outlive the query it
+/// governs.
+class QueryControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryControl() = default;
+
+  explicit QueryControl(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  /// Sets the absolute deadline. Call before the governed query starts.
+  void set_deadline(Clock::time_point deadline) {
+    has_deadline_ = true;
+    deadline_ = deadline;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// Asks the governed query to stop at its next checkpoint.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The pipeline checkpoint: Ok while the query may keep running,
+  /// Cancelled / DeadlineExceeded once it should unwind. Cancellation is
+  /// checked first so an explicit cancel wins over a racing deadline.
+  Status Check() const {
+    if (cancel_requested()) {
+      return Status::Cancelled("query cancelled by caller");
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_QUERY_QUERY_CONTROL_H_

@@ -106,7 +106,9 @@ class RTree {
   size_t dims() const { return options_.dims; }
   size_t payload_size() const { return options_.payload_size; }
 
-  const IoStats& io_stats() const { return pool_->stats(); }
+  /// Snapshot of the buffer-pool I/O counters (thread-safe; see
+  /// BufferPool's thread-safety contract for the concurrent-reader model).
+  IoStats io_stats() const { return pool_->stats(); }
   void ResetIoStats() { pool_->ResetStats(); }
 
   /// Drops the buffer pool contents (cold-cache queries).

@@ -1,0 +1,124 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace imgrn {
+
+QueryService::QueryService(ImGrnEngine* engine, QueryServiceOptions options)
+    : engine_(engine),
+      options_(options),
+      owned_pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      pool_(owned_pool_.get()) {
+  IMGRN_CHECK(engine != nullptr);
+  IMGRN_CHECK_GE(options_.max_queue_depth, 1u);
+}
+
+QueryService::QueryService(ImGrnEngine* engine, ThreadPool* pool,
+                           QueryServiceOptions options)
+    : engine_(engine), options_(options), pool_(pool) {
+  IMGRN_CHECK(engine != nullptr);
+  IMGRN_CHECK(pool != nullptr);
+  IMGRN_CHECK_GE(options_.max_queue_depth, 1u);
+}
+
+QueryService::~QueryService() {
+  // Admitted tasks capture `this`; they must all finish before the members
+  // go away. With an owned pool its destructor would drain too, but an
+  // external pool outlives us — so the service tracks its own in-flight
+  // count either way.
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] { return in_flight_.load() == 0; });
+}
+
+bool QueryService::TryAdmit() {
+  size_t current = in_flight_.load(std::memory_order_relaxed);
+  do {
+    if (current >= options_.max_queue_depth) return false;
+  } while (!in_flight_.compare_exchange_weak(current, current + 1,
+                                             std::memory_order_relaxed));
+  return true;
+}
+
+void QueryService::FinishOne() {
+  if (in_flight_.fetch_sub(1) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+QueryService::PendingQuery QueryService::SubmitWithControl(
+    GeneMatrix query_matrix, const QueryParams& params,
+    std::shared_ptr<QueryControl> control) {
+  metrics_.OnSubmitted();
+  if (!TryAdmit()) {
+    metrics_.OnRejected();
+    std::promise<QueryResult> rejected;
+    rejected.set_value(Status::ResourceExhausted(
+        "query service at capacity (max_queue_depth)"));
+    return PendingQuery{rejected.get_future(), nullptr};
+  }
+  std::future<QueryResult> future = pool_->Submit(
+      [this, matrix = std::move(query_matrix), params,
+       control]() -> QueryResult {
+        Stopwatch timer;
+        QueryResult result = [&]() -> QueryResult {
+          std::shared_lock<std::shared_mutex> lock(engine_mutex_);
+          return engine_->Query(matrix, params, nullptr, control.get());
+        }();
+        metrics_.OnFinished(result.status(), timer.ElapsedSeconds());
+        FinishOne();
+        return result;
+      });
+  return PendingQuery{std::move(future), std::move(control)};
+}
+
+QueryService::PendingQuery QueryService::SubmitQuery(
+    GeneMatrix query_matrix, const QueryParams& params) {
+  if (options_.default_deadline.count() > 0) {
+    return SubmitQuery(std::move(query_matrix), params,
+                       options_.default_deadline);
+  }
+  return SubmitWithControl(std::move(query_matrix), params,
+                           std::make_shared<QueryControl>());  // No deadline.
+}
+
+QueryService::PendingQuery QueryService::SubmitQuery(
+    GeneMatrix query_matrix, const QueryParams& params,
+    std::chrono::nanoseconds deadline) {
+  return SubmitWithControl(
+      std::move(query_matrix), params,
+      std::make_shared<QueryControl>(QueryControl::Clock::now() + deadline));
+}
+
+std::vector<QueryService::QueryResult> QueryService::QueryBatch(
+    const std::vector<GeneMatrix>& queries, const QueryParams& params) {
+  IMGRN_CHECK(!pool_->InWorkerThread())
+      << "QueryBatch gathers futures; calling it from a pool worker can "
+         "deadlock";
+  std::vector<PendingQuery> pending;
+  pending.reserve(queries.size());
+  for (const GeneMatrix& query : queries) {
+    pending.push_back(SubmitQuery(query, params));
+  }
+  std::vector<QueryResult> results;
+  results.reserve(pending.size());
+  for (PendingQuery& request : pending) {
+    results.push_back(request.result.get());
+  }
+  return results;
+}
+
+Status QueryService::AddMatrix(GeneMatrix matrix) {
+  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  return engine_->AddMatrix(std::move(matrix));
+}
+
+Status QueryService::RemoveMatrix(SourceId source) {
+  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
+  return engine_->RemoveMatrix(source);
+}
+
+}  // namespace imgrn

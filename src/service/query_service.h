@@ -1,0 +1,160 @@
+#ifndef IMGRN_SERVICE_QUERY_SERVICE_H_
+#define IMGRN_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/metrics.h"
+#include "service/thread_pool.h"
+
+namespace imgrn {
+
+/// Knobs of a QueryService.
+struct QueryServiceOptions {
+  /// Worker threads of the owned pool. 0 = hardware concurrency. Ignored
+  /// when an external ThreadPool is supplied.
+  size_t num_threads = 0;
+
+  /// Admission control: the maximum number of queries admitted but not yet
+  /// finished (queued + running). SubmitQuery beyond this fails fast with
+  /// ResourceExhausted instead of building an unbounded backlog.
+  size_t max_queue_depth = 256;
+
+  /// Deadline applied to SubmitQuery calls that do not pass their own.
+  /// Zero = no deadline.
+  std::chrono::nanoseconds default_deadline{0};
+};
+
+/// The serving layer of Section 8's "real prototype system": wraps one
+/// shared ImGrnEngine behind a reader-writer lock so that
+///
+///   - any number of Query calls run concurrently (shared lock — the
+///     engine's const query path is thread-compatible, see engine.h), and
+///   - AddMatrix / RemoveMatrix take exclusive write access, so a query
+///     always sees a consistent index snapshot (never a half-applied
+///     update);
+///
+/// and schedules query execution on a work-stealing ThreadPool with
+/// per-request deadlines/cancellation, admission control, and service
+/// metrics.
+///
+/// Typical use:
+///
+///   QueryService service(&engine, {.num_threads = 8});
+///   auto pending = service.SubmitQuery(mq, params, 50ms);
+///   ... // pending.control->RequestCancel() to abort early
+///   Result<std::vector<QueryMatch>> r = pending.result.get();
+///   LOG(INFO) << service.MetricsSnapshot().DebugString();
+///
+/// Notes:
+///   - The engine must outlive the service, and while the service exists
+///     all engine mutations must go through the service (a bare
+///     engine.AddMatrix would bypass the write lock).
+///   - Per-query I/O attribution (QueryStats::page_accesses) is
+///     approximate under concurrency: the buffer-pool counters are global,
+///     so concurrent queries see each other's fetches in their deltas.
+///   - Gathering (QueryBatch, future::get) must happen on a non-worker
+///     thread; gathering from inside a pool task can deadlock the pool.
+class QueryService {
+ public:
+  using QueryResult = Result<std::vector<QueryMatch>>;
+
+  /// One in-flight request: the future of its result plus the control
+  /// handle for cancellation (null when the request was rejected at
+  /// admission, in which case the future is already ready).
+  struct PendingQuery {
+    std::future<QueryResult> result;
+    std::shared_ptr<QueryControl> control;
+  };
+
+  /// Creates a service with its own thread pool.
+  explicit QueryService(ImGrnEngine* engine, QueryServiceOptions options = {});
+
+  /// Shares an external pool (several services over one pool, or tests that
+  /// need to occupy workers deliberately). `pool` must outlive the service.
+  QueryService(ImGrnEngine* engine, ThreadPool* pool,
+               QueryServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Blocks until every admitted query has finished.
+  ~QueryService();
+
+  /// Schedules one IM-GRN query (full pipeline: inference + matching)
+  /// under the options' default deadline. Returns immediately; the result
+  /// arrives through the future. A full service yields a ready future
+  /// holding ResourceExhausted.
+  PendingQuery SubmitQuery(GeneMatrix query_matrix, const QueryParams& params);
+
+  /// Same with an explicit deadline relative to now. A zero (or negative)
+  /// deadline admits the query but expires it at its first checkpoint, so
+  /// it completes with DeadlineExceeded — the conventional probe for "is
+  /// the service at capacity".
+  PendingQuery SubmitQuery(GeneMatrix query_matrix, const QueryParams& params,
+                           std::chrono::nanoseconds deadline);
+
+  /// Fans the query matrices out across the pool and gathers the results
+  /// in input order (per-entry statuses; one rejected or expired query
+  /// does not disturb its neighbors). Uses the default deadline.
+  std::vector<QueryResult> QueryBatch(const std::vector<GeneMatrix>& queries,
+                                      const QueryParams& params);
+
+  /// Engine updates, serialized against all running queries (exclusive
+  /// lock): callers block until in-flight shared sections drain, then the
+  /// update applies atomically with respect to queries.
+  Status AddMatrix(GeneMatrix matrix);
+  Status RemoveMatrix(SourceId source);
+
+  /// Current admission-control occupancy (admitted, not yet finished).
+  size_t queue_depth() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+  ServiceMetricsSnapshot MetricsSnapshot() const {
+    return metrics_.Snapshot(queue_depth());
+  }
+
+  const QueryServiceOptions& options() const { return options_; }
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  /// Shared tail of the SubmitQuery overloads: admission, scheduling, the
+  /// locked engine call, metrics.
+  PendingQuery SubmitWithControl(GeneMatrix query_matrix,
+                                 const QueryParams& params,
+                                 std::shared_ptr<QueryControl> control);
+
+  /// Reserves one admission slot; false when the service is full.
+  bool TryAdmit();
+
+  /// Releases the slot taken by TryAdmit and wakes a draining destructor.
+  void FinishOne();
+
+  ImGrnEngine* engine_;
+  QueryServiceOptions options_;
+
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;  // Owned or external.
+
+  /// Readers = queries, writers = AddMatrix/RemoveMatrix.
+  std::shared_mutex engine_mutex_;
+
+  std::atomic<size_t> in_flight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  ServiceMetrics metrics_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,115 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+namespace {
+
+/// Identifies the pool (and worker slot) owning the current thread, so
+/// Submit can route a task spawned by a task to the spawner's own deque.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Drain: wait until every task (and every task it spawned) finished.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    cv_.wait(lock, [this] { return pending_.load() == 0; });
+    stop_.store(true);
+    cv_.notify_all();
+  }
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+bool ThreadPool::InWorkerThread() const { return t_worker.pool == this; }
+
+void ThreadPool::Enqueue(UniqueFunction task) {
+  IMGRN_CHECK(!stop_.load()) << "Submit on a stopping ThreadPool";
+  const size_t target =
+      t_worker.pool == this
+          ? t_worker.index
+          : next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1);
+  queued_.fetch_add(1);
+  // Notify under sleep_mutex_: a worker between its failed pop and its
+  // cv_.wait holds the mutex, so the notification cannot slip into that
+  // window and be lost.
+  std::lock_guard<std::mutex> lock(sleep_mutex_);
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  UniqueFunction task;
+  {
+    // Own deque first, LIFO.
+    Worker& mine = *workers_[self];
+    std::lock_guard<std::mutex> lock(mine.mutex);
+    if (!mine.tasks.empty()) {
+      task = std::move(mine.tasks.back());
+      mine.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal FIFO, scanning siblings from the next slot.
+    for (size_t i = 1; i < workers_.size() && !task; ++i) {
+      Worker& victim = *workers_[(self + i) % workers_.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  queued_.fetch_sub(1);
+  task();
+  if (pending_.fetch_sub(1) == 1) {
+    // Last pending task: wake a draining destructor.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  t_worker = WorkerIdentity{this, index};
+  while (true) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    cv_.wait(lock,
+             [this] { return stop_.load() || queued_.load() > 0; });
+    if (stop_.load() && queued_.load() == 0) break;
+  }
+  t_worker = WorkerIdentity{};
+}
+
+}  // namespace imgrn

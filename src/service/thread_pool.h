@@ -1,0 +1,124 @@
+#ifndef IMGRN_SERVICE_THREAD_POOL_H_
+#define IMGRN_SERVICE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace imgrn {
+
+/// Move-only type-erased callable. Queued tasks hold std::packaged_task
+/// (move-only), which std::function cannot store before C++23's
+/// std::move_only_function; this is the minimal stand-in.
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction>>>
+  UniqueFunction(F&& fn)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(fn))) {}
+
+  UniqueFunction(UniqueFunction&&) = default;
+  UniqueFunction& operator=(UniqueFunction&&) = default;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  void operator()() { impl_->Call(); }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void Call() = 0;
+  };
+  template <typename F>
+  struct Impl : Base {
+    explicit Impl(F fn) : fn(std::move(fn)) {}
+    void Call() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+/// A fixed-size work-stealing thread pool with a Submit -> std::future
+/// interface.
+///
+/// Each worker owns a deque of tasks: it pops its own work LIFO (newest
+/// first, cache-warm) and, when empty, steals FIFO from a sibling (oldest
+/// first, minimizing contention with the victim). Submit from outside the
+/// pool distributes round-robin; Submit from inside a worker (a task
+/// spawning subtasks) pushes to that worker's own deque, so fan-out work
+/// stays local until someone idle steals it.
+///
+/// Exceptions thrown by a task are captured into its std::future (the
+/// std::packaged_task contract); they never escape a worker thread.
+///
+/// The destructor *drains*: it blocks until every submitted task — including
+/// tasks submitted by running tasks — has finished, then joins the workers.
+/// Submitting from a non-task thread while the destructor runs is undefined.
+class ThreadPool {
+ public:
+  /// `num_threads` 0 uses std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Schedules `fn` and returns the future of its result. Never blocks
+  /// (unbounded queues; admission control lives one layer up, in the
+  /// QueryService).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> future = task.get_future();
+    Enqueue(UniqueFunction(std::move(task)));
+    return future;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers. Useful to
+  /// assert against blocking patterns (e.g. gathering a batch from inside
+  /// a worker would deadlock a single-threaded pool).
+  bool InWorkerThread() const;
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<UniqueFunction> tasks;
+  };
+
+  void Enqueue(UniqueFunction task);
+  void WorkerLoop(size_t index);
+
+  /// Pops local work (LIFO) or steals (FIFO); runs at most one task.
+  bool RunOneTask(size_t self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<size_t> next_worker_{0};  // Round-robin cursor for Enqueue.
+  std::atomic<size_t> queued_{0};       // Tasks sitting in some deque.
+  std::atomic<size_t> pending_{0};      // Queued + currently running.
+  std::atomic<bool> stop_{false};
+
+  // Sleep/wake + drain coordination (see the .cc for the wakeup protocol).
+  std::mutex sleep_mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_SERVICE_THREAD_POOL_H_

@@ -11,6 +11,7 @@ BufferPool::BufferPool(PagedFile* file, size_t capacity)
 }
 
 Page* BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.fetches;
   auto it = resident_.find(id);
   if (it != resident_.end()) {
@@ -32,10 +33,27 @@ Page* BufferPool::FetchPage(PageId id) {
 }
 
 bool BufferPool::IsResident(PageId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return resident_.contains(id);
 }
 
+size_t BufferPool::num_resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+IoStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.Reset();
+}
+
 void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   resident_.clear();
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "storage/page.h"
@@ -25,6 +26,14 @@ struct IoStats {
 /// A fixed-capacity LRU buffer pool over a PagedFile. Every component that
 /// reads index pages does so through FetchPage so I/O is accounted in one
 /// place.
+///
+/// Thread safety: FetchPage, IsResident, stats and FlushAll are internally
+/// synchronized, so concurrent *readers* of the owning structure (e.g. many
+/// queries traversing one R*-tree through the QueryService) may fetch pages
+/// in parallel — the LRU bookkeeping is the only mutable state on that
+/// otherwise-const path. The backing PagedFile itself is NOT synchronized;
+/// callers must not Allocate() concurrently with fetches (the service layer
+/// enforces this with its reader-writer lock around index updates).
 class BufferPool {
  public:
   /// `capacity` is the number of resident pages. Must be >= 1.
@@ -43,10 +52,11 @@ class BufferPool {
   bool IsResident(PageId id) const;
 
   size_t capacity() const { return capacity_; }
-  size_t num_resident() const { return lru_.size(); }
+  size_t num_resident() const;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Consistent snapshot of the I/O counters.
+  IoStats stats() const;
+  void ResetStats();
 
   /// Drops every resident page (e.g. between queries, to model a cold
   /// cache). Does not change stats.
@@ -55,6 +65,9 @@ class BufferPool {
  private:
   PagedFile* file_;
   size_t capacity_;
+
+  // Guards stats_, lru_ and resident_ (see "Thread safety" above).
+  mutable std::mutex mutex_;
   IoStats stats_;
 
   // LRU list, most recent at front; map from page id to list iterator.

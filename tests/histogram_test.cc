@@ -1,0 +1,97 @@
+// The lock-free LatencyHistogram: counting, conservative quantiles, and
+// concurrent recording.
+
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace imgrn {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.SumSeconds(), 0.0);
+  EXPECT_EQ(histogram.MeanSeconds(), 0.0);
+  EXPECT_EQ(histogram.Percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountAndMean) {
+  LatencyHistogram histogram;
+  histogram.Record(0.010);
+  histogram.Record(0.020);
+  histogram.Record(0.030);
+  EXPECT_EQ(histogram.Count(), 3u);
+  EXPECT_NEAR(histogram.SumSeconds(), 0.060, 1e-6);
+  EXPECT_NEAR(histogram.MeanSeconds(), 0.020, 1e-6);
+}
+
+TEST(LatencyHistogramTest, PercentileIsConservativeUpperBound) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.Record(0.005);  // All 5ms.
+  // The estimate is the bucket's upper bound: >= the true value, and within
+  // one growth factor of it.
+  const double p50 = histogram.Percentile(0.50);
+  EXPECT_GE(p50, 0.005);
+  EXPECT_LE(p50, 0.005 * LatencyHistogram::kGrowth);
+  const double p99 = histogram.Percentile(0.99);
+  EXPECT_EQ(p50, p99);  // Single-valued distribution.
+}
+
+TEST(LatencyHistogramTest, PercentilesOrderedOnSpread) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 95; ++i) histogram.Record(0.001);
+  for (int i = 0; i < 5; ++i) histogram.Record(0.100);
+  const double p50 = histogram.Percentile(0.50);
+  const double p99 = histogram.Percentile(0.99);
+  EXPECT_LT(p50, 0.002);
+  EXPECT_GE(p99, 0.100);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(LatencyHistogramTest, ExtremesClampToEdgeBuckets) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0);      // Below the first bucket.
+  histogram.Record(-1.0);     // Negative clamps to zero.
+  histogram.Record(1e9);      // Far beyond the last bucket.
+  EXPECT_EQ(histogram.Count(), 3u);
+  EXPECT_GT(histogram.Percentile(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram histogram;
+  histogram.Record(0.010);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, DebugStringMentionsPercentiles) {
+  LatencyHistogram histogram;
+  histogram.Record(0.010);
+  const std::string debug = histogram.DebugString();
+  EXPECT_NE(debug.find("count=1"), std::string::npos);
+  EXPECT_NE(debug.find("p95="), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordingLosesNothing) {
+  LatencyHistogram histogram;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Record(0.002);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(histogram.Percentile(0.5), 0.002);
+}
+
+}  // namespace
+}  // namespace imgrn

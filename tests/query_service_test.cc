@@ -1,0 +1,306 @@
+// The QueryService serving layer: concurrent queries agree byte-for-byte
+// with serial engine.Query execution, queries interleave safely with
+// AddMatrix/RemoveMatrix (consistent snapshots, no crashes), deadlines and
+// cancellation unwind cleanly, and admission control bounds the queue.
+
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePlantedMatrix;
+
+// Database matrices all contain the planted cluster {1, 2, 3} (plus
+// per-source filler genes), so cluster queries match every active source —
+// which makes "which snapshot did this query see" directly observable.
+GeneMatrix ClusterMatrix(SourceId source, uint64_t seed, GeneId filler_base) {
+  Rng rng(seed);
+  return MakePlantedMatrix(source, 32, {{1, 2, 3}},
+                           {filler_base, filler_base + 1}, 0.97, &rng);
+}
+
+// A query matrix whose inferred GRN is the {1, 2, 3} clique/path cluster.
+GeneMatrix ClusterQueryMatrix(uint64_t seed) {
+  Rng rng(seed);
+  return MakePlantedMatrix(0, 32, {{1, 2, 3}}, {}, 0.97, &rng);
+}
+
+bool MatchesIdentical(const std::vector<QueryMatch>& a,
+                      const std::vector<QueryMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].source != b[i].source) return false;
+    // Byte-identical probabilities: the pipeline is deterministic in the
+    // params seed, so concurrent execution must not change a single bit.
+    if (a[i].probability != b[i].probability) return false;
+    if (a[i].mapping != b[i].mapping) return false;
+  }
+  return true;
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneDatabase database;
+    for (SourceId i = 0; i < 4; ++i) {
+      database.Add(ClusterMatrix(i, 100 + i, 50 + 10 * i));
+    }
+    engine_.LoadDatabase(std::move(database));
+    ASSERT_TRUE(engine_.BuildIndex().ok());
+    params_.gamma = 0.5;
+    params_.alpha = 0.3;
+  }
+
+  std::set<SourceId> Sources(const std::vector<QueryMatch>& matches) {
+    std::set<SourceId> sources;
+    for (const QueryMatch& match : matches) sources.insert(match.source);
+    return sources;
+  }
+
+  ImGrnEngine engine_;
+  QueryParams params_;
+};
+
+TEST_F(QueryServiceTest, ConcurrentQueriesMatchSerialByteForByte) {
+  // Eight distinct query matrices, serial ground truth first.
+  std::vector<GeneMatrix> queries;
+  std::vector<std::vector<QueryMatch>> serial;
+  for (uint64_t i = 0; i < 8; ++i) {
+    queries.push_back(ClusterQueryMatrix(7000 + i));
+    Result<std::vector<QueryMatch>> result =
+        engine_.Query(queries.back(), params_);
+    ASSERT_TRUE(result.ok());
+    serial.push_back(*result);
+    EXPECT_EQ(Sources(serial.back()), (std::set<SourceId>{0, 1, 2, 3}));
+  }
+
+  QueryService service(&engine_, {.num_threads = 4});
+  std::vector<QueryService::QueryResult> concurrent =
+      service.QueryBatch(queries, params_);
+  ASSERT_EQ(concurrent.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(concurrent[i].ok()) << concurrent[i].status().ToString();
+    EXPECT_TRUE(MatchesIdentical(*concurrent[i], serial[i])) << "query " << i;
+  }
+  EXPECT_EQ(service.MetricsSnapshot().served, 8u);
+}
+
+TEST_F(QueryServiceTest, ConcurrentAgreementAcrossAddAndRemove) {
+  // Byte-identical agreement with serial execution, re-established after an
+  // AddMatrix and after a RemoveMatrix go through the service.
+  std::vector<GeneMatrix> queries;
+  for (uint64_t i = 0; i < 4; ++i) {
+    queries.push_back(ClusterQueryMatrix(8000 + i));
+  }
+  QueryService service(&engine_, {.num_threads = 4});
+
+  auto check_agreement = [&](const std::set<SourceId>& expected_sources) {
+    std::vector<QueryService::QueryResult> concurrent =
+        service.QueryBatch(queries, params_);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Result<std::vector<QueryMatch>> expected =
+          engine_.Query(queries[i], params_);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(concurrent[i].ok()) << concurrent[i].status().ToString();
+      EXPECT_TRUE(MatchesIdentical(*concurrent[i], *expected));
+      EXPECT_EQ(Sources(*concurrent[i]), expected_sources);
+    }
+  };
+
+  check_agreement({0, 1, 2, 3});
+  ASSERT_TRUE(service.AddMatrix(ClusterMatrix(4, 204, 90)).ok());
+  check_agreement({0, 1, 2, 3, 4});
+  ASSERT_TRUE(service.RemoveMatrix(1).ok());
+  check_agreement({0, 2, 3, 4});
+}
+
+TEST_F(QueryServiceTest, QueriesInterleavedWithUpdatesSeeConsistentSnapshots) {
+  // Stream queries while the main thread applies adds and removes. Every
+  // matrix matches the cluster query, so a query's matched source set must
+  // equal one of the database states the updates step through — anything
+  // else would mean it observed a half-applied update.
+  const std::vector<std::set<SourceId>> valid_states = {
+      {0, 1, 2, 3},        // Initial.
+      {0, 1, 2, 3, 4},     // After AddMatrix(4).
+      {0, 2, 3, 4},        // After RemoveMatrix(1).
+      {0, 2, 3, 4, 5},     // After AddMatrix(5).
+      {0, 2, 4, 5},        // After RemoveMatrix(3).
+  };
+
+  QueryService service(&engine_, {.num_threads = 4, .max_queue_depth = 1024});
+  const GeneMatrix query = ClusterQueryMatrix(9001);
+
+  std::vector<QueryService::PendingQuery> pending;
+  auto submit_wave = [&](size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      pending.push_back(service.SubmitQuery(query, params_));
+    }
+  };
+
+  submit_wave(8);
+  ASSERT_TRUE(service.AddMatrix(ClusterMatrix(4, 204, 90)).ok());
+  submit_wave(8);
+  ASSERT_TRUE(service.RemoveMatrix(1).ok());
+  submit_wave(8);
+  ASSERT_TRUE(service.AddMatrix(ClusterMatrix(5, 205, 110)).ok());
+  submit_wave(8);
+  ASSERT_TRUE(service.RemoveMatrix(3).ok());
+  submit_wave(8);
+
+  for (QueryService::PendingQuery& request : pending) {
+    QueryService::QueryResult result = request.result.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const std::set<SourceId> sources = Sources(*result);
+    bool consistent = false;
+    for (const auto& state : valid_states) {
+      if (sources == state) {
+        consistent = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(consistent) << "query observed a torn snapshot of "
+                            << sources.size() << " sources";
+  }
+  EXPECT_EQ(service.MetricsSnapshot().served, 40u);
+  EXPECT_TRUE(engine_.index().rtree().Validate().ok());
+}
+
+TEST_F(QueryServiceTest, ZeroDeadlineReturnsDeadlineExceeded) {
+  QueryService service(&engine_, {.num_threads = 2});
+  QueryService::PendingQuery pending = service.SubmitQuery(
+      ClusterQueryMatrix(42), params_, std::chrono::nanoseconds(0));
+  QueryService::QueryResult result = pending.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.MetricsSnapshot().deadline_expired, 1u);
+  EXPECT_EQ(service.MetricsSnapshot().served, 0u);
+}
+
+TEST_F(QueryServiceTest, DefaultDeadlineFromOptionsApplies) {
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.default_deadline = std::chrono::nanoseconds(1);  // Expires at once.
+  QueryService service(&engine_, options);
+  QueryService::QueryResult result =
+      service.SubmitQuery(ClusterQueryMatrix(43), params_).result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(QueryServiceTest, FullQueueReturnsResourceExhausted) {
+  // One worker, occupied by a plug task; queue depth 1. The first query
+  // takes the only slot, the second must be turned away immediately.
+  ThreadPool pool(1);
+  QueryService service(&engine_, &pool,
+                       {.num_threads = 1, .max_queue_depth = 1});
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::future<void> plug = pool.Submit([released] { released.wait(); });
+
+  QueryService::PendingQuery first =
+      service.SubmitQuery(ClusterQueryMatrix(44), params_);
+  ASSERT_NE(first.control, nullptr);
+  EXPECT_EQ(service.queue_depth(), 1u);
+
+  QueryService::PendingQuery second =
+      service.SubmitQuery(ClusterQueryMatrix(45), params_);
+  EXPECT_EQ(second.control, nullptr);  // Rejected at admission.
+  QueryService::QueryResult rejected = second.result.get();  // Already ready.
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  release.set_value();
+  plug.get();
+  QueryService::QueryResult result = first.result.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sources(*result), (std::set<SourceId>{0, 1, 2, 3}));
+
+  const ServiceMetricsSnapshot snapshot = service.MetricsSnapshot();
+  EXPECT_EQ(snapshot.submitted, 2u);
+  EXPECT_EQ(snapshot.served, 1u);
+  EXPECT_EQ(snapshot.rejected, 1u);
+  EXPECT_EQ(snapshot.queue_depth, 0u);
+}
+
+TEST_F(QueryServiceTest, CancelBeforeStartReturnsCancelled) {
+  ThreadPool pool(1);
+  QueryService service(&engine_, &pool, {.max_queue_depth = 4});
+
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::future<void> plug = pool.Submit([released] { released.wait(); });
+
+  QueryService::PendingQuery pending =
+      service.SubmitQuery(ClusterQueryMatrix(46), params_);
+  ASSERT_NE(pending.control, nullptr);
+  pending.control->RequestCancel();  // While still queued behind the plug.
+  release.set_value();
+  plug.get();
+
+  QueryService::QueryResult result = pending.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service.MetricsSnapshot().cancelled, 1u);
+}
+
+TEST_F(QueryServiceTest, UpdateErrorsPropagateThroughService) {
+  QueryService service(&engine_, {.num_threads = 2});
+  // Wrong source id (must equal database().size()).
+  EXPECT_FALSE(service.AddMatrix(ClusterMatrix(9, 300, 120)).ok());
+  EXPECT_FALSE(service.RemoveMatrix(77).ok());
+  ASSERT_TRUE(service.RemoveMatrix(2).ok());
+  EXPECT_FALSE(service.RemoveMatrix(2).ok());  // Double remove.
+}
+
+TEST_F(QueryServiceTest, MetricsLatencyAndDebugString) {
+  QueryService service(&engine_, {.num_threads = 2});
+  std::vector<GeneMatrix> queries;
+  for (uint64_t i = 0; i < 6; ++i) {
+    queries.push_back(ClusterQueryMatrix(9100 + i));
+  }
+  for (const QueryService::QueryResult& result :
+       service.QueryBatch(queries, params_)) {
+    ASSERT_TRUE(result.ok());
+  }
+  const ServiceMetricsSnapshot snapshot = service.MetricsSnapshot();
+  EXPECT_EQ(snapshot.served, 6u);
+  EXPECT_GT(snapshot.latency_p50_ms, 0.0);
+  EXPECT_GE(snapshot.latency_p99_ms, snapshot.latency_p50_ms);
+  EXPECT_GT(snapshot.latency_mean_ms, 0.0);
+  const std::string debug = snapshot.DebugString();
+  EXPECT_NE(debug.find("served=6"), std::string::npos);
+  EXPECT_NE(debug.find("p95="), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, DestructorDrainsInFlightQueries) {
+  std::vector<QueryService::PendingQuery> pending;
+  {
+    QueryService service(&engine_, {.num_threads = 2});
+    for (uint64_t i = 0; i < 8; ++i) {
+      pending.push_back(
+          service.SubmitQuery(ClusterQueryMatrix(9200 + i), params_));
+    }
+    // Service destroyed with queries possibly still queued/running.
+  }
+  for (QueryService::PendingQuery& request : pending) {
+    QueryService::QueryResult result = request.result.get();
+    ASSERT_TRUE(result.ok());
+  }
+}
+
+}  // namespace
+}  // namespace imgrn

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Sanitizer gate for the concurrent service layer.
+#
+# Configures a dedicated build tree with -DIMGRN_SANITIZE=<kind> and runs
+# the designated concurrency workload (thread_pool_test and
+# query_service_test, plus the lock-free histogram) under it. ThreadSanitizer
+# is the default and the gate that matters for src/service; pass "address"
+# to run the same workload under AddressSanitizer instead.
+#
+# Usage: tools/ci_sanitize.sh [thread|address] [build-dir]
+set -eu
+
+KIND="${1:-thread}"
+case "$KIND" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address] [build-dir]" >&2; exit 2 ;;
+esac
+BUILD_DIR="${2:-build-${KIND}san}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DIMGRN_SANITIZE="$KIND"
+cmake --build "$BUILD_DIR" -j \
+  --target thread_pool_test query_service_test histogram_test
+
+# Any sanitizer report is a hard failure (TSan exits nonzero via
+# halt_on_error=0 + the exit code below; force it explicitly).
+if [ "$KIND" = thread ]; then
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+  export TSAN_OPTIONS
+else
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  export ASAN_OPTIONS
+fi
+
+for t in thread_pool_test query_service_test histogram_test; do
+  echo "== $KIND sanitizer: $t =="
+  "$BUILD_DIR/tests/$t"
+done
+echo "== $KIND sanitizer gate: PASS =="
