@@ -1,9 +1,12 @@
-// Serving throughput of the QueryService: queries/sec and tail latency at
-// 1, 2, 4, 8 worker threads over one shared engine, on the synthetic
-// default workload. Emits one JSON line per thread count so the serving
-// trajectory can be tracked across PRs, e.g.:
+// Serving throughput of the QueryService: queries/sec and tail latency
+// over worker-thread and shard-count axes, on the synthetic default
+// workload. --shards=1 serves one shared engine (a reader-writer lock and
+// one buffer pool); --shards=K hash-partitions the database across K
+// independent engines and fans each request out on the same pool. Emits
+// one JSON line per (threads, shards) setting so the serving trajectory
+// can be tracked across PRs, e.g.:
 //
-//   {"bench":"service_throughput","threads":4,"queries":96,
+//   {"bench":"service_throughput","threads":4,"shards":2,"queries":96,
 //    "qps":812.4,"p50_ms":3.1,"p95_ms":7.9,"speedup_vs_1":3.2}
 
 #include <cstdio>
@@ -14,13 +17,14 @@
 #include "common/stopwatch.h"
 #include "datagen/query_gen.h"
 #include "service/query_service.h"
+#include "service/sharded_engine.h"
 
 namespace imgrn {
 namespace bench {
 namespace {
 
-std::vector<size_t> ParseThreadList(const std::string& spec) {
-  std::vector<size_t> threads;
+std::vector<size_t> ParseCountList(const std::string& spec) {
+  std::vector<size_t> counts;
   size_t value = 0;
   bool have_digit = false;
   for (char c : spec) {
@@ -28,13 +32,13 @@ std::vector<size_t> ParseThreadList(const std::string& spec) {
       value = value * 10 + static_cast<size_t>(c - '0');
       have_digit = true;
     } else {
-      if (have_digit && value > 0) threads.push_back(value);
+      if (have_digit && value > 0) counts.push_back(value);
       value = 0;
       have_digit = false;
     }
   }
-  if (have_digit && value > 0) threads.push_back(value);
-  return threads;
+  if (have_digit && value > 0) counts.push_back(value);
+  return counts;
 }
 
 int Main(int argc, char** argv) {
@@ -43,6 +47,7 @@ int Main(int argc, char** argv) {
                {"num_queries", "24 | distinct query matrices extracted"},
                {"rounds", "4 | times the query set is replayed per setting"},
                {"threads", "1,2,4,8 | comma-separated worker counts"},
+               {"shards", "1 | comma-separated shard counts (1 = unsharded)"},
                {"gamma", "0.5 | inference threshold"},
                {"alpha", "0.5 | appearance threshold"},
                {"num_samples", "1024 | Monte Carlo permutations per query"},
@@ -55,10 +60,17 @@ int Main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("num_queries"));
   const size_t rounds = static_cast<size_t>(flags.GetInt("rounds"));
   const std::vector<size_t> thread_counts =
-      ParseThreadList(flags.GetString("threads"));
+      ParseCountList(flags.GetString("threads"));
   if (thread_counts.empty()) {
     std::fprintf(stderr, "no valid worker counts in --threads=%s\n",
                  flags.GetString("threads").c_str());
+    return 1;
+  }
+  const std::vector<size_t> shard_counts =
+      ParseCountList(flags.GetString("shards"));
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "no valid shard counts in --shards=%s\n",
+                 flags.GetString("shards").c_str());
     return 1;
   }
 
@@ -107,15 +119,11 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Replays the workload through one service and prints the JSON line.
   double qps_at_1 = 0.0;
-  for (size_t num_threads : thread_counts) {
-    ImGrnEngine* engine_ptr = &engine;
-    QueryServiceOptions options;
-    options.num_threads = num_threads;
-    options.max_queue_depth = queries.size() * rounds + 1;
-    QueryService service(engine_ptr, options);
-
-    // One warmup pass (buffer pool, first-touch) outside the clock.
+  auto run_setting = [&](QueryService& service, size_t num_threads,
+                         size_t num_shards) {
+    // One warmup pass (buffer pools, first-touch) outside the clock.
     (void)service.QueryBatch(queries, params);
 
     Stopwatch timer;
@@ -134,16 +142,48 @@ int Main(int argc, char** argv) {
     const size_t total = pending.size();
     const double qps = seconds > 0 ? static_cast<double>(total) / seconds
                                    : 0.0;
-    if (num_threads == 1) qps_at_1 = qps;
+    if (num_threads == 1 && num_shards == 1) qps_at_1 = qps;
 
     const ServiceMetricsSnapshot snapshot = service.MetricsSnapshot();
     std::printf(
-        "{\"bench\":\"service_throughput\",\"threads\":%zu,"
+        "{\"bench\":\"service_throughput\",\"threads\":%zu,\"shards\":%zu,"
         "\"queries\":%zu,\"failed\":%zu,\"qps\":%.1f,"
         "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"speedup_vs_1\":%.2f}\n",
-        num_threads, total, failed, qps, snapshot.latency_p50_ms,
+        num_threads, num_shards, total, failed, qps, snapshot.latency_p50_ms,
         snapshot.latency_p95_ms, qps_at_1 > 0 ? qps / qps_at_1 : 0.0);
     std::fflush(stdout);
+  };
+
+  QueryServiceOptions options;
+  options.max_queue_depth = queries.size() * rounds + 1;
+  for (size_t num_threads : thread_counts) {
+    for (size_t num_shards : shard_counts) {
+      options.num_threads = num_threads;
+      if (num_shards <= 1) {
+        // The unsharded baseline: one engine, one buffer pool, whole-index
+        // write lock.
+        QueryService service(&engine, options);
+        run_setting(service, num_threads, 1);
+        continue;
+      }
+      // One pool shared by the service (request parallelism) and the
+      // sharded engine (per-request fan-out). The sharded engine gets its
+      // own copy of the database; the generator is deterministic in the
+      // seed, so the data is identical.
+      ThreadPool pool(num_threads);
+      ShardedEngineOptions sharded_options;
+      sharded_options.num_shards = num_shards;
+      ShardedEngine sharded(sharded_options, &pool);
+      sharded.LoadDatabase(BuildSyntheticDatabase("Uni", defaults));
+      const Status sharded_built = sharded.BuildIndex();
+      if (!sharded_built.ok()) {
+        std::fprintf(stderr, "sharded BuildIndex failed: %s\n",
+                     sharded_built.ToString().c_str());
+        return 1;
+      }
+      QueryService service(&sharded, &pool, options);
+      run_setting(service, num_threads, num_shards);
+    }
   }
   return 0;
 }

@@ -1,0 +1,38 @@
+#include "core/query_engine.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+SingleEngine::SingleEngine(ImGrnEngine* engine) : engine_(engine) {
+  IMGRN_CHECK(engine != nullptr);
+}
+
+Result<std::vector<QueryMatch>> SingleEngine::Query(
+    const GeneMatrix& query_matrix, const QueryParams& params,
+    QueryStats* stats, const QueryControl* control) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return engine_->Query(query_matrix, params, stats, control);
+}
+
+Result<std::vector<QueryMatch>> SingleEngine::QueryWithGraph(
+    const ProbGraph& query_graph, const QueryParams& params,
+    QueryStats* stats, const QueryControl* control) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return engine_->QueryWithGraph(query_graph, params, stats, control);
+}
+
+Status SingleEngine::AddSource(GeneMatrix matrix) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return engine_->AddMatrix(std::move(matrix));
+}
+
+Status SingleEngine::RemoveSource(SourceId source) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return engine_->RemoveMatrix(source);
+}
+
+}  // namespace imgrn

@@ -8,7 +8,7 @@
 namespace imgrn {
 
 PermutationCache::PermutationCache(size_t num_samples, uint64_t seed)
-    : num_samples_(num_samples), rng_(seed) {
+    : num_samples_(num_samples), seed_(seed) {
   IMGRN_CHECK_GT(num_samples, 0u);
 }
 
@@ -16,9 +16,15 @@ const std::vector<std::vector<uint32_t>>& PermutationCache::ForLength(
     size_t l) {
   auto it = cache_.find(l);
   if (it != cache_.end()) return it->second;
+  // A fresh stream per length (seed mixed with l) keeps the permutations a
+  // function of (seed, num_samples, l) alone — the order lengths are first
+  // requested in must not matter, or per-matrix refinement results would
+  // depend on which other matrices share the query (breaking the sharded
+  // engine's bit-identity with a single engine).
+  Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(l) + 1)));
   std::vector<std::vector<uint32_t>> perms(num_samples_);
   for (auto& perm : perms) {
-    rng_.Permutation(l, &perm);
+    rng.Permutation(l, &perm);
   }
   return cache_.emplace(l, std::move(perms)).first->second;
 }

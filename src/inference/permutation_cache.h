@@ -20,17 +20,25 @@ namespace imgrn {
 /// reference implementation.
 ///
 /// Thread compatibility: NOT thread-safe — ForLength() mutates the cache
-/// (and the internal Rng) on a miss, so a single instance must not be
-/// shared across threads without external synchronization. The query
-/// pipeline never shares one: ImGrnQueryProcessor, refinement, and
-/// InferGrn each construct a per-call cache seeded from the query params,
-/// which is also what makes concurrent queries bit-reproducible (see
-/// QueryService). ImGrnIndex's long-lived embed cache is only touched on
-/// the update path, which QueryService serializes behind its writer lock.
+/// on a miss, so a single instance must not be shared across threads
+/// without external synchronization. The query pipeline never shares one:
+/// ImGrnQueryProcessor, refinement, and InferGrn each construct a per-call
+/// cache seeded from the query params, which is also what makes concurrent
+/// queries bit-reproducible (see QueryService). ImGrnIndex's long-lived
+/// embed cache is only touched on the update path, which QueryService
+/// serializes behind its writer lock.
+///
+/// Order invariance: the permutations of length l depend only on
+/// (seed, num_samples, l) — each length draws from its own seeded stream,
+/// never from a stream shared across lengths. So the permutations a matrix
+/// is refined with do not depend on which other matrices were refined
+/// first, which is what lets the sharded engine partition a database and
+/// still produce bit-identical results to a single engine (see
+/// service/sharded_engine.h).
 class PermutationCache {
  public:
   /// `num_samples` permutations are generated per distinct length, seeded
-  /// deterministically from `seed`.
+  /// deterministically from `seed` and the length.
   PermutationCache(size_t num_samples, uint64_t seed);
 
   size_t num_samples() const { return num_samples_; }
@@ -40,7 +48,7 @@ class PermutationCache {
 
  private:
   size_t num_samples_;
-  Rng rng_;
+  uint64_t seed_;
   std::unordered_map<size_t, std::vector<std::vector<uint32_t>>> cache_;
 };
 

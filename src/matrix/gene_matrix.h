@@ -36,6 +36,11 @@ class GeneMatrix {
 
   SourceId source_id() const { return source_id_; }
 
+  /// Reassigns the source id. The sharded engine uses this to remap global
+  /// source ids onto each shard's dense local id space (GeneDatabase::Add
+  /// requires ids to equal insertion positions).
+  void set_source_id(SourceId source_id) { source_id_ = source_id; }
+
   /// l_i: number of samples (rows).
   size_t num_samples() const { return num_samples_; }
 

@@ -8,6 +8,25 @@
 namespace imgrn {
 
 QueryService::QueryService(ImGrnEngine* engine, QueryServiceOptions options)
+    : owned_single_(std::make_unique<SingleEngine>(engine)),
+      engine_(owned_single_.get()),
+      options_(options),
+      owned_pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      pool_(owned_pool_.get()) {
+  IMGRN_CHECK_GE(options_.max_queue_depth, 1u);
+}
+
+QueryService::QueryService(ImGrnEngine* engine, ThreadPool* pool,
+                           QueryServiceOptions options)
+    : owned_single_(std::make_unique<SingleEngine>(engine)),
+      engine_(owned_single_.get()),
+      options_(options),
+      pool_(pool) {
+  IMGRN_CHECK(pool != nullptr);
+  IMGRN_CHECK_GE(options_.max_queue_depth, 1u);
+}
+
+QueryService::QueryService(QueryEngine* engine, QueryServiceOptions options)
     : engine_(engine),
       options_(options),
       owned_pool_(std::make_unique<ThreadPool>(options.num_threads)),
@@ -16,7 +35,7 @@ QueryService::QueryService(ImGrnEngine* engine, QueryServiceOptions options)
   IMGRN_CHECK_GE(options_.max_queue_depth, 1u);
 }
 
-QueryService::QueryService(ImGrnEngine* engine, ThreadPool* pool,
+QueryService::QueryService(QueryEngine* engine, ThreadPool* pool,
                            QueryServiceOptions options)
     : engine_(engine), options_(options), pool_(pool) {
   IMGRN_CHECK(engine != nullptr);
@@ -64,10 +83,8 @@ QueryService::PendingQuery QueryService::SubmitWithControl(
       [this, matrix = std::move(query_matrix), params,
        control]() -> QueryResult {
         Stopwatch timer;
-        QueryResult result = [&]() -> QueryResult {
-          std::shared_lock<std::shared_mutex> lock(engine_mutex_);
-          return engine_->Query(matrix, params, nullptr, control.get());
-        }();
+        QueryResult result =
+            engine_->Query(matrix, params, nullptr, control.get());
         metrics_.OnFinished(result.status(), timer.ElapsedSeconds());
         FinishOne();
         return result;
@@ -112,13 +129,11 @@ std::vector<QueryService::QueryResult> QueryService::QueryBatch(
 }
 
 Status QueryService::AddMatrix(GeneMatrix matrix) {
-  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
-  return engine_->AddMatrix(std::move(matrix));
+  return engine_->AddSource(std::move(matrix));
 }
 
 Status QueryService::RemoveMatrix(SourceId source) {
-  std::unique_lock<std::shared_mutex> lock(engine_mutex_);
-  return engine_->RemoveMatrix(source);
+  return engine_->RemoveSource(source);
 }
 
 }  // namespace imgrn

@@ -7,10 +7,10 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "core/engine.h"
+#include "core/query_engine.h"
 #include "service/metrics.h"
 #include "service/thread_pool.h"
 
@@ -32,18 +32,20 @@ struct QueryServiceOptions {
   std::chrono::nanoseconds default_deadline{0};
 };
 
-/// The serving layer of Section 8's "real prototype system": wraps one
-/// shared ImGrnEngine behind a reader-writer lock so that
-///
-///   - any number of Query calls run concurrently (shared lock — the
-///     engine's const query path is thread-compatible, see engine.h), and
-///   - AddMatrix / RemoveMatrix take exclusive write access, so a query
-///     always sees a consistent index snapshot (never a half-applied
-///     update);
-///
-/// and schedules query execution on a work-stealing ThreadPool with
+/// The serving layer of Section 8's "real prototype system": schedules
+/// query execution over a QueryEngine on a work-stealing ThreadPool, with
 /// per-request deadlines/cancellation, admission control, and service
 /// metrics.
+///
+/// The engine can be either
+///   - one ImGrnEngine (wrapped in a SingleEngine adapter: a reader-writer
+///     lock lets any number of queries run concurrently while AddMatrix /
+///     RemoveMatrix take exclusive access — every query sees a consistent
+///     index snapshot), or
+///   - a ShardedEngine (service/sharded_engine.h): the database is
+///     hash-partitioned across K independent engines, each query fans out
+///     one sub-query per shard on this service's pool, and an update
+///     write-locks only its own shard.
 ///
 /// Typical use:
 ///
@@ -55,13 +57,17 @@ struct QueryServiceOptions {
 ///
 /// Notes:
 ///   - The engine must outlive the service, and while the service exists
-///     all engine mutations must go through the service (a bare
-///     engine.AddMatrix would bypass the write lock).
+///     all engine mutations must go through the service (or the
+///     QueryEngine interface — a bare ImGrnEngine::AddMatrix would bypass
+///     the adapter's write lock).
 ///   - Per-query I/O attribution (QueryStats::page_accesses) is
-///     approximate under concurrency: the buffer-pool counters are global,
-///     so concurrent queries see each other's fetches in their deltas.
+///     approximate under concurrency: the buffer-pool counters are global
+///     per index, so concurrent queries see each other's fetches in their
+///     deltas.
 ///   - Gathering (QueryBatch, future::get) must happen on a non-worker
 ///     thread; gathering from inside a pool task can deadlock the pool.
+///     (The sharded engine's internal fan-out/gather is exempt: it gathers
+///     with ThreadPool::WaitReady, which helps run queued tasks.)
 class QueryService {
  public:
   using QueryResult = Result<std::vector<QueryMatch>>;
@@ -74,12 +80,22 @@ class QueryService {
     std::shared_ptr<QueryControl> control;
   };
 
-  /// Creates a service with its own thread pool.
+  /// Creates a service with its own thread pool over one ImGrnEngine
+  /// (wrapped in an owned SingleEngine adapter).
   explicit QueryService(ImGrnEngine* engine, QueryServiceOptions options = {});
 
   /// Shares an external pool (several services over one pool, or tests that
   /// need to occupy workers deliberately). `pool` must outlive the service.
   QueryService(ImGrnEngine* engine, ThreadPool* pool,
+               QueryServiceOptions options = {});
+
+  /// Serves any QueryEngine (e.g. a ShardedEngine) with an owned pool.
+  explicit QueryService(QueryEngine* engine, QueryServiceOptions options = {});
+
+  /// Serves any QueryEngine on an external pool. For a ShardedEngine this
+  /// is the usual shape: one pool shared by the service (request
+  /// parallelism) and the engine (per-request shard fan-out).
+  QueryService(QueryEngine* engine, ThreadPool* pool,
                QueryServiceOptions options = {});
 
   QueryService(const QueryService&) = delete;
@@ -107,9 +123,10 @@ class QueryService {
   std::vector<QueryResult> QueryBatch(const std::vector<GeneMatrix>& queries,
                                       const QueryParams& params);
 
-  /// Engine updates, serialized against all running queries (exclusive
-  /// lock): callers block until in-flight shared sections drain, then the
-  /// update applies atomically with respect to queries.
+  /// Engine updates. Over a SingleEngine these serialize against ALL
+  /// running queries (exclusive lock: callers block until in-flight shared
+  /// sections drain, then the update applies atomically with respect to
+  /// queries); over a ShardedEngine only the owning shard is locked.
   Status AddMatrix(GeneMatrix matrix);
   Status RemoveMatrix(SourceId source);
 
@@ -128,7 +145,8 @@ class QueryService {
 
  private:
   /// Shared tail of the SubmitQuery overloads: admission, scheduling, the
-  /// locked engine call, metrics.
+  /// engine call, metrics. Query-vs-update synchronization lives inside
+  /// the QueryEngine implementation (the QueryEngine contract).
   PendingQuery SubmitWithControl(GeneMatrix query_matrix,
                                  const QueryParams& params,
                                  std::shared_ptr<QueryControl> control);
@@ -139,14 +157,14 @@ class QueryService {
   /// Releases the slot taken by TryAdmit and wakes a draining destructor.
   void FinishOne();
 
-  ImGrnEngine* engine_;
+  /// Set by the ImGrnEngine convenience ctors: the adapter that wraps the
+  /// bare engine in the query/update reader-writer lock.
+  std::unique_ptr<SingleEngine> owned_single_;
+  QueryEngine* engine_;
   QueryServiceOptions options_;
 
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;  // Owned or external.
-
-  /// Readers = queries, writers = AddMatrix/RemoveMatrix.
-  std::shared_mutex engine_mutex_;
 
   std::atomic<size_t> in_flight_{0};
   std::mutex drain_mutex_;

@@ -1,0 +1,356 @@
+#include "service/sharded_engine.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "inference/grn_inference.h"
+
+namespace imgrn {
+
+namespace {
+
+Status ValidateParams(const QueryParams& params) {
+  if (params.gamma < 0.0 || params.gamma >= 1.0) {
+    return Status::InvalidArgument("gamma must be in [0, 1)");
+  }
+  if (params.alpha < 0.0 || params.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ShardedEngineStatsSnapshot::DebugString() const {
+  std::string out;
+  for (const ShardStats& shard : shards) {
+    out += "shard" + std::to_string(shard.shard) +
+           ": sources=" + std::to_string(shard.sources) +
+           " sub_queries=" + std::to_string(shard.sub_queries) +
+           " errors=" + std::to_string(shard.sub_query_errors) +
+           " in_flight=" + std::to_string(shard.in_flight) + "\n";
+  }
+  return out;
+}
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options, ThreadPool* pool)
+    : options_(std::move(options)), pool_(pool) {
+  IMGRN_CHECK_GE(options_.num_shards, 1u);
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.engine));
+  }
+}
+
+void ShardedEngine::LoadDatabase(GeneDatabase database) {
+  const size_t num_shards = options_.num_shards;
+  shards_.clear();
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.engine));
+  }
+  std::vector<GeneDatabase> parts(num_shards);
+  const size_t total = database.size();
+  for (SourceId global = 0; global < total; ++global) {
+    const size_t s = ShardOf(global);
+    GeneMatrix matrix = std::move(database.mutable_matrix(global));
+    matrix.set_source_id(static_cast<SourceId>(parts[s].size()));
+    parts[s].Add(std::move(matrix));
+    shards_[s]->local_to_global.push_back(global);
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_[s]->active_sources.store(shards_[s]->local_to_global.size(),
+                                     std::memory_order_relaxed);
+    if (parts[s].empty()) continue;
+    shards_[s]->engine.LoadDatabase(std::move(parts[s]));
+  }
+  next_source_ = total;
+  built_ = false;
+}
+
+Status ShardedEngine::BuildIndex() {
+  if (next_source_ == 0) {
+    return Status::FailedPrecondition("no database loaded");
+  }
+  // Build every populated shard's index; the builds are independent, so
+  // fan them out when a pool is available.
+  std::vector<Status> statuses(shards_.size(), Status::Ok());
+  std::vector<std::future<void>> futures;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (shard.local_to_global.empty()) continue;
+    auto build = [&shard, &status = statuses[s]] {
+      status = shard.engine.BuildIndex();
+      shard.built = status.ok();
+    };
+    if (pool_ != nullptr) {
+      futures.push_back(pool_->Submit(build));
+    } else {
+      build();
+    }
+  }
+  for (std::future<void>& future : futures) {
+    pool_->WaitReady(future);
+    future.get();
+  }
+  for (const Status& status : statuses) {
+    IMGRN_RETURN_IF_ERROR(status);
+  }
+  built_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<QueryMatch>> ShardedEngine::Query(
+    const GeneMatrix& query_matrix, const QueryParams& params,
+    QueryStats* stats, const QueryControl* control) const {
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  IMGRN_RETURN_IF_ERROR(ValidateParams(params));
+  if (control != nullptr) {
+    IMGRN_RETURN_IF_ERROR(control->Check());
+  }
+  // Infer the query GRN exactly once — same options and seed as the
+  // single-engine path, so the fanned-out sub-queries all match against
+  // the identical graph.
+  Stopwatch inference_timer;
+  GrnInferenceOptions inference_options;
+  inference_options.num_samples = params.query_num_samples;
+  inference_options.seed = params.seed;
+  const ProbGraph query_graph =
+      InferGrn(query_matrix, params.gamma, inference_options);
+  const double inference_seconds = inference_timer.ElapsedSeconds();
+
+  Result<std::vector<QueryMatch>> result =
+      QueryWithGraph(query_graph, params, stats, control);
+  if (stats != nullptr) {
+    stats->inference_seconds = inference_seconds;
+    stats->total_seconds += inference_seconds;
+  }
+  return result;
+}
+
+Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
+    const ProbGraph& query_graph, const QueryParams& params,
+    QueryStats* stats, const QueryControl* control) const {
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  IMGRN_RETURN_IF_ERROR(ValidateParams(params));
+  if (query_graph.num_vertices() == 0) {
+    return Status::InvalidArgument("query graph has no vertices");
+  }
+  if (control != nullptr) {
+    IMGRN_RETURN_IF_ERROR(control->Check());
+  }
+
+  Stopwatch total_timer;
+  const size_t num_shards = shards_.size();
+  std::vector<Result<std::vector<QueryMatch>>> results(
+      num_shards, Result<std::vector<QueryMatch>>(std::vector<QueryMatch>{}));
+  std::vector<QueryStats> shard_stats(num_shards);
+
+  if (pool_ != nullptr) {
+    // Fan out one sub-query per shard. Every future is gathered before this
+    // function returns (even on error/cancellation), so no task outlives
+    // the stack it captures; gathering helps run queued tasks, so sharing
+    // the pool with the calling QueryService cannot deadlock.
+    std::vector<std::future<Result<std::vector<QueryMatch>>>> futures;
+    futures.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const Shard& shard = *shards_[s];
+      futures.push_back(pool_->Submit(
+          [this, &shard, &query_graph, &params, local_stats = &shard_stats[s],
+           control] {
+            return RunShard(shard, query_graph, params, local_stats, control);
+          }));
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool_->WaitReady(futures[s]);
+      results[s] = futures[s].get();
+    }
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) {
+      results[s] = RunShard(*shards_[s], query_graph, params, &shard_stats[s],
+                            control);
+    }
+  }
+
+  // Propagate the earliest (lowest shard index) error.
+  for (const Result<std::vector<QueryMatch>>& result : results) {
+    if (!result.ok()) return result.status();
+  }
+
+  // Merge: globals ascend within each shard already; a plain sort restores
+  // the single-engine source order, then the top_k policy applies to the
+  // merged set (per-shard truncation kept a superset of each shard's
+  // global-top-k contribution).
+  std::vector<QueryMatch> merged;
+  for (Result<std::vector<QueryMatch>>& result : results) {
+    for (QueryMatch& match : *result) {
+      merged.push_back(std::move(match));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              return a.source < b.source;
+            });
+  FinalizeMatches(params.top_k, &merged);
+
+  if (stats != nullptr) {
+    QueryStats aggregated;
+    aggregated.query_vertices = query_graph.num_vertices();
+    aggregated.query_edges = query_graph.num_edges();
+    for (const QueryStats& shard : shard_stats) {
+      // Seconds are summed CPU across shards (sub-queries overlap in wall
+      // time); the I/O and pruning counters add up exactly.
+      aggregated.traversal_seconds += shard.traversal_seconds;
+      aggregated.refinement_seconds += shard.refinement_seconds;
+      aggregated.page_accesses += shard.page_accesses;
+      aggregated.page_fetches += shard.page_fetches;
+      aggregated.node_pairs_examined += shard.node_pairs_examined;
+      aggregated.node_pairs_pruned_signature +=
+          shard.node_pairs_pruned_signature;
+      aggregated.node_pairs_pruned_index += shard.node_pairs_pruned_index;
+      aggregated.leaf_pairs_examined += shard.leaf_pairs_examined;
+      aggregated.leaf_pairs_pruned_pivot += shard.leaf_pairs_pruned_pivot;
+      aggregated.leaf_pairs_pruned_edge += shard.leaf_pairs_pruned_edge;
+      aggregated.candidate_pairs += shard.candidate_pairs;
+      aggregated.candidate_matrices += shard.candidate_matrices;
+      aggregated.matrices_pruned_graph += shard.matrices_pruned_graph;
+    }
+    aggregated.answers = merged.size();
+    aggregated.total_seconds = total_timer.ElapsedSeconds();
+    *stats = aggregated;
+  }
+  return merged;
+}
+
+Result<std::vector<QueryMatch>> ShardedEngine::QueryShard(
+    size_t shard, const ProbGraph& query_graph, const QueryParams& params,
+    QueryStats* stats, const QueryControl* control) const {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  IMGRN_RETURN_IF_ERROR(ValidateParams(params));
+  return RunShard(*shards_[shard], query_graph, params, stats, control);
+}
+
+Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
+    const Shard& shard, const ProbGraph& query_graph,
+    const QueryParams& params, QueryStats* stats,
+    const QueryControl* control) const {
+  shard.sub_queries_started.fetch_add(1, std::memory_order_relaxed);
+  Result<std::vector<QueryMatch>> result = [&]() ->
+      Result<std::vector<QueryMatch>> {
+        std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        if (!shard.built) {
+          return std::vector<QueryMatch>{};  // Empty shard: no matches.
+        }
+        Result<std::vector<QueryMatch>> local =
+            shard.engine.QueryWithGraph(query_graph, params, stats, control);
+        if (!local.ok()) return local.status();
+        // Remap shard-local ids to global source ids while the reader lock
+        // still pins local_to_global.
+        for (QueryMatch& match : *local) {
+          IMGRN_CHECK_LT(match.source, shard.local_to_global.size());
+          match.source = shard.local_to_global[match.source];
+        }
+        return local;
+      }();
+  if (!result.ok()) {
+    shard.sub_query_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.sub_queries_finished.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Status ShardedEngine::AddSource(GeneMatrix matrix) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  if (matrix.source_id() != next_source_) {
+    return Status::InvalidArgument(
+        "new matrix's source id must equal num_sources()");
+  }
+  const SourceId global = matrix.source_id();
+  Shard& shard = *shards_[ShardOf(global)];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  if (!shard.built) {
+    // First source of a previously empty shard: bootstrap its engine.
+    matrix.set_source_id(0);
+    GeneDatabase database;
+    database.Add(std::move(matrix));
+    shard.engine.LoadDatabase(std::move(database));
+    IMGRN_RETURN_IF_ERROR(shard.engine.BuildIndex());
+    shard.built = true;
+  } else {
+    matrix.set_source_id(
+        static_cast<SourceId>(shard.engine.database().size()));
+    IMGRN_RETURN_IF_ERROR(shard.engine.AddMatrix(std::move(matrix)));
+  }
+  shard.local_to_global.push_back(global);
+  shard.active_sources.fetch_add(1, std::memory_order_relaxed);
+  ++next_source_;
+  return Status::Ok();
+}
+
+Status ShardedEngine::RemoveSource(SourceId source) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  Shard& shard = *shards_[ShardOf(source)];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  const auto it = std::lower_bound(shard.local_to_global.begin(),
+                                   shard.local_to_global.end(), source);
+  if (it == shard.local_to_global.end() || *it != source) {
+    return Status::InvalidArgument("unknown source id");
+  }
+  const SourceId local = static_cast<SourceId>(
+      std::distance(shard.local_to_global.begin(), it));
+  IMGRN_RETURN_IF_ERROR(shard.engine.RemoveMatrix(local));
+  ++shard.removed;
+  shard.active_sources.fetch_sub(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+size_t ShardedEngine::num_sources() const {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  return next_source_;
+}
+
+ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
+  ShardedEngineStatsSnapshot snapshot;
+  snapshot.shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    ShardStats stats;
+    stats.shard = s;
+    stats.sources = shard.active_sources.load(std::memory_order_relaxed);
+    const uint64_t started =
+        shard.sub_queries_started.load(std::memory_order_relaxed);
+    stats.sub_queries =
+        shard.sub_queries_finished.load(std::memory_order_relaxed);
+    stats.sub_query_errors =
+        shard.sub_query_errors.load(std::memory_order_relaxed);
+    stats.in_flight = started - stats.sub_queries;
+    snapshot.shards.push_back(stats);
+  }
+  return snapshot;
+}
+
+std::shared_mutex& ShardedEngine::shard_mutex_for_testing(
+    size_t shard) const {
+  IMGRN_CHECK_LT(shard, shards_.size());
+  return shards_[shard]->mutex;
+}
+
+}  // namespace imgrn

@@ -1,0 +1,201 @@
+#ifndef IMGRN_SERVICE_SHARDED_ENGINE_H_
+#define IMGRN_SERVICE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "service/thread_pool.h"
+
+namespace imgrn {
+
+/// Knobs of a ShardedEngine.
+struct ShardedEngineOptions {
+  /// Number of independent ImGrnEngine shards. Each shard has its own
+  /// index, its own R*-tree paged file, and therefore its own buffer pool
+  /// — the shared buffer-pool mutex of the single-engine service does not
+  /// exist here.
+  size_t num_shards = 4;
+
+  /// Engine/index options applied to every shard.
+  EngineOptions engine;
+};
+
+/// Per-shard counters of one StatsSnapshot() call.
+struct ShardStats {
+  size_t shard = 0;
+  size_t sources = 0;            ///< Active (added minus removed) sources.
+  uint64_t sub_queries = 0;      ///< Finished per-shard sub-queries.
+  uint64_t sub_query_errors = 0; ///< Of those, non-OK (incl. cancelled).
+  uint64_t in_flight = 0;        ///< Sub-queries running right now.
+};
+
+struct ShardedEngineStatsSnapshot {
+  std::vector<ShardStats> shards;
+
+  /// One line per shard, e.g. "shard0: sources=3 sub_queries=17 errors=0".
+  std::string DebugString() const;
+};
+
+/// A database hash-partitioned across K independent ImGrnEngine instances
+/// (shard of source i = i mod K), queried with fan-out/merge.
+///
+/// Why: the single-engine QueryService write-locks the WHOLE index for
+/// every AddMatrix/RemoveMatrix, and all queries contend on one buffer
+/// pool. Here an update routes to exactly one shard and only write-locks
+/// that shard's reader-writer lock — queries keep running on the other
+/// K-1 shards — and every shard traverses its own R*-tree over its own
+/// buffer pool.
+///
+/// Query semantics are bit-identical to a single ImGrnEngine over the
+/// unpartitioned database, for every K:
+///   - the query GRN is inferred ONCE (same seed, same stream), then fanned
+///     out to each shard as a sub-query over that shard's sources;
+///   - refinement probabilities are per-source deterministic regardless of
+///     partitioning (PermutationCache draws per-length streams — see
+///     inference/permutation_cache.h);
+///   - matches come back with shard-local ids, are remapped to global
+///     source ids, merged in ascending source order, and the top_k policy
+///     is applied to the merged set (each shard's top-k is a superset of
+///     its contribution to the global top-k, so per-shard truncation loses
+///     nothing);
+///   - index pruning only ever discards non-answers, so different per-shard
+///     pivots change work, not results.
+/// tests/sharded_engine_test.cc enforces this differentially for
+/// K in {1, 2, 4, 7}.
+///
+/// Fan-out runs on the ThreadPool passed at construction (pass null to run
+/// sub-queries sequentially on the calling thread). The pool may be shared
+/// with the QueryService that owns this engine: gathering uses
+/// ThreadPool::WaitReady, so a worker blocked on its sub-queries executes
+/// queued tasks itself instead of deadlocking the pool.
+///
+/// Error semantics: a query returns the error Status of the
+/// lowest-numbered failing shard (all sub-queries are always gathered
+/// first — no orphaned tasks). A cancelled/expired QueryControl fans out
+/// to every shard, so all sub-queries unwind at their next checkpoint.
+///
+/// Thread safety: Query/QueryWithGraph/AddSource/RemoveSource are safe
+/// from any thread once BuildIndex has run (the QueryEngine contract).
+/// LoadDatabase/BuildIndex are setup-phase calls: no other call may
+/// overlap them.
+class ShardedEngine : public QueryEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options = {},
+                         ThreadPool* pool = nullptr);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Partitions the database across the shards (source i goes to shard
+  /// i mod K, remapped to that shard's dense local id space). Invalidates
+  /// any previously built indices.
+  void LoadDatabase(GeneDatabase database);
+
+  /// Builds every non-empty shard's index, in parallel when a pool is
+  /// available. Must be called after LoadDatabase and before Query.
+  Status BuildIndex();
+
+  Result<std::vector<QueryMatch>> Query(
+      const GeneMatrix& query_matrix, const QueryParams& params,
+      QueryStats* stats = nullptr,
+      const QueryControl* control = nullptr) const override;
+
+  Result<std::vector<QueryMatch>> QueryWithGraph(
+      const ProbGraph& query_graph, const QueryParams& params,
+      QueryStats* stats = nullptr,
+      const QueryControl* control = nullptr) const override;
+
+  /// Appends a new data source; `matrix.source_id()` must equal
+  /// num_sources(). Write-locks only the owning shard.
+  Status AddSource(GeneMatrix matrix) override;
+
+  /// Retracts a source from query results. Write-locks only the owning
+  /// shard.
+  Status RemoveSource(SourceId source) override;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Total sources ever added (the dense global id space; removed sources
+  /// still count — ids are never reused).
+  size_t num_sources() const;
+
+  /// Which shard owns a global source id.
+  size_t ShardOf(SourceId source) const {
+    return static_cast<size_t>(source) % shards_.size();
+  }
+
+  bool has_index() const { return built_; }
+
+  /// Runs one shard's sub-query under that shard's reader lock, returning
+  /// matches with GLOBAL source ids (ascending). An empty shard yields an
+  /// empty result. This is the unit Query fans out; it is also useful on
+  /// its own (tests, debugging a single shard).
+  Result<std::vector<QueryMatch>> QueryShard(
+      size_t shard, const ProbGraph& query_graph, const QueryParams& params,
+      QueryStats* stats = nullptr,
+      const QueryControl* control = nullptr) const;
+
+  ShardedEngineStatsSnapshot StatsSnapshot() const;
+
+  /// Test/instrumentation hook: the reader-writer lock of one shard, e.g.
+  /// to pin a shard in the "update in progress" state and observe that the
+  /// other shards keep serving.
+  std::shared_mutex& shard_mutex_for_testing(size_t shard) const;
+
+ private:
+  struct Shard {
+    explicit Shard(const EngineOptions& options) : engine(options) {}
+
+    /// Readers = sub-queries, writer = the update routed to this shard.
+    mutable std::shared_mutex mutex;
+    ImGrnEngine engine;
+
+    /// Sorted ascending (globals are assigned in increasing order); local
+    /// id i of this shard holds global source local_to_global[i]. Entries
+    /// of removed sources stay (ids are never reused).
+    std::vector<SourceId> local_to_global;
+
+    /// Engine holds a database with a built index. False for a shard that
+    /// never received a source.
+    bool built = false;
+    size_t removed = 0;
+
+    /// local_to_global.size() - removed, mirrored atomically so
+    /// StatsSnapshot never has to touch `mutex` (it stays callable while a
+    /// shard is write-locked, e.g. from tests observing an in-flight
+    /// update).
+    std::atomic<size_t> active_sources{0};
+
+    mutable std::atomic<uint64_t> sub_queries_started{0};
+    mutable std::atomic<uint64_t> sub_queries_finished{0};
+    mutable std::atomic<uint64_t> sub_query_errors{0};
+  };
+
+  /// QueryShard body without the public bounds check.
+  Result<std::vector<QueryMatch>> RunShard(const Shard& shard,
+                                           const ProbGraph& query_graph,
+                                           const QueryParams& params,
+                                           QueryStats* stats,
+                                           const QueryControl* control) const;
+
+  ShardedEngineOptions options_;
+  ThreadPool* pool_;  // May be null (sequential fan-out); not owned.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Serializes AddSource/RemoveSource with each other (routing metadata:
+  /// next_source_). Queries never touch this mutex — an update only
+  /// contends with sub-queries of its own shard, via that shard's mutex.
+  mutable std::mutex update_mutex_;
+  size_t next_source_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_SERVICE_SHARDED_ENGINE_H_

@@ -47,6 +47,11 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InWorkerThread() const { return t_worker.pool == this; }
 
+bool ThreadPool::HelpOne() {
+  if (t_worker.pool != this) return false;
+  return RunOneTask(t_worker.index);
+}
+
 void ThreadPool::Enqueue(UniqueFunction task) {
   IMGRN_CHECK(!stop_.load()) << "Submit on a stopping ThreadPool";
   const size_t target =

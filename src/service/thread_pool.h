@@ -2,6 +2,7 @@
 #define IMGRN_SERVICE_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -93,6 +94,35 @@ class ThreadPool {
   /// assert against blocking patterns (e.g. gathering a batch from inside
   /// a worker would deadlock a single-threaded pool).
   bool InWorkerThread() const;
+
+  /// If the calling thread is one of this pool's workers, pops and runs one
+  /// queued task (own deque LIFO, else steal); returns whether a task ran.
+  /// Returns false immediately on non-worker threads. This is the building
+  /// block that makes fan-out/gather from inside a task deadlock-free: a
+  /// worker blocked on subtask futures keeps the pool moving by executing
+  /// queued work itself (see WaitReady).
+  bool HelpOne();
+
+  /// Blocks until `future` is ready. On a worker thread it *helps*: queued
+  /// tasks (typically the caller's own subtasks, which Submit pushed onto
+  /// its deque) run on this thread while waiting, so gathering a fan-out
+  /// from inside a task cannot deadlock — even on a single-worker pool.
+  /// On a non-worker thread this is a plain wait.
+  template <typename R>
+  void WaitReady(std::future<R>& future) {
+    if (!InWorkerThread()) {
+      future.wait();
+      return;
+    }
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!HelpOne()) {
+        // Nothing to steal and the future's task is running elsewhere:
+        // back off briefly instead of spinning.
+        future.wait_for(std::chrono::microseconds(100));
+      }
+    }
+  }
 
  private:
   struct Worker {

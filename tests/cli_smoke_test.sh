@@ -32,6 +32,24 @@ grep '^match' "$WORKDIR/with_index.out" > "$WORKDIR/a" || true
 grep '^match' "$WORKDIR/without_index.out" > "$WORKDIR/b" || true
 diff "$WORKDIR/a" "$WORKDIR/b"
 
+# The sharded engine must return the identical matches: --shards=1 (the
+# plain engine path) vs --shards=4 (hash-partitioned fan-out/merge).
+"$IMGRN" query --db="$WORKDIR/db.txt" --query="$WORKDIR/q.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=1 > "$WORKDIR/shards1.out"
+"$IMGRN" query --db="$WORKDIR/db.txt" --query="$WORKDIR/q.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=4 2>/dev/null > "$WORKDIR/shards4.out"
+grep '^match' "$WORKDIR/shards1.out" > "$WORKDIR/s1" || true
+grep '^match' "$WORKDIR/shards4.out" > "$WORKDIR/s4" || true
+test -s "$WORKDIR/s1"  # The query must actually match something.
+diff "$WORKDIR/s1" "$WORKDIR/s4"
+
+# --shards combined with --index is rejected.
+if "$IMGRN" query --db="$WORKDIR/db.txt" --index="$WORKDIR/db.idx" \
+    --query="$WORKDIR/q.txt" --shards=4 2>/dev/null; then
+  echo "expected failure on --shards with --index" >&2
+  exit 1
+fi
+
 "$IMGRN" infer --matrix="$WORKDIR/q.txt" --gamma=0.5 \
     | grep -q "inferred GRN"
 "$IMGRN" infer --matrix="$WORKDIR/q.txt" --measure=correlation \

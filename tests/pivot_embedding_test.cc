@@ -41,8 +41,10 @@ TEST(EmbedMatrixTest, CoordinatesMatchDefinitions) {
                   EuclideanDistance(matrix.Column(s), pivots.vectors[w]),
                   1e-12);
       // y[w] ~ E[dist(X^R, piv_w)] <= sqrt(2l) (Jensen, standardized data).
+      // The bound holds in expectation; a 512-sample mean fluctuates a few
+      // percent around it, so allow Monte Carlo slack.
       EXPECT_GT(points[s].y[w], 0.0);
-      EXPECT_LE(points[s].y[w], std::sqrt(2.0 * 20.0) + 1e-9);
+      EXPECT_LE(points[s].y[w], std::sqrt(2.0 * 20.0) * 1.03);
     }
   }
 }

@@ -16,6 +16,7 @@
 
 #include "common/random.h"
 #include "core/engine.h"
+#include "service/sharded_engine.h"
 #include "tests/test_util.h"
 
 namespace imgrn {
@@ -284,6 +285,128 @@ TEST_F(QueryServiceTest, MetricsLatencyAndDebugString) {
   const std::string debug = snapshot.DebugString();
   EXPECT_NE(debug.find("served=6"), std::string::npos);
   EXPECT_NE(debug.find("p95="), std::string::npos);
+}
+
+// QueryService over a ShardedEngine: the service schedules whole requests,
+// the engine fans each one out per shard on the same pool.
+class ShardedQueryServiceTest : public QueryServiceTest {
+ protected:
+  // Builds the sharded twin of the fixture's 4-source database.
+  void BuildSharded(size_t num_shards, ThreadPool* pool) {
+    GeneDatabase database;
+    for (SourceId i = 0; i < 4; ++i) {
+      database.Add(ClusterMatrix(i, 100 + i, 50 + 10 * i));
+    }
+    ShardedEngineOptions options;
+    options.num_shards = num_shards;
+    sharded_ = std::make_unique<ShardedEngine>(options, pool);
+    sharded_->LoadDatabase(std::move(database));
+    ASSERT_TRUE(sharded_->BuildIndex().ok());
+  }
+
+  std::unique_ptr<ShardedEngine> sharded_;
+};
+
+TEST_F(ShardedQueryServiceTest, ShardedServiceMatchesSingleEngineService) {
+  ThreadPool pool(4);
+  BuildSharded(4, &pool);
+  QueryService service(sharded_.get(), &pool);
+
+  std::vector<GeneMatrix> queries;
+  std::vector<std::vector<QueryMatch>> serial;
+  for (uint64_t i = 0; i < 6; ++i) {
+    queries.push_back(ClusterQueryMatrix(9300 + i));
+    Result<std::vector<QueryMatch>> expected =
+        engine_.Query(queries.back(), params_);
+    ASSERT_TRUE(expected.ok());
+    serial.push_back(*expected);
+  }
+  std::vector<QueryService::QueryResult> concurrent =
+      service.QueryBatch(queries, params_);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(concurrent[i].ok()) << concurrent[i].status().ToString();
+    EXPECT_TRUE(MatchesIdentical(*concurrent[i], serial[i])) << "query " << i;
+  }
+  EXPECT_EQ(service.MetricsSnapshot().served, 6u);
+}
+
+TEST_F(ShardedQueryServiceTest, CancelMidFanOutReturnsCancelledAndDrains) {
+  // Deterministic mid-fan-out cancellation: hold shard 0's write lock so
+  // its sub-query parks at the lock while shards 1..3 finish, cancel, then
+  // release. The stalled sub-query observes the stop flag at its first
+  // checkpoint, the request completes Cancelled (shard 0 is the earliest
+  // failing shard), and every sub-task was gathered — no orphaned pool
+  // work.
+  ThreadPool pool(2);
+  BuildSharded(4, &pool);
+  QueryService service(sharded_.get(), &pool);
+
+  std::unique_lock<std::shared_mutex> update_in_progress(
+      sharded_->shard_mutex_for_testing(0));
+
+  QueryService::PendingQuery pending =
+      service.SubmitQuery(ClusterQueryMatrix(9400), params_);
+  ASSERT_NE(pending.control, nullptr);
+
+  // Wait until all four sub-queries started and the three unlocked shards
+  // finished — the request is now provably mid-fan-out.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (true) {
+    const ShardedEngineStatsSnapshot snapshot = sharded_->StatsSnapshot();
+    uint64_t finished = 0;
+    uint64_t in_flight = 0;
+    for (const ShardStats& shard : snapshot.shards) {
+      finished += shard.sub_queries;
+      in_flight += shard.in_flight;
+    }
+    if (finished == 3 && in_flight == 1) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "fan-out never reached the mid-flight state";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  pending.control->RequestCancel();
+  update_in_progress.unlock();
+
+  QueryService::QueryResult result = pending.result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service.MetricsSnapshot().cancelled, 1u);
+
+  // All sub-tasks were gathered: nothing in flight, and exactly the shard
+  // that observed the stop flag reports an error.
+  const ShardedEngineStatsSnapshot snapshot = sharded_->StatsSnapshot();
+  uint64_t finished = 0;
+  uint64_t errors = 0;
+  for (const ShardStats& shard : snapshot.shards) {
+    EXPECT_EQ(shard.in_flight, 0u);
+    finished += shard.sub_queries;
+    errors += shard.sub_query_errors;
+  }
+  EXPECT_EQ(finished, 4u);
+  EXPECT_EQ(errors, 1u);
+  EXPECT_EQ(snapshot.shards[0].sub_query_errors, 1u);
+
+  // The service (and pool) still serve fresh queries afterwards.
+  QueryService::QueryResult after =
+      service.SubmitQuery(ClusterQueryMatrix(9401), params_).result.get();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(Sources(*after), (std::set<SourceId>{0, 1, 2, 3}));
+}
+
+TEST_F(ShardedQueryServiceTest, ZeroDeadlineOverShardedEngine) {
+  ThreadPool pool(2);
+  BuildSharded(4, &pool);
+  QueryService service(sharded_.get(), &pool);
+  QueryService::QueryResult result =
+      service
+          .SubmitQuery(ClusterQueryMatrix(9500), params_,
+                       std::chrono::nanoseconds(0))
+          .result.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.MetricsSnapshot().deadline_expired, 1u);
 }
 
 TEST_F(QueryServiceTest, DestructorDrainsInFlightQueries) {

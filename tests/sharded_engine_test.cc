@@ -1,0 +1,349 @@
+// The ShardedEngine fan-out/merge path: for every shard count the merged
+// results are byte-identical to a single ImGrnEngine over the unpartitioned
+// database (the differential contract of service/sharded_engine.h),
+// including empty shards, K > num_sources, top_k truncation, updates, and
+// the error statuses of the single-engine path.
+
+#include "service/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "inference/grn_inference.h"
+#include "tests/test_util.h"
+
+namespace imgrn {
+namespace {
+
+using testing_util::MakePathQuery;
+using testing_util::MakePlantedMatrix;
+
+// Every database matrix contains the planted cluster {1, 2, 3} plus
+// per-source filler genes; sample counts vary per source so the
+// permutation cache serves several lengths (the order-invariance the
+// differential equality depends on).
+GeneMatrix ClusterMatrix(SourceId source) {
+  Rng rng(500 + source);
+  const size_t num_samples = 28 + 2 * (source % 5);
+  return MakePlantedMatrix(source, num_samples, {{1, 2, 3}},
+                           {50 + 10 * source, 51 + 10 * source}, 0.97, &rng);
+}
+
+GeneDatabase MakeDatabase(size_t num_sources) {
+  GeneDatabase database;
+  for (SourceId i = 0; i < num_sources; ++i) {
+    database.Add(ClusterMatrix(i));
+  }
+  return database;
+}
+
+GeneMatrix ClusterQueryMatrix(uint64_t seed) {
+  Rng rng(seed);
+  return MakePlantedMatrix(0, 32, {{1, 2, 3}}, {}, 0.97, &rng);
+}
+
+void ExpectIdentical(const std::vector<QueryMatch>& actual,
+                     const std::vector<QueryMatch>& expected,
+                     const std::string& context) {
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].source, expected[i].source) << context << " [" << i
+                                                    << "]";
+    // Byte-identical probabilities: partitioning must not perturb a single
+    // bit of the refinement pipeline.
+    EXPECT_EQ(actual[i].probability, expected[i].probability)
+        << context << " [" << i << "]";
+    EXPECT_EQ(actual[i].mapping, expected[i].mapping) << context << " [" << i
+                                                      << "]";
+  }
+}
+
+QueryParams DefaultParams() {
+  QueryParams params;
+  params.gamma = 0.5;
+  params.alpha = 0.3;
+  return params;
+}
+
+ShardedEngineOptions Opts(size_t num_shards) {
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  return options;
+}
+
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  // The single-engine ground truth over `num_sources` cluster matrices.
+  void BuildReference(size_t num_sources) {
+    reference_.LoadDatabase(MakeDatabase(num_sources));
+    ASSERT_TRUE(reference_.BuildIndex().ok());
+  }
+
+  std::vector<QueryMatch> ReferenceQuery(const GeneMatrix& query,
+                                         const QueryParams& params) {
+    Result<std::vector<QueryMatch>> result = reference_.Query(query, params);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  ImGrnEngine reference_;
+};
+
+TEST_F(ShardedEngineTest, DifferentialEqualityAcrossShardCounts) {
+  const size_t kSources = 9;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+
+  std::vector<GeneMatrix> queries;
+  for (uint64_t i = 0; i < 4; ++i) {
+    queries.push_back(ClusterQueryMatrix(7000 + i));
+  }
+  std::vector<std::vector<QueryMatch>> expected;
+  for (const GeneMatrix& query : queries) {
+    expected.push_back(ReferenceQuery(query, params));
+    ASSERT_FALSE(expected.back().empty());
+  }
+
+  ThreadPool pool(4);
+  for (size_t shards : {1u, 2u, 4u, 7u}) {
+    ShardedEngine sharded(Opts(shards), &pool);
+    sharded.LoadDatabase(MakeDatabase(kSources));
+    ASSERT_TRUE(sharded.BuildIndex().ok());
+    EXPECT_EQ(sharded.num_shards(), shards);
+    EXPECT_EQ(sharded.num_sources(), kSources);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      Result<std::vector<QueryMatch>> result =
+          sharded.Query(queries[q], params);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ExpectIdentical(*result, expected[q],
+                      "shards=" + std::to_string(shards) + " query " +
+                          std::to_string(q));
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, SequentialFanOutMatchesPooled) {
+  // pool == nullptr runs sub-queries on the calling thread; results must
+  // not depend on the execution mode.
+  const size_t kSources = 6;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+  const GeneMatrix query = ClusterQueryMatrix(7100);
+  const std::vector<QueryMatch> expected = ReferenceQuery(query, params);
+
+  ShardedEngine sequential(Opts(4), nullptr);
+  sequential.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sequential.BuildIndex().ok());
+  Result<std::vector<QueryMatch>> result = sequential.Query(query, params);
+  ASSERT_TRUE(result.ok());
+  ExpectIdentical(*result, expected, "sequential fan-out");
+}
+
+TEST_F(ShardedEngineTest, MoreShardsThanSourcesLeavesEmptyShards) {
+  // K = 7 over 3 sources: shards 3..6 never receive a source and must
+  // contribute empty sub-results without disturbing the merge.
+  const size_t kSources = 3;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+  const GeneMatrix query = ClusterQueryMatrix(7200);
+  const std::vector<QueryMatch> expected = ReferenceQuery(query, params);
+  ASSERT_EQ(expected.size(), kSources);
+
+  ThreadPool pool(2);
+  ShardedEngine sharded(Opts(7), &pool);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+  Result<std::vector<QueryMatch>> result = sharded.Query(query, params);
+  ASSERT_TRUE(result.ok());
+  ExpectIdentical(*result, expected, "7 shards over 3 sources");
+
+  // The empty shards report zero sources but still count their (empty)
+  // sub-queries.
+  const ShardedEngineStatsSnapshot snapshot = sharded.StatsSnapshot();
+  ASSERT_EQ(snapshot.shards.size(), 7u);
+  for (size_t s = 0; s < 7; ++s) {
+    EXPECT_EQ(snapshot.shards[s].sources, s < kSources ? 1u : 0u);
+    EXPECT_EQ(snapshot.shards[s].sub_queries, 1u);
+    EXPECT_EQ(snapshot.shards[s].in_flight, 0u);
+  }
+}
+
+TEST_F(ShardedEngineTest, TopKAppliedToMergedSetMatchesSingleEngine) {
+  const size_t kSources = 8;
+  BuildReference(kSources);
+  QueryParams params = DefaultParams();
+  params.top_k = 3;
+  const GeneMatrix query = ClusterQueryMatrix(7300);
+  const std::vector<QueryMatch> expected = ReferenceQuery(query, params);
+  ASSERT_EQ(expected.size(), 3u);
+
+  ThreadPool pool(4);
+  ShardedEngine sharded(Opts(4), &pool);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+  Result<std::vector<QueryMatch>> result = sharded.Query(query, params);
+  ASSERT_TRUE(result.ok());
+  // Per-shard top-3 truncation must keep each shard's contribution to the
+  // global top-3, so the merged + re-finalized set is the single-engine one.
+  ExpectIdentical(*result, expected, "top_k=3 over 4 shards");
+}
+
+TEST_F(ShardedEngineTest, UpdatesMatchSingleEngineAndRouteToOneShard) {
+  const size_t kSources = 5;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+
+  ThreadPool pool(2);
+  ShardedEngine sharded(Opts(4), &pool);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  // Same update sequence on both engines; differential equality must be
+  // re-established after each step. Source 5 -> shard 1, source 6 ->
+  // shard 2; removals hit shards 3 (source 3) and 1 (source 5).
+  auto check = [&](const std::string& context) {
+    const GeneMatrix query = ClusterQueryMatrix(7400);
+    ExpectIdentical(*sharded.Query(query, params),
+                    ReferenceQuery(query, params), context);
+  };
+
+  check("initial");
+  ASSERT_TRUE(reference_.AddMatrix(ClusterMatrix(5)).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(5)).ok());
+  EXPECT_EQ(sharded.num_sources(), 6u);
+  check("after add 5");
+  ASSERT_TRUE(reference_.RemoveMatrix(3).ok());
+  ASSERT_TRUE(sharded.RemoveSource(3).ok());
+  check("after remove 3");
+  ASSERT_TRUE(reference_.AddMatrix(ClusterMatrix(6)).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(6)).ok());
+  check("after add 6");
+  ASSERT_TRUE(reference_.RemoveMatrix(5).ok());
+  ASSERT_TRUE(sharded.RemoveSource(5).ok());
+  check("after remove 5");
+
+  // Error-status parity with the single engine.
+  EXPECT_EQ(sharded.AddSource(ClusterMatrix(99)).code(),
+            StatusCode::kInvalidArgument);  // Id != num_sources().
+  EXPECT_EQ(sharded.RemoveSource(77).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sharded.RemoveSource(5).code(),
+            StatusCode::kFailedPrecondition);  // Double remove.
+}
+
+TEST_F(ShardedEngineTest, AddSourceBootstrapsAnEmptyShard) {
+  // Start with 2 sources over 4 shards: shards 2 and 3 are empty. Adding
+  // sources 2 and 3 must bring their engines up from nothing.
+  const size_t kSources = 2;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+
+  ShardedEngine sharded(Opts(4), nullptr);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  ASSERT_TRUE(reference_.AddMatrix(ClusterMatrix(2)).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(2)).ok());
+  ASSERT_TRUE(reference_.AddMatrix(ClusterMatrix(3)).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(3)).ok());
+
+  const GeneMatrix query = ClusterQueryMatrix(7500);
+  ExpectIdentical(*sharded.Query(query, params),
+                  ReferenceQuery(query, params), "bootstrapped shards");
+}
+
+TEST_F(ShardedEngineTest, QueryShardReturnsGlobalIdsOfThatShardOnly) {
+  const size_t kSources = 8;
+  const size_t kShards = 3;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+
+  ShardedEngine sharded(Opts(kShards), nullptr);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  const GeneMatrix query = ClusterQueryMatrix(7600);
+  const std::vector<QueryMatch> expected = ReferenceQuery(query, params);
+  ASSERT_EQ(expected.size(), kSources);
+
+  GrnInferenceOptions inference_options;
+  inference_options.num_samples = params.query_num_samples;
+  inference_options.seed = params.seed;
+  const ProbGraph graph = InferGrn(query, params.gamma, inference_options);
+
+  size_t total = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    Result<std::vector<QueryMatch>> result =
+        sharded.QueryShard(s, graph, params);
+    ASSERT_TRUE(result.ok());
+    for (const QueryMatch& match : *result) {
+      EXPECT_EQ(sharded.ShardOf(match.source), s);
+    }
+    total += result->size();
+  }
+  EXPECT_EQ(total, expected.size());
+  EXPECT_EQ(sharded.QueryShard(kShards, graph, params).status().code(),
+            StatusCode::kInvalidArgument);  // Out of range.
+}
+
+TEST_F(ShardedEngineTest, StatsAggregateAcrossShards) {
+  const size_t kSources = 6;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+  const GeneMatrix query = ClusterQueryMatrix(7700);
+
+  ThreadPool pool(3);
+  ShardedEngine sharded(Opts(3), &pool);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  QueryStats stats;
+  Result<std::vector<QueryMatch>> result =
+      sharded.Query(query, params, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.answers, result->size());
+  EXPECT_GT(stats.query_vertices, 0u);
+  EXPECT_GT(stats.candidate_matrices, 0u);
+  EXPECT_GT(stats.inference_seconds, 0.0);
+  EXPECT_GT(stats.total_seconds, 0.0);
+
+  const ShardedEngineStatsSnapshot snapshot = sharded.StatsSnapshot();
+  uint64_t sub_queries = 0;
+  for (const ShardStats& shard : snapshot.shards) {
+    sub_queries += shard.sub_queries;
+    EXPECT_EQ(shard.sub_query_errors, 0u);
+  }
+  EXPECT_EQ(sub_queries, 3u);  // One sub-query per shard.
+  EXPECT_NE(snapshot.DebugString().find("shard0"), std::string::npos);
+}
+
+TEST_F(ShardedEngineTest, ErrorStatusesMatchSingleEnginePreconditions) {
+  ShardedEngine sharded(Opts(2), nullptr);
+  const GeneMatrix query = ClusterQueryMatrix(7800);
+  QueryParams params = DefaultParams();
+
+  // No database / no index yet.
+  EXPECT_EQ(sharded.BuildIndex().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.Query(query, params).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.AddSource(ClusterMatrix(0)).code(),
+            StatusCode::kFailedPrecondition);
+
+  sharded.LoadDatabase(MakeDatabase(4));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  params.gamma = 1.5;  // Out of range.
+  EXPECT_EQ(sharded.Query(query, params).status().code(),
+            StatusCode::kInvalidArgument);
+  params = DefaultParams();
+
+  ProbGraph empty_graph;
+  EXPECT_EQ(sharded.QueryWithGraph(empty_graph, params).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace imgrn

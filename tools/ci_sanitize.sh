@@ -1,11 +1,13 @@
 #!/bin/sh
 # Sanitizer gate for the concurrent service layer.
 #
-# Configures a dedicated build tree with -DIMGRN_SANITIZE=<kind> and runs
-# the designated concurrency workload (thread_pool_test and
-# query_service_test, plus the lock-free histogram) under it. ThreadSanitizer
-# is the default and the gate that matters for src/service; pass "address"
-# to run the same workload under AddressSanitizer instead.
+# Configures a dedicated build tree with -DIMGRN_SANITIZE=<kind>, builds
+# the thread-heavy test binaries, and runs everything carrying the ctest
+# label "concurrency" (thread pool, query service, sharded engine, shard
+# stress, lock-free histogram — see tests/CMakeLists.txt) under it.
+# ThreadSanitizer is the default and the gate that matters for
+# src/service; pass "address" to run the same workload under
+# AddressSanitizer instead.
 #
 # Usage: tools/ci_sanitize.sh [thread|address] [build-dir]
 set -eu
@@ -22,10 +24,10 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIMGRN_SANITIZE="$KIND"
 cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test query_service_test histogram_test
+  --target thread_pool_test query_service_test sharded_engine_test \
+           shard_stress_test histogram_test
 
-# Any sanitizer report is a hard failure (TSan exits nonzero via
-# halt_on_error=0 + the exit code below; force it explicitly).
+# Any sanitizer report is a hard failure.
 if [ "$KIND" = thread ]; then
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
   export TSAN_OPTIONS
@@ -34,8 +36,6 @@ else
   export ASAN_OPTIONS
 fi
 
-for t in thread_pool_test query_service_test histogram_test; do
-  echo "== $KIND sanitizer: $t =="
-  "$BUILD_DIR/tests/$t"
-done
+echo "== $KIND sanitizer: ctest -L concurrency =="
+ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure
 echo "== $KIND sanitizer gate: PASS =="

@@ -8,8 +8,12 @@
 //   imgrn build-index --db=db.txt --out=db.idx [--pivots=2]
 //       Build and persist the IM-GRN index.
 //   imgrn query --db=db.txt --index=db.idx --query=q.txt
-//               [--gamma=0.5] [--alpha=0.5] [--top_k=0]
+//               [--gamma=0.5] [--alpha=0.5] [--top_k=0] [--shards=1]
 //       Run one IM-GRN query; q.txt is a gene matrix file (matrix_io.h).
+//       --shards=K > 1 hash-partitions the database across K in-memory
+//       engines and fans the query out (service/sharded_engine.h); the
+//       matches are identical to --shards=1 by construction. Incompatible
+//       with --index (per-shard indices are built in memory).
 //   imgrn extract-query --db=db.txt --out=q.txt [--genes=5] [--gamma=0.5]
 //       Extract a connected query matrix from the database (for demos).
 //   imgrn infer --matrix=m.txt [--measure=imgrn] [--gamma=0.5]
@@ -25,6 +29,8 @@
 #include <string>
 
 #include "core/imgrn.h"
+#include "service/sharded_engine.h"
+#include "service/thread_pool.h"
 
 namespace imgrn {
 namespace cli {
@@ -144,9 +150,21 @@ int CmdQuery(int argc, char** argv) {
              {"gamma", "0.5"},
              {"alpha", "0.5"},
              {"top_k", "0"},
+             {"shards", "1"},
              {"seed", "99"}});
   if (!args.Has("db") || !args.Has("query")) {
     std::fprintf(stderr, "query requires --db=FILE --query=FILE\n");
+    return 2;
+  }
+  const size_t shards = static_cast<size_t>(args.GetInt("shards"));
+  if (shards == 0) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (shards > 1 && args.Has("index")) {
+    std::fprintf(stderr,
+                 "--shards > 1 builds per-shard indices in memory and "
+                 "cannot use --index\n");
     return 2;
   }
   Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
@@ -154,25 +172,37 @@ int CmdQuery(int argc, char** argv) {
   Result<GeneMatrix> query_matrix = LoadGeneMatrix(args.Get("query"));
   if (!query_matrix.ok()) return Fail(query_matrix.status());
 
-  ImGrnEngine engine;
-  engine.LoadDatabase(std::move(*database));
-  if (args.Has("index")) {
-    Status status = engine.LoadIndexFrom(args.Get("index"));
-    if (!status.ok()) return Fail(status);
-  } else {
-    std::fprintf(stderr, "(no --index given; building in memory)\n");
-    Status status = engine.BuildIndex();
-    if (!status.ok()) return Fail(status);
-  }
-
   QueryParams params;
   params.gamma = args.GetDouble("gamma");
   params.alpha = args.GetDouble("alpha");
   params.top_k = static_cast<size_t>(args.GetInt("top_k"));
   params.seed = static_cast<uint64_t>(args.GetInt("seed"));
+
   QueryStats stats;
-  Result<std::vector<QueryMatch>> matches =
-      engine.Query(*query_matrix, params, &stats);
+  Result<std::vector<QueryMatch>> matches = std::vector<QueryMatch>{};
+  if (shards > 1) {
+    std::fprintf(stderr, "(sharding across %zu in-memory engines)\n", shards);
+    ThreadPool pool;
+    ShardedEngineOptions options;
+    options.num_shards = shards;
+    ShardedEngine engine(options, &pool);
+    engine.LoadDatabase(std::move(*database));
+    Status status = engine.BuildIndex();
+    if (!status.ok()) return Fail(status);
+    matches = engine.Query(*query_matrix, params, &stats);
+  } else {
+    ImGrnEngine engine;
+    engine.LoadDatabase(std::move(*database));
+    if (args.Has("index")) {
+      Status status = engine.LoadIndexFrom(args.Get("index"));
+      if (!status.ok()) return Fail(status);
+    } else {
+      std::fprintf(stderr, "(no --index given; building in memory)\n");
+      Status status = engine.BuildIndex();
+      if (!status.ok()) return Fail(status);
+    }
+    matches = engine.Query(*query_matrix, params, &stats);
+  }
   if (!matches.ok()) return Fail(matches.status());
 
   std::printf("query: %zu genes, %zu inferred edges (gamma=%.2f)\n",
