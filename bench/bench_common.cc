@@ -82,6 +82,38 @@ GeneDatabase BuildSyntheticDatabase(const std::string& distribution,
   return GenerateSyntheticDatabase(config);
 }
 
+GeneDatabase BuildZipfSkewedDatabase(const std::string& distribution,
+                                     const BenchDefaults& defaults,
+                                     double exponent) {
+  SyntheticConfig config;
+  config.num_matrices = defaults.num_matrices;
+  config.genes_min = defaults.genes_min;
+  config.genes_max = defaults.genes_max;
+  config.samples_min = defaults.samples_min;
+  config.samples_max = defaults.samples_max;
+  config.weight_distribution = distribution == "Gau"
+                                   ? EdgeWeightDistribution::kGaussian
+                                   : EdgeWeightDistribution::kUniform;
+  config.gene_universe = std::max<GeneId>(
+      1000, static_cast<GeneId>(defaults.num_matrices * 5 / 2));
+  config.seed = defaults.seed;
+
+  GeneDatabase database;
+  Rng rng(config.seed ^ 0x21BFu);
+  for (SourceId i = 0; i < config.num_matrices; ++i) {
+    const double scale = std::pow(static_cast<double>(i + 1), -exponent);
+    const size_t num_genes = std::max(
+        config.genes_min,
+        static_cast<size_t>(static_cast<double>(config.genes_max) * scale));
+    const size_t num_samples =
+        config.samples_min +
+        rng.UniformUint64(config.samples_max - config.samples_min + 1);
+    database.Add(
+        GenerateSyntheticMatrix(i, num_genes, num_samples, config, &rng));
+  }
+  return database;
+}
+
 GeneDatabase BuildRealCombinedDatabase(const BenchDefaults& defaults,
                                        double organism_scale) {
   // One surrogate per organism; database matrices are random sub-matrices.

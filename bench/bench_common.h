@@ -57,6 +57,18 @@ struct BenchDefaults {
 GeneDatabase BuildSyntheticDatabase(const std::string& distribution,
                                     const BenchDefaults& defaults);
 
+/// A Zipf-skewed variant of BuildSyntheticDatabase: matrix i has
+/// max(genes_min, genes_max / (i+1)^exponent) genes, so a few giant
+/// sources dominate the per-query cost (cost ~ genes^2 * samples) the way
+/// a handful of large studies dominate a real literature corpus. The skew
+/// is what makes placement matter: modulo partitioning piles the giants
+/// onto whichever shards their ids hash to, while cost-based bin packing
+/// spreads them (see service/partitioner.h). exponent = 0 degenerates to
+/// every matrix at genes_max.
+GeneDatabase BuildZipfSkewedDatabase(const std::string& distribution,
+                                     const BenchDefaults& defaults,
+                                     double exponent);
+
 /// Builds the paper's "Real" combined data set: N/3 random l x n
 /// sub-matrices extracted from each of the three DREAM5-like organism
 /// surrogates (gene ids offset per organism so labels stay global).

@@ -7,7 +7,16 @@
 // can be tracked across PRs, e.g.:
 //
 //   {"bench":"service_throughput","threads":4,"shards":2,"queries":96,
-//    "qps":812.4,"p50_ms":3.1,"p95_ms":7.9,"speedup_vs_1":3.2}
+//    "qps":812.4,"p50_ms":3.1,"p95_ms":7.9,"speedup_vs_1":3.2,
+//    "partition":"balanced","imbalance":1.04}
+//
+// "imbalance" is max/mean estimated shard load (1.0 = perfect balance);
+// the fan-out latency of a sharded request is bounded by its hottest
+// shard, so qps should be read NEXT TO the imbalance it was achieved at.
+// --partition picks the placement strategy (modulo | balanced) and
+// --zipf=s > 0 draws matrix sizes from a Zipf-like rank decay so a few
+// giant sources dominate the load — the skewed regime where the two
+// strategies actually differ.
 
 #include <cstdio>
 #include <string>
@@ -48,6 +57,10 @@ int Main(int argc, char** argv) {
                {"rounds", "4 | times the query set is replayed per setting"},
                {"threads", "1,2,4,8 | comma-separated worker counts"},
                {"shards", "1 | comma-separated shard counts (1 = unsharded)"},
+               {"partition",
+                "modulo | shard placement: modulo or balanced (LPT)"},
+               {"zipf",
+                "0 | Zipf exponent for skewed matrix sizes (0 = uniform)"},
                {"gamma", "0.5 | inference threshold"},
                {"alpha", "0.5 | appearance threshold"},
                {"num_samples", "1024 | Monte Carlo permutations per query"},
@@ -84,14 +97,27 @@ int Main(int argc, char** argv) {
   params.refine_num_samples = params.query_num_samples;
   params.seed = defaults.seed;
 
+  const std::string partition = flags.GetString("partition");
+  std::shared_ptr<const Partitioner> partitioner = MakePartitioner(partition);
+  if (partitioner == nullptr) {
+    std::fprintf(stderr, "--partition must be 'modulo' or 'balanced'\n");
+    return 1;
+  }
+  const double zipf = flags.GetDouble("zipf");
+  auto make_database = [&] {
+    return zipf > 0 ? BuildZipfSkewedDatabase("Uni", defaults, zipf)
+                    : BuildSyntheticDatabase("Uni", defaults);
+  };
+
   PrintHeader("service_throughput",
               "QueryService queries/sec vs worker threads (shared engine, "
               "full query pipeline per request)",
               "N=" + std::to_string(defaults.num_matrices) +
                   " queries=" + std::to_string(num_queries) +
-                  " rounds=" + std::to_string(rounds));
+                  " rounds=" + std::to_string(rounds) + " partition=" +
+                  partition + " zipf=" + flags.GetString("zipf"));
 
-  GeneDatabase database = BuildSyntheticDatabase("Uni", defaults);
+  GeneDatabase database = make_database();
   ImGrnEngine engine;
   engine.LoadDatabase(std::move(database));
   const Status built = engine.BuildIndex();
@@ -122,7 +148,7 @@ int Main(int argc, char** argv) {
   // Replays the workload through one service and prints the JSON line.
   double qps_at_1 = 0.0;
   auto run_setting = [&](QueryService& service, size_t num_threads,
-                         size_t num_shards) {
+                         size_t num_shards, double imbalance) {
     // One warmup pass (buffer pools, first-touch) outside the clock.
     (void)service.QueryBatch(queries, params);
 
@@ -148,9 +174,11 @@ int Main(int argc, char** argv) {
     std::printf(
         "{\"bench\":\"service_throughput\",\"threads\":%zu,\"shards\":%zu,"
         "\"queries\":%zu,\"failed\":%zu,\"qps\":%.1f,"
-        "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"speedup_vs_1\":%.2f}\n",
+        "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"speedup_vs_1\":%.2f,"
+        "\"partition\":\"%s\",\"imbalance\":%.3f}\n",
         num_threads, num_shards, total, failed, qps, snapshot.latency_p50_ms,
-        snapshot.latency_p95_ms, qps_at_1 > 0 ? qps / qps_at_1 : 0.0);
+        snapshot.latency_p95_ms, qps_at_1 > 0 ? qps / qps_at_1 : 0.0,
+        num_shards > 1 ? partition.c_str() : "none", imbalance);
     std::fflush(stdout);
   };
 
@@ -163,7 +191,7 @@ int Main(int argc, char** argv) {
         // The unsharded baseline: one engine, one buffer pool, whole-index
         // write lock.
         QueryService service(&engine, options);
-        run_setting(service, num_threads, 1);
+        run_setting(service, num_threads, 1, 1.0);
         continue;
       }
       // One pool shared by the service (request parallelism) and the
@@ -173,8 +201,9 @@ int Main(int argc, char** argv) {
       ThreadPool pool(num_threads);
       ShardedEngineOptions sharded_options;
       sharded_options.num_shards = num_shards;
+      sharded_options.partitioner = partitioner;
       ShardedEngine sharded(sharded_options, &pool);
-      sharded.LoadDatabase(BuildSyntheticDatabase("Uni", defaults));
+      sharded.LoadDatabase(make_database());
       const Status sharded_built = sharded.BuildIndex();
       if (!sharded_built.ok()) {
         std::fprintf(stderr, "sharded BuildIndex failed: %s\n",
@@ -182,7 +211,8 @@ int Main(int argc, char** argv) {
         return 1;
       }
       QueryService service(&sharded, &pool, options);
-      run_setting(service, num_threads, num_shards);
+      run_setting(service, num_threads, num_shards,
+                  sharded.StatsSnapshot().imbalance);
     }
   }
   return 0;

@@ -35,4 +35,9 @@ Status SingleEngine::RemoveSource(SourceId source) {
   return engine_->RemoveMatrix(source);
 }
 
+size_t SingleEngine::num_sources() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return engine_->database().size();
+}
+
 }  // namespace imgrn

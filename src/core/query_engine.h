@@ -51,6 +51,10 @@ class QueryEngine {
 
   /// Retracts a data source from query results.
   virtual Status RemoveSource(SourceId source) = 0;
+
+  /// Number of source ids ever assigned (retracted sources included —
+  /// ids are never reused, so this is also the next AddSource id).
+  virtual size_t num_sources() const = 0;
 };
 
 /// QueryEngine over one ImGrnEngine: a reader-writer lock makes the
@@ -81,6 +85,7 @@ class SingleEngine : public QueryEngine {
 
   Status AddSource(GeneMatrix matrix) override;
   Status RemoveSource(SourceId source) override;
+  size_t num_sources() const override;
 
   ImGrnEngine& engine() { return *engine_; }
 

@@ -1,7 +1,11 @@
 #include "service/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <future>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -27,60 +31,138 @@ Status ValidateParams(const QueryParams& params) {
 std::string ShardedEngineStatsSnapshot::DebugString() const {
   std::string out;
   for (const ShardStats& shard : shards) {
+    char load[32];
+    std::snprintf(load, sizeof(load), "%.3g", shard.cost);
     out += "shard" + std::to_string(shard.shard) +
-           ": sources=" + std::to_string(shard.sources) +
+           ": sources=" + std::to_string(shard.sources) + " load=" + load +
            " sub_queries=" + std::to_string(shard.sub_queries) +
            " errors=" + std::to_string(shard.sub_query_errors) +
            " in_flight=" + std::to_string(shard.in_flight) + "\n";
   }
+  char line[64];
+  std::snprintf(line, sizeof(line), "imbalance=%.3f (max/mean shard load)\n",
+                imbalance);
+  out += line;
   return out;
 }
 
+ShardedEngine::TopologyPin::TopologyPin(const ShardedEngine& engine) {
+  std::lock_guard<std::mutex> lock(engine.topology_mutex_);
+  topology_ = engine.topology_;
+  topology_->pins.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ShardedEngine::TopologyPin::~TopologyPin() {
+  topology_->pins.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 ShardedEngine::ShardedEngine(ShardedEngineOptions options, ThreadPool* pool)
-    : options_(std::move(options)), pool_(pool) {
+    : options_(std::move(options)),
+      partitioner_(options_.partitioner != nullptr
+                       ? options_.partitioner
+                       : std::make_shared<ModuloPartitioner>()),
+      pool_(pool) {
   IMGRN_CHECK_GE(options_.num_shards, 1u);
-  shards_.reserve(options_.num_shards);
+  auto topology = std::make_shared<Topology>();
+  topology->shards.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(options_.engine));
+    topology->shards.push_back(std::make_shared<Shard>(options_.engine));
+  }
+  topology_ = std::move(topology);
+}
+
+void ShardedEngine::Publish(std::shared_ptr<const Topology> topology) {
+  std::lock_guard<std::mutex> lock(topology_mutex_);
+  if (topology_ != nullptr) {
+    topology_history_.erase(
+        std::remove_if(topology_history_.begin(), topology_history_.end(),
+                       [](const std::weak_ptr<const Topology>& entry) {
+                         return entry.expired();
+                       }),
+        topology_history_.end());
+    topology_history_.push_back(topology_);
+  }
+  topology_ = std::move(topology);
+}
+
+void ShardedEngine::DrainOlder(const Topology& newest) const {
+  // A pin count only rises while its topology is the published one; every
+  // topology in the history has a successor, so each count can only fall
+  // and this terminates as soon as the in-flight queries of the older
+  // snapshots finish.
+  for (;;) {
+    std::shared_ptr<const Topology> pinned;
+    {
+      std::lock_guard<std::mutex> lock(topology_mutex_);
+      for (const std::weak_ptr<const Topology>& entry : topology_history_) {
+        std::shared_ptr<const Topology> topology = entry.lock();
+        if (topology != nullptr && topology.get() != &newest &&
+            topology->pins.load(std::memory_order_acquire) != 0) {
+          pinned = std::move(topology);
+          break;
+        }
+      }
+    }
+    if (pinned == nullptr) return;
+    while (pinned->pins.load(std::memory_order_acquire) != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
   }
 }
 
 void ShardedEngine::LoadDatabase(GeneDatabase database) {
-  const size_t num_shards = options_.num_shards;
-  shards_.clear();
-  shards_.reserve(num_shards);
+  const size_t num_shards = this->num_shards();
+  auto next = std::make_shared<Topology>();
+  next->shards.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(options_.engine));
+    next->shards.push_back(std::make_shared<Shard>(options_.engine));
   }
-  std::vector<GeneDatabase> parts(num_shards);
+
   const size_t total = database.size();
+  source_cost_ = EstimateSourceCosts(database);
+  retracted_.assign(total, false);
+  PartitionPlan plan = partitioner_->Partition(source_cost_, num_shards);
+  IMGRN_CHECK_OK(plan.Validate(total));
+
+  std::vector<GeneDatabase> parts(num_shards);
   for (SourceId global = 0; global < total; ++global) {
-    const size_t s = ShardOf(global);
+    const size_t s = plan.shard_of[global];
     GeneMatrix matrix = std::move(database.mutable_matrix(global));
     matrix.set_source_id(static_cast<SourceId>(parts[s].size()));
     parts[s].Add(std::move(matrix));
-    shards_[s]->local_to_global.push_back(global);
+    next->shards[s]->local_to_global.push_back(global);
+    next->shards[s]->active.push_back(true);
   }
   for (size_t s = 0; s < num_shards; ++s) {
-    shards_[s]->active_sources.store(shards_[s]->local_to_global.size(),
-                                     std::memory_order_relaxed);
+    Shard& shard = *next->shards[s];
+    shard.active_sources.store(shard.local_to_global.size(),
+                               std::memory_order_relaxed);
+    double cost = 0.0;
+    for (SourceId global : shard.local_to_global) {
+      cost += source_cost_[global];
+    }
+    shard.cost.store(cost, std::memory_order_relaxed);
     if (parts[s].empty()) continue;
-    shards_[s]->engine.LoadDatabase(std::move(parts[s]));
+    shard.engine.LoadDatabase(std::move(parts[s]));
   }
+  next->shard_of = std::move(plan.shard_of);
   next_source_ = total;
   built_ = false;
+  Publish(std::move(next));
 }
 
 Status ShardedEngine::BuildIndex() {
   if (next_source_ == 0) {
     return Status::FailedPrecondition("no database loaded");
   }
+  TopologyPin topology(*this);
   // Build every populated shard's index; the builds are independent, so
   // fan them out when a pool is available.
-  std::vector<Status> statuses(shards_.size(), Status::Ok());
+  const size_t num_shards = topology->shards.size();
+  std::vector<Status> statuses(num_shards, Status::Ok());
   std::vector<std::future<void>> futures;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    Shard& shard = *shards_[s];
+  for (size_t s = 0; s < num_shards; ++s) {
+    Shard& shard = *topology->shards[s];
     if (shard.local_to_global.empty()) continue;
     auto build = [&shard, &status = statuses[s]] {
       status = shard.engine.BuildIndex();
@@ -148,7 +230,11 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
   }
 
   Stopwatch total_timer;
-  const size_t num_shards = shards_.size();
+  // Pin one topology for the whole fan-out: a consistent shard list and
+  // partition map even while a Rebalance/Resize runs concurrently (its
+  // delete phase waits for this pin to drop).
+  TopologyPin topology(*this);
+  const size_t num_shards = topology->shards.size();
   std::vector<Result<std::vector<QueryMatch>>> results(
       num_shards, Result<std::vector<QueryMatch>>(std::vector<QueryMatch>{}));
   std::vector<QueryStats> shard_stats(num_shards);
@@ -161,11 +247,11 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
     std::vector<std::future<Result<std::vector<QueryMatch>>>> futures;
     futures.reserve(num_shards);
     for (size_t s = 0; s < num_shards; ++s) {
-      const Shard& shard = *shards_[s];
       futures.push_back(pool_->Submit(
-          [this, &shard, &query_graph, &params, local_stats = &shard_stats[s],
-           control] {
-            return RunShard(shard, query_graph, params, local_stats, control);
+          [this, &topology = *topology, s, &query_graph, &params,
+           local_stats = &shard_stats[s], control] {
+            return RunShard(topology, s, query_graph, params, local_stats,
+                            control);
           }));
     }
     for (size_t s = 0; s < num_shards; ++s) {
@@ -174,8 +260,8 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
     }
   } else {
     for (size_t s = 0; s < num_shards; ++s) {
-      results[s] = RunShard(*shards_[s], query_graph, params, &shard_stats[s],
-                            control);
+      results[s] = RunShard(*topology, s, query_graph, params,
+                            &shard_stats[s], control);
     }
   }
 
@@ -184,10 +270,9 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
     if (!result.ok()) return result.status();
   }
 
-  // Merge: globals ascend within each shard already; a plain sort restores
-  // the single-engine source order, then the top_k policy applies to the
-  // merged set (per-shard truncation kept a superset of each shard's
-  // global-top-k contribution).
+  // Merge: a plain sort restores the single-engine source order, then the
+  // top_k policy is applied ONCE over the merged set (sub-queries ran with
+  // top_k disabled, so nothing was truncated per shard).
   std::vector<QueryMatch> merged;
   for (Result<std::vector<QueryMatch>>& result : results) {
     for (QueryMatch& match : *result) {
@@ -232,20 +317,22 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
 Result<std::vector<QueryMatch>> ShardedEngine::QueryShard(
     size_t shard, const ProbGraph& query_graph, const QueryParams& params,
     QueryStats* stats, const QueryControl* control) const {
-  if (shard >= shards_.size()) {
+  TopologyPin topology(*this);
+  if (shard >= topology->shards.size()) {
     return Status::InvalidArgument("shard index out of range");
   }
   if (!built_) {
     return Status::FailedPrecondition("BuildIndex() has not run");
   }
   IMGRN_RETURN_IF_ERROR(ValidateParams(params));
-  return RunShard(*shards_[shard], query_graph, params, stats, control);
+  return RunShard(*topology, shard, query_graph, params, stats, control);
 }
 
 Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
-    const Shard& shard, const ProbGraph& query_graph,
-    const QueryParams& params, QueryStats* stats,
-    const QueryControl* control) const {
+    const Topology& topology, size_t shard_index,
+    const ProbGraph& query_graph, const QueryParams& params,
+    QueryStats* stats, const QueryControl* control) const {
+  const Shard& shard = *topology.shards[shard_index];
   shard.sub_queries_started.fetch_add(1, std::memory_order_relaxed);
   Result<std::vector<QueryMatch>> result = [&]() ->
       Result<std::vector<QueryMatch>> {
@@ -253,16 +340,43 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
         if (!shard.built) {
           return std::vector<QueryMatch>{};  // Empty shard: no matches.
         }
-        Result<std::vector<QueryMatch>> local =
-            shard.engine.QueryWithGraph(query_graph, params, stats, control);
+        // The top_k policy is applied once, over the merged set: a
+        // sub-query must never truncate, because while a source is
+        // migrating it is materialized on two shards and the copy this
+        // snapshot does NOT own could push a real answer off a per-shard
+        // top-k before the filter below removes it.
+        QueryParams shard_params = params;
+        shard_params.top_k = 0;
+        Result<std::vector<QueryMatch>> local = shard.engine.QueryWithGraph(
+            query_graph, shard_params, stats, control);
         if (!local.ok()) return local.status();
         // Remap shard-local ids to global source ids while the reader lock
-        // still pins local_to_global.
+        // still pins local_to_global, and keep only the sources this
+        // query's partition map assigns to this shard — a migrating source
+        // is counted exactly once, at its owner under the pinned map.
+        // Sources appended after the map was published pass through: an
+        // appended source lives on exactly one shard for as long as any
+        // older topology stays pinned (AddSource publishes, and a
+        // rebalance starts by draining every pre-publish pin).
+        std::vector<QueryMatch> kept;
+        kept.reserve(local->size());
         for (QueryMatch& match : *local) {
           IMGRN_CHECK_LT(match.source, shard.local_to_global.size());
-          match.source = shard.local_to_global[match.source];
+          const SourceId global = shard.local_to_global[match.source];
+          if (global < topology.shard_of.size() &&
+              topology.shard_of[global] != shard_index) {
+            continue;
+          }
+          match.source = global;
+          kept.push_back(std::move(match));
         }
-        return local;
+        // Migration appends globals out of order; restore the ascending
+        // source order sub-results are documented to have.
+        std::sort(kept.begin(), kept.end(),
+                  [](const QueryMatch& a, const QueryMatch& b) {
+                    return a.source < b.source;
+                  });
+        return kept;
       }();
   if (!result.ok()) {
     shard.sub_query_errors.fetch_add(1, std::memory_order_relaxed);
@@ -271,17 +385,19 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
   return result;
 }
 
-Status ShardedEngine::AddSource(GeneMatrix matrix) {
-  std::lock_guard<std::mutex> routing(update_mutex_);
-  if (!built_) {
-    return Status::FailedPrecondition("BuildIndex() has not run");
+int64_t ShardedEngine::ActiveLocalOf(const Shard& shard, SourceId global) {
+  // Scan from the back: migrated-in entries (the common lookup after a
+  // rebalance) sit at the end, and at most one entry per global is active.
+  for (size_t i = shard.local_to_global.size(); i > 0; --i) {
+    if (shard.local_to_global[i - 1] == global && shard.active[i - 1]) {
+      return static_cast<int64_t>(i - 1);
+    }
   }
-  if (matrix.source_id() != next_source_) {
-    return Status::InvalidArgument(
-        "new matrix's source id must equal num_sources()");
-  }
-  const SourceId global = matrix.source_id();
-  Shard& shard = *shards_[ShardOf(global)];
+  return -1;
+}
+
+Status ShardedEngine::AppendToShardLocked(Shard& shard, GeneMatrix matrix,
+                                          SourceId global, double cost) {
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
   if (!shard.built) {
     // First source of a previously empty shard: bootstrap its engine.
@@ -297,8 +413,49 @@ Status ShardedEngine::AddSource(GeneMatrix matrix) {
     IMGRN_RETURN_IF_ERROR(shard.engine.AddMatrix(std::move(matrix)));
   }
   shard.local_to_global.push_back(global);
+  shard.active.push_back(true);
   shard.active_sources.fetch_add(1, std::memory_order_relaxed);
+  shard.cost.store(shard.cost.load(std::memory_order_relaxed) + cost,
+                   std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ShardedEngine::AddSource(GeneMatrix matrix) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  if (matrix.source_id() != next_source_) {
+    return Status::InvalidArgument(
+        "new matrix's source id must equal num_sources()");
+  }
+  const SourceId global = matrix.source_id();
+  const double cost = EstimateSourceCost(matrix);
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  std::vector<double> shard_costs;
+  shard_costs.reserve(current->shards.size());
+  for (const std::shared_ptr<Shard>& shard : current->shards) {
+    shard_costs.push_back(shard->cost.load(std::memory_order_relaxed));
+  }
+  const size_t s = partitioner_->PlaceSource(global, cost, shard_costs);
+  IMGRN_CHECK_LT(s, current->shards.size());
+  IMGRN_RETURN_IF_ERROR(
+      AppendToShardLocked(*current->shards[s], std::move(matrix), global,
+                          cost));
+  source_cost_.push_back(cost);
+  retracted_.push_back(false);
   ++next_source_;
+  // Publish the extended map AFTER the data is in place, so every query
+  // that can see the map entry finds the source on its shard.
+  auto next = std::make_shared<Topology>();
+  next->shards = current->shards;
+  next->shard_of = current->shard_of;
+  next->shard_of.push_back(static_cast<uint32_t>(s));
+  Publish(std::move(next));
   return Status::Ok();
 }
 
@@ -307,19 +464,189 @@ Status ShardedEngine::RemoveSource(SourceId source) {
   if (!built_) {
     return Status::FailedPrecondition("BuildIndex() has not run");
   }
-  Shard& shard = *shards_[ShardOf(source)];
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  const auto it = std::lower_bound(shard.local_to_global.begin(),
-                                   shard.local_to_global.end(), source);
-  if (it == shard.local_to_global.end() || *it != source) {
+  if (source >= next_source_) {
     return Status::InvalidArgument("unknown source id");
   }
-  const SourceId local = static_cast<SourceId>(
-      std::distance(shard.local_to_global.begin(), it));
-  IMGRN_RETURN_IF_ERROR(shard.engine.RemoveMatrix(local));
-  ++shard.removed;
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  Shard& shard = *current->shards[current->shard_of[source]];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  const int64_t local = ActiveLocalOf(shard, source);
+  if (local < 0) {
+    return Status::FailedPrecondition("matrix already removed");
+  }
+  IMGRN_RETURN_IF_ERROR(
+      shard.engine.RemoveMatrix(static_cast<SourceId>(local)));
+  shard.active[static_cast<size_t>(local)] = false;
   shard.active_sources.fetch_sub(1, std::memory_order_relaxed);
+  shard.cost.store(
+      shard.cost.load(std::memory_order_relaxed) - source_cost_[source],
+      std::memory_order_relaxed);
+  retracted_[source] = true;
   return Status::Ok();
+}
+
+Status ShardedEngine::Rebalance(const PartitionPlan& plan) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  if (plan.num_shards != current->shards.size()) {
+    return Status::InvalidArgument(
+        "plan has " + std::to_string(plan.num_shards) + " shards, engine " +
+        std::to_string(current->shards.size()));
+  }
+  IMGRN_RETURN_IF_ERROR(plan.Validate(next_source_));
+  return MigrateLocked(current->shards, plan.shard_of);
+}
+
+Status ShardedEngine::Resize(size_t new_num_shards) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (new_num_shards == 0) {
+    return Status::InvalidArgument("shard count must be >= 1");
+  }
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  // Shards keep their identity below min(K, K'): the partitioner decides
+  // placement, the migration moves only what it reassigns.
+  std::vector<std::shared_ptr<Shard>> target_shards;
+  target_shards.reserve(new_num_shards);
+  for (size_t i = 0; i < new_num_shards; ++i) {
+    if (i < current->shards.size()) {
+      target_shards.push_back(current->shards[i]);
+    } else {
+      target_shards.push_back(std::make_shared<Shard>(options_.engine));
+    }
+  }
+  // Retracted sources carry no load; zero them out so the plan packs only
+  // live cost (their map entries are still assigned, arbitrarily).
+  std::vector<double> costs = source_cost_;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (retracted_[i]) costs[i] = 0.0;
+  }
+  PartitionPlan plan = partitioner_->Partition(costs, new_num_shards);
+  IMGRN_RETURN_IF_ERROR(plan.Validate(next_source_));
+  return MigrateLocked(std::move(target_shards), std::move(plan.shard_of));
+}
+
+Status ShardedEngine::MigrateLocked(
+    std::vector<std::shared_ptr<Shard>> target_shards,
+    std::vector<uint32_t> target_map) {
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  // The moving set: active sources whose owner changes. Shard indices
+  // shared between the lists refer to the same Shard object, so an
+  // unchanged assignment never moves, even across a Resize.
+  std::vector<std::vector<SourceId>> incoming(target_shards.size());
+  size_t moves = 0;
+  for (SourceId global = 0; global < next_source_; ++global) {
+    if (retracted_[global]) continue;
+    if (target_map[global] == current->shard_of[global]) continue;
+    incoming[target_map[global]].push_back(global);
+    ++moves;
+  }
+  const bool same_shards = target_shards == current->shards;
+  if (moves == 0 && same_shards) {
+    if (target_map != current->shard_of) {
+      // Only retracted sources were reassigned: publish the new map so
+      // ShardOf/Rebalance see it, but nothing migrates.
+      auto relabeled = std::make_shared<Topology>();
+      relabeled->shards = std::move(target_shards);
+      relabeled->shard_of = std::move(target_map);
+      Publish(std::move(relabeled));
+    }
+    return Status::Ok();
+  }
+
+  // Step 1 — cut over new pins to a fresh topology object with UNCHANGED
+  // ownership, then wait for the pins of every older one to drain. From
+  // here on, all in-flight queries hold a map that covers every current
+  // source (so none relies on the pass-through rule for a source this
+  // migration is about to duplicate).
+  auto mid = std::make_shared<Topology>();
+  mid->shards = current->shards;
+  mid->shard_of = current->shard_of;
+  Publish(mid);
+  DrainOlder(*mid);
+
+  // Step 2 — copy every moving source into its destination shard (write
+  // lock per append). The old copies stay in place and stay authoritative:
+  // in-flight queries pinned to `mid` filter the new copies out.
+  for (size_t d = 0; d < target_shards.size(); ++d) {
+    for (SourceId global : incoming[d]) {
+      Shard& dst = *target_shards[d];
+      Shard& src = *current->shards[current->shard_of[global]];
+      {
+        // A failed earlier migration can leave an already-active copy on
+        // the destination; reuse it instead of duplicating the engine
+        // entry (matrix data is immutable, so the copy is current).
+        std::shared_lock<std::shared_mutex> check(dst.mutex);
+        if (ActiveLocalOf(dst, global) >= 0) continue;
+      }
+      const int64_t src_local = ActiveLocalOf(src, global);
+      IMGRN_CHECK_GE(src_local, 0);
+      GeneMatrix copy =
+          src.engine.database().matrix(static_cast<SourceId>(src_local));
+      IMGRN_RETURN_IF_ERROR(AppendToShardLocked(dst, std::move(copy), global,
+                                                source_cost_[global]));
+    }
+  }
+
+  // Step 3 — publish the new ownership, then drain the queries still
+  // pinned to the old map. New queries find every moved source on its new
+  // shard (copied above); drained ones found it on the old.
+  auto next = std::make_shared<Topology>();
+  next->shards = std::move(target_shards);
+  next->shard_of = target_map;
+  Publish(next);
+  DrainOlder(*next);
+
+  // Step 4 — delete the moved sources from their old shards. Shards that
+  // are not part of the new topology are skipped: no new query can reach
+  // them, and the object is retired when its last pin unwinds.
+  for (SourceId global = 0; global < next_source_; ++global) {
+    if (retracted_[global]) continue;
+    const size_t from = current->shard_of[global];
+    if (target_map[global] == from) continue;
+    if (from >= next->shards.size() ||
+        next->shards[from] != current->shards[from]) {
+      continue;
+    }
+    Shard& src = *current->shards[from];
+    std::unique_lock<std::shared_mutex> lock(src.mutex);
+    const int64_t local = ActiveLocalOf(src, global);
+    IMGRN_CHECK_GE(local, 0);
+    IMGRN_RETURN_IF_ERROR(
+        src.engine.RemoveMatrix(static_cast<SourceId>(local)));
+    src.active[static_cast<size_t>(local)] = false;
+    src.active_sources.fetch_sub(1, std::memory_order_relaxed);
+    src.cost.store(
+        src.cost.load(std::memory_order_relaxed) - source_cost_[global],
+        std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+size_t ShardedEngine::num_shards() const {
+  std::lock_guard<std::mutex> lock(topology_mutex_);
+  return topology_->shards.size();
 }
 
 size_t ShardedEngine::num_sources() const {
@@ -327,14 +654,24 @@ size_t ShardedEngine::num_sources() const {
   return next_source_;
 }
 
+size_t ShardedEngine::ShardOf(SourceId source) const {
+  std::lock_guard<std::mutex> lock(topology_mutex_);
+  IMGRN_CHECK_LT(source, topology_->shard_of.size());
+  return topology_->shard_of[source];
+}
+
 ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
+  TopologyPin topology(*this);
   ShardedEngineStatsSnapshot snapshot;
-  snapshot.shards.reserve(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    const Shard& shard = *shards_[s];
+  snapshot.shards.reserve(topology->shards.size());
+  std::vector<double> costs;
+  costs.reserve(topology->shards.size());
+  for (size_t s = 0; s < topology->shards.size(); ++s) {
+    const Shard& shard = *topology->shards[s];
     ShardStats stats;
     stats.shard = s;
     stats.sources = shard.active_sources.load(std::memory_order_relaxed);
+    stats.cost = shard.cost.load(std::memory_order_relaxed);
     const uint64_t started =
         shard.sub_queries_started.load(std::memory_order_relaxed);
     stats.sub_queries =
@@ -342,15 +679,18 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
     stats.sub_query_errors =
         shard.sub_query_errors.load(std::memory_order_relaxed);
     stats.in_flight = started - stats.sub_queries;
+    costs.push_back(stats.cost);
     snapshot.shards.push_back(stats);
   }
+  snapshot.imbalance = MaxMeanImbalance(costs);
   return snapshot;
 }
 
 std::shared_mutex& ShardedEngine::shard_mutex_for_testing(
     size_t shard) const {
-  IMGRN_CHECK_LT(shard, shards_.size());
-  return shards_[shard]->mutex;
+  std::lock_guard<std::mutex> lock(topology_mutex_);
+  IMGRN_CHECK_LT(shard, topology_->shards.size());
+  return topology_->shards[shard]->mutex;
 }
 
 }  // namespace imgrn

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/query_engine.h"
+#include "service/partitioner.h"
 #include "service/thread_pool.h"
 
 namespace imgrn {
@@ -19,8 +20,14 @@ struct ShardedEngineOptions {
   /// Number of independent ImGrnEngine shards. Each shard has its own
   /// index, its own R*-tree paged file, and therefore its own buffer pool
   /// — the shared buffer-pool mutex of the single-engine service does not
-  /// exist here.
+  /// exist here. Resize() can change the count at runtime.
   size_t num_shards = 4;
+
+  /// Placement policy: decides which shard owns each source, both for the
+  /// initial LoadDatabase split and for every AddSource. Null means
+  /// ModuloPartitioner (source i -> shard i mod K, the PR-2 behavior).
+  /// See service/partitioner.h; partitioning never affects query results.
+  std::shared_ptr<const Partitioner> partitioner;
 
   /// Engine/index options applied to every shard.
   EngineOptions engine;
@@ -30,6 +37,7 @@ struct ShardedEngineOptions {
 struct ShardStats {
   size_t shard = 0;
   size_t sources = 0;            ///< Active (added minus removed) sources.
+  double cost = 0.0;             ///< Estimated load (EstimateSourceCost sum).
   uint64_t sub_queries = 0;      ///< Finished per-shard sub-queries.
   uint64_t sub_query_errors = 0; ///< Of those, non-OK (incl. cancelled).
   uint64_t in_flight = 0;        ///< Sub-queries running right now.
@@ -38,22 +46,35 @@ struct ShardStats {
 struct ShardedEngineStatsSnapshot {
   std::vector<ShardStats> shards;
 
-  /// One line per shard, e.g. "shard0: sources=3 sub_queries=17 errors=0".
+  /// max/mean of the per-shard cost gauges (1.0 = perfectly balanced,
+  /// num_shards = all load on one shard). Fan-out latency is bounded by
+  /// the hottest shard, so this is the skew penalty a rebalance removes.
+  double imbalance = 1.0;
+
+  /// One line per shard, e.g.
+  /// "shard0: sources=3 load=1.2e5 sub_queries=17 errors=0 in_flight=0",
+  /// then an "imbalance=" summary line.
   std::string DebugString() const;
 };
 
-/// A database hash-partitioned across K independent ImGrnEngine instances
-/// (shard of source i = i mod K), queried with fan-out/merge.
+/// A database partitioned across K independent ImGrnEngine instances,
+/// queried with fan-out/merge. The partition map is pluggable (see
+/// ShardedEngineOptions::partitioner) and can be changed while the engine
+/// serves: Rebalance(plan) migrates sources between shards, Resize(K')
+/// changes the shard count — both without a reload and without ever
+/// perturbing query results.
 ///
 /// Why: the single-engine QueryService write-locks the WHOLE index for
 /// every AddMatrix/RemoveMatrix, and all queries contend on one buffer
 /// pool. Here an update routes to exactly one shard and only write-locks
 /// that shard's reader-writer lock — queries keep running on the other
 /// K-1 shards — and every shard traverses its own R*-tree over its own
-/// buffer pool.
+/// buffer pool. Modulo placement, however, cannot rebalance a skewed
+/// source-size distribution (one hot shard serializes the fan-out), hence
+/// the cost-based partitioners and online rebalancing.
 ///
 /// Query semantics are bit-identical to a single ImGrnEngine over the
-/// unpartitioned database, for every K:
+/// unpartitioned database, for every shard count and every partition map:
 ///   - the query GRN is inferred ONCE (same seed, same stream), then fanned
 ///     out to each shard as a sub-query over that shard's sources;
 ///   - refinement probabilities are per-source deterministic regardless of
@@ -61,13 +82,30 @@ struct ShardedEngineStatsSnapshot {
 ///     inference/permutation_cache.h);
 ///   - matches come back with shard-local ids, are remapped to global
 ///     source ids, merged in ascending source order, and the top_k policy
-///     is applied to the merged set (each shard's top-k is a superset of
-///     its contribution to the global top-k, so per-shard truncation loses
-///     nothing);
+///     is applied once to the merged set (sub-queries run with top_k
+///     disabled so per-shard truncation can never hide a global winner);
 ///   - index pruning only ever discards non-answers, so different per-shard
 ///     pivots change work, not results.
-/// tests/sharded_engine_test.cc enforces this differentially for
-/// K in {1, 2, 4, 7}.
+/// tests/sharded_engine_test.cc enforces this differentially across shard
+/// counts; tests/partition_invariance_test.cc enforces it for arbitrary
+/// partition maps (random, empty shards, all-in-one) and across live
+/// Rebalance/Resize.
+///
+/// Topology and the rebalance protocol: the shard list and the partition
+/// map live in one immutable Topology object published behind a mutex.
+/// Every query pins the current topology for its whole fan-out (a
+/// pin count on the topology object) and filters each shard's matches
+/// through the pinned map, so a query is answered by exactly one owner per
+/// source even while sources are in flight between shards. A migration
+/// step is: copy the moving sources into their destination shards (under
+/// those shards' write locks), publish the new topology, wait for every
+/// query pinned to an older topology to drain, then delete the moved
+/// sources from their old shards. Between the copy and the delete a moving
+/// source is materialized on two shards, but the map filter guarantees
+/// each query counts it exactly once — old-topology queries see it on the
+/// old owner (whose data outlives them), new-topology queries on the new.
+/// Queries on shards untouched by the plan never block; updates
+/// (AddSource/RemoveSource) serialize with a rebalance in progress.
 ///
 /// Fan-out runs on the ThreadPool passed at construction (pass null to run
 /// sub-queries sequentially on the calling thread). The pool may be shared
@@ -80,10 +118,10 @@ struct ShardedEngineStatsSnapshot {
 /// first — no orphaned tasks). A cancelled/expired QueryControl fans out
 /// to every shard, so all sub-queries unwind at their next checkpoint.
 ///
-/// Thread safety: Query/QueryWithGraph/AddSource/RemoveSource are safe
-/// from any thread once BuildIndex has run (the QueryEngine contract).
-/// LoadDatabase/BuildIndex are setup-phase calls: no other call may
-/// overlap them.
+/// Thread safety: Query/QueryWithGraph/AddSource/RemoveSource/Rebalance/
+/// Resize/StatsSnapshot are safe from any thread once BuildIndex has run
+/// (the QueryEngine contract). LoadDatabase/BuildIndex are setup-phase
+/// calls: no other call may overlap them.
 class ShardedEngine : public QueryEngine {
  public:
   explicit ShardedEngine(ShardedEngineOptions options = {},
@@ -92,8 +130,9 @@ class ShardedEngine : public QueryEngine {
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  /// Partitions the database across the shards (source i goes to shard
-  /// i mod K, remapped to that shard's dense local id space). Invalidates
+  /// Partitions the database across the shards following the configured
+  /// partitioner's plan over the per-source cost estimates (each shard's
+  /// slice is remapped to that shard's dense local id space). Invalidates
   /// any previously built indices.
   void LoadDatabase(GeneDatabase database);
 
@@ -112,28 +151,47 @@ class ShardedEngine : public QueryEngine {
       const QueryControl* control = nullptr) const override;
 
   /// Appends a new data source; `matrix.source_id()` must equal
-  /// num_sources(). Write-locks only the owning shard.
+  /// num_sources(). The partitioner picks the owning shard (modulo: id mod
+  /// K; cost-based policies: the least-loaded shard); only that shard is
+  /// write-locked.
   Status AddSource(GeneMatrix matrix) override;
 
   /// Retracts a source from query results. Write-locks only the owning
   /// shard.
   Status RemoveSource(SourceId source) override;
 
-  size_t num_shards() const { return shards_.size(); }
+  /// Migrates sources so that source i lives on shard plan.shard_of[i],
+  /// while queries keep running (see the locking protocol above). The plan
+  /// must cover exactly num_sources() sources over num_shards() shards.
+  /// Retracted sources are accepted in the plan but nothing moves for
+  /// them. Blocks concurrent AddSource/RemoveSource/Rebalance/Resize for
+  /// the duration; queries only ever wait on the shards a migration step
+  /// is actively copying into or deleting from.
+  Status Rebalance(const PartitionPlan& plan);
+
+  /// Re-partitions the database across `new_num_shards` shards (grow or
+  /// shrink) using the configured partitioner, without a reload. Shards
+  /// keep their identity below min(K, K'); dropped shards are retired once
+  /// the last in-flight query pinned to them drains. Same blocking
+  /// behavior as Rebalance.
+  Status Resize(size_t new_num_shards);
+
+  size_t num_shards() const;
 
   /// Total sources ever added (the dense global id space; removed sources
   /// still count — ids are never reused).
-  size_t num_sources() const;
+  size_t num_sources() const override;
 
-  /// Which shard owns a global source id.
-  size_t ShardOf(SourceId source) const {
-    return static_cast<size_t>(source) % shards_.size();
-  }
+  /// Which shard owns a global source id under the CURRENT partition map
+  /// (a Rebalance/Resize may change the answer). `source` must be <
+  /// num_sources().
+  size_t ShardOf(SourceId source) const;
 
   bool has_index() const { return built_; }
 
   /// Runs one shard's sub-query under that shard's reader lock, returning
-  /// matches with GLOBAL source ids (ascending). An empty shard yields an
+  /// matches with GLOBAL source ids (ascending) for the sources the
+  /// current partition map assigns to that shard. An empty shard yields an
   /// empty result. This is the unit Query fans out; it is also useful on
   /// its own (tests, debugging a single shard).
   Result<std::vector<QueryMatch>> QueryShard(
@@ -152,47 +210,128 @@ class ShardedEngine : public QueryEngine {
   struct Shard {
     explicit Shard(const EngineOptions& options) : engine(options) {}
 
-    /// Readers = sub-queries, writer = the update routed to this shard.
+    /// Readers = sub-queries, writer = the update or migration step routed
+    /// to this shard.
     mutable std::shared_mutex mutex;
     ImGrnEngine engine;
 
-    /// Sorted ascending (globals are assigned in increasing order); local
-    /// id i of this shard holds global source local_to_global[i]. Entries
-    /// of removed sources stay (ids are never reused).
+    /// local id i of this shard's engine holds global source
+    /// local_to_global[i]. Entries are never erased (engine local ids are
+    /// never reused); active[i] is false once the source was retracted or
+    /// migrated away. A source that migrates away and later returns gets a
+    /// fresh local id, so a global id may appear twice with at most one
+    /// entry active.
     std::vector<SourceId> local_to_global;
+    std::vector<bool> active;
 
     /// Engine holds a database with a built index. False for a shard that
     /// never received a source.
     bool built = false;
-    size_t removed = 0;
 
-    /// local_to_global.size() - removed, mirrored atomically so
+    /// Count and estimated cost of active sources, mirrored atomically so
     /// StatsSnapshot never has to touch `mutex` (it stays callable while a
     /// shard is write-locked, e.g. from tests observing an in-flight
-    /// update).
+    /// update). Only threads holding the engine's update lock write them.
     std::atomic<size_t> active_sources{0};
+    std::atomic<double> cost{0.0};
 
     mutable std::atomic<uint64_t> sub_queries_started{0};
     mutable std::atomic<uint64_t> sub_queries_finished{0};
     mutable std::atomic<uint64_t> sub_query_errors{0};
   };
 
-  /// QueryShard body without the public bounds check.
-  Result<std::vector<QueryMatch>> RunShard(const Shard& shard,
+  /// The unit of atomicity for queries: an immutable shard list + partition
+  /// map, published as a whole. Queries pin one topology for their entire
+  /// fan-out; Rebalance/Resize publish a successor and wait for the pins
+  /// on the predecessor to drain before deleting migrated data.
+  struct Topology {
+    std::vector<std::shared_ptr<Shard>> shards;
+
+    /// Global source id -> owning shard index (size = sources known when
+    /// this topology was published; later-added sources are absent and
+    /// pass the query filter on whichever single shard holds them).
+    std::vector<uint32_t> shard_of;
+
+    /// Queries currently pinned to this topology. Incremented only under
+    /// topology_mutex_ while this is the published topology, so once a
+    /// successor is published the count can only fall.
+    mutable std::atomic<int64_t> pins{0};
+  };
+
+  /// RAII pin: snapshots the published topology and holds it for the
+  /// caller's lifetime.
+  class TopologyPin {
+   public:
+    explicit TopologyPin(const ShardedEngine& engine);
+    ~TopologyPin();
+    TopologyPin(const TopologyPin&) = delete;
+    TopologyPin& operator=(const TopologyPin&) = delete;
+    const Topology& operator*() const { return *topology_; }
+    const Topology* operator->() const { return topology_.get(); }
+
+   private:
+    std::shared_ptr<const Topology> topology_;
+  };
+
+  /// QueryShard body without the public bounds check. `topology` is the
+  /// pinned snapshot whose map filters the shard's matches.
+  Result<std::vector<QueryMatch>> RunShard(const Topology& topology,
+                                           size_t shard_index,
                                            const ProbGraph& query_graph,
                                            const QueryParams& params,
                                            QueryStats* stats,
                                            const QueryControl* control) const;
 
-  ShardedEngineOptions options_;
-  ThreadPool* pool_;  // May be null (sequential fan-out); not owned.
-  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Publishes `topology` as the current one (under topology_mutex_) and
+  /// records the outgoing topology in the drain history.
+  void Publish(std::shared_ptr<const Topology> topology);
 
-  /// Serializes AddSource/RemoveSource with each other (routing metadata:
-  /// next_source_). Queries never touch this mutex — an update only
-  /// contends with sub-queries of its own shard, via that shard's mutex.
+  /// Blocks until every query pinned to any topology OLDER than `newest`
+  /// has finished. Draining only the immediate predecessor is not enough:
+  /// AddSource publishes intermediate topologies, so at migration time a
+  /// query may still hold a map several generations back (one that does
+  /// not even cover a recently added source). Must not hold any shard lock
+  /// (drained queries may need them to finish); callers hold
+  /// update_mutex_, which queries never take.
+  void DrainOlder(const Topology& newest) const;
+
+  /// Shared migration machinery of Rebalance and Resize: moves every
+  /// active source to target_map's shard, over the target_shards list
+  /// (which reuses the current Shard objects for indices they share).
+  /// Caller holds update_mutex_.
+  Status MigrateLocked(std::vector<std::shared_ptr<Shard>> target_shards,
+                       std::vector<uint32_t> target_map);
+
+  /// Appends `matrix` (a global source) to `shard`'s engine under its
+  /// write lock, bootstrapping the engine if the shard was empty.
+  Status AppendToShardLocked(Shard& shard, GeneMatrix matrix, SourceId global,
+                             double cost);
+
+  /// Index of `global`'s active entry in shard.local_to_global, or -1.
+  static int64_t ActiveLocalOf(const Shard& shard, SourceId global);
+
+  ShardedEngineOptions options_;
+  std::shared_ptr<const Partitioner> partitioner_;  // Never null.
+  ThreadPool* pool_;  // May be null (sequential fan-out); not owned.
+
+  /// The published topology. Guarded by topology_mutex_ (pointer reads and
+  /// swaps only; the pointee is immutable apart from its pin count).
+  std::shared_ptr<const Topology> topology_;
+
+  /// Every topology ever superseded, for DrainOlder (weak: a retired
+  /// topology is kept alive only by the queries still pinning it; expired
+  /// entries are pruned on publish). Guarded by topology_mutex_.
+  mutable std::vector<std::weak_ptr<const Topology>> topology_history_;
+  mutable std::mutex topology_mutex_;
+
+  /// Serializes AddSource/RemoveSource/Rebalance/Resize with each other
+  /// (routing + migration metadata below). Queries never touch this mutex
+  /// — an update only contends with sub-queries of its own shard, via that
+  /// shard's mutex.
   mutable std::mutex update_mutex_;
   size_t next_source_ = 0;
+  std::vector<double> source_cost_;  ///< Per global source, for replanning.
+  std::vector<bool> retracted_;      ///< RemoveSource'd global ids.
   bool built_ = false;
 };
 

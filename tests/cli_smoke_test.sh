@@ -50,6 +50,44 @@ if "$IMGRN" query --db="$WORKDIR/db.txt" --index="$WORKDIR/db.idx" \
   exit 1
 fi
 
+# Partition invariance on a skewed database: matrices span 8..40 genes, so
+# the per-source costs are far from uniform. --partition=balanced (LPT over
+# the cost estimates) and --partition=modulo must both match --shards=1
+# exactly — the partitioner only moves load, never answers.
+"$IMGRN" generate --out="$WORKDIR/skew.txt" --n_matrices=16 \
+    --genes_min=8 --genes_max=40 --gene_universe=200 --seed=11 \
+    | grep -q "wrote 16 matrices"
+"$IMGRN" extract-query --db="$WORKDIR/skew.txt" --out="$WORKDIR/sq.txt" \
+    --genes=3 --gamma=0.6 | grep -q "3-gene query"
+"$IMGRN" query --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=1 > "$WORKDIR/skew1.out"
+"$IMGRN" query --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=4 --partition=modulo 2>/dev/null \
+    > "$WORKDIR/skew_mod.out"
+"$IMGRN" query --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=4 --partition=balanced 2>/dev/null \
+    > "$WORKDIR/skew_bal.out"
+grep '^match' "$WORKDIR/skew1.out" > "$WORKDIR/k1" || true
+grep '^match' "$WORKDIR/skew_mod.out" > "$WORKDIR/km" || true
+grep '^match' "$WORKDIR/skew_bal.out" > "$WORKDIR/kb" || true
+test -s "$WORKDIR/k1"  # The skewed query must actually match something.
+diff "$WORKDIR/k1" "$WORKDIR/km"
+diff "$WORKDIR/k1" "$WORKDIR/kb"
+
+# Unknown partition strategies are rejected.
+if "$IMGRN" query --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
+    --shards=4 --partition=bogus 2>/dev/null; then
+  echo "expected failure on unknown --partition" >&2
+  exit 1
+fi
+
+# Online rebalancing: modulo layout -> live LPT migration; the subcommand
+# itself verifies the answers are bit-identical before and after.
+"$IMGRN" rebalance --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
+    --shards=4 --gamma=0.5 --alpha=0.1 > "$WORKDIR/rebalance.out"
+grep -q "rebalance verified:" "$WORKDIR/rebalance.out"
+grep -q "imbalance=" "$WORKDIR/rebalance.out"
+
 "$IMGRN" infer --matrix="$WORKDIR/q.txt" --gamma=0.5 \
     | grep -q "inferred GRN"
 "$IMGRN" infer --matrix="$WORKDIR/q.txt" --measure=correlation \

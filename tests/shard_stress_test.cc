@@ -261,6 +261,170 @@ TEST(ShardStressTest, WriteLockedShardDoesNotBlockOtherShards) {
             (std::set<SourceId>{0, 1, 2, 3, 4, 5, 6, 7}));
 }
 
+TEST(ShardStressTest, QueriesRaceRebalanceWithExactlyOnceVisibility) {
+  // The strongest invariant the rebalance protocol promises: with a FIXED
+  // source set, every query racing a storm of live migrations must return
+  // a result BIT-IDENTICAL to the single engine — a source momentarily
+  // materialized on two shards (mid-copy) must be counted exactly once,
+  // a source mid-delete must still be counted. Any duplicate, gap, or
+  // probability deviation fails immediately.
+  const size_t kSources = 12;
+  const size_t kShards = 4;
+  ThreadPool pool(4);
+  ShardedEngine sharded(Opts(kShards), &pool);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  ImGrnEngine reference;
+  reference.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(reference.BuildIndex().ok());
+  const QueryParams params = DefaultParams();
+  const GeneMatrix query = ClusterQueryMatrix(6400);
+  Result<std::vector<QueryMatch>> expected = reference.Query(query, params);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), kSources);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries_ok{0};
+  std::vector<std::thread> query_threads;
+  for (size_t t = 0; t < 3; ++t) {
+    query_threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<std::vector<QueryMatch>> result = sharded.Query(query, params);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ASSERT_EQ(result->size(), expected->size());
+        for (size_t i = 0; i < expected->size(); ++i) {
+          ASSERT_EQ((*result)[i].source, (*expected)[i].source);
+          ASSERT_EQ((*result)[i].probability, (*expected)[i].probability);
+        }
+        queries_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The migration storm: random full-shuffle plans, including re-submitting
+  // the current map (a no-op migration). Keep shuffling until enough
+  // queries have completed mid-storm for the race to be real.
+  Rng rng(31);
+  for (size_t round = 0;
+       round < 25 || (queries_ok.load() < 6 && round < 5000); ++round) {
+    PartitionPlan plan;
+    plan.num_shards = kShards;
+    for (size_t i = 0; i < kSources; ++i) {
+      plan.shard_of.push_back(round % 5 == 4
+                                  ? static_cast<uint32_t>(sharded.ShardOf(i))
+                                  : static_cast<uint32_t>(
+                                        rng.UniformUint64(kShards)));
+    }
+    ASSERT_TRUE(sharded.Rebalance(plan).ok()) << "round " << round;
+  }
+  stop.store(true);
+  for (std::thread& thread : query_threads) thread.join();
+  EXPECT_GT(queries_ok.load(), 0u);
+
+  // No source lost or duplicated by the storm's bookkeeping either.
+  const ShardedEngineStatsSnapshot snapshot = sharded.StatsSnapshot();
+  size_t total_sources = 0;
+  for (const ShardStats& shard : snapshot.shards) {
+    total_sources += shard.sources;
+    EXPECT_EQ(shard.in_flight, 0u);
+    EXPECT_EQ(shard.sub_query_errors, 0u);
+  }
+  EXPECT_EQ(total_sources, kSources);
+}
+
+TEST(ShardStressTest, QueriesRaceResizeAndUpdatesWithoutGaps) {
+  // Resizes (grow and shrink), adds, and removes interleave while queries
+  // stream. The per-query invariant: the stable sources (never removed) are
+  // present in EVERY result exactly once, and no result contains an id that
+  // never existed. Afterwards the engine differentially equals a single
+  // engine with the same update history.
+  const size_t kInitial = 8;
+  ThreadPool pool(4);
+  ShardedEngine sharded(Opts(4), &pool);
+  sharded.LoadDatabase(MakeDatabase(kInitial));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  const std::set<SourceId> stable = {0, 1, 2, 4, 6, 7};
+  const size_t kFinalSources = 12;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries_ok{0};
+  const QueryParams params = DefaultParams();
+
+  std::vector<std::thread> query_threads;
+  for (size_t t = 0; t < 3; ++t) {
+    query_threads.emplace_back([&, t] {
+      const GeneMatrix query = ClusterQueryMatrix(6500 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<std::vector<QueryMatch>> result = sharded.Query(query, params);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        // Strictly ascending sources == no duplicates in the merge.
+        for (size_t i = 1; i < result->size(); ++i) {
+          ASSERT_LT((*result)[i - 1].source, (*result)[i].source);
+        }
+        const std::set<SourceId> sources = Sources(*result);
+        for (SourceId id : stable) {
+          ASSERT_TRUE(sources.count(id)) << "stable source " << id
+                                         << " missing mid-resize";
+        }
+        for (SourceId id : sources) {
+          ASSERT_LT(id, kFinalSources);
+        }
+        queries_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Storm: resize through growing and shrinking counts, with updates in
+  // between. (Updates and resizes serialize on the engine's update lock;
+  // queries never do.)
+  ASSERT_TRUE(sharded.Resize(2).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(8)).ok());
+  ASSERT_TRUE(sharded.Resize(6).ok());
+  ASSERT_TRUE(sharded.RemoveSource(3).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(9)).ok());
+  ASSERT_TRUE(sharded.Resize(3).ok());
+  ASSERT_TRUE(sharded.RemoveSource(5).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(10)).ok());
+  ASSERT_TRUE(sharded.Resize(1).ok());
+  ASSERT_TRUE(sharded.AddSource(ClusterMatrix(11)).ok());
+  // Keep the topology churning until enough queries have raced an actual
+  // resize (the scripted storm alone can finish before the first query).
+  for (size_t round = 0; queries_ok.load() < 6 && round < 2500; ++round) {
+    ASSERT_TRUE(sharded.Resize(3).ok());
+    ASSERT_TRUE(sharded.Resize(6).ok());
+  }
+  ASSERT_TRUE(sharded.Resize(4).ok());
+
+  stop.store(true);
+  for (std::thread& thread : query_threads) thread.join();
+  EXPECT_GT(queries_ok.load(), 0u);
+  EXPECT_EQ(sharded.num_shards(), 4u);
+  EXPECT_EQ(sharded.num_sources(), kFinalSources);
+
+  ImGrnEngine reference;
+  reference.LoadDatabase(MakeDatabase(kInitial));
+  ASSERT_TRUE(reference.BuildIndex().ok());
+  ASSERT_TRUE(reference.AddMatrix(ClusterMatrix(8)).ok());
+  ASSERT_TRUE(reference.RemoveMatrix(3).ok());
+  ASSERT_TRUE(reference.AddMatrix(ClusterMatrix(9)).ok());
+  ASSERT_TRUE(reference.RemoveMatrix(5).ok());
+  ASSERT_TRUE(reference.AddMatrix(ClusterMatrix(10)).ok());
+  ASSERT_TRUE(reference.AddMatrix(ClusterMatrix(11)).ok());
+
+  const GeneMatrix final_query = ClusterQueryMatrix(6600);
+  Result<std::vector<QueryMatch>> actual = sharded.Query(final_query, params);
+  Result<std::vector<QueryMatch>> expected =
+      reference.Query(final_query, params);
+  ASSERT_TRUE(actual.ok());
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(actual->size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*actual)[i].source, (*expected)[i].source);
+    EXPECT_EQ((*actual)[i].probability, (*expected)[i].probability);
+  }
+}
+
 TEST(ShardStressTest, ConcurrentRemovalsSerializeWithoutLoss) {
   // Many threads race to remove overlapping source sets; exactly one thread
   // wins each source (RemoveSource is atomic per source), every loser gets

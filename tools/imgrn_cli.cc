@@ -9,11 +9,20 @@
 //       Build and persist the IM-GRN index.
 //   imgrn query --db=db.txt --index=db.idx --query=q.txt
 //               [--gamma=0.5] [--alpha=0.5] [--top_k=0] [--shards=1]
+//               [--partition=modulo|balanced]
 //       Run one IM-GRN query; q.txt is a gene matrix file (matrix_io.h).
-//       --shards=K > 1 hash-partitions the database across K in-memory
-//       engines and fans the query out (service/sharded_engine.h); the
-//       matches are identical to --shards=1 by construction. Incompatible
-//       with --index (per-shard indices are built in memory).
+//       --shards=K > 1 partitions the database across K in-memory engines
+//       and fans the query out (service/sharded_engine.h); the matches are
+//       identical to --shards=1 by construction for EVERY --partition
+//       strategy (modulo: source id mod K; balanced: cost-based LPT bin
+//       packing — see service/partitioner.h). Incompatible with --index
+//       (per-shard indices are built in memory).
+//   imgrn rebalance --db=db.txt --query=q.txt [--shards=4] ...
+//       Demo/diagnostic for online rebalancing: load the database
+//       modulo-sharded, report the per-shard load and imbalance, migrate
+//       to a balanced (LPT) plan via ShardedEngine::Rebalance while the
+//       engine stays queryable, report the new imbalance, and verify the
+//       query answers are bit-identical before and after.
 //   imgrn extract-query --db=db.txt --out=q.txt [--genes=5] [--gamma=0.5]
 //       Extract a connected query matrix from the database (for demos).
 //   imgrn infer --matrix=m.txt [--measure=imgrn] [--gamma=0.5]
@@ -151,6 +160,7 @@ int CmdQuery(int argc, char** argv) {
              {"alpha", "0.5"},
              {"top_k", "0"},
              {"shards", "1"},
+             {"partition", "modulo"},
              {"seed", "99"}});
   if (!args.Has("db") || !args.Has("query")) {
     std::fprintf(stderr, "query requires --db=FILE --query=FILE\n");
@@ -159,6 +169,12 @@ int CmdQuery(int argc, char** argv) {
   const size_t shards = static_cast<size_t>(args.GetInt("shards"));
   if (shards == 0) {
     std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  std::shared_ptr<const Partitioner> partitioner =
+      MakePartitioner(args.Get("partition"));
+  if (partitioner == nullptr) {
+    std::fprintf(stderr, "--partition must be 'modulo' or 'balanced'\n");
     return 2;
   }
   if (shards > 1 && args.Has("index")) {
@@ -181,15 +197,20 @@ int CmdQuery(int argc, char** argv) {
   QueryStats stats;
   Result<std::vector<QueryMatch>> matches = std::vector<QueryMatch>{};
   if (shards > 1) {
-    std::fprintf(stderr, "(sharding across %zu in-memory engines)\n", shards);
+    std::fprintf(stderr,
+                 "(sharding across %zu in-memory engines, %s partitioning)\n",
+                 shards, partitioner->name());
     ThreadPool pool;
     ShardedEngineOptions options;
     options.num_shards = shards;
+    options.partitioner = partitioner;
     ShardedEngine engine(options, &pool);
     engine.LoadDatabase(std::move(*database));
     Status status = engine.BuildIndex();
     if (!status.ok()) return Fail(status);
     matches = engine.Query(*query_matrix, params, &stats);
+    std::fprintf(stderr, "(shard load imbalance: %.3f max/mean)\n",
+                 engine.StatsSnapshot().imbalance);
   } else {
     ImGrnEngine engine;
     engine.LoadDatabase(std::move(*database));
@@ -220,6 +241,88 @@ int CmdQuery(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  return 0;
+}
+
+int CmdRebalance(int argc, char** argv) {
+  Args args(argc, argv, 2,
+            {{"db", ""},
+             {"query", ""},
+             {"shards", "4"},
+             {"gamma", "0.5"},
+             {"alpha", "0.5"},
+             {"top_k", "0"},
+             {"seed", "99"}});
+  if (!args.Has("db") || !args.Has("query")) {
+    std::fprintf(stderr, "rebalance requires --db=FILE --query=FILE\n");
+    return 2;
+  }
+  const size_t shards = static_cast<size_t>(args.GetInt("shards"));
+  if (shards == 0) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
+  if (!database.ok()) return Fail(database.status());
+  Result<GeneMatrix> query_matrix = LoadGeneMatrix(args.Get("query"));
+  if (!query_matrix.ok()) return Fail(query_matrix.status());
+
+  QueryParams params;
+  params.gamma = args.GetDouble("gamma");
+  params.alpha = args.GetDouble("alpha");
+  params.top_k = static_cast<size_t>(args.GetInt("top_k"));
+  params.seed = static_cast<uint64_t>(args.GetInt("seed"));
+
+  // Start from the worst case the balanced plan fixes: modulo placement.
+  const std::vector<double> costs = EstimateSourceCosts(*database);
+  ThreadPool pool;
+  ShardedEngineOptions options;
+  options.num_shards = shards;
+  ShardedEngine engine(options, &pool);
+  engine.LoadDatabase(std::move(*database));
+  Status status = engine.BuildIndex();
+  if (!status.ok()) return Fail(status);
+
+  auto print_loads = [&engine](const char* tag) {
+    const ShardedEngineStatsSnapshot snapshot = engine.StatsSnapshot();
+    for (const ShardStats& shard : snapshot.shards) {
+      std::printf("%s shard%zu: sources=%zu load=%.3g\n", tag, shard.shard,
+                  shard.sources, shard.cost);
+    }
+    std::printf("%s imbalance=%.3f (max/mean shard load)\n", tag,
+                snapshot.imbalance);
+    return snapshot.imbalance;
+  };
+  print_loads("before");
+  Result<std::vector<QueryMatch>> before = engine.Query(*query_matrix, params);
+  if (!before.ok()) return Fail(before.status());
+
+  // Migrate to the LPT plan while the engine stays live (queries on
+  // untouched shards would keep running throughout).
+  const PartitionPlan plan = BalancedPartitioner().Partition(costs, shards);
+  status = engine.Rebalance(plan);
+  if (!status.ok()) return Fail(status);
+  print_loads("after");
+
+  Result<std::vector<QueryMatch>> after = engine.Query(*query_matrix, params);
+  if (!after.ok()) return Fail(after.status());
+  if (after->size() != before->size()) {
+    std::fprintf(stderr, "rebalance changed the answer count: %zu vs %zu\n",
+                 before->size(), after->size());
+    return 1;
+  }
+  for (size_t i = 0; i < before->size(); ++i) {
+    if ((*after)[i].source != (*before)[i].source ||
+        (*after)[i].probability != (*before)[i].probability ||
+        (*after)[i].mapping != (*before)[i].mapping) {
+      std::fprintf(stderr, "rebalance changed match %zu (source %u)\n", i,
+                   (*before)[i].source);
+      return 1;
+    }
+  }
+  std::printf("rebalance verified: %zu matches bit-identical before and "
+              "after migration\n",
+              before->size());
   return 0;
 }
 
@@ -314,8 +417,8 @@ int CmdInfer(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: imgrn <generate|build-index|extract-query|query|infer> "
-      "[--flags]\n(see the header comment of tools/imgrn_cli.cc)\n");
+      "usage: imgrn <generate|build-index|extract-query|query|rebalance|"
+      "infer> [--flags]\n(see the header comment of tools/imgrn_cli.cc)\n");
   return 2;
 }
 
@@ -327,6 +430,7 @@ int Main(int argc, char** argv) {
     return CmdBuildIndex(argc, argv);
   }
   if (std::strcmp(command, "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(command, "rebalance") == 0) return CmdRebalance(argc, argv);
   if (std::strcmp(command, "extract-query") == 0) {
     return CmdExtractQuery(argc, argv);
   }
