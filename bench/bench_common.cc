@@ -59,7 +59,12 @@ int64_t Flags::GetInt(const std::string& key) const {
 std::string Flags::GetString(const std::string& key) const {
   auto it = values_.find(key);
   IMGRN_CHECK(it != values_.end()) << "unknown flag " << key;
-  return it->second;
+  // Stored defaults carry their help text ("value | help"); a value the
+  // user passed replaced the whole string. Strip the suffix so a default
+  // reads back as just the value — without this, a string flag left at
+  // its default (e.g. --partition) hands the help text to the consumer.
+  const size_t sep = it->second.find(" | ");
+  return sep == std::string::npos ? it->second : it->second.substr(0, sep);
 }
 
 GeneDatabase BuildSyntheticDatabase(const std::string& distribution,

@@ -13,10 +13,20 @@
 // "imbalance" is max/mean estimated shard load (1.0 = perfect balance);
 // the fan-out latency of a sharded request is bounded by its hottest
 // shard, so qps should be read NEXT TO the imbalance it was achieved at.
-// --partition picks the placement strategy (modulo | balanced) and
-// --zipf=s > 0 draws matrix sizes from a Zipf-like rank decay so a few
-// giant sources dominate the load — the skewed regime where the two
-// strategies actually differ.
+// --partition picks the placement strategy (modulo | balanced |
+// calibrated) and --zipf=s > 0 draws matrix sizes from a Zipf-like rank
+// decay so a few giant sources dominate the load — the skewed regime
+// where the strategies actually differ.
+//
+// --calibrate=1 adds a second timed pass per sharded setting: the first
+// pass feeds the measured per-source cost model, then the minimum-
+// movement auto-rebalance (ShardedEngine::Rebalance(target)) moves just
+// enough sources to bring the MEASURED imbalance under
+// --target-imbalance, and the workload is re-run. The second JSON line
+// carries "calibrated":1 plus "moved_sources" and the post-rebalance
+// "measured_imbalance". --json_out=FILE appends every JSON line to FILE
+// (e.g. BENCH_service_throughput.json) so the perf trajectory is recorded
+// across PRs.
 
 #include <cstdio>
 #include <string>
@@ -58,9 +68,15 @@ int Main(int argc, char** argv) {
                {"threads", "1,2,4,8 | comma-separated worker counts"},
                {"shards", "1 | comma-separated shard counts (1 = unsharded)"},
                {"partition",
-                "modulo | shard placement: modulo or balanced (LPT)"},
+                "modulo | shard placement: modulo, balanced or calibrated"},
                {"zipf",
                 "0 | Zipf exponent for skewed matrix sizes (0 = uniform)"},
+               {"calibrate",
+                "0 | 1 = auto-rebalance on measured costs and re-run"},
+               {"target-imbalance",
+                "1.25 | auto-rebalance max/mean target (with --calibrate)"},
+               {"json_out",
+                " | append every JSON line to this file as well"},
                {"gamma", "0.5 | inference threshold"},
                {"alpha", "0.5 | appearance threshold"},
                {"num_samples", "1024 | Monte Carlo permutations per query"},
@@ -98,10 +114,24 @@ int Main(int argc, char** argv) {
   params.seed = defaults.seed;
 
   const std::string partition = flags.GetString("partition");
-  std::shared_ptr<const Partitioner> partitioner = MakePartitioner(partition);
-  if (partitioner == nullptr) {
-    std::fprintf(stderr, "--partition must be 'modulo' or 'balanced'\n");
+  Result<std::shared_ptr<const Partitioner>> parsed =
+      ParsePartitioner(partition);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--partition: %s\n",
+                 parsed.status().message().c_str());
     return 1;
+  }
+  const std::shared_ptr<const Partitioner> partitioner = *parsed;
+  const bool calibrate = flags.GetInt("calibrate") != 0;
+  const double target_imbalance = flags.GetDouble("target-imbalance");
+  const std::string json_out = flags.GetString("json_out");
+  std::FILE* json_file = nullptr;
+  if (!json_out.empty()) {
+    json_file = std::fopen(json_out.c_str(), "a");
+    if (json_file == nullptr) {
+      std::fprintf(stderr, "cannot open --json_out=%s\n", json_out.c_str());
+      return 1;
+    }
   }
   const double zipf = flags.GetDouble("zipf");
   auto make_database = [&] {
@@ -145,10 +175,13 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  // Replays the workload through one service and prints the JSON line.
+  // Replays the workload through one service and prints the JSON line
+  // (and appends it to --json_out when given). `extra` carries additional
+  // ,"key":value fields, e.g. the calibration outcome of a second pass.
   double qps_at_1 = 0.0;
   auto run_setting = [&](QueryService& service, size_t num_threads,
-                         size_t num_shards, double imbalance) {
+                         size_t num_shards, double imbalance,
+                         const std::string& extra = std::string()) {
     // One warmup pass (buffer pools, first-touch) outside the clock.
     (void)service.QueryBatch(queries, params);
 
@@ -171,15 +204,23 @@ int Main(int argc, char** argv) {
     if (num_threads == 1 && num_shards == 1) qps_at_1 = qps;
 
     const ServiceMetricsSnapshot snapshot = service.MetricsSnapshot();
-    std::printf(
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
         "{\"bench\":\"service_throughput\",\"threads\":%zu,\"shards\":%zu,"
         "\"queries\":%zu,\"failed\":%zu,\"qps\":%.1f,"
         "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"speedup_vs_1\":%.2f,"
-        "\"partition\":\"%s\",\"imbalance\":%.3f}\n",
+        "\"partition\":\"%s\",\"imbalance\":%.3f%s}\n",
         num_threads, num_shards, total, failed, qps, snapshot.latency_p50_ms,
         snapshot.latency_p95_ms, qps_at_1 > 0 ? qps / qps_at_1 : 0.0,
-        num_shards > 1 ? partition.c_str() : "none", imbalance);
+        num_shards > 1 ? partition.c_str() : "none", imbalance,
+        extra.c_str());
+    std::fputs(line, stdout);
     std::fflush(stdout);
+    if (json_file != nullptr) {
+      std::fputs(line, json_file);
+      std::fflush(json_file);
+    }
   };
 
   QueryServiceOptions options;
@@ -213,8 +254,30 @@ int Main(int argc, char** argv) {
       QueryService service(&sharded, &pool, options);
       run_setting(service, num_threads, num_shards,
                   sharded.StatsSnapshot().imbalance);
+      if (calibrate) {
+        // The timed pass above fed the measured cost model; move just
+        // enough sources to bring the measured imbalance under target and
+        // replay the same workload on the repacked layout.
+        size_t moved = 0;
+        const Status rebalanced =
+            sharded.Rebalance(target_imbalance, &moved);
+        if (!rebalanced.ok()) {
+          std::fprintf(stderr, "auto-rebalance failed: %s\n",
+                       rebalanced.ToString().c_str());
+          return 1;
+        }
+        const ShardedEngineStatsSnapshot after = sharded.StatsSnapshot();
+        char extra[128];
+        std::snprintf(extra, sizeof(extra),
+                      ",\"calibrated\":1,\"moved_sources\":%zu,"
+                      "\"measured_imbalance\":%.3f",
+                      moved, after.measured_imbalance);
+        run_setting(service, num_threads, num_shards, after.imbalance,
+                    extra);
+      }
     }
   }
+  if (json_file != nullptr) std::fclose(json_file);
   return 0;
 }
 

@@ -7,7 +7,10 @@
 namespace imgrn {
 
 size_t LatencyHistogram::BucketFor(double seconds) {
-  if (!(seconds > kMinValue)) return 0;
+  // The negated comparison deliberately also catches NaN (any comparison
+  // with NaN is false): a NaN observation is DEFINED to land in bucket 0,
+  // same as every other non-positive-or-tiny value.
+  if (std::isnan(seconds) || !(seconds > kMinValue)) return 0;
   const double index = std::log(seconds / kMinValue) / std::log(kGrowth);
   if (index >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
   return static_cast<size_t>(index);
@@ -17,8 +20,18 @@ double LatencyHistogram::BucketUpperBound(size_t bucket) {
   return kMinValue * std::pow(kGrowth, static_cast<double>(bucket + 1));
 }
 
+double LatencyHistogram::BucketLowerBound(size_t bucket) {
+  // Bucket 0 also absorbs everything below kMinValue, so its lower bound
+  // is 0 (keeps Percentile(0) a true minimum bound).
+  if (bucket == 0) return 0.0;
+  return kMinValue * std::pow(kGrowth, static_cast<double>(bucket));
+}
+
 void LatencyHistogram::Record(double seconds) {
-  if (seconds < 0.0) seconds = 0.0;
+  // Clamp negatives AND NaN to zero (the negated comparison is false for
+  // NaN): casting NaN * 1e9 to uint64_t is undefined behavior, and a
+  // single poisoned sample must not corrupt the running sum.
+  if (!(seconds > 0.0)) seconds = 0.0;
   buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_nanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
@@ -40,6 +53,9 @@ double LatencyHistogram::MeanSeconds() const {
 }
 
 double LatencyHistogram::Percentile(double q) const {
+  // NaN is defined to behave like q = 0 (std::clamp would pass it
+  // through and the rank cast below would be UB).
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Snapshot the buckets; concurrent writers may add entries while we scan,
   // so derive the total from the snapshot rather than count_.
@@ -50,6 +66,14 @@ double LatencyHistogram::Percentile(double q) const {
     total += snapshot[i];
   }
   if (total == 0) return 0.0;
+  if (q == 0.0) {
+    // The minimum bound: the LOWER edge of the first occupied bucket (rank
+    // 0 used to fall through to that bucket's upper bound, which is wrong
+    // as a minimum — it exceeds every sample in the bucket).
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (snapshot[i] > 0) return BucketLowerBound(i);
+    }
+  }
   const uint64_t rank = static_cast<uint64_t>(
       std::ceil(q * static_cast<double>(total)));
   uint64_t seen = 0;

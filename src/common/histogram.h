@@ -33,6 +33,9 @@ class LatencyHistogram {
 
   /// Records one observation (in seconds). Values below kMinValue land in
   /// the first bucket, values beyond the last bucket in the last.
+  /// Negative and NaN observations are clamped to 0 (bucket 0, zero
+  /// contribution to the sum) — a poisoned sample must never corrupt the
+  /// running totals.
   void Record(double seconds);
 
   /// Number of recorded observations.
@@ -44,10 +47,14 @@ class LatencyHistogram {
 
   double MeanSeconds() const;
 
-  /// Quantile estimate in seconds, e.g. Percentile(0.95). Returns the upper
-  /// bound of the bucket holding the q-th observation (a conservative, i.e.
-  /// pessimistic, latency estimate). Returns 0 for an empty histogram.
-  /// `q` is clamped to [0, 1].
+  /// Quantile estimate in seconds, e.g. Percentile(0.95). For q > 0,
+  /// returns the upper bound of the bucket holding the ceil(q*count)-th
+  /// observation (a conservative, i.e. pessimistic, latency estimate);
+  /// Percentile(1.0) is the last occupied bucket's upper bound.
+  /// Percentile(0.0) is a true MINIMUM bound: the lower edge of the first
+  /// occupied bucket, so p0 <= every recorded sample <= p100. Returns 0
+  /// for an empty histogram. `q` is clamped to [0, 1]; a NaN q behaves
+  /// like 0.
   double Percentile(double q) const;
 
   /// Resets every bucket. Not atomic with respect to concurrent writers;
@@ -60,6 +67,7 @@ class LatencyHistogram {
  private:
   static size_t BucketFor(double seconds);
   static double BucketUpperBound(size_t bucket);
+  static double BucketLowerBound(size_t bucket);
 
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};

@@ -34,6 +34,14 @@ class QueryEngine {
   /// Runs one IM-GRN query (ad-hoc inference + matching). `stats` may be
   /// null; `control`, when non-null, carries the request's deadline /
   /// cancellation flag.
+  ///
+  /// Per-query cost attribution hook: when
+  /// QueryParams::collect_source_costs is set, implementations that
+  /// support it fill `stats->source_costs` with the wall-clock each
+  /// touched source accounted for (see query/query_types.h). ShardedEngine
+  /// both consumes the breakdown (feeding its measured cost model for
+  /// calibrated partitioning / auto-rebalance) and re-exposes it with
+  /// global source ids; engines without a breakdown leave it empty.
   virtual Result<std::vector<QueryMatch>> Query(
       const GeneMatrix& query_matrix, const QueryParams& params,
       QueryStats* stats = nullptr,

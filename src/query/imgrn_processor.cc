@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -133,14 +134,38 @@ Result<std::vector<QueryMatch>> ImGrnQueryProcessor::QueryWithGraph(
   std::vector<SourceId> sources(ctx.candidate_sources.begin(),
                                 ctx.candidate_sources.end());
   std::sort(sources.begin(), sources.end());
+  // Per-source cost attribution: refinement is timed exactly per source;
+  // the traversal (interleaved across sources by construction) is prorated
+  // by each source's share of the surviving candidate pairs.
+  const bool attribute = params.collect_source_costs;
+  std::unordered_map<SourceId, uint64_t> pairs_of;
+  if (attribute) {
+    local_stats.source_costs.reserve(sources.size());
+    for (const TraversalContext::CandidatePair& pair : ctx.candidates) {
+      ++pairs_of[pair.source];
+    }
+  }
   for (SourceId source : sources) {
     if (control != nullptr) {
       IMGRN_RETURN_IF_ERROR(control->Check());
     }
+    Stopwatch source_timer;
     QueryMatch match;
     if (RefineMatrix(*index_, source, query_graph, params, &cache, &match,
                      &local_stats)) {
       matches.push_back(std::move(match));
+    }
+    if (attribute) {
+      SourceCostSample sample;
+      sample.source = source;
+      sample.seconds = source_timer.ElapsedSeconds();
+      sample.candidate_pairs = pairs_of[source];
+      if (!ctx.candidates.empty()) {
+        sample.seconds += local_stats.traversal_seconds *
+                          static_cast<double>(sample.candidate_pairs) /
+                          static_cast<double>(ctx.candidates.size());
+      }
+      local_stats.source_costs.push_back(sample);
     }
   }
   local_stats.refinement_seconds = refinement_timer.ElapsedSeconds();

@@ -34,6 +34,13 @@ struct QueryParams {
   /// matches in source order.
   size_t top_k = 0;
 
+  /// When set, the processor attributes the query's wall-clock to the
+  /// individual sources it touched and reports the breakdown in
+  /// QueryStats::source_costs. Off by default: the breakdown costs a small
+  /// amount of bookkeeping per candidate source, and only load-balancing
+  /// callers (ShardedEngine's measured cost model) consume it.
+  bool collect_source_costs = false;
+
   uint64_t seed = 99;
 };
 
@@ -52,6 +59,19 @@ struct QueryMatch {
 /// source) and truncates when `top_k` > 0. Shared by every query method so
 /// their outputs stay comparable.
 void FinalizeMatches(size_t top_k, std::vector<QueryMatch>* matches);
+
+/// One source's share of a query's work, reported only when
+/// QueryParams::collect_source_costs is set. `seconds` is wall-clock the
+/// query spent on this source: its refinement time measured exactly, plus
+/// the shared index-traversal time prorated by the source's share of the
+/// surviving candidate pairs (traversal work is interleaved across
+/// sources, so an exact per-source split does not exist; candidate pairs
+/// are the closest observable proxy for where the traversal lingered).
+struct SourceCostSample {
+  SourceId source = 0;
+  double seconds = 0.0;
+  uint64_t candidate_pairs = 0;
+};
 
 /// Metrics of one query execution, mirroring the paper's reported series
 /// (CPU time, I/O cost as page accesses, number of candidates) plus
@@ -84,6 +104,12 @@ struct QueryStats {
   size_t candidate_matrices = 0;
   size_t matrices_pruned_graph = 0;  // Lemma 5 during refinement.
   size_t answers = 0;
+
+  /// Per-source cost attribution (ascending source id), filled only when
+  /// QueryParams::collect_source_costs is set and only by processors that
+  /// implement the breakdown (ImGrnQueryProcessor does; baseline scans
+  /// leave it empty). Sources the traversal pruned entirely do not appear.
+  std::vector<SourceCostSample> source_costs;
 };
 
 }  // namespace imgrn

@@ -1,0 +1,119 @@
+#include "service/cost_model.h"
+
+#include "common/logging.h"
+
+namespace imgrn {
+
+MeasuredCostRegistry::~MeasuredCostRegistry() {
+  for (std::atomic<Entry*>& slot : blocks_) {
+    delete[] slot.load(std::memory_order_relaxed);
+  }
+}
+
+MeasuredCostRegistry::Entry* MeasuredCostRegistry::EntryFor(SourceId source) {
+  const size_t block_index = static_cast<size_t>(source) >> kBlockBits;
+  IMGRN_CHECK_LT(block_index, kMaxBlocks);
+  std::atomic<Entry*>& slot = blocks_[block_index];
+  Entry* block = slot.load(std::memory_order_acquire);
+  if (block == nullptr) {
+    Entry* fresh = new Entry[kBlockSize];
+    if (slot.compare_exchange_strong(block, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      block = fresh;
+    } else {
+      delete[] fresh;  // Another writer won; `block` now holds its pointer.
+    }
+  }
+  return &block[static_cast<size_t>(source) & (kBlockSize - 1)];
+}
+
+const MeasuredCostRegistry::Entry* MeasuredCostRegistry::FindEntry(
+    SourceId source) const {
+  const size_t block_index = static_cast<size_t>(source) >> kBlockBits;
+  if (block_index >= kMaxBlocks) return nullptr;
+  const Entry* block = blocks_[block_index].load(std::memory_order_acquire);
+  if (block == nullptr) return nullptr;
+  return &block[static_cast<size_t>(source) & (kBlockSize - 1)];
+}
+
+void MeasuredCostRegistry::Record(SourceId source, double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // Negative clock skew and NaN.
+  Entry* entry = EntryFor(source);
+  // samples is bumped first so a racing reader can never see samples == 0
+  // next to a non-zero EWMA; seeing samples >= 1 next to a slightly stale
+  // EWMA is fine (both are estimates).
+  const uint64_t n = entry->samples.fetch_add(1, std::memory_order_acq_rel);
+  double current = entry->ewma.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next =
+        n == 0 ? seconds : (1.0 - kAlpha) * current + kAlpha * seconds;
+    if (entry->ewma.compare_exchange_weak(current, next,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double MeasuredCostRegistry::Ewma(SourceId source) const {
+  const Entry* entry = FindEntry(source);
+  return entry == nullptr ? 0.0 : entry->ewma.load(std::memory_order_acquire);
+}
+
+uint64_t MeasuredCostRegistry::Samples(SourceId source) const {
+  const Entry* entry = FindEntry(source);
+  return entry == nullptr ? 0
+                          : entry->samples.load(std::memory_order_acquire);
+}
+
+void MeasuredCostRegistry::Retire(SourceId source) {
+  const size_t block_index = static_cast<size_t>(source) >> kBlockBits;
+  if (block_index >= kMaxBlocks) return;
+  Entry* block = blocks_[block_index].load(std::memory_order_acquire);
+  if (block == nullptr) return;
+  Entry& entry = block[static_cast<size_t>(source) & (kBlockSize - 1)];
+  entry.ewma.store(0.0, std::memory_order_release);
+  entry.samples.store(0, std::memory_order_release);
+}
+
+void MeasuredCostRegistry::Reset() {
+  for (std::atomic<Entry*>& slot : blocks_) {
+    Entry* block = slot.exchange(nullptr, std::memory_order_acq_rel);
+    delete[] block;
+  }
+}
+
+std::vector<double> CalibrateSourceCosts(
+    const std::vector<double>& static_costs,
+    const MeasuredCostRegistry& measured,
+    const CostCalibrationOptions& options) {
+  std::vector<double> calibrated = static_costs;
+
+  // First pass: which sources qualify, and the unit-conversion scale.
+  double static_sum = 0.0;
+  double ewma_sum = 0.0;
+  std::vector<bool> qualifies(static_costs.size(), false);
+  for (SourceId i = 0; i < static_costs.size(); ++i) {
+    if (measured.Samples(i) < options.min_samples) continue;
+    qualifies[i] = true;
+    static_sum += static_costs[i];
+    ewma_sum += measured.Ewma(i);
+  }
+  // scale converts seconds into static-cost units. A zero ewma_sum (the
+  // workload touched nothing it qualified) leaves scale at 0: the measured
+  // term vanishes and the blend keeps only the shrinking static prior.
+  const double scale = ewma_sum > 0.0 ? static_sum / ewma_sum : 0.0;
+
+  for (SourceId i = 0; i < static_costs.size(); ++i) {
+    if (!qualifies[i]) continue;
+    const double n = static_cast<double>(measured.Samples(i));
+    const double min = static_cast<double>(options.min_samples);
+    const double w = min > 0.0 ? n / (n + min) : 1.0;
+    calibrated[i] =
+        w * scale * measured.Ewma(i) + (1.0 - w) * static_costs[i];
+  }
+  return calibrated;
+}
+
+}  // namespace imgrn

@@ -51,6 +51,80 @@ double MaxMeanImbalance(const std::vector<double>& shard_costs) {
   return *std::max_element(shard_costs.begin(), shard_costs.end()) / mean;
 }
 
+PartitionPlan PlanMinimalRebalance(const std::vector<double>& costs,
+                                   const PartitionPlan& current,
+                                   double target_imbalance,
+                                   size_t* moved_sources) {
+  IMGRN_CHECK_OK(current.Validate(costs.size()));
+  if (target_imbalance < 1.0) target_imbalance = 1.0;
+  PartitionPlan plan = current;
+
+  std::vector<double> load(plan.num_shards, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    load[plan.shard_of[i]] += costs[i];
+    total += costs[i];
+  }
+  const double mean = total / static_cast<double>(plan.num_shards);
+
+  // Per-shard source lists sorted by (cost desc, id asc): each step scans
+  // the hottest shard's list for its heaviest still-improving source.
+  std::vector<std::vector<size_t>> members(plan.num_shards);
+  for (size_t i = 0; i < costs.size(); ++i) {
+    members[plan.shard_of[i]].push_back(i);
+  }
+  for (std::vector<size_t>& list : members) {
+    std::sort(list.begin(), list.end(), [&costs](size_t a, size_t b) {
+      if (costs[a] != costs[b]) return costs[a] > costs[b];
+      return a < b;
+    });
+  }
+
+  while (mean > 0.0) {
+    const size_t hot = static_cast<size_t>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    if (load[hot] <= target_imbalance * mean) break;  // Under target.
+    const size_t cool = static_cast<size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    const double gap = load[hot] - load[cool];
+    // The heaviest source on the hot shard that still shrinks the hot-cool
+    // gap: 0 < cost < gap (cost == gap would only swap the roles, cost ==
+    // 0 moves nothing). Every such move strictly decreases the sum of
+    // squared loads, so the loop terminates.
+    size_t pick = members[hot].size();
+    for (size_t slot = 0; slot < members[hot].size(); ++slot) {
+      const double cost = costs[members[hot][slot]];
+      if (cost > 0.0 && cost < gap) {
+        pick = slot;
+        break;
+      }
+    }
+    if (pick == members[hot].size()) break;  // No improving move exists.
+    const size_t source = members[hot][pick];
+    members[hot].erase(members[hot].begin() + static_cast<int64_t>(pick));
+    // Keep the destination list sorted (cost desc, id asc) for later steps.
+    auto insert_at = std::lower_bound(
+        members[cool].begin(), members[cool].end(), source,
+        [&costs](size_t a, size_t b) {
+          if (costs[a] != costs[b]) return costs[a] > costs[b];
+          return a < b;
+        });
+    members[cool].insert(insert_at, source);
+    plan.shard_of[source] = static_cast<uint32_t>(cool);
+    load[hot] -= costs[source];
+    load[cool] += costs[source];
+  }
+
+  if (moved_sources != nullptr) {
+    size_t moved = 0;
+    for (size_t i = 0; i < costs.size(); ++i) {
+      if (plan.shard_of[i] != current.shard_of[i]) ++moved;
+    }
+    *moved_sources = moved;
+  }
+  return plan;
+}
+
 size_t Partitioner::PlaceSource(SourceId /*source*/, double /*cost*/,
                                 const std::vector<double>& shard_costs) const {
   IMGRN_CHECK(!shard_costs.empty());
@@ -114,7 +188,21 @@ PartitionPlan ExplicitPartitioner::Partition(const std::vector<double>& costs,
 std::shared_ptr<const Partitioner> MakePartitioner(const std::string& name) {
   if (name == "modulo") return std::make_shared<ModuloPartitioner>();
   if (name == "balanced") return std::make_shared<BalancedPartitioner>();
+  if (name == "calibrated") return std::make_shared<CalibratedPartitioner>();
   return nullptr;
+}
+
+const char* KnownPartitionerNames() { return "modulo, balanced, calibrated"; }
+
+Result<std::shared_ptr<const Partitioner>> ParsePartitioner(
+    const std::string& name) {
+  std::shared_ptr<const Partitioner> partitioner = MakePartitioner(name);
+  if (partitioner == nullptr) {
+    return Status::InvalidArgument("unknown partition strategy '" + name +
+                                   "' (valid strategies: " +
+                                   KnownPartitionerNames() + ")");
+  }
+  return partitioner;
 }
 
 }  // namespace imgrn

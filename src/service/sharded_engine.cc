@@ -31,17 +31,20 @@ Status ValidateParams(const QueryParams& params) {
 std::string ShardedEngineStatsSnapshot::DebugString() const {
   std::string out;
   for (const ShardStats& shard : shards) {
-    char load[32];
-    std::snprintf(load, sizeof(load), "%.3g", shard.cost);
+    char load[64];
+    std::snprintf(load, sizeof(load), "%.3g measured=%.3gs", shard.cost,
+                  shard.measured_seconds);
     out += "shard" + std::to_string(shard.shard) +
            ": sources=" + std::to_string(shard.sources) + " load=" + load +
            " sub_queries=" + std::to_string(shard.sub_queries) +
            " errors=" + std::to_string(shard.sub_query_errors) +
            " in_flight=" + std::to_string(shard.in_flight) + "\n";
   }
-  char line[64];
-  std::snprintf(line, sizeof(line), "imbalance=%.3f (max/mean shard load)\n",
-                imbalance);
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "imbalance=%.3f measured_imbalance=%.3f (max/mean shard "
+                "load, estimated / measured)\n",
+                imbalance, measured_imbalance);
   out += line;
   return out;
 }
@@ -121,6 +124,7 @@ void ShardedEngine::LoadDatabase(GeneDatabase database) {
   const size_t total = database.size();
   source_cost_ = EstimateSourceCosts(database);
   retracted_.assign(total, false);
+  measured_.Reset();  // A fresh database invalidates every measurement.
   PartitionPlan plan = partitioner_->Partition(source_cost_, num_shards);
   IMGRN_CHECK_OK(plan.Validate(total));
 
@@ -307,6 +311,21 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
       aggregated.candidate_matrices += shard.candidate_matrices;
       aggregated.matrices_pruned_graph += shard.matrices_pruned_graph;
     }
+    if (params.collect_source_costs) {
+      // Each shard's samples already carry global ids (RunShard remaps and
+      // filters them); shards own disjoint source sets, so a plain merge +
+      // sort restores the single-engine ascending order.
+      for (QueryStats& shard : shard_stats) {
+        for (SourceCostSample& sample : shard.source_costs) {
+          aggregated.source_costs.push_back(sample);
+        }
+      }
+      std::sort(aggregated.source_costs.begin(),
+                aggregated.source_costs.end(),
+                [](const SourceCostSample& a, const SourceCostSample& b) {
+                  return a.source < b.source;
+                });
+    }
     aggregated.answers = merged.size();
     aggregated.total_seconds = total_timer.ElapsedSeconds();
     *stats = aggregated;
@@ -347,9 +366,36 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
         // top-k before the filter below removes it.
         QueryParams shard_params = params;
         shard_params.top_k = 0;
+        // Every sub-query attributes its wall-clock to the sources it
+        // touched — that breakdown is what feeds the measured cost model,
+        // whether or not the caller asked for it.
+        shard_params.collect_source_costs = true;
+        QueryStats local_stats;
         Result<std::vector<QueryMatch>> local = shard.engine.QueryWithGraph(
-            query_graph, shard_params, stats, control);
+            query_graph, shard_params, &local_stats, control);
         if (!local.ok()) return local.status();
+        // Feed the measured cost registry: one sample per source this
+        // query's partition map assigns to this shard, EXPLICITLY zero for
+        // sources the traversal never surfaced — the EWMA must converge to
+        // the expected per-query seconds under the live mix, and a source
+        // the workload ignores is genuinely cheap. The shared lock both
+        // pins local_to_global and excludes RemoveSource's Retire() (which
+        // runs under the write lock), so no sample lands after a source is
+        // retired.
+        std::vector<double> seconds_of(shard.local_to_global.size(), 0.0);
+        for (const SourceCostSample& sample : local_stats.source_costs) {
+          IMGRN_CHECK_LT(sample.source, seconds_of.size());
+          seconds_of[sample.source] = sample.seconds;
+        }
+        for (size_t i = 0; i < shard.local_to_global.size(); ++i) {
+          if (!shard.active[i]) continue;
+          const SourceId global = shard.local_to_global[i];
+          if (global < topology.shard_of.size() &&
+              topology.shard_of[global] != shard_index) {
+            continue;  // A migrating duplicate; its owner records it.
+          }
+          measured_.Record(global, seconds_of[i]);
+        }
         // Remap shard-local ids to global source ids while the reader lock
         // still pins local_to_global, and keep only the sources this
         // query's partition map assigns to this shard — a migrating source
@@ -376,6 +422,30 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
                   [](const QueryMatch& a, const QueryMatch& b) {
                     return a.source < b.source;
                   });
+        if (stats != nullptr) {
+          // Re-expose the cost breakdown with global ids (owned sources
+          // only), unless the caller never asked for it.
+          std::vector<SourceCostSample> remapped;
+          if (params.collect_source_costs) {
+            remapped.reserve(local_stats.source_costs.size());
+            for (SourceCostSample sample : local_stats.source_costs) {
+              const SourceId global = shard.local_to_global[sample.source];
+              if (global < topology.shard_of.size() &&
+                  topology.shard_of[global] != shard_index) {
+                continue;
+              }
+              sample.source = global;
+              remapped.push_back(sample);
+            }
+            std::sort(remapped.begin(), remapped.end(),
+                      [](const SourceCostSample& a,
+                         const SourceCostSample& b) {
+                        return a.source < b.source;
+                      });
+          }
+          local_stats.source_costs = std::move(remapped);
+          *stats = std::move(local_stats);
+        }
         return kept;
       }();
   if (!result.ok()) {
@@ -399,7 +469,16 @@ int64_t ShardedEngine::ActiveLocalOf(const Shard& shard, SourceId global) {
 Status ShardedEngine::AppendToShardLocked(Shard& shard, GeneMatrix matrix,
                                           SourceId global, double cost) {
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  // The new local id is defined by the side tables, NOT the engine: every
+  // query remaps through local_to_global, so IT is the authority on what
+  // local ids mean. The engine's database happens to agree because
+  // RemoveMatrix only deactivates (never shrinks) — the CHECK pins that
+  // assumption down so a future engine that compacts on removal fails
+  // loudly here instead of silently remapping matches to wrong globals
+  // after a RemoveSource -> AddSource sequence on the same shard.
+  const SourceId local = static_cast<SourceId>(shard.local_to_global.size());
   if (!shard.built) {
+    IMGRN_CHECK_EQ(shard.local_to_global.size(), 0u);
     // First source of a previously empty shard: bootstrap its engine.
     matrix.set_source_id(0);
     GeneDatabase database;
@@ -408,8 +487,9 @@ Status ShardedEngine::AppendToShardLocked(Shard& shard, GeneMatrix matrix,
     IMGRN_RETURN_IF_ERROR(shard.engine.BuildIndex());
     shard.built = true;
   } else {
-    matrix.set_source_id(
-        static_cast<SourceId>(shard.engine.database().size()));
+    IMGRN_CHECK_EQ(static_cast<size_t>(local),
+                   shard.engine.database().size());
+    matrix.set_source_id(local);
     IMGRN_RETURN_IF_ERROR(shard.engine.AddMatrix(std::move(matrix)));
   }
   shard.local_to_global.push_back(global);
@@ -486,6 +566,10 @@ Status ShardedEngine::RemoveSource(SourceId source) {
       shard.cost.load(std::memory_order_relaxed) - source_cost_[source],
       std::memory_order_relaxed);
   retracted_[source] = true;
+  // Forget the measured cost while still holding the shard's write lock:
+  // sub-queries record under the shared lock, so none can re-add a sample
+  // for this source after the Retire.
+  measured_.Retire(source);
   return Status::Ok();
 }
 
@@ -506,6 +590,46 @@ Status ShardedEngine::Rebalance(const PartitionPlan& plan) {
   }
   IMGRN_RETURN_IF_ERROR(plan.Validate(next_source_));
   return MigrateLocked(current->shards, plan.shard_of);
+}
+
+std::vector<double> ShardedEngine::CalibratedCostsLocked() const {
+  // Retracted sources carry no load (and their registry entries were
+  // retired), so the plan packs only live cost.
+  std::vector<double> costs = source_cost_;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (retracted_[i]) costs[i] = 0.0;
+  }
+  return CalibrateSourceCosts(costs, measured_, options_.calibration);
+}
+
+std::vector<double> ShardedEngine::CalibratedSourceCosts() const {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  return CalibratedCostsLocked();
+}
+
+Status ShardedEngine::Rebalance(double target_imbalance,
+                                size_t* moved_sources) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (moved_sources != nullptr) *moved_sources = 0;
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  // Under update_mutex_ the published map always covers every source
+  // (AddSource extends it before releasing the lock).
+  PartitionPlan now;
+  now.num_shards = current->shards.size();
+  now.shard_of = current->shard_of;
+  size_t moved = 0;
+  PartitionPlan plan = PlanMinimalRebalance(
+      CalibratedCostsLocked(), now, target_imbalance, &moved);
+  if (moved_sources != nullptr) *moved_sources = moved;
+  if (moved == 0) return Status::Ok();
+  return MigrateLocked(current->shards, std::move(plan.shard_of));
 }
 
 Status ShardedEngine::Resize(size_t new_num_shards) {
@@ -533,10 +657,16 @@ Status ShardedEngine::Resize(size_t new_num_shards) {
     }
   }
   // Retracted sources carry no load; zero them out so the plan packs only
-  // live cost (their map entries are still assigned, arbitrarily).
-  std::vector<double> costs = source_cost_;
-  for (size_t i = 0; i < costs.size(); ++i) {
-    if (retracted_[i]) costs[i] = 0.0;
+  // live cost (their map entries are still assigned, arbitrarily). A
+  // measured-cost policy plans over the calibrated blend instead.
+  std::vector<double> costs;
+  if (partitioner_->wants_measured_costs()) {
+    costs = CalibratedCostsLocked();
+  } else {
+    costs = source_cost_;
+    for (size_t i = 0; i < costs.size(); ++i) {
+      if (retracted_[i]) costs[i] = 0.0;
+    }
   }
   PartitionPlan plan = partitioner_->Partition(costs, new_num_shards);
   IMGRN_RETURN_IF_ERROR(plan.Validate(next_source_));
@@ -664,6 +794,13 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
   TopologyPin topology(*this);
   ShardedEngineStatsSnapshot snapshot;
   snapshot.shards.reserve(topology->shards.size());
+  // Measured load per shard: sum of the per-source EWMAs under the pinned
+  // map (retired sources read 0; a source added after this topology was
+  // published is missed until the next publish — a gauge, not a ledger).
+  std::vector<double> measured(topology->shards.size(), 0.0);
+  for (SourceId global = 0; global < topology->shard_of.size(); ++global) {
+    measured[topology->shard_of[global]] += measured_.Ewma(global);
+  }
   std::vector<double> costs;
   costs.reserve(topology->shards.size());
   for (size_t s = 0; s < topology->shards.size(); ++s) {
@@ -672,6 +809,7 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
     stats.shard = s;
     stats.sources = shard.active_sources.load(std::memory_order_relaxed);
     stats.cost = shard.cost.load(std::memory_order_relaxed);
+    stats.measured_seconds = measured[s];
     const uint64_t started =
         shard.sub_queries_started.load(std::memory_order_relaxed);
     stats.sub_queries =
@@ -683,6 +821,7 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
     snapshot.shards.push_back(stats);
   }
   snapshot.imbalance = MaxMeanImbalance(costs);
+  snapshot.measured_imbalance = MaxMeanImbalance(measured);
   return snapshot;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/query_engine.h"
+#include "service/cost_model.h"
 #include "service/partitioner.h"
 #include "service/thread_pool.h"
 
@@ -31,6 +32,11 @@ struct ShardedEngineOptions {
 
   /// Engine/index options applied to every shard.
   EngineOptions engine;
+
+  /// How the measured per-source EWMA is blended with the static estimate
+  /// wherever the engine re-plans (auto Rebalance; Resize under a
+  /// partitioner with wants_measured_costs()). See service/cost_model.h.
+  CostCalibrationOptions calibration;
 };
 
 /// Per-shard counters of one StatsSnapshot() call.
@@ -38,6 +44,9 @@ struct ShardStats {
   size_t shard = 0;
   size_t sources = 0;            ///< Active (added minus removed) sources.
   double cost = 0.0;             ///< Estimated load (EstimateSourceCost sum).
+  double measured_seconds = 0.0; ///< Measured load: sum of the per-source
+                                 ///< query-time EWMAs of this shard's live
+                                 ///< sources (0 until queries have run).
   uint64_t sub_queries = 0;      ///< Finished per-shard sub-queries.
   uint64_t sub_query_errors = 0; ///< Of those, non-OK (incl. cancelled).
   uint64_t in_flight = 0;        ///< Sub-queries running right now.
@@ -51,9 +60,17 @@ struct ShardedEngineStatsSnapshot {
   /// the hottest shard, so this is the skew penalty a rebalance removes.
   double imbalance = 1.0;
 
-  /// One line per shard, e.g.
-  /// "shard0: sources=3 load=1.2e5 sub_queries=17 errors=0 in_flight=0",
-  /// then an "imbalance=" summary line.
+  /// The same max/mean ratio over the MEASURED per-shard load
+  /// (ShardStats::measured_seconds). 1.0 while the registry is cold; once
+  /// traffic has touched the database this is the imbalance queries
+  /// actually experience, which can disagree with the estimate in either
+  /// direction (e.g. a giant source the index prunes perfectly inflates
+  /// the estimate but costs nothing measured).
+  double measured_imbalance = 1.0;
+
+  /// One line per shard, e.g. "shard0: sources=3 load=1.2e5
+  /// measured=2.1e-3s sub_queries=17 errors=0 in_flight=0", then an
+  /// "imbalance=" summary line reporting both ratios.
   std::string DebugString() const;
 };
 
@@ -169,6 +186,21 @@ class ShardedEngine : public QueryEngine {
   /// is actively copying into or deleting from.
   Status Rebalance(const PartitionPlan& plan);
 
+  /// Auto mode: computes a minimum-movement plan over the CALIBRATED
+  /// per-source costs (static estimate blended with the measured EWMA the
+  /// engine collects while serving — see service/cost_model.h) and
+  /// executes it through the same migration protocol as Rebalance(plan).
+  /// Only the few sources needed to bring max/mean under
+  /// `target_imbalance` move (see PlanMinimalRebalance); a full
+  /// BalancedPartitioner re-plan would typically relocate far more. If
+  /// `moved_sources` is non-null it receives the number of sources
+  /// migrated (0 when already under target). Bare Rebalance() targets
+  /// kDefaultRebalanceTarget.
+  Status Rebalance(double target_imbalance = kDefaultRebalanceTarget,
+                   size_t* moved_sources = nullptr);
+
+  static constexpr double kDefaultRebalanceTarget = 1.25;
+
   /// Re-partitions the database across `new_num_shards` shards (grow or
   /// shrink) using the configured partitioner, without a reload. Shards
   /// keep their identity below min(K, K'); dropped shards are retired once
@@ -200,6 +232,16 @@ class ShardedEngine : public QueryEngine {
       const QueryControl* control = nullptr) const;
 
   ShardedEngineStatsSnapshot StatsSnapshot() const;
+
+  /// The calibrated per-source costs an auto Rebalance would plan over
+  /// right now: static estimates (retracted sources zeroed) blended with
+  /// the measured EWMAs per options().calibration. Indexed by global
+  /// source id.
+  std::vector<double> CalibratedSourceCosts() const;
+
+  /// The live measured-cost registry (read-only): per-source query-time
+  /// EWMAs and sample counts, written lock-free by every sub-query.
+  const MeasuredCostRegistry& measured_costs() const { return measured_; }
 
   /// Test/instrumentation hook: the reader-writer lock of one shard, e.g.
   /// to pin a shard in the "update in progress" state and observe that the
@@ -307,6 +349,9 @@ class ShardedEngine : public QueryEngine {
   Status AppendToShardLocked(Shard& shard, GeneMatrix matrix, SourceId global,
                              double cost);
 
+  /// CalibratedSourceCosts() body; caller holds update_mutex_.
+  std::vector<double> CalibratedCostsLocked() const;
+
   /// Index of `global`'s active entry in shard.local_to_global, or -1.
   static int64_t ActiveLocalOf(const Shard& shard, SourceId global);
 
@@ -333,6 +378,12 @@ class ShardedEngine : public QueryEngine {
   std::vector<double> source_cost_;  ///< Per global source, for replanning.
   std::vector<bool> retracted_;      ///< RemoveSource'd global ids.
   bool built_ = false;
+
+  /// Measured per-source query cost, fed by RunShard on every sub-query
+  /// (one sample per live source of the shard, zero for untouched ones, so
+  /// the EWMA tracks the expected per-query seconds under the live mix).
+  /// Lock-free; mutable because recording happens on the const query path.
+  mutable MeasuredCostRegistry measured_;
 };
 
 }  // namespace imgrn

@@ -74,12 +74,23 @@ test -s "$WORKDIR/k1"  # The skewed query must actually match something.
 diff "$WORKDIR/k1" "$WORKDIR/km"
 diff "$WORKDIR/k1" "$WORKDIR/kb"
 
-# Unknown partition strategies are rejected.
+# The calibrated strategy is accepted and, like the others, answers
+# bit-identically to the unsharded engine.
+"$IMGRN" query --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=4 --partition=calibrated 2>/dev/null \
+    > "$WORKDIR/skew_cal.out"
+grep '^match' "$WORKDIR/skew_cal.out" > "$WORKDIR/kc" || true
+diff "$WORKDIR/k1" "$WORKDIR/kc"
+
+# Unknown partition strategies are rejected with a diagnosable message
+# naming the valid strategies (not a crash on a null partitioner).
 if "$IMGRN" query --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
-    --shards=4 --partition=bogus 2>/dev/null; then
+    --shards=4 --partition=bogus 2>"$WORKDIR/badpart.err"; then
   echo "expected failure on unknown --partition" >&2
   exit 1
 fi
+grep -q "valid strategies" "$WORKDIR/badpart.err"
+grep -q "bogus" "$WORKDIR/badpart.err"
 
 # Online rebalancing: modulo layout -> live LPT migration; the subcommand
 # itself verifies the answers are bit-identical before and after.
@@ -87,6 +98,17 @@ fi
     --shards=4 --gamma=0.5 --alpha=0.1 > "$WORKDIR/rebalance.out"
 grep -q "rebalance verified:" "$WORKDIR/rebalance.out"
 grep -q "imbalance=" "$WORKDIR/rebalance.out"
+
+# Auto mode: warm the measured cost model with a few queries, then move
+# only as many sources as the target requires (minimum-movement planner).
+# Bit-identity across the migration is again checked by the subcommand.
+"$IMGRN" rebalance --db="$WORKDIR/skew.txt" --query="$WORKDIR/sq.txt" \
+    --shards=4 --gamma=0.5 --alpha=0.1 --auto=1 --target-imbalance=1.25 \
+    --warmup=4 > "$WORKDIR/auto_rebalance.out"
+grep -q "warmed the measured cost model" "$WORKDIR/auto_rebalance.out"
+grep -q "auto-rebalance moved" "$WORKDIR/auto_rebalance.out"
+grep -q "rebalance verified:" "$WORKDIR/auto_rebalance.out"
+grep -q "measured_imbalance=" "$WORKDIR/auto_rebalance.out"
 
 "$IMGRN" infer --matrix="$WORKDIR/q.txt" --gamma=0.5 \
     | grep -q "inferred GRN"

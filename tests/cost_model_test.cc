@@ -1,0 +1,350 @@
+// The measured per-source cost model (service/cost_model.h) and the
+// minimum-movement re-packing planner (PlanMinimalRebalance): EWMA
+// semantics, static/measured blending, and the moved-sources guarantee
+// versus a full re-plan. The concurrent Record/read tests are part of the
+// "partitioning" TSan workload (tools/ci_sanitize.sh).
+
+#include "service/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "service/partitioner.h"
+
+namespace imgrn {
+namespace {
+
+constexpr double kAlpha = MeasuredCostRegistry::kAlpha;
+
+TEST(MeasuredCostRegistryTest, ColdSourceReadsZero) {
+  MeasuredCostRegistry registry;
+  EXPECT_EQ(registry.Ewma(0), 0.0);
+  EXPECT_EQ(registry.Ewma(123456), 0.0);
+  EXPECT_EQ(registry.Samples(0), 0u);
+}
+
+TEST(MeasuredCostRegistryTest, FirstSampleInitializesEwma) {
+  MeasuredCostRegistry registry;
+  registry.Record(7, 0.25);
+  EXPECT_DOUBLE_EQ(registry.Ewma(7), 0.25);
+  EXPECT_EQ(registry.Samples(7), 1u);
+}
+
+TEST(MeasuredCostRegistryTest, SubsequentSamplesBlendWithAlpha) {
+  MeasuredCostRegistry registry;
+  registry.Record(3, 1.0);
+  registry.Record(3, 0.0);
+  EXPECT_NEAR(registry.Ewma(3), (1.0 - kAlpha) * 1.0, 1e-12);
+  registry.Record(3, 1.0);
+  EXPECT_NEAR(registry.Ewma(3),
+              (1.0 - kAlpha) * ((1.0 - kAlpha) * 1.0) + kAlpha * 1.0, 1e-12);
+  EXPECT_EQ(registry.Samples(3), 3u);
+}
+
+TEST(MeasuredCostRegistryTest, ZeroSamplesDecayTowardZero) {
+  // The sharded query path records 0.0 for untouched sources; a source the
+  // workload never hits must decay, not stay pinned at its first sample.
+  MeasuredCostRegistry registry;
+  registry.Record(0, 1.0);
+  for (int i = 0; i < 50; ++i) registry.Record(0, 0.0);
+  EXPECT_LT(registry.Ewma(0), 1e-4);
+  EXPECT_EQ(registry.Samples(0), 51u);
+}
+
+TEST(MeasuredCostRegistryTest, SourcesAreIndependent) {
+  MeasuredCostRegistry registry;
+  registry.Record(0, 0.5);
+  registry.Record(1, 0.125);
+  // Far apart -> different storage blocks.
+  registry.Record(100000, 2.0);
+  EXPECT_DOUBLE_EQ(registry.Ewma(0), 0.5);
+  EXPECT_DOUBLE_EQ(registry.Ewma(1), 0.125);
+  EXPECT_DOUBLE_EQ(registry.Ewma(100000), 2.0);
+  EXPECT_EQ(registry.Samples(1), 1u);
+}
+
+TEST(MeasuredCostRegistryTest, NegativeAndNanSamplesClampToZero) {
+  MeasuredCostRegistry registry;
+  registry.Record(5, -1.0);
+  EXPECT_DOUBLE_EQ(registry.Ewma(5), 0.0);
+  registry.Record(5, std::nan(""));
+  EXPECT_FALSE(std::isnan(registry.Ewma(5)));
+  EXPECT_EQ(registry.Samples(5), 2u);
+}
+
+TEST(MeasuredCostRegistryTest, RetireForgetsOneSource) {
+  MeasuredCostRegistry registry;
+  registry.Record(4, 1.0);
+  registry.Record(9, 1.0);
+  registry.Retire(4);
+  EXPECT_EQ(registry.Ewma(4), 0.0);
+  EXPECT_EQ(registry.Samples(4), 0u);
+  EXPECT_DOUBLE_EQ(registry.Ewma(9), 1.0);  // Neighbors untouched.
+  // A retired id can be reused (remove-then-add): first sample initializes.
+  registry.Record(4, 0.75);
+  EXPECT_DOUBLE_EQ(registry.Ewma(4), 0.75);
+  EXPECT_EQ(registry.Samples(4), 1u);
+}
+
+TEST(MeasuredCostRegistryTest, ResetDropsEverything) {
+  MeasuredCostRegistry registry;
+  registry.Record(0, 1.0);
+  registry.Record(100000, 1.0);
+  registry.Reset();
+  EXPECT_EQ(registry.Ewma(0), 0.0);
+  EXPECT_EQ(registry.Samples(100000), 0u);
+}
+
+TEST(MeasuredCostRegistryTest, ConcurrentRecordersAndReaders) {
+  // The TSan meat: writers hammer a handful of sources (block allocation
+  // races included — ids span several blocks) while readers poll
+  // Ewma/Samples. Correctness check: no sample is lost and every EWMA ends
+  // inside the convex hull of its samples.
+  MeasuredCostRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  const SourceId kSources[] = {0, 1, 511, 512, 100000};
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (SourceId s : kSources) {
+        const double e = registry.Ewma(s);
+        ASSERT_GE(e, 0.0);
+        ASSERT_LE(e, 0.002);
+        (void)registry.Samples(s);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry, &kSources] {
+      for (int i = 0; i < kPerThread; ++i) {
+        for (SourceId s : kSources) registry.Record(s, 0.001);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  for (SourceId s : kSources) {
+    EXPECT_EQ(registry.Samples(s),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_NEAR(registry.Ewma(s), 0.001, 1e-9);  // All samples identical.
+  }
+}
+
+TEST(CalibrateSourceCostsTest, ColdRegistryReturnsStaticUnchanged) {
+  MeasuredCostRegistry registry;
+  const std::vector<double> statics = {10.0, 20.0, 30.0};
+  EXPECT_EQ(CalibrateSourceCosts(statics, registry), statics);
+}
+
+TEST(CalibrateSourceCostsTest, UndersampledSourcesKeepStatic) {
+  MeasuredCostRegistry registry;
+  CostCalibrationOptions options;
+  options.min_samples = 4;
+  // Sources 0 and 3 qualify (and measure 3x apart where static says
+  // equal); source 1 has too few samples; source 2 none.
+  for (int i = 0; i < 8; ++i) {
+    registry.Record(0, 0.010);
+    registry.Record(3, 0.030);
+  }
+  registry.Record(1, 100.0);  // One wild sample must not swing the plan.
+  const std::vector<double> statics = {10.0, 20.0, 30.0, 10.0};
+  const std::vector<double> calibrated =
+      CalibrateSourceCosts(statics, registry, options);
+  EXPECT_DOUBLE_EQ(calibrated[1], 20.0);
+  EXPECT_DOUBLE_EQ(calibrated[2], 30.0);
+  // The qualified sources moved off the uniform prior, toward measured.
+  EXPECT_LT(calibrated[0], 10.0);
+  EXPECT_GT(calibrated[3], 10.0);
+}
+
+TEST(CalibrateSourceCostsTest, CalibratedRatiosTrackMeasuredRatios) {
+  // Static says uniform; measurements say source 1 is 4x source 0. With
+  // enough samples the calibrated ratio approaches the measured one.
+  MeasuredCostRegistry registry;
+  CostCalibrationOptions options;
+  options.min_samples = 4;
+  for (int i = 0; i < 200; ++i) {
+    registry.Record(0, 0.010);
+    registry.Record(1, 0.040);
+  }
+  const std::vector<double> statics = {10.0, 10.0};
+  const std::vector<double> calibrated =
+      CalibrateSourceCosts(statics, registry, options);
+  // w = 200 / 204, so the blend is ~98% measured.
+  EXPECT_GT(calibrated[1] / calibrated[0], 3.5);
+  EXPECT_LT(calibrated[1] / calibrated[0], 4.0 + 1e-9);
+}
+
+TEST(CalibrateSourceCostsTest, InvariantToMachineSpeed) {
+  // Doubling every measured time (a slower machine) must not change the
+  // calibrated costs at all: the scale factor absorbs absolute speed.
+  const std::vector<double> statics = {5.0, 15.0, 25.0};
+  auto calibrate_with_speed = [&](double speed) {
+    MeasuredCostRegistry registry;
+    for (int i = 0; i < 50; ++i) {
+      registry.Record(0, speed * 0.001);
+      registry.Record(1, speed * 0.009);
+      registry.Record(2, speed * 0.002);
+    }
+    return CalibrateSourceCosts(statics, registry);
+  };
+  const std::vector<double> fast = calibrate_with_speed(1.0);
+  const std::vector<double> slow = calibrate_with_speed(2.0);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-9 * statics[i]);
+  }
+}
+
+TEST(CalibrateSourceCostsTest, PreservesTotalCostOfQualifiedSources) {
+  // The scale factor maps measured seconds into the static unit such that
+  // the qualified sources' total is conserved — calibration redistributes
+  // cost, it does not inflate it.
+  MeasuredCostRegistry registry;
+  for (int i = 0; i < 100; ++i) {
+    registry.Record(0, 0.001);
+    registry.Record(1, 0.003);
+  }
+  const std::vector<double> statics = {30.0, 10.0};
+  const std::vector<double> calibrated = CalibrateSourceCosts(statics, registry);
+  EXPECT_NEAR(calibrated[0] + calibrated[1], 40.0, 1e-9);
+}
+
+TEST(CalibrateSourceCostsTest, AllZeroMeasurementsShrinkTowardZero) {
+  // A workload that never touches the qualified sources: the blend
+  // degrades to (1 - w) * static rather than dividing by zero.
+  MeasuredCostRegistry registry;
+  for (int i = 0; i < 16; ++i) registry.Record(0, 0.0);
+  const std::vector<double> statics = {10.0, 10.0};
+  const std::vector<double> calibrated = CalibrateSourceCosts(statics, registry);
+  EXPECT_GE(calibrated[0], 0.0);
+  EXPECT_LT(calibrated[0], 10.0);
+  EXPECT_DOUBLE_EQ(calibrated[1], 10.0);
+  EXPECT_FALSE(std::isnan(calibrated[0]));
+}
+
+// --- PlanMinimalRebalance ------------------------------------------------
+
+PartitionPlan MakePlan(size_t num_shards, std::vector<uint32_t> shard_of) {
+  PartitionPlan plan;
+  plan.num_shards = num_shards;
+  plan.shard_of = std::move(shard_of);
+  return plan;
+}
+
+std::vector<double> ShardLoads(const std::vector<double>& costs,
+                               const PartitionPlan& plan) {
+  std::vector<double> loads(plan.num_shards, 0.0);
+  for (size_t i = 0; i < costs.size(); ++i) loads[plan.shard_of[i]] += costs[i];
+  return loads;
+}
+
+size_t DiffCount(const PartitionPlan& a, const PartitionPlan& b) {
+  size_t moved = 0;
+  for (size_t i = 0; i < a.shard_of.size(); ++i) {
+    if (a.shard_of[i] != b.shard_of[i]) ++moved;
+  }
+  return moved;
+}
+
+TEST(PlanMinimalRebalanceTest, BalancedPlanMovesNothing) {
+  const std::vector<double> costs = {1.0, 1.0, 1.0, 1.0};
+  const PartitionPlan current = MakePlan(2, {0, 1, 0, 1});
+  size_t moved = 99;
+  const PartitionPlan plan =
+      PlanMinimalRebalance(costs, current, 1.25, &moved);
+  EXPECT_EQ(moved, 0u);
+  EXPECT_EQ(plan.shard_of, current.shard_of);
+}
+
+TEST(PlanMinimalRebalanceTest, SkewedPlanReachesTargetWithFewMoves) {
+  // Eight unit sources all on shard 0 of 2: imbalance 2.0. Moving any four
+  // reaches perfect balance; the planner must get under 1.25 without
+  // relocating more than necessary.
+  const std::vector<double> costs(8, 1.0);
+  const PartitionPlan current = MakePlan(2, {0, 0, 0, 0, 0, 0, 0, 0});
+  size_t moved = 0;
+  const PartitionPlan plan =
+      PlanMinimalRebalance(costs, current, 1.25, &moved);
+  EXPECT_TRUE(plan.Validate(costs.size()).ok());
+  EXPECT_LE(MaxMeanImbalance(ShardLoads(costs, plan)), 1.25);
+  EXPECT_LE(moved, 4u);
+  EXPECT_GE(moved, 3u);
+  EXPECT_EQ(moved, DiffCount(plan, current));
+}
+
+TEST(PlanMinimalRebalanceTest, MovesFewerSourcesThanFullReplan) {
+  // A nearly balanced layout with one hot shard: the incremental planner
+  // nudges a couple of sources; a full LPT re-plan reshuffles most ids.
+  std::vector<double> costs(24, 1.0);
+  PartitionPlan current = MakePlan(4, {});
+  current.shard_of.assign(24, 0);
+  for (size_t i = 0; i < 24; ++i) {
+    // Shard 0 gets 9 sources, shards 1..3 get 5 each.
+    current.shard_of[i] = i < 9 ? 0u : static_cast<uint32_t>(1 + (i - 9) % 3);
+  }
+  size_t moved = 0;
+  const PartitionPlan minimal =
+      PlanMinimalRebalance(costs, current, 1.1, &moved);
+  EXPECT_LE(MaxMeanImbalance(ShardLoads(costs, minimal)), 1.1);
+
+  const PartitionPlan full = BalancedPartitioner().Partition(costs, 4);
+  const size_t full_moved = DiffCount(full, current);
+  EXPECT_LT(moved, full_moved);
+  EXPECT_LE(moved, 3u);  // 9 -> 6 needs exactly 3 moves.
+}
+
+TEST(PlanMinimalRebalanceTest, DeterministicAcrossCalls) {
+  std::vector<double> costs = {5.0, 3.0, 3.0, 2.0, 1.0, 1.0, 1.0};
+  const PartitionPlan current = MakePlan(3, {0, 0, 0, 0, 0, 1, 2});
+  const PartitionPlan a = PlanMinimalRebalance(costs, current, 1.2);
+  const PartitionPlan b = PlanMinimalRebalance(costs, current, 1.2);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+}
+
+TEST(PlanMinimalRebalanceTest, TargetBelowOneIsClampedAndTerminates) {
+  const std::vector<double> costs = {1.0, 1.0, 1.0};
+  const PartitionPlan current = MakePlan(2, {0, 0, 0});
+  size_t moved = 0;
+  // An exact 1.0 balance of 3 units over 2 shards is impossible; the
+  // clamped target must still terminate at the best achievable layout.
+  const PartitionPlan plan = PlanMinimalRebalance(costs, current, 0.0, &moved);
+  EXPECT_TRUE(plan.Validate(costs.size()).ok());
+  EXPECT_NEAR(MaxMeanImbalance(ShardLoads(costs, plan)), 4.0 / 3.0, 1e-9);
+  EXPECT_EQ(moved, 1u);
+}
+
+TEST(PlanMinimalRebalanceTest, DominantSourceIsBestEffort) {
+  // One source carries ~all the cost: no move can reach 1.05, and moving
+  // the giant back and forth must not loop. Best effort, then stop.
+  const std::vector<double> costs = {100.0, 1.0, 1.0};
+  const PartitionPlan current = MakePlan(2, {0, 0, 1});
+  const PartitionPlan plan = PlanMinimalRebalance(costs, current, 1.05);
+  EXPECT_TRUE(plan.Validate(costs.size()).ok());
+  const std::vector<double> loads = ShardLoads(costs, plan);
+  // The giant pins its shard near 100; best effort puts both units opposite.
+  EXPECT_NEAR(MaxMeanImbalance(loads), 100.0 / 51.0, 1e-9);
+}
+
+TEST(PlanMinimalRebalanceTest, ZeroCostSourcesNeverMove) {
+  // Retracted sources read cost 0; migrating them is pure churn.
+  const std::vector<double> costs = {0.0, 0.0, 4.0, 4.0};
+  const PartitionPlan current = MakePlan(2, {0, 0, 0, 0});
+  size_t moved = 0;
+  const PartitionPlan plan = PlanMinimalRebalance(costs, current, 1.0, &moved);
+  EXPECT_EQ(plan.shard_of[0], 0u);
+  EXPECT_EQ(plan.shard_of[1], 0u);
+  EXPECT_EQ(moved, 1u);  // One of the two heavy sources crosses over.
+  EXPECT_NEAR(MaxMeanImbalance(ShardLoads(costs, plan)), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace imgrn

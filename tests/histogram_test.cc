@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -59,6 +60,64 @@ TEST(LatencyHistogramTest, ExtremesClampToEdgeBuckets) {
   histogram.Record(1e9);      // Far beyond the last bucket.
   EXPECT_EQ(histogram.Count(), 3u);
   EXPECT_GT(histogram.Percentile(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileZeroIsAMinimumBound) {
+  // p0 must bound the samples from BELOW (the lower edge of the first
+  // occupied bucket), not report the first bucket's upper bound — the old
+  // behavior could claim a "minimum" above every recorded value.
+  LatencyHistogram histogram;
+  histogram.Record(0.005);
+  histogram.Record(0.050);
+  const double p0 = histogram.Percentile(0.0);
+  EXPECT_LE(p0, 0.005);
+  EXPECT_GT(p0, 0.0);  // 5ms is far above bucket 0; lower edge is positive.
+  EXPECT_LE(p0, histogram.Percentile(0.5));
+  EXPECT_LE(histogram.Percentile(0.5), histogram.Percentile(1.0));
+}
+
+TEST(LatencyHistogramTest, PercentileZeroOfSubMicrosecondSamples) {
+  // Samples in the first bucket: its lower edge is 0, so p0 is exactly 0 —
+  // still a valid minimum bound.
+  LatencyHistogram histogram;
+  histogram.Record(1e-9);
+  EXPECT_EQ(histogram.Percentile(0.0), 0.0);
+  EXPECT_GT(histogram.Percentile(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSampleBracketsBetweenP0AndP100) {
+  LatencyHistogram histogram;
+  histogram.Record(0.0123);
+  const double p0 = histogram.Percentile(0.0);
+  const double p100 = histogram.Percentile(1.0);
+  EXPECT_LE(p0, 0.0123);
+  EXPECT_GE(p100, 0.0123);
+  // Every intermediate quantile of a single sample is the same bucket.
+  EXPECT_EQ(histogram.Percentile(0.25), p100);
+  EXPECT_EQ(histogram.Percentile(0.99), p100);
+}
+
+TEST(LatencyHistogramTest, NanRecordClampsToZeroBucket) {
+  LatencyHistogram histogram;
+  histogram.Record(std::nan(""));
+  histogram.Record(0.010);
+  EXPECT_EQ(histogram.Count(), 2u);
+  // The poisoned sample contributes nothing to the sum and lands in
+  // bucket 0 (it must not vanish, or Count and bucket totals diverge).
+  EXPECT_NEAR(histogram.SumSeconds(), 0.010, 1e-6);
+  EXPECT_FALSE(std::isnan(histogram.SumSeconds()));
+  EXPECT_EQ(histogram.Percentile(0.0), 0.0);  // NaN sits in bucket 0.
+}
+
+TEST(LatencyHistogramTest, NanQuantileBehavesLikeZero) {
+  LatencyHistogram histogram;
+  histogram.Record(0.005);
+  const double nan_q = histogram.Percentile(std::nan(""));
+  EXPECT_EQ(nan_q, histogram.Percentile(0.0));
+  EXPECT_FALSE(std::isnan(nan_q));
+  // Out-of-range q clamps rather than reading past the buckets.
+  EXPECT_EQ(histogram.Percentile(2.0), histogram.Percentile(1.0));
+  EXPECT_EQ(histogram.Percentile(-1.0), histogram.Percentile(0.0));
 }
 
 TEST(LatencyHistogramTest, ResetClears) {

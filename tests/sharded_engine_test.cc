@@ -234,6 +234,68 @@ TEST_F(ShardedEngineTest, UpdatesMatchSingleEngineAndRouteToOneShard) {
             StatusCode::kFailedPrecondition);  // Double remove.
 }
 
+TEST_F(ShardedEngineTest, RemoveThenAddKeepsLocalIdAccountingConsistent) {
+  // Regression guard for the local-id bookkeeping in AppendToShardLocked:
+  // after RemoveSource the shard's engine database keeps the retracted
+  // slot (the engine never shrinks), so the next local id MUST come from
+  // the side tables (local_to_global), which stay in lockstep with the
+  // engine — not from any count of live sources. If the two ever diverge,
+  // the appended matrix lands on the wrong local id and the global-id
+  // translation silently corrupts every later result on that shard.
+  // Exercised at K=1 (every remove/add hits the same shard — the
+  // worst case for slot reuse) and K=2.
+  const size_t kSources = 4;
+  BuildReference(kSources);
+  const QueryParams params = DefaultParams();
+
+  for (size_t shards : {1u, 2u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ImGrnEngine single;
+    single.LoadDatabase(MakeDatabase(kSources));
+    ASSERT_TRUE(single.BuildIndex().ok());
+
+    ShardedEngine sharded(Opts(shards), nullptr);
+    sharded.LoadDatabase(MakeDatabase(kSources));
+    ASSERT_TRUE(sharded.BuildIndex().ok());
+
+    auto check = [&](const std::string& context) {
+      const GeneMatrix query = ClusterQueryMatrix(7700);
+      Result<std::vector<QueryMatch>> expected = single.Query(query, params);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      Result<std::vector<QueryMatch>> actual = sharded.Query(query, params);
+      ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+      ExpectIdentical(*actual, *expected, context);
+    };
+
+    // Remove, then append on top of the hole — twice, so the second add
+    // runs against a database whose size and live count differ by 2.
+    ASSERT_TRUE(single.RemoveMatrix(1).ok());
+    ASSERT_TRUE(sharded.RemoveSource(1).ok());
+    ASSERT_TRUE(single.AddMatrix(ClusterMatrix(4)).ok());
+    ASSERT_TRUE(sharded.AddSource(ClusterMatrix(4)).ok());
+    check("after remove 1, add 4");
+
+    ASSERT_TRUE(single.RemoveMatrix(2).ok());
+    ASSERT_TRUE(sharded.RemoveSource(2).ok());
+    ASSERT_TRUE(single.AddMatrix(ClusterMatrix(5)).ok());
+    ASSERT_TRUE(sharded.AddSource(ClusterMatrix(5)).ok());
+    check("after remove 2, add 5");
+    EXPECT_EQ(sharded.num_sources(), 6u);  // Id space never shrinks.
+
+    // The appended sources must actually answer queries (a wrong local id
+    // typically makes them invisible or mislabeled rather than crashing).
+    const GeneMatrix query = ClusterQueryMatrix(7700);
+    Result<std::vector<QueryMatch>> matches = sharded.Query(query, params);
+    ASSERT_TRUE(matches.ok());
+    std::set<SourceId> answering;
+    for (const QueryMatch& match : *matches) answering.insert(match.source);
+    EXPECT_TRUE(answering.count(4) == 1 && answering.count(5) == 1)
+        << "appended sources missing from the merged answer set";
+    EXPECT_EQ(answering.count(1), 0u);
+    EXPECT_EQ(answering.count(2), 0u);
+  }
+}
+
 TEST_F(ShardedEngineTest, AddSourceBootstrapsAnEmptyShard) {
   // Start with 2 sources over 4 shards: shards 2 and 3 are empty. Adding
   // sources 2 and 3 must bring their engines up from nothing.

@@ -6,8 +6,9 @@
 # labels in $LABELS: "concurrency" (thread pool, query service, sharded
 # engine, shard stress, lock-free histogram) and "partitioning" (the
 # differential partition-invariance suite, whose Rebalance/Resize paths
-# migrate data while queries run — exactly the races a sanitizer should
-# see); see tests/CMakeLists.txt. ThreadSanitizer is the default and the
+# migrate data while queries run, plus the lock-free measured-cost
+# registry the query path writes concurrently — exactly the races a
+# sanitizer should see); see tests/CMakeLists.txt. ThreadSanitizer is the default and the
 # gate that matters for src/service; pass "address" to run the same
 # workload under AddressSanitizer instead. The script prints each label
 # as it runs so CI logs show what the gate actually covered.
@@ -28,7 +29,8 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DIMGRN_SANITIZE="$KIND"
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test query_service_test sharded_engine_test \
-           shard_stress_test histogram_test partition_invariance_test
+           shard_stress_test histogram_test partition_invariance_test \
+           cost_model_test
 
 # Any sanitizer report is a hard failure.
 if [ "$KIND" = thread ]; then

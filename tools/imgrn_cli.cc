@@ -9,20 +9,26 @@
 //       Build and persist the IM-GRN index.
 //   imgrn query --db=db.txt --index=db.idx --query=q.txt
 //               [--gamma=0.5] [--alpha=0.5] [--top_k=0] [--shards=1]
-//               [--partition=modulo|balanced]
+//               [--partition=modulo|balanced|calibrated]
 //       Run one IM-GRN query; q.txt is a gene matrix file (matrix_io.h).
 //       --shards=K > 1 partitions the database across K in-memory engines
 //       and fans the query out (service/sharded_engine.h); the matches are
 //       identical to --shards=1 by construction for EVERY --partition
 //       strategy (modulo: source id mod K; balanced: cost-based LPT bin
-//       packing — see service/partitioner.h). Incompatible with --index
-//       (per-shard indices are built in memory).
-//   imgrn rebalance --db=db.txt --query=q.txt [--shards=4] ...
+//       packing; calibrated: LPT over measured-cost-blended estimates —
+//       see service/partitioner.h and service/cost_model.h). Incompatible
+//       with --index (per-shard indices are built in memory).
+//   imgrn rebalance --db=db.txt --query=q.txt [--shards=4] [--auto=1]
+//               [--target-imbalance=1.25] [--warmup=4] ...
 //       Demo/diagnostic for online rebalancing: load the database
-//       modulo-sharded, report the per-shard load and imbalance, migrate
-//       to a balanced (LPT) plan via ShardedEngine::Rebalance while the
-//       engine stays queryable, report the new imbalance, and verify the
-//       query answers are bit-identical before and after.
+//       modulo-sharded, report the per-shard load and imbalance (estimated
+//       AND measured), migrate while the engine stays queryable, report
+//       the new loads, and verify the query answers are bit-identical
+//       before and after. Default mode migrates to a full balanced (LPT)
+//       plan; --auto=1 instead warms the measured cost model with
+//       --warmup queries and runs the minimum-movement auto-rebalance
+//       (ShardedEngine::Rebalance(target)), which moves only the few
+//       sources needed to bring max/mean under --target-imbalance.
 //   imgrn extract-query --db=db.txt --out=q.txt [--genes=5] [--gamma=0.5]
 //       Extract a connected query matrix from the database (for demos).
 //   imgrn infer --matrix=m.txt [--measure=imgrn] [--gamma=0.5]
@@ -171,10 +177,11 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "--shards must be >= 1\n");
     return 2;
   }
-  std::shared_ptr<const Partitioner> partitioner =
-      MakePartitioner(args.Get("partition"));
-  if (partitioner == nullptr) {
-    std::fprintf(stderr, "--partition must be 'modulo' or 'balanced'\n");
+  Result<std::shared_ptr<const Partitioner>> partitioner =
+      ParsePartitioner(args.Get("partition"));
+  if (!partitioner.ok()) {
+    std::fprintf(stderr, "--partition: %s\n",
+                 partitioner.status().message().c_str());
     return 2;
   }
   if (shards > 1 && args.Has("index")) {
@@ -199,18 +206,21 @@ int CmdQuery(int argc, char** argv) {
   if (shards > 1) {
     std::fprintf(stderr,
                  "(sharding across %zu in-memory engines, %s partitioning)\n",
-                 shards, partitioner->name());
+                 shards, (*partitioner)->name());
     ThreadPool pool;
     ShardedEngineOptions options;
     options.num_shards = shards;
-    options.partitioner = partitioner;
+    options.partitioner = *partitioner;
     ShardedEngine engine(options, &pool);
     engine.LoadDatabase(std::move(*database));
     Status status = engine.BuildIndex();
     if (!status.ok()) return Fail(status);
     matches = engine.Query(*query_matrix, params, &stats);
-    std::fprintf(stderr, "(shard load imbalance: %.3f max/mean)\n",
-                 engine.StatsSnapshot().imbalance);
+    const ShardedEngineStatsSnapshot snapshot = engine.StatsSnapshot();
+    std::fprintf(stderr,
+                 "(shard load imbalance: %.3f estimated, %.3f measured "
+                 "max/mean)\n",
+                 snapshot.imbalance, snapshot.measured_imbalance);
   } else {
     ImGrnEngine engine;
     engine.LoadDatabase(std::move(*database));
@@ -249,6 +259,9 @@ int CmdRebalance(int argc, char** argv) {
             {{"db", ""},
              {"query", ""},
              {"shards", "4"},
+             {"auto", "0"},
+             {"target-imbalance", "1.25"},
+             {"warmup", "4"},
              {"gamma", "0.5"},
              {"alpha", "0.5"},
              {"top_k", "0"},
@@ -257,6 +270,7 @@ int CmdRebalance(int argc, char** argv) {
     std::fprintf(stderr, "rebalance requires --db=FILE --query=FILE\n");
     return 2;
   }
+  const bool auto_mode = args.GetInt("auto") != 0;
   const size_t shards = static_cast<size_t>(args.GetInt("shards"));
   if (shards == 0) {
     std::fprintf(stderr, "--shards must be >= 1\n");
@@ -286,22 +300,45 @@ int CmdRebalance(int argc, char** argv) {
   auto print_loads = [&engine](const char* tag) {
     const ShardedEngineStatsSnapshot snapshot = engine.StatsSnapshot();
     for (const ShardStats& shard : snapshot.shards) {
-      std::printf("%s shard%zu: sources=%zu load=%.3g\n", tag, shard.shard,
-                  shard.sources, shard.cost);
+      std::printf("%s shard%zu: sources=%zu load=%.3g measured=%.3gs\n", tag,
+                  shard.shard, shard.sources, shard.cost,
+                  shard.measured_seconds);
     }
-    std::printf("%s imbalance=%.3f (max/mean shard load)\n", tag,
-                snapshot.imbalance);
+    std::printf("%s imbalance=%.3f measured_imbalance=%.3f "
+                "(max/mean shard load)\n",
+                tag, snapshot.imbalance, snapshot.measured_imbalance);
     return snapshot.imbalance;
   };
+  if (auto_mode) {
+    // Feed the measured cost model before planning: every query attributes
+    // its wall-clock to the sources it touched.
+    const size_t warmup = static_cast<size_t>(args.GetInt("warmup"));
+    for (size_t i = 0; i < warmup; ++i) {
+      Result<std::vector<QueryMatch>> r = engine.Query(*query_matrix, params);
+      if (!r.ok()) return Fail(r.status());
+    }
+    std::printf("warmed the measured cost model with %zu queries\n", warmup);
+  }
   print_loads("before");
   Result<std::vector<QueryMatch>> before = engine.Query(*query_matrix, params);
   if (!before.ok()) return Fail(before.status());
 
-  // Migrate to the LPT plan while the engine stays live (queries on
-  // untouched shards would keep running throughout).
-  const PartitionPlan plan = BalancedPartitioner().Partition(costs, shards);
-  status = engine.Rebalance(plan);
-  if (!status.ok()) return Fail(status);
+  if (auto_mode) {
+    // Minimum-movement auto-rebalance over the calibrated cost model.
+    const double target = args.GetDouble("target-imbalance");
+    size_t moved = 0;
+    status = engine.Rebalance(target, &moved);
+    if (!status.ok()) return Fail(status);
+    std::printf("auto-rebalance moved %zu of %zu sources "
+                "(target imbalance %.2f)\n",
+                moved, engine.num_sources(), target);
+  } else {
+    // Migrate to the LPT plan while the engine stays live (queries on
+    // untouched shards would keep running throughout).
+    const PartitionPlan plan = BalancedPartitioner().Partition(costs, shards);
+    status = engine.Rebalance(plan);
+    if (!status.ok()) return Fail(status);
+  }
   print_loads("after");
 
   Result<std::vector<QueryMatch>> after = engine.Query(*query_matrix, params);
