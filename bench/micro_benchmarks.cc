@@ -140,10 +140,12 @@ void BM_RTreeSearch(benchmark::State& state) {
       hi[d] = lo[d] + 10;
     }
     size_t count = 0;
-    tree.Search(Mbr::FromBounds(lo, hi), [&count](const RTreeEntry&) {
-      ++count;
-      return true;
-    });
+    Result<size_t> searched =
+        tree.Search(Mbr::FromBounds(lo, hi), [&count](const RTreeEntry&) {
+          ++count;
+          return true;
+        });
+    benchmark::DoNotOptimize(searched);
     benchmark::DoNotOptimize(count);
   }
 }

@@ -1,0 +1,41 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace imgrn {
+
+namespace {
+
+// Byte-indexed lookup table for the reflected Castagnoli polynomial,
+// generated once at static-init time (256 iterations; cheaper than a
+// hand-maintained literal table and impossible to typo).
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t length) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < length; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t length) {
+  return Crc32cExtend(0, data, length);
+}
+
+}  // namespace imgrn

@@ -19,6 +19,15 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kCancelled,
+  /// A transient infrastructure failure (flaky I/O, a shard that is down
+  /// or quarantined). Retry-safe: the operation may succeed if repeated,
+  /// and the serving layer's retry/partial-result machinery treats exactly
+  /// this code as "try again / degrade", never as a caller bug.
+  kUnavailable,
+  /// Unrecoverable corruption (e.g. a page failing its CRC32C check).
+  /// NOT retry-safe: the bytes are wrong and will stay wrong; the serving
+  /// layer degrades around the lost shard instead of retrying into it.
+  kDataLoss,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -64,6 +73,12 @@ class Status {
   }
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -42,6 +42,15 @@ class QueryEngine {
   /// both consumes the breakdown (feeding its measured cost model for
   /// calibrated partitioning / auto-rebalance) and re-exposes it with
   /// global source ids; engines without a breakdown leave it empty.
+  ///
+  /// Degradation contract: when QueryParams::allow_partial is set, an
+  /// implementation MAY return an OK-but-incomplete answer after an
+  /// infrastructure failure, and if it does it MUST (a) set
+  /// stats->degraded and enumerate stats->failed_shards, and (b) keep the
+  /// returned matches bit-exact for every source it did cover — partiality
+  /// only ever removes sources, never perturbs the survivors. Engines
+  /// without internal redundancy (SingleEngine) ignore allow_partial and
+  /// fail whole.
   virtual Result<std::vector<QueryMatch>> Query(
       const GeneMatrix& query_matrix, const QueryParams& params,
       QueryStats* stats = nullptr,

@@ -306,7 +306,9 @@ Status ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
   std::priority_queue<QueueElement, std::vector<QueueElement>, QueueCompare>
       queue;
 
-  const RTreeNode& root = rtree.node(rtree.root_id());
+  Result<const RTreeNode*> root_fetch = rtree.node(rtree.root_id());
+  if (!root_fetch.ok()) return root_fetch.status();
+  const RTreeNode& root = **root_fetch;
   if (root.IsLeaf()) {
     process_leaf_pair(root, root);
     return Status::Ok();
@@ -330,8 +332,12 @@ Status ImGrnQueryProcessor::TraverseIndex(const ProbGraph& query,
     }
     const QueueElement element = queue.top();
     queue.pop();
-    const RTreeNode& node_a = rtree.node(element.a);
-    const RTreeNode& node_b = rtree.node(element.b);
+    Result<const RTreeNode*> fetch_a = rtree.node(element.a);
+    if (!fetch_a.ok()) return fetch_a.status();
+    Result<const RTreeNode*> fetch_b = rtree.node(element.b);
+    if (!fetch_b.ok()) return fetch_b.status();
+    const RTreeNode& node_a = **fetch_a;
+    const RTreeNode& node_b = **fetch_b;
     if (node_a.IsLeaf()) {
       process_leaf_pair(node_a, node_b);
       continue;

@@ -41,6 +41,17 @@ struct QueryParams {
   /// callers (ShardedEngine's measured cost model) consume it.
   bool collect_source_costs = false;
 
+  /// Degradation policy for fan-out engines (ShardedEngine). When set, a
+  /// query whose sub-queries fail on SOME shards with an infrastructure
+  /// error (kUnavailable after retries are exhausted, kDataLoss, or a
+  /// quarantined shard) still succeeds, returning the surviving shards'
+  /// matches — bit-exact for every source a surviving shard owns — with
+  /// QueryStats::degraded set and the failed shards listed. When unset
+  /// (default), any shard failure fails the whole query. Caller-attributed
+  /// errors (cancellation, deadline, invalid arguments) always fail the
+  /// query, and so does every shard failing at once.
+  bool allow_partial = false;
+
   uint64_t seed = 99;
 };
 
@@ -110,6 +121,19 @@ struct QueryStats {
   /// implement the breakdown (ImGrnQueryProcessor does; baseline scans
   /// leave it empty). Sources the traversal pruned entirely do not appear.
   std::vector<SourceCostSample> source_costs;
+
+  /// True when QueryParams::allow_partial let the query succeed without
+  /// some shards: the answer is complete for every source owned by a shard
+  /// in neither of the lists below, and silent about the rest.
+  bool degraded = false;
+
+  /// The shards whose sub-queries failed (ascending), when degraded.
+  std::vector<size_t> failed_shards;
+
+  /// Sub-query retry attempts this query spent riding out transient
+  /// (kUnavailable) shard failures, across all shards. 0 on the happy
+  /// path.
+  uint64_t shard_retries = 0;
 };
 
 }  // namespace imgrn

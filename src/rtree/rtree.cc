@@ -46,10 +46,13 @@ const RTreeNode& RTree::NodeUnaccounted(NodeId id) const {
   return *nodes_[id];
 }
 
-const RTreeNode& RTree::node(NodeId id) const {
+Result<const RTreeNode*> RTree::node(NodeId id) const {
   const RTreeNode& n = NodeUnaccounted(id);
-  pool_->FetchPage(n.page);
-  return n;
+  // The node object lives in memory; the fetch is the accounted (and
+  // fallible) access to its backing page.
+  Result<Page*> page = pool_->Fetch(n.page);
+  if (!page.ok()) return page.status();
+  return &n;
 }
 
 NodeId RTree::AllocateNode(int level) {
@@ -465,10 +468,10 @@ void RTree::GrowRoot(NodeId sibling) {
   root_ = new_root;
 }
 
-size_t RTree::Search(
+Result<size_t> RTree::Search(
     const Mbr& box,
     const std::function<bool(const RTreeEntry&)>& callback) const {
-  if (root_ == kInvalidNodeId) return 0;
+  if (root_ == kInvalidNodeId) return size_t{0};
   size_t delivered = 0;
   bool keep_going = true;
   // Explicit stack to avoid recursion in the hot path.
@@ -476,7 +479,9 @@ size_t RTree::Search(
   while (!stack.empty() && keep_going) {
     const NodeId id = stack.back();
     stack.pop_back();
-    const RTreeNode& n = node(id);  // Accounted access.
+    Result<const RTreeNode*> fetched = node(id);  // Accounted access.
+    if (!fetched.ok()) return fetched.status();
+    const RTreeNode& n = **fetched;
     for (const RTreeEntry& entry : n.entries) {
       if (!entry.mbr.Intersects(box)) continue;
       if (n.IsLeaf()) {
@@ -641,14 +646,16 @@ Status RTree::Validate() const {
   return Status::Ok();
 }
 
-void RTree::SerializeAllNodes() {
+Status RTree::SerializeAllNodes() {
   std::vector<bool> live(nodes_.size(), true);
   for (NodeId id : free_nodes_) live[id] = false;
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     if (!live[id]) continue;
     Page* page = file_->GetPage(nodes_[id]->page);
     SerializeNode(*nodes_[id], options_.dims, options_.payload_size, page);
+    IMGRN_RETURN_IF_ERROR(file_->Commit(nodes_[id]->page));
   }
+  return Status::Ok();
 }
 
 }  // namespace imgrn

@@ -82,9 +82,12 @@ class RTree {
 
   /// Range query: invokes `callback` for every leaf entry whose MBR
   /// intersects `box`; stops early if the callback returns false. Node
-  /// accesses are I/O-accounted. Returns the number of results delivered.
-  size_t Search(const Mbr& box,
-                const std::function<bool(const RTreeEntry&)>& callback) const;
+  /// accesses are I/O-accounted and fallible (fault injection, checksum
+  /// verification); a storage error aborts the traversal and propagates.
+  /// Returns the number of results delivered.
+  Result<size_t> Search(
+      const Mbr& box,
+      const std::function<bool(const RTreeEntry&)>& callback) const;
 
   /// Number of records stored.
   size_t size() const { return num_records_; }
@@ -98,8 +101,11 @@ class RTree {
   NodeId root_id() const { return root_; }
 
   /// Buffer-pool-accounted node access; the IM-GRN query processor uses
-  /// this for its custom pairwise traversal (Fig. 4).
-  const RTreeNode& node(NodeId id) const;
+  /// this for its custom pairwise traversal (Fig. 4). Fallible: the backing
+  /// page fetch evaluates the storage fault-injection sites and verifies
+  /// the page checksum, so a flaky or corrupted "disk" surfaces here as
+  /// kUnavailable / kDataLoss instead of silently returning stale bytes.
+  Result<const RTreeNode*> node(NodeId id) const;
 
   size_t max_entries() const { return max_entries_; }
   size_t min_entries() const { return min_entries_; }
@@ -120,8 +126,10 @@ class RTree {
   Status Validate() const;
 
   /// Serializes every live node to its page (see rtree_node.h) so the index
-  /// could be persisted; DeserializeNode round-trips are tested.
-  void SerializeAllNodes();
+  /// could be persisted; DeserializeNode round-trips are tested. Each page
+  /// is Commit()ed — sealed with its CRC32C — so subsequent accounted reads
+  /// verify integrity; a write fault aborts and propagates kUnavailable.
+  Status SerializeAllNodes();
 
  private:
   struct PathStep {

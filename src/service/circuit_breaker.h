@@ -1,0 +1,91 @@
+#ifndef IMGRN_SERVICE_CIRCUIT_BREAKER_H_
+#define IMGRN_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace imgrn {
+
+/// Knobs of one CircuitBreaker (see below).
+struct CircuitBreakerOptions {
+  /// Consecutive counted failures that trip the breaker open.
+  size_t failure_threshold = 5;
+
+  /// How long an open breaker rejects before letting a probe through.
+  int64_t open_duration_micros = 50'000;
+
+  /// Consecutive successful probes needed to close from half-open.
+  size_t half_open_successes = 1;
+
+  /// Monotonic clock in microseconds; null uses std::chrono::steady_clock.
+  /// Tests inject a fake to step through open->half-open deterministically.
+  std::function<int64_t()> clock_micros;
+};
+
+/// A per-shard quarantine gate with the classic three-state protocol:
+///
+///   closed ──(failure_threshold consecutive failures)──> open
+///   open ──(open_duration elapses)──> half-open (one probe at a time)
+///   half-open ──(probe succeeds x half_open_successes)──> closed
+///   half-open ──(probe fails)──> open (cooldown restarts)
+///
+/// The point: a shard that fails every sub-query otherwise eats
+/// max_attempts retries (and their backoff sleeps) out of EVERY query's
+/// latency budget. Once the breaker opens, queries skip the sick shard
+/// instantly (degrading per QueryParams::allow_partial) and only the
+/// occasional probe pays for discovering recovery.
+///
+/// Callers drive it with one AllowRequest() per attempt and exactly one
+/// Record*() per allowed attempt:
+///   - RecordSuccess(): the shard answered.
+///   - RecordFailure(): the shard failed for a reason that indicts the
+///     shard (kUnavailable, kDataLoss, kInternal).
+///   - RecordNeutral(): the attempt says nothing about shard health
+///     (caller cancelled, deadline expired) — releases a half-open probe
+///     without moving the state machine.
+///
+/// Thread safety: fully synchronized; every method is one short critical
+/// section.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True if an attempt may proceed. In the open state this is where the
+  /// cooldown expiry transitions to half-open; in half-open only one probe
+  /// is outstanding at a time (callers that got `false` must NOT call
+  /// Record*()).
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+  void RecordNeutral();
+
+  State state() const;
+
+  /// Attempts turned away (open, or half-open with a probe already out).
+  uint64_t rejections() const;
+
+  static const char* StateName(State state);
+
+ private:
+  int64_t NowMicros() const;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  size_t consecutive_failures_ = 0;
+  size_t half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  int64_t open_until_micros_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_SERVICE_CIRCUIT_BREAKER_H_

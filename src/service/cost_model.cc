@@ -1,5 +1,8 @@
 #include "service/cost_model.h"
 
+#include <chrono>
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace imgrn {
@@ -37,6 +40,27 @@ const MeasuredCostRegistry::Entry* MeasuredCostRegistry::FindEntry(
   return &block[static_cast<size_t>(source) & (kBlockSize - 1)];
 }
 
+int64_t MeasuredCostRegistry::NowMicros() const {
+  if (clock_micros_ != nullptr) return clock_micros_();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double MeasuredCostRegistry::DecayFactor(int64_t age_micros) const {
+  if (half_life_seconds_ <= 0.0 || age_micros <= 0) return 1.0;
+  return std::exp2(-(static_cast<double>(age_micros) * 1e-6) /
+                   half_life_seconds_);
+}
+
+void MeasuredCostRegistry::SetDecay(double half_life_seconds) {
+  half_life_seconds_ = half_life_seconds >= 0.0 ? half_life_seconds : 0.0;
+}
+
+void MeasuredCostRegistry::SetClockForTesting(int64_t (*clock_micros)()) {
+  clock_micros_ = clock_micros;
+}
+
 void MeasuredCostRegistry::Record(SourceId source, double seconds) {
   if (!(seconds >= 0.0)) seconds = 0.0;  // Negative clock skew and NaN.
   Entry* entry = EntryFor(source);
@@ -44,10 +68,18 @@ void MeasuredCostRegistry::Record(SourceId source, double seconds) {
   // next to a non-zero EWMA; seeing samples >= 1 next to a slightly stale
   // EWMA is fine (both are estimates).
   const uint64_t n = entry->samples.fetch_add(1, std::memory_order_acq_rel);
+  // The stored average is decayed by how long it sat idle before this
+  // sample, then blended as usual — so the write path and the Ewma() read
+  // path agree on what the average "is" at any instant.
+  const int64_t now = NowMicros();
+  const int64_t previous =
+      entry->last_update_micros.exchange(now, std::memory_order_acq_rel);
+  const double decay = n == 0 ? 1.0 : DecayFactor(now - previous);
   double current = entry->ewma.load(std::memory_order_relaxed);
   for (;;) {
-    const double next =
-        n == 0 ? seconds : (1.0 - kAlpha) * current + kAlpha * seconds;
+    const double next = n == 0 ? seconds
+                               : (1.0 - kAlpha) * (decay * current) +
+                                     kAlpha * seconds;
     if (entry->ewma.compare_exchange_weak(current, next,
                                           std::memory_order_acq_rel,
                                           std::memory_order_relaxed)) {
@@ -58,7 +90,15 @@ void MeasuredCostRegistry::Record(SourceId source, double seconds) {
 
 double MeasuredCostRegistry::Ewma(SourceId source) const {
   const Entry* entry = FindEntry(source);
-  return entry == nullptr ? 0.0 : entry->ewma.load(std::memory_order_acquire);
+  if (entry == nullptr) return 0.0;
+  const double stored = entry->ewma.load(std::memory_order_acquire);
+  if (half_life_seconds_ <= 0.0 || stored == 0.0 ||
+      entry->samples.load(std::memory_order_acquire) == 0) {
+    return stored;
+  }
+  const int64_t age =
+      NowMicros() - entry->last_update_micros.load(std::memory_order_acquire);
+  return stored * DecayFactor(age);
 }
 
 uint64_t MeasuredCostRegistry::Samples(SourceId source) const {
@@ -74,6 +114,7 @@ void MeasuredCostRegistry::Retire(SourceId source) {
   if (block == nullptr) return;
   Entry& entry = block[static_cast<size_t>(source) & (kBlockSize - 1)];
   entry.ewma.store(0.0, std::memory_order_release);
+  entry.last_update_micros.store(0, std::memory_order_release);
   entry.samples.store(0, std::memory_order_release);
 }
 

@@ -48,8 +48,24 @@ class MeasuredCostRegistry {
   /// average. Lock-free; safe from any thread.
   void Record(SourceId source, double seconds);
 
-  /// Current EWMA for `source` in seconds; 0.0 before any sample.
+  /// Current EWMA for `source` in seconds; 0.0 before any sample. With
+  /// decay enabled, the stored average is attenuated by the wall-clock age
+  /// of its newest sample before being returned (see SetDecay).
   double Ewma(SourceId source) const;
+
+  /// Enables wall-clock decay: an EWMA whose newest sample is `age`
+  /// seconds old reads (and blends) as ewma * 0.5^(age / half_life).
+  /// Sample-count EWMAs only forget when new samples arrive, so a source
+  /// the workload has STOPPED querying keeps its stale cost forever and a
+  /// rebalance keeps planning around traffic that no longer exists; the
+  /// half-life makes idle sources literally fade. 0 (the default) disables
+  /// decay — the pre-decay behavior, bit for bit. Set before traffic runs
+  /// (plain member, not synchronized against concurrent Record).
+  void SetDecay(double half_life_seconds);
+
+  /// Test hook: replaces the monotonic clock (microseconds) behind decay,
+  /// so tests step time deterministically. Set before traffic runs.
+  void SetClockForTesting(int64_t (*clock_micros)());
 
   /// Number of samples folded into `source`'s EWMA so far.
   uint64_t Samples(SourceId source) const;
@@ -69,6 +85,9 @@ class MeasuredCostRegistry {
   struct Entry {
     std::atomic<uint64_t> samples{0};
     std::atomic<double> ewma{0.0};
+    // Monotonic micros of the newest folded sample; only meaningful once
+    // samples > 0. Drives wall-clock decay (SetDecay).
+    std::atomic<int64_t> last_update_micros{0};
   };
   // Storage is a directory of fixed-size blocks. A block is allocated on
   // first touch and CAS-published; losers delete their candidate and reuse
@@ -82,7 +101,13 @@ class MeasuredCostRegistry {
   Entry* EntryFor(SourceId source);             // Allocates as needed.
   const Entry* FindEntry(SourceId source) const;  // Null if never touched.
 
+  int64_t NowMicros() const;
+  // 0.5^(age / half-life); 1.0 when decay is disabled or age <= 0.
+  double DecayFactor(int64_t age_micros) const;
+
   std::array<std::atomic<Entry*>, kMaxBlocks> blocks_{};
+  double half_life_seconds_ = 0.0;            // 0 = decay disabled.
+  int64_t (*clock_micros_)() = nullptr;       // Null = steady_clock.
 };
 
 /// Knobs of CalibrateSourceCosts.
@@ -91,6 +116,11 @@ struct CostCalibrationOptions {
   /// samples; below that the static estimate stands alone (a freshly added
   /// source should not swing the plan on one noisy timing).
   uint64_t min_samples = 4;
+
+  /// Wall-clock half-life (seconds) applied to the measured EWMAs via
+  /// MeasuredCostRegistry::SetDecay by owners that wire the two together
+  /// (ShardedEngine does). 0 disables decay: measurements never go stale.
+  double measured_half_life_seconds = 0.0;
 };
 
 /// Blends the static per-source estimates (the prior) with the measured

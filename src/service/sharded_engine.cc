@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "inference/grn_inference.h"
@@ -38,7 +39,12 @@ std::string ShardedEngineStatsSnapshot::DebugString() const {
            ": sources=" + std::to_string(shard.sources) + " load=" + load +
            " sub_queries=" + std::to_string(shard.sub_queries) +
            " errors=" + std::to_string(shard.sub_query_errors) +
-           " in_flight=" + std::to_string(shard.in_flight) + "\n";
+           " in_flight=" + std::to_string(shard.in_flight) +
+           " breaker=" + CircuitBreaker::StateName(shard.breaker);
+    if (shard.breaker_rejections > 0) {
+      out += "(" + std::to_string(shard.breaker_rejections) + " rejected)";
+    }
+    out += "\n";
   }
   char line[96];
   std::snprintf(line, sizeof(line),
@@ -66,10 +72,12 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options, ThreadPool* pool)
                        : std::make_shared<ModuloPartitioner>()),
       pool_(pool) {
   IMGRN_CHECK_GE(options_.num_shards, 1u);
+  measured_.SetDecay(options_.calibration.measured_half_life_seconds);
   auto topology = std::make_shared<Topology>();
   topology->shards.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
-    topology->shards.push_back(std::make_shared<Shard>(options_.engine));
+    topology->shards.push_back(
+        std::make_shared<Shard>(options_.engine, options_.breaker));
   }
   topology_ = std::move(topology);
 }
@@ -118,7 +126,8 @@ void ShardedEngine::LoadDatabase(GeneDatabase database) {
   auto next = std::make_shared<Topology>();
   next->shards.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    next->shards.push_back(std::make_shared<Shard>(options_.engine));
+    next->shards.push_back(
+        std::make_shared<Shard>(options_.engine, options_.breaker));
   }
 
   const size_t total = database.size();
@@ -254,8 +263,8 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
       futures.push_back(pool_->Submit(
           [this, &topology = *topology, s, &query_graph, &params,
            local_stats = &shard_stats[s], control] {
-            return RunShard(topology, s, query_graph, params, local_stats,
-                            control);
+            return RunShardWithRecovery(topology, s, query_graph, params,
+                                        local_stats, control);
           }));
     }
     for (size_t s = 0; s < num_shards; ++s) {
@@ -264,21 +273,42 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
     }
   } else {
     for (size_t s = 0; s < num_shards; ++s) {
-      results[s] = RunShard(*topology, s, query_graph, params,
-                            &shard_stats[s], control);
+      results[s] = RunShardWithRecovery(*topology, s, query_graph, params,
+                                        &shard_stats[s], control);
     }
   }
 
-  // Propagate the earliest (lowest shard index) error.
-  for (const Result<std::vector<QueryMatch>>& result : results) {
-    if (!result.ok()) return result.status();
+  // Failure policy. A non-degradable error (the caller's doing: cancel,
+  // deadline, bad request) fails the query outright. Degradable
+  // infrastructure errors (kUnavailable after retries, kDataLoss,
+  // quarantine) fail the query unless allow_partial is set, in which case
+  // the failed shards are dropped from the merge — but if EVERY shard
+  // failed there is nothing to degrade to, and the earliest error
+  // propagates.
+  std::vector<size_t> failed_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (results[s].ok()) continue;
+    const StatusCode code = results[s].status().code();
+    const bool degradable = code == StatusCode::kUnavailable ||
+                            code == StatusCode::kDataLoss;
+    if (!params.allow_partial || !degradable) {
+      return results[s].status();
+    }
+    failed_shards.push_back(s);
+  }
+  if (!failed_shards.empty() && failed_shards.size() == num_shards) {
+    return results[failed_shards.front()].status();
   }
 
-  // Merge: a plain sort restores the single-engine source order, then the
-  // top_k policy is applied ONCE over the merged set (sub-queries ran with
-  // top_k disabled, so nothing was truncated per shard).
+  // Merge the surviving shards: a plain sort restores the single-engine
+  // source order, then the top_k policy is applied ONCE over the merged
+  // set (sub-queries ran with top_k disabled, so nothing was truncated per
+  // shard). Each surviving shard's matches are bit-exact for the sources
+  // it owns, so a degraded answer is the full answer restricted to the
+  // surviving shards' sources.
   std::vector<QueryMatch> merged;
   for (Result<std::vector<QueryMatch>>& result : results) {
+    if (!result.ok()) continue;
     for (QueryMatch& match : *result) {
       merged.push_back(std::move(match));
     }
@@ -310,7 +340,10 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
       aggregated.candidate_pairs += shard.candidate_pairs;
       aggregated.candidate_matrices += shard.candidate_matrices;
       aggregated.matrices_pruned_graph += shard.matrices_pruned_graph;
+      aggregated.shard_retries += shard.shard_retries;
     }
+    aggregated.degraded = !failed_shards.empty();
+    aggregated.failed_shards = failed_shards;
     if (params.collect_source_costs) {
       // Each shard's samples already carry global ids (RunShard remaps and
       // filters them); shards own disjoint source sets, so a plain merge +
@@ -356,6 +389,12 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
   Result<std::vector<QueryMatch>> result = [&]() ->
       Result<std::vector<QueryMatch>> {
         std::shared_lock<std::shared_mutex> lock(shard.mutex);
+        // The sub-query fault point: a rule on "shard.subquery" (detail =
+        // shard index) models this shard being down. Evaluated under the
+        // reader lock so an injected outage behaves exactly like a failure
+        // of the shard's own query path.
+        IMGRN_RETURN_IF_ERROR(CheckFault(fault_sites::kShardSubQuery,
+                                         static_cast<int64_t>(shard_index)));
         if (!shard.built) {
           return std::vector<QueryMatch>{};  // Empty shard: no matches.
         }
@@ -453,6 +492,60 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
   }
   shard.sub_queries_finished.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+Result<std::vector<QueryMatch>> ShardedEngine::RunShardWithRecovery(
+    const Topology& topology, size_t shard_index,
+    const ProbGraph& query_graph, const QueryParams& params,
+    QueryStats* stats, const QueryControl* control) const {
+  const Shard& shard = *topology.shards[shard_index];
+  const ShardRetryOptions& retry = options_.retry;
+  uint64_t retries = 0;
+  int64_t backoff_micros = retry.initial_backoff_micros;
+  for (size_t attempt = 1;; ++attempt) {
+    // One breaker pass per attempt: a breaker that opened because of THIS
+    // sub-query's earlier failures stops the remaining retries too.
+    if (!shard.breaker.AllowRequest()) {
+      if (stats != nullptr) stats->shard_retries = retries;
+      return Status::Unavailable(
+          "shard " + std::to_string(shard_index) +
+          " is quarantined (circuit breaker " +
+          CircuitBreaker::StateName(shard.breaker.state()) + ")");
+    }
+    Result<std::vector<QueryMatch>> result =
+        RunShard(topology, shard_index, query_graph, params, stats, control);
+    if (result.ok()) {
+      shard.breaker.RecordSuccess();
+      if (stats != nullptr) stats->shard_retries = retries;
+      return result;
+    }
+    const StatusCode code = result.status().code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kInvalidArgument ||
+        code == StatusCode::kFailedPrecondition) {
+      // The caller's doing (cancel, deadline, bad request), not the
+      // shard's: no health verdict, no retry.
+      shard.breaker.RecordNeutral();
+      if (stats != nullptr) stats->shard_retries = retries;
+      return result;
+    }
+    shard.breaker.RecordFailure();
+    if (code != StatusCode::kUnavailable || attempt >= retry.max_attempts) {
+      // kDataLoss/kInternal persist — retrying re-reads the same corrupt
+      // bytes; and a transient error out of attempts gives up too.
+      if (stats != nullptr) stats->shard_retries = retries;
+      return result;
+    }
+    ++retries;
+    if (control != nullptr) {
+      // Don't sleep through a deadline that already expired.
+      IMGRN_RETURN_IF_ERROR(control->Check());
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
+    backoff_micros =
+        static_cast<int64_t>(backoff_micros * retry.backoff_multiplier);
+  }
 }
 
 int64_t ShardedEngine::ActiveLocalOf(const Shard& shard, SourceId global) {
@@ -653,7 +746,8 @@ Status ShardedEngine::Resize(size_t new_num_shards) {
     if (i < current->shards.size()) {
       target_shards.push_back(current->shards[i]);
     } else {
-      target_shards.push_back(std::make_shared<Shard>(options_.engine));
+      target_shards.push_back(
+          std::make_shared<Shard>(options_.engine, options_.breaker));
     }
   }
   // Retracted sources carry no load; zero them out so the plan packs only
@@ -709,48 +803,123 @@ Status ShardedEngine::MigrateLocked(
   // ownership, then wait for the pins of every older one to drain. From
   // here on, all in-flight queries hold a map that covers every current
   // source (so none relies on the pass-through rule for a source this
-  // migration is about to duplicate).
+  // migration is about to duplicate). A fault here aborts before anything
+  // changed.
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kMigratePublish,
+                 static_cast<int64_t>(target_shards.size())));
   auto mid = std::make_shared<Topology>();
   mid->shards = current->shards;
   mid->shard_of = current->shard_of;
   Publish(mid);
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kMigrateDrain,
+                 static_cast<int64_t>(target_shards.size())));
   DrainOlder(*mid);
+
+  // Recovery sweep: a migration that faulted after publishing its new map
+  // (drain/delete step) leaves its superseded copies behind — active
+  // entries whose global the current map assigns elsewhere. They are
+  // invisible to every query (the map filter skips non-owners, and the
+  // drain above retired every pin that could have seen an older map), so
+  // deactivating them here is safe and makes migrations self-healing: each
+  // one starts by garbage-collecting whatever a predecessor's fault left.
+  for (size_t s = 0; s < current->shards.size(); ++s) {
+    Shard& shard = *current->shards[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    for (size_t i = 0; i < shard.local_to_global.size(); ++i) {
+      if (!shard.active[i]) continue;
+      const SourceId global = shard.local_to_global[i];
+      if (current->shard_of[global] == s) continue;
+      IMGRN_RETURN_IF_ERROR(
+          shard.engine.RemoveMatrix(static_cast<SourceId>(i)));
+      shard.active[i] = false;
+      shard.active_sources.fetch_sub(1, std::memory_order_relaxed);
+      shard.cost.store(
+          shard.cost.load(std::memory_order_relaxed) - source_cost_[global],
+          std::memory_order_relaxed);
+    }
+  }
+
+  // Pre-publish rollback: deactivates the destination copies THIS
+  // migration appended. They are invisible (active non-owners under the
+  // still-current map), so a faulted copy step can undo itself and leave
+  // the engine exactly as it found it.
+  std::vector<std::pair<Shard*, SourceId>> appended;
+  auto rollback = [&] {
+    for (auto& [dst, global] : appended) {
+      std::unique_lock<std::shared_mutex> lock(dst->mutex);
+      const int64_t local = ActiveLocalOf(*dst, global);
+      IMGRN_CHECK_GE(local, 0);
+      IMGRN_CHECK_OK(dst->engine.RemoveMatrix(static_cast<SourceId>(local)));
+      dst->active[static_cast<size_t>(local)] = false;
+      dst->active_sources.fetch_sub(1, std::memory_order_relaxed);
+      dst->cost.store(
+          dst->cost.load(std::memory_order_relaxed) - source_cost_[global],
+          std::memory_order_relaxed);
+    }
+  };
 
   // Step 2 — copy every moving source into its destination shard (write
   // lock per append). The old copies stay in place and stay authoritative:
-  // in-flight queries pinned to `mid` filter the new copies out.
+  // in-flight queries pinned to `mid` filter the new copies out. The sweep
+  // above guarantees no destination already holds an active copy. A fault
+  // rolls the appends back and leaves ownership untouched.
   for (size_t d = 0; d < target_shards.size(); ++d) {
     for (SourceId global : incoming[d]) {
       Shard& dst = *target_shards[d];
       Shard& src = *current->shards[current->shard_of[global]];
-      {
-        // A failed earlier migration can leave an already-active copy on
-        // the destination; reuse it instead of duplicating the engine
-        // entry (matrix data is immutable, so the copy is current).
-        std::shared_lock<std::shared_mutex> check(dst.mutex);
-        if (ActiveLocalOf(dst, global) >= 0) continue;
+      Status copy_fault =
+          CheckFault(fault_sites::kMigrateCopy, static_cast<int64_t>(global));
+      if (!copy_fault.ok()) {
+        rollback();
+        return copy_fault;
       }
       const int64_t src_local = ActiveLocalOf(src, global);
       IMGRN_CHECK_GE(src_local, 0);
       GeneMatrix copy =
           src.engine.database().matrix(static_cast<SourceId>(src_local));
-      IMGRN_RETURN_IF_ERROR(AppendToShardLocked(dst, std::move(copy), global,
-                                                source_cost_[global]));
+      Status append = AppendToShardLocked(dst, std::move(copy), global,
+                                          source_cost_[global]);
+      if (!append.ok()) {
+        rollback();
+        return append;
+      }
+      appended.emplace_back(&dst, global);
     }
   }
 
   // Step 3 — publish the new ownership, then drain the queries still
   // pinned to the old map. New queries find every moved source on its new
-  // shard (copied above); drained ones found it on the old.
+  // shard (copied above); drained ones found it on the old. The publish is
+  // the commit point: a fault before it rolls back (nothing published), a
+  // fault after it rolls FORWARD — the new map stands, the not-yet-deleted
+  // old copies are invisible non-owners, and the next migration's sweep
+  // collects them.
+  {
+    Status publish_fault =
+        CheckFault(fault_sites::kMigratePublish,
+                   static_cast<int64_t>(target_shards.size()));
+    if (!publish_fault.ok()) {
+      rollback();
+      return publish_fault;
+    }
+  }
   auto next = std::make_shared<Topology>();
   next->shards = std::move(target_shards);
   next->shard_of = target_map;
   Publish(next);
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kMigrateDrain,
+                 static_cast<int64_t>(next->shards.size())));
   DrainOlder(*next);
 
   // Step 4 — delete the moved sources from their old shards. Shards that
   // are not part of the new topology are skipped: no new query can reach
-  // them, and the object is retired when its last pin unwinds.
+  // them, and the object is retired when its last pin unwinds. A fault
+  // mid-loop is safe at every prefix: the new map is already
+  // authoritative, each undeleted old copy is an invisible non-owner, and
+  // the next migration's sweep finishes the job.
   for (SourceId global = 0; global < next_source_; ++global) {
     if (retracted_[global]) continue;
     const size_t from = current->shard_of[global];
@@ -759,6 +928,8 @@ Status ShardedEngine::MigrateLocked(
         next->shards[from] != current->shards[from]) {
       continue;
     }
+    IMGRN_RETURN_IF_ERROR(
+        CheckFault(fault_sites::kMigrateDelete, static_cast<int64_t>(global)));
     Shard& src = *current->shards[from];
     std::unique_lock<std::shared_mutex> lock(src.mutex);
     const int64_t local = ActiveLocalOf(src, global);
@@ -817,6 +988,8 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
     stats.sub_query_errors =
         shard.sub_query_errors.load(std::memory_order_relaxed);
     stats.in_flight = started - stats.sub_queries;
+    stats.breaker = shard.breaker.state();
+    stats.breaker_rejections = shard.breaker.rejections();
     costs.push_back(stats.cost);
     snapshot.shards.push_back(stats);
   }

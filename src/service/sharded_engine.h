@@ -10,11 +10,27 @@
 #include <vector>
 
 #include "core/query_engine.h"
+#include "service/circuit_breaker.h"
 #include "service/cost_model.h"
 #include "service/partitioner.h"
 #include "service/thread_pool.h"
 
 namespace imgrn {
+
+/// Retry policy for one per-shard sub-query. Only transient failures
+/// (kUnavailable) are retried — kDataLoss means the bytes are corrupt and
+/// will stay corrupt, so retrying it only burns the latency budget.
+struct ShardRetryOptions {
+  /// Total attempts per sub-query (1 = no retries).
+  size_t max_attempts = 3;
+
+  /// Sleep before the first retry; doubles (backoff_multiplier) per
+  /// further retry. Kept short: a sub-query holds no locks while backing
+  /// off, but the caller's latency budget is ticking.
+  int64_t initial_backoff_micros = 100;
+
+  double backoff_multiplier = 2.0;
+};
 
 /// Knobs of a ShardedEngine.
 struct ShardedEngineOptions {
@@ -37,6 +53,15 @@ struct ShardedEngineOptions {
   /// wherever the engine re-plans (auto Rebalance; Resize under a
   /// partitioner with wants_measured_costs()). See service/cost_model.h.
   CostCalibrationOptions calibration;
+
+  /// Per-sub-query retry/backoff for transient shard failures.
+  ShardRetryOptions retry;
+
+  /// Per-shard circuit breaker quarantining shards that keep failing (see
+  /// service/circuit_breaker.h). The defaults never trip on a healthy
+  /// shard: only counted failures (kUnavailable/kDataLoss/kInternal) move
+  /// the state machine.
+  CircuitBreakerOptions breaker;
 };
 
 /// Per-shard counters of one StatsSnapshot() call.
@@ -50,6 +75,8 @@ struct ShardStats {
   uint64_t sub_queries = 0;      ///< Finished per-shard sub-queries.
   uint64_t sub_query_errors = 0; ///< Of those, non-OK (incl. cancelled).
   uint64_t in_flight = 0;        ///< Sub-queries running right now.
+  CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+  uint64_t breaker_rejections = 0; ///< Attempts the breaker turned away.
 };
 
 struct ShardedEngineStatsSnapshot {
@@ -130,10 +157,19 @@ struct ShardedEngineStatsSnapshot {
 /// ThreadPool::WaitReady, so a worker blocked on its sub-queries executes
 /// queued tasks itself instead of deadlocking the pool.
 ///
-/// Error semantics: a query returns the error Status of the
-/// lowest-numbered failing shard (all sub-queries are always gathered
-/// first — no orphaned tasks). A cancelled/expired QueryControl fans out
-/// to every shard, so all sub-queries unwind at their next checkpoint.
+/// Error semantics: each sub-query runs with bounded retry/backoff for
+/// transient (kUnavailable) failures and behind its shard's circuit
+/// breaker (options.retry / options.breaker). If a shard still fails, the
+/// query returns the error Status of the lowest-numbered failing shard —
+/// unless QueryParams::allow_partial is set and the failure is an
+/// infrastructure error (kUnavailable/kDataLoss), in which case the query
+/// degrades: it merges the surviving shards' matches (bit-exact for every
+/// source they own) and reports QueryStats::degraded plus the failed shard
+/// list. Caller-attributed errors (Cancelled, DeadlineExceeded,
+/// InvalidArgument) always fail the whole query, as does every shard
+/// failing at once. All sub-queries are always gathered first — no
+/// orphaned tasks. A cancelled/expired QueryControl fans out to every
+/// shard, so all sub-queries unwind at their next checkpoint.
 ///
 /// Thread safety: Query/QueryWithGraph/AddSource/RemoveSource/Rebalance/
 /// Resize/StatsSnapshot are safe from any thread once BuildIndex has run
@@ -250,7 +286,9 @@ class ShardedEngine : public QueryEngine {
 
  private:
   struct Shard {
-    explicit Shard(const EngineOptions& options) : engine(options) {}
+    Shard(const EngineOptions& options,
+          const CircuitBreakerOptions& breaker_options)
+        : engine(options), breaker(breaker_options) {}
 
     /// Readers = sub-queries, writer = the update or migration step routed
     /// to this shard.
@@ -280,6 +318,11 @@ class ShardedEngine : public QueryEngine {
     mutable std::atomic<uint64_t> sub_queries_started{0};
     mutable std::atomic<uint64_t> sub_queries_finished{0};
     mutable std::atomic<uint64_t> sub_query_errors{0};
+
+    /// Quarantine gate for this shard's sub-queries. Travels with the
+    /// Shard object across Rebalance/Resize (a sick shard stays
+    /// quarantined through a topology change).
+    mutable CircuitBreaker breaker;
   };
 
   /// The unit of atomicity for queries: an immutable shard list + partition
@@ -316,13 +359,24 @@ class ShardedEngine : public QueryEngine {
   };
 
   /// QueryShard body without the public bounds check. `topology` is the
-  /// pinned snapshot whose map filters the shard's matches.
+  /// pinned snapshot whose map filters the shard's matches. Raw: one
+  /// attempt, no breaker — the fan-out path wraps it in
+  /// RunShardWithRecovery.
   Result<std::vector<QueryMatch>> RunShard(const Topology& topology,
                                            size_t shard_index,
                                            const ProbGraph& query_graph,
                                            const QueryParams& params,
                                            QueryStats* stats,
                                            const QueryControl* control) const;
+
+  /// RunShard behind the shard's circuit breaker with bounded
+  /// retry/exponential backoff for kUnavailable (options_.retry). Reports
+  /// retry spend in stats->shard_retries. This is what Query's fan-out
+  /// runs per shard.
+  Result<std::vector<QueryMatch>> RunShardWithRecovery(
+      const Topology& topology, size_t shard_index,
+      const ProbGraph& query_graph, const QueryParams& params,
+      QueryStats* stats, const QueryControl* control) const;
 
   /// Publishes `topology` as the current one (under topology_mutex_) and
   /// records the outgoing topology in the drain history.

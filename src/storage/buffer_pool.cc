@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace imgrn {
@@ -30,6 +31,35 @@ Page* BufferPool::FetchPage(PageId id) {
   lru_.push_front(id);
   resident_[id] = lru_.begin();
   return file_->GetPage(id);
+}
+
+Result<Page*> BufferPool::Fetch(PageId id) {
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kBufferPoolFetch, static_cast<int64_t>(id)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.fetches;
+  auto it = resident_.find(id);
+  if (it != resident_.end()) {
+    // Hit: the frame was verified when admitted; only refresh the LRU.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return file_->GetPage(id);
+  }
+  ++stats_.misses;
+  Result<Page*> page = file_->Read(id);
+  if (!page.ok()) {
+    // The miss is still counted (the access happened and failed), but a
+    // page that cannot be read is never admitted to the pool.
+    return page.status();
+  }
+  if (lru_.size() >= capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(id);
+  resident_[id] = lru_.begin();
+  return *page;
 }
 
 bool BufferPool::IsResident(PageId id) const {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "storage/page.h"
 #include "storage/paged_file.h"
 
@@ -46,7 +47,19 @@ class BufferPool {
   /// most-recently-used. The pointer stays valid until the page is evicted
   /// (i.e. after `capacity` distinct subsequent fetches at worst); callers
   /// must not hold it across further fetches unless they re-fetch.
+  ///
+  /// Legacy infallible path (no fault injection, no checksum verify); the
+  /// serving stack uses Fetch() below. Kept for the paper-comparison
+  /// baseline scan, which predates the failure model.
   Page* FetchPage(PageId id);
+
+  /// The fallible accounted path. Identical I/O accounting to FetchPage —
+  /// bit-identical stats when fault injection is disabled — plus:
+  ///  - evaluates the "buffer_pool.fetch" fault site (detail = page id);
+  ///  - on a miss, reads through PagedFile::Read, which evaluates the
+  ///    "paged_file.read" site and verifies the page's CRC32C (kDataLoss
+  ///    on mismatch). A page that fails to read is not admitted.
+  Result<Page*> Fetch(PageId id);
 
   /// True if `id` is currently resident (does not affect stats or LRU).
   bool IsResident(PageId id) const;

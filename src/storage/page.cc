@@ -16,6 +16,8 @@ void Page::ReadBytes(size_t offset, void* dst, size_t count) const {
 
 void Page::Clear() {
   std::fill(bytes_.begin(), bytes_.end(), 0);
+  sealed_ = false;
+  checksum_ = 0;
 }
 
 void Page::CheckRange(size_t offset, size_t count) const {

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/crc32c.h"
+
 namespace imgrn {
 
 /// Identifier of a page within a PagedFile.
@@ -53,13 +55,37 @@ class Page {
   /// Reads `count` bytes from `offset` into `dst`.
   void ReadBytes(size_t offset, void* dst, size_t count) const;
 
-  /// Zeroes the page.
+  /// Zeroes the page. Also drops any seal: a cleared page is logically
+  /// fresh and verifies trivially until sealed again.
   void Clear();
+
+  /// Captures the CRC32C of the current contents in the frame. PagedFile
+  /// seals a page when a write Commit()s; a sealed page is verified against
+  /// its checksum every time it is read back through the accounted path.
+  /// Mutating a sealed page without re-sealing is exactly the corruption
+  /// the verify-on-read path exists to catch.
+  void Seal() {
+    checksum_ = Crc32c(bytes_.data(), bytes_.size());
+    sealed_ = true;
+  }
+
+  bool sealed() const { return sealed_; }
+  uint32_t checksum() const { return checksum_; }
+
+  /// True if the page is unsealed (nothing to check against) or its bytes
+  /// still hash to the sealed checksum.
+  bool VerifyChecksum() const {
+    return !sealed_ || Crc32c(bytes_.data(), bytes_.size()) == checksum_;
+  }
 
  private:
   void CheckRange(size_t offset, size_t count) const;
 
   std::vector<uint8_t> bytes_;
+  // Frame metadata, deliberately outside bytes_ so the page payload layout
+  // (and every serialized offset) is unchanged from the unchecksummed code.
+  uint32_t checksum_ = 0;
+  bool sealed_ = false;
 };
 
 /// Cursor for sequential serialization into / out of a Page.

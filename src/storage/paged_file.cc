@@ -1,5 +1,8 @@
 #include "storage/paged_file.h"
 
+#include <string>
+
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace imgrn {
@@ -17,6 +20,26 @@ Page* PagedFile::GetPage(PageId id) {
 const Page* PagedFile::GetPage(PageId id) const {
   IMGRN_CHECK_LT(id, pages_.size());
   return pages_[id].get();
+}
+
+Result<Page*> PagedFile::Read(PageId id) {
+  IMGRN_CHECK_LT(id, pages_.size());
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kPagedFileRead, static_cast<int64_t>(id)));
+  Page* page = pages_[id].get();
+  if (!page->VerifyChecksum()) {
+    return Status::DataLoss("page " + std::to_string(id) +
+                            " failed its CRC32C check");
+  }
+  return page;
+}
+
+Status PagedFile::Commit(PageId id) {
+  IMGRN_CHECK_LT(id, pages_.size());
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kPagedFileWrite, static_cast<int64_t>(id)));
+  pages_[id]->Seal();
+  return Status::Ok();
 }
 
 }  // namespace imgrn

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/page.h"
 
 namespace imgrn {
@@ -31,6 +32,18 @@ class PagedFile {
   /// path. Requires a valid id.
   Page* GetPage(PageId id);
   const Page* GetPage(PageId id) const;
+
+  /// The fallible read path: models pulling the page frame off disk.
+  /// Evaluates the "paged_file.read" fault-injection site, then — if the
+  /// page was sealed by a Commit() — verifies its CRC32C and returns
+  /// kDataLoss on a mismatch. Requires a valid id (an invalid id is a
+  /// caller bug, checked fatally, not an I/O error).
+  Result<Page*> Read(PageId id);
+
+  /// The fallible write path: models the page frame reaching disk.
+  /// Evaluates the "paged_file.write" fault-injection site, then seals the
+  /// page (captures its CRC32C) so later Read()s verify it.
+  Status Commit(PageId id);
 
  private:
   size_t page_size_;

@@ -114,5 +114,35 @@ TEST(BufferPoolDeathTest, ZeroCapacityAborts) {
   EXPECT_DEATH(BufferPool(&file, 0), "Check failed");
 }
 
+TEST(BufferPoolFallibleTest, FetchMatchesFetchPageAccounting) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 2);
+  Result<Page*> first = pool.Fetch(a);
+  ASSERT_TRUE(first.ok());
+  Result<Page*> second = pool.Fetch(a);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // Same backing page, now resident.
+  EXPECT_EQ(pool.stats().fetches, 2u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolFallibleTest, CorruptPageSurfacesDataLossAndIsNotCached) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  file.GetPage(a)->WriteAt<uint64_t>(0, 9);
+  ASSERT_TRUE(file.Commit(a).ok());
+  file.GetPage(a)->WriteAt<uint8_t>(1, 0xAA);  // Corrupt behind the seal.
+  BufferPool pool(&file, 2);
+  Result<Page*> fetched = pool.Fetch(a);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kDataLoss);
+  // A page that failed verification must not be admitted: a later fetch
+  // (e.g. after the page is repaired) must re-read, not serve bad bytes.
+  EXPECT_FALSE(pool.IsResident(a));
+  EXPECT_EQ(pool.stats().fetches, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
 }  // namespace
 }  // namespace imgrn

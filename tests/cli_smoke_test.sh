@@ -43,6 +43,37 @@ grep '^match' "$WORKDIR/shards4.out" > "$WORKDIR/s4" || true
 test -s "$WORKDIR/s1"  # The query must actually match something.
 diff "$WORKDIR/s1" "$WORKDIR/s4"
 
+# Fault injection: a shard that fails every sub-query attempt
+# (shard.subquery#1=n1 — every evaluation on shard 1) fails the whole
+# query by default...
+if "$IMGRN" query --db="$WORKDIR/db.txt" --query="$WORKDIR/q.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=4 \
+    --fault="shard.subquery#1=n1" 2>/dev/null; then
+  echo "expected failure on persistent shard fault" >&2
+  exit 1
+fi
+# ...while --allow-partial=1 degrades instead: exit 0, a DEGRADED line
+# naming the failed shard, and every surviving match also appears in the
+# full (no-fault) sharded answer.
+"$IMGRN" query --db="$WORKDIR/db.txt" --query="$WORKDIR/q.txt" \
+    --gamma=0.5 --alpha=0.1 --shards=4 --allow-partial=1 \
+    --fault="shard.subquery#1=n1" 2>/dev/null > "$WORKDIR/degraded.out"
+grep -q "DEGRADED: shards 1 failed" "$WORKDIR/degraded.out"
+grep '^match' "$WORKDIR/degraded.out" > "$WORKDIR/deg" || true
+while read -r line; do
+  if ! grep -qF "$line" "$WORKDIR/s4"; then
+    echo "degraded match not in the full answer: $line" >&2
+    exit 1
+  fi
+done < "$WORKDIR/deg"
+
+# Malformed fault specs are rejected before any query runs.
+if "$IMGRN" query --db="$WORKDIR/db.txt" --query="$WORKDIR/q.txt" \
+    --shards=4 --fault="shard.subquery=q9" 2>/dev/null; then
+  echo "expected failure on malformed --fault" >&2
+  exit 1
+fi
+
 # --shards combined with --index is rejected.
 if "$IMGRN" query --db="$WORKDIR/db.txt" --index="$WORKDIR/db.idx" \
     --query="$WORKDIR/q.txt" --shards=4 2>/dev/null; then

@@ -100,6 +100,67 @@ TEST(MeasuredCostRegistryTest, ResetDropsEverything) {
   EXPECT_EQ(registry.Samples(100000), 0u);
 }
 
+// Fake monotonic clock for the wall-clock decay tests (the registry takes
+// a plain function pointer so the hook stays trivially thread-safe).
+int64_t g_fake_now_micros = 0;
+int64_t FakeClock() { return g_fake_now_micros; }
+
+TEST(MeasuredCostRegistryTest, DecayDisabledByDefaultIgnoresAge) {
+  MeasuredCostRegistry registry;
+  registry.SetClockForTesting(&FakeClock);
+  g_fake_now_micros = 0;
+  registry.Record(2, 0.5);
+  g_fake_now_micros = 3'600'000'000;  // One idle hour.
+  EXPECT_DOUBLE_EQ(registry.Ewma(2), 0.5);  // Half-life 0: never stale.
+}
+
+TEST(MeasuredCostRegistryTest, EwmaDecaysByWallClockAge) {
+  MeasuredCostRegistry registry;
+  registry.SetClockForTesting(&FakeClock);
+  registry.SetDecay(10.0);  // 10-second half-life.
+  g_fake_now_micros = 0;
+  registry.Record(0, 1.0);
+  EXPECT_DOUBLE_EQ(registry.Ewma(0), 1.0);  // Zero age: undecayed.
+  g_fake_now_micros = 10'000'000;
+  EXPECT_NEAR(registry.Ewma(0), 0.5, 1e-12);  // One half-life.
+  g_fake_now_micros = 20'000'000;
+  EXPECT_NEAR(registry.Ewma(0), 0.25, 1e-12);  // Two.
+  g_fake_now_micros = 15'000'000;  // Fractional half-lives interpolate.
+  EXPECT_NEAR(registry.Ewma(0), std::pow(0.5, 1.5), 1e-12);
+  EXPECT_EQ(registry.Samples(0), 1u);  // Decay never touches the count.
+}
+
+TEST(MeasuredCostRegistryTest, RecordFoldsDecayBeforeBlending) {
+  // The write path must age the stored average to "now" before blending,
+  // so Record and Ewma agree on the pre-sample value.
+  MeasuredCostRegistry registry;
+  registry.SetClockForTesting(&FakeClock);
+  registry.SetDecay(10.0);
+  g_fake_now_micros = 0;
+  registry.Record(1, 1.0);
+  g_fake_now_micros = 10'000'000;  // Stored 1.0 has decayed to 0.5.
+  registry.Record(1, 1.0);
+  EXPECT_NEAR(registry.Ewma(1), (1.0 - kAlpha) * 0.5 + kAlpha * 1.0, 1e-12);
+}
+
+TEST(MeasuredCostRegistryTest, FreshSampleAfterLongIdleRestartsCleanly) {
+  // An id idle far past many half-lives reads ~0; the next sample blends
+  // against that faded value instead of resurrecting the stale cost.
+  MeasuredCostRegistry registry;
+  registry.SetClockForTesting(&FakeClock);
+  registry.SetDecay(1.0);
+  g_fake_now_micros = 0;
+  registry.Record(0, 8.0);
+  g_fake_now_micros = 100'000'000;  // 100 half-lives later.
+  EXPECT_LT(registry.Ewma(0), 1e-12);
+  registry.Record(0, 0.25);
+  EXPECT_NEAR(registry.Ewma(0), kAlpha * 0.25, 1e-12);
+  // Retire-then-record still re-initializes regardless of timestamps.
+  registry.Retire(0);
+  registry.Record(0, 0.75);
+  EXPECT_DOUBLE_EQ(registry.Ewma(0), 0.75);
+}
+
 TEST(MeasuredCostRegistryTest, ConcurrentRecordersAndReaders) {
   // The TSan meat: writers hammer a handful of sources (block allocation
   // races included — ids span several blocks) while readers poll

@@ -105,7 +105,9 @@ TEST(ImGrnIndexTest, RootSignatureCoversEveryIndexedGene) {
   ImGrnIndex index(SmallOptions());
   ASSERT_TRUE(index.Build(&database).ok());
   const RTree& rtree = index.rtree();
-  const RTreeNode& root = rtree.node(rtree.root_id());
+  Result<const RTreeNode*> root_fetch = rtree.node(rtree.root_id());
+  ASSERT_TRUE(root_fetch.ok()) << root_fetch.status().ToString();
+  const RTreeNode& root = **root_fetch;
   // OR of root entry signatures covers every gene id (no false negatives).
   for (const GeneMatrix& matrix : database.matrices()) {
     for (GeneId gene : matrix.gene_ids()) {
@@ -153,10 +155,10 @@ TEST(ImGrnIndexTest, PointFromLeafEntryRoundTrips) {
   // stored embedding.
   const RTree& rtree = index.rtree();
   NodeId node_id = rtree.root_id();
-  while (!rtree.node(node_id).IsLeaf()) {
-    node_id = static_cast<NodeId>(rtree.node(node_id).entries[0].handle);
+  while (!(*rtree.node(node_id))->IsLeaf()) {
+    node_id = static_cast<NodeId>((*rtree.node(node_id))->entries[0].handle);
   }
-  for (const RTreeEntry& entry : rtree.node(node_id).entries) {
+  for (const RTreeEntry& entry : (*rtree.node(node_id))->entries) {
     const RecordRef ref = DecodeRecordRef(entry.handle);
     const EmbeddedPoint reconstructed = index.PointFromLeafEntry(entry);
     const EmbeddedPoint& stored = index.embedded_point(ref);

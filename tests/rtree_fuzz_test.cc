@@ -16,10 +16,11 @@ namespace {
 
 std::set<uint64_t> TreeQuery(const RTree& tree, const Mbr& box) {
   std::set<uint64_t> result;
-  tree.Search(box, [&result](const RTreeEntry& entry) {
+  Result<size_t> searched = tree.Search(box, [&result](const RTreeEntry& entry) {
     result.insert(entry.handle);
     return true;
   });
+  EXPECT_TRUE(searched.ok()) << searched.status().ToString();
   return result;
 }
 

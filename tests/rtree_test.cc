@@ -40,10 +40,11 @@ struct Oracle {
 
 std::set<uint64_t> TreeQuery(const RTree& tree, const Mbr& box) {
   std::set<uint64_t> result;
-  tree.Search(box, [&result](const RTreeEntry& entry) {
+  Result<size_t> searched = tree.Search(box, [&result](const RTreeEntry& entry) {
     result.insert(entry.handle);
     return true;
   });
+  EXPECT_TRUE(searched.ok()) << searched.status().ToString();
   return result;
 }
 
@@ -181,11 +182,12 @@ TEST(RTreeTest, SearchEarlyStop) {
   Rng rng(6);
   for (uint64_t i = 0; i < 40; ++i) tree.Insert(RandomPoint(2, &rng), i);
   size_t seen = 0;
-  tree.Search(Mbr::FromBounds({0, 0}, {100, 100}),
-              [&seen](const RTreeEntry&) {
-                ++seen;
-                return seen < 5;
-              });
+  ASSERT_TRUE(tree.Search(Mbr::FromBounds({0, 0}, {100, 100}),
+                          [&seen](const RTreeEntry&) {
+                            ++seen;
+                            return seen < 5;
+                          })
+                  .ok());
   EXPECT_EQ(seen, 5u);
 }
 
@@ -206,7 +208,9 @@ TEST(RTreeTest, PayloadMergedUpTheTree) {
   ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
   // The root-level merge must cover every inserted bit: byte b receives
   // bit (i % 8) from records with i % 4 == b, i.e. bits b and b+4.
-  const RTreeNode& root = tree.node(tree.root_id());
+  Result<const RTreeNode*> root_fetch = tree.node(tree.root_id());
+  ASSERT_TRUE(root_fetch.ok()) << root_fetch.status().ToString();
+  const RTreeNode& root = **root_fetch;
   ASSERT_GT(tree.height(), 1);
   std::vector<uint8_t> merged(4, 0);
   for (const RTreeEntry& entry : root.entries) {
@@ -260,9 +264,11 @@ TEST(RTreeTest, SerializationRoundTripsEveryNode) {
                                     static_cast<uint8_t>(i >> 8)};
     tree.Insert(RandomPoint(3, &rng), i, payload);
   }
-  tree.SerializeAllNodes();
+  ASSERT_TRUE(tree.SerializeAllNodes().ok());
   // Deserializing the root page must reproduce the root node exactly.
-  const RTreeNode& root = tree.node(tree.root_id());
+  Result<const RTreeNode*> root_fetch = tree.node(tree.root_id());
+  ASSERT_TRUE(root_fetch.ok()) << root_fetch.status().ToString();
+  const RTreeNode& root = **root_fetch;
   // Access the page via a fresh search of the tree's own structures: the
   // round-trip API works on any page the tree serialized.
   // (We re-serialize a copy here to compare equality.)

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/random.h"
 #include "core/engine.h"
 #include "inference/grn_inference.h"
@@ -422,6 +423,123 @@ TEST(ShardStressTest, QueriesRaceResizeAndUpdatesWithoutGaps) {
   for (size_t i = 0; i < expected->size(); ++i) {
     EXPECT_EQ((*actual)[i].source, (*expected)[i].source);
     EXPECT_EQ((*actual)[i].probability, (*expected)[i].probability);
+  }
+}
+
+TEST(ShardStressTest, QueriesRaceFaultKilledMigrationsWithExactlyOnceVisibility) {
+  // The crash-safety half of the migration protocol under live traffic:
+  // migrations are killed by injected faults at every protocol step (copy,
+  // both publish evaluations, both drain evaluations, delete) while
+  // queries stream. Whether each migration rolled back or rolled forward,
+  // EVERY racing query must stay bit-identical to the single engine — a
+  // half-migrated source visible on zero or two shards would break the
+  // result set immediately. Clean rounds interleave so the recovery sweep
+  // and successful migrations race the queries too.
+  const size_t kSources = 10;
+  const size_t kShards = 3;
+  ThreadPool pool(4);
+  ShardedEngine sharded(Opts(kShards), &pool);
+  sharded.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  ImGrnEngine reference;
+  reference.LoadDatabase(MakeDatabase(kSources));
+  ASSERT_TRUE(reference.BuildIndex().ok());
+  const QueryParams params = DefaultParams();
+  const GeneMatrix query = ClusterQueryMatrix(6700);
+  Result<std::vector<QueryMatch>> expected = reference.Query(query, params);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), kSources);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries_ok{0};
+  std::vector<std::thread> query_threads;
+  for (size_t t = 0; t < 3; ++t) {
+    query_threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<std::vector<QueryMatch>> result = sharded.Query(query, params);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ASSERT_EQ(result->size(), expected->size());
+        for (size_t i = 0; i < expected->size(); ++i) {
+          ASSERT_EQ((*result)[i].source, (*expected)[i].source);
+          ASSERT_EQ((*result)[i].probability, (*expected)[i].probability);
+        }
+        queries_ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // One fault per round, cycling through every protocol step: n1 hits the
+  // first evaluation of a site (pre-commit for publish/drain), n2/n3 the
+  // later ones (post-commit). Every fifth round runs clean so roll-forward
+  // strays get swept and real migrations complete.
+  struct RoundFault {
+    const char* site;
+    uint64_t every_nth;
+  };
+  const std::vector<RoundFault> cycle = {
+      {fault_sites::kMigrateCopy, 1},    {fault_sites::kMigratePublish, 1},
+      {fault_sites::kMigrateDrain, 1},   {fault_sites::kMigrateDelete, 1},
+      {nullptr, 0},  // Clean round.
+      {fault_sites::kMigrateCopy, 3},    {fault_sites::kMigratePublish, 2},
+      {fault_sites::kMigrateDrain, 2},   {fault_sites::kMigrateDelete, 2},
+      {nullptr, 0},
+  };
+  size_t failed_migrations = 0;
+  size_t clean_migrations = 0;
+  Rng rng(47);
+  for (size_t round = 0;
+       round < cycle.size() * 3 || (queries_ok.load() < 6 && round < 5000);
+       ++round) {
+    const RoundFault& fault = cycle[round % cycle.size()];
+    PartitionPlan plan;
+    plan.num_shards = kShards;
+    for (size_t i = 0; i < kSources; ++i) {
+      plan.shard_of.push_back(
+          static_cast<uint32_t>(rng.UniformUint64(kShards)));
+    }
+    if (fault.site == nullptr) {
+      ASSERT_TRUE(sharded.Rebalance(plan).ok()) << "clean round " << round;
+      ++clean_migrations;
+    } else {
+      ScopedFaultInjection scoped({{.site = fault.site,
+                                    .every_nth = fault.every_nth,
+                                    .max_fires = 1}});
+      const Status status = sharded.Rebalance(plan);
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+        ++failed_migrations;
+      }
+    }
+  }
+  stop.store(true);
+  for (std::thread& thread : query_threads) thread.join();
+  EXPECT_GT(queries_ok.load(), 0u);
+  EXPECT_GT(failed_migrations, 0u);  // The storm really killed migrations.
+  EXPECT_GT(clean_migrations, 0u);
+
+  // After a final clean migration, exactly kSources live across the shards
+  // (every roll-forward stray swept, every roll-back complete) and the
+  // answer is still bit-exact.
+  PartitionPlan final_plan;
+  final_plan.num_shards = kShards;
+  for (size_t i = 0; i < kSources; ++i) {
+    final_plan.shard_of.push_back(static_cast<uint32_t>(i % kShards));
+  }
+  ASSERT_TRUE(sharded.Rebalance(final_plan).ok());
+  const ShardedEngineStatsSnapshot snapshot = sharded.StatsSnapshot();
+  size_t total_sources = 0;
+  for (const ShardStats& shard : snapshot.shards) {
+    total_sources += shard.sources;
+    EXPECT_EQ(shard.in_flight, 0u);
+  }
+  EXPECT_EQ(total_sources, kSources);
+  Result<std::vector<QueryMatch>> final_result = sharded.Query(query, params);
+  ASSERT_TRUE(final_result.ok());
+  ASSERT_EQ(final_result->size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ((*final_result)[i].source, (*expected)[i].source);
+    EXPECT_EQ((*final_result)[i].probability, (*expected)[i].probability);
   }
 }
 

@@ -46,6 +46,18 @@ TEST(StatusTest, Internal) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, Unavailable) {
+  Status status = Status::Unavailable("shard 3 injected fault");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.ToString(), "Unavailable: shard 3 injected fault");
+}
+
+TEST(StatusTest, DataLoss) {
+  Status status = Status::DataLoss("page 7 failed its CRC32C check");
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(status.ToString(), "DataLoss: page 7 failed its CRC32C check");
+}
+
 TEST(StatusTest, CopyPreservesState) {
   Status status = Status::Internal("boom");
   Status copy = status;
@@ -62,6 +74,8 @@ TEST(StatusCodeNameTest, AllCodesNamed) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -8,10 +8,15 @@
 # differential partition-invariance suite, whose Rebalance/Resize paths
 # migrate data while queries run, plus the lock-free measured-cost
 # registry the query path writes concurrently — exactly the races a
-# sanitizer should see); see tests/CMakeLists.txt. ThreadSanitizer is the default and the
+# sanitizer should see) and "robustness" (fault injection, circuit
+# breaker, degraded queries, and fault-killed migrations: the
+# rollback/roll-forward paths normal traffic never reaches, where leaks
+# and races hide); see tests/CMakeLists.txt. ThreadSanitizer is the default and the
 # gate that matters for src/service; pass "address" to run the same
-# workload under AddressSanitizer instead. The script prints each label
-# as it runs so CI logs show what the gate actually covered.
+# workload under AddressSanitizer instead — CI runs BOTH kinds, so the
+# fault binaries get a TSan pass and an ASan (leak-checking) pass. The
+# script prints each label as it runs so CI logs show what the gate
+# actually covered.
 #
 # Usage: tools/ci_sanitize.sh [thread|address] [build-dir]
 set -eu
@@ -30,7 +35,7 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 cmake --build "$BUILD_DIR" -j \
   --target thread_pool_test query_service_test sharded_engine_test \
            shard_stress_test histogram_test partition_invariance_test \
-           cost_model_test
+           cost_model_test fault_injection_test
 
 # Any sanitizer report is a hard failure.
 if [ "$KIND" = thread ]; then
@@ -43,7 +48,7 @@ fi
 
 # One ctest invocation per label (gtest_discover_tests supports only one
 # label per binary, so the gate's coverage is the union of these runs).
-LABELS="concurrency partitioning"
+LABELS="concurrency partitioning robustness"
 for LABEL in $LABELS; do
   echo "== $KIND sanitizer: ctest -L $LABEL =="
   ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure

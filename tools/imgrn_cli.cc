@@ -10,6 +10,7 @@
 //   imgrn query --db=db.txt --index=db.idx --query=q.txt
 //               [--gamma=0.5] [--alpha=0.5] [--top_k=0] [--shards=1]
 //               [--partition=modulo|balanced|calibrated]
+//               [--fault=SPEC] [--fault-seed=N] [--allow-partial=0|1]
 //       Run one IM-GRN query; q.txt is a gene matrix file (matrix_io.h).
 //       --shards=K > 1 partitions the database across K in-memory engines
 //       and fans the query out (service/sharded_engine.h); the matches are
@@ -18,6 +19,12 @@
 //       packing; calibrated: LPT over measured-cost-blended estimates —
 //       see service/partitioner.h and service/cost_model.h). Incompatible
 //       with --index (per-shard indices are built in memory).
+//       --fault= installs fault-injection rules for the run (grammar in
+//       common/fault_injection.h, e.g. --fault=shard.subquery#1=n1);
+//       --fault-seed seeds the probabilistic triggers. With
+//       --allow-partial=1 a query that loses shards degrades instead of
+//       failing: the surviving shards' matches are printed, a DEGRADED
+//       line names the failed shards, and the exit code stays 0.
 //   imgrn rebalance --db=db.txt --query=q.txt [--shards=4] [--auto=1]
 //               [--target-imbalance=1.25] [--warmup=4] ...
 //       Demo/diagnostic for online rebalancing: load the database
@@ -43,6 +50,7 @@
 #include <map>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "core/imgrn.h"
 #include "service/sharded_engine.h"
 #include "service/thread_pool.h"
@@ -167,6 +175,9 @@ int CmdQuery(int argc, char** argv) {
              {"top_k", "0"},
              {"shards", "1"},
              {"partition", "modulo"},
+             {"fault", ""},
+             {"fault-seed", "1234"},
+             {"allow-partial", "0"},
              {"seed", "99"}});
   if (!args.Has("db") || !args.Has("query")) {
     std::fprintf(stderr, "query requires --db=FILE --query=FILE\n");
@@ -200,6 +211,23 @@ int CmdQuery(int argc, char** argv) {
   params.alpha = args.GetDouble("alpha");
   params.top_k = static_cast<size_t>(args.GetInt("top_k"));
   params.seed = static_cast<uint64_t>(args.GetInt("seed"));
+  params.allow_partial = args.GetInt("allow-partial") != 0;
+
+  if (args.Has("fault")) {
+    Result<std::vector<FaultRule>> rules = ParseFaultSpec(args.Get("fault"));
+    if (!rules.ok()) {
+      std::fprintf(stderr, "--fault: %s\n",
+                   rules.status().message().c_str());
+      return 2;
+    }
+    FaultInjector::Global().Seed(
+        static_cast<uint64_t>(args.GetInt("fault-seed")));
+    for (FaultRule& rule : *rules) {
+      FaultInjector::Global().Enable(std::move(rule));
+    }
+    std::fprintf(stderr, "(fault injection armed: %s)\n",
+                 args.Get("fault").c_str());
+  }
 
   QueryStats stats;
   Result<std::vector<QueryMatch>> matches = std::vector<QueryMatch>{};
@@ -236,6 +264,17 @@ int CmdQuery(int argc, char** argv) {
   }
   if (!matches.ok()) return Fail(matches.status());
 
+  if (stats.degraded) {
+    std::string failed;
+    for (size_t shard : stats.failed_shards) {
+      if (!failed.empty()) failed += ",";
+      failed += std::to_string(shard);
+    }
+    std::printf("DEGRADED: shards %s failed (%llu retries spent); matches "
+                "below cover the surviving shards only\n",
+                failed.c_str(),
+                static_cast<unsigned long long>(stats.shard_retries));
+  }
   std::printf("query: %zu genes, %zu inferred edges (gamma=%.2f)\n",
               stats.query_vertices, stats.query_edges, params.gamma);
   std::printf("stats: %.4f s CPU, %llu page accesses, %zu candidates, "
