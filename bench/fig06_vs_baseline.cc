@@ -43,7 +43,7 @@ MethodRow RunDataset(GeneDatabase database, const BenchDefaults& defaults,
   IMGRN_CHECK_OK(baseline.Build(&baseline_database));
   for (const ProbGraph& query : queries) {
     QueryStats stats;
-    baseline.Query(query, params, &stats);
+    IMGRN_CHECK_OK(baseline.Query(query, params, &stats).status());
     row.baseline.mean_cpu_seconds += stats.total_seconds;
     row.baseline.mean_io_pages += static_cast<double>(stats.page_accesses);
     row.baseline.mean_candidates +=

@@ -1,0 +1,245 @@
+// Durable storage benchmark: what the disk-backed page store costs and
+// what the snapshot buys.
+//
+// Two questions, one JSON line each (plus per-backend read-latency lines):
+//
+//  1. Cold start — how long until a process can serve its first query?
+//     The historical path re-ingests the database and rebuilds the whole
+//     index ("build"); the snapshot path opens the store file and reads
+//     the saved database + tree pages back ("snapshot_open"). The
+//     "speedup" field is build_seconds / open_seconds — the figure the
+//     subsystem exists for.
+//
+//  2. Page read latency — what a buffer-pool miss costs on each backend:
+//     mem (a frame copy + CRC verify) vs disk (pread + CRC verify), over
+//     the same page population, cold pool, uniform random access.
+//
+// Example output:
+//
+//   {"bench":"storage_io","phase":"cold_start","matrices":120,
+//    "build_s":1.8432,"snapshot_save_s":0.0211,"snapshot_open_s":0.0065,
+//    "speedup":283.6,"store_bytes":4906496,"query_parity":1}
+//   {"bench":"storage_io","phase":"read_latency","backend":"disk",
+//    "pages":512,"reads":4096,"ns_per_read":1843.2}
+//
+// "query_parity" is asserted, not just reported: the snapshot-reopened
+// engine must answer the bench workload identically to the rebuilt one.
+// --json_out=FILE appends every line to FILE (e.g. BENCH_storage_io.json)
+// so the cold-start trajectory is recorded across PRs.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "storage/storage_manager.h"
+
+namespace imgrn {
+namespace bench {
+namespace {
+
+struct JsonSink {
+  std::FILE* file = nullptr;
+
+  void Emit(const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    if (file != nullptr) {
+      std::fprintf(file, "%s\n", line.c_str());
+      std::fflush(file);
+    }
+  }
+};
+
+std::string TempStorePath() {
+  return "/tmp/imgrn_bench_storage_" + std::to_string(::getpid()) + ".pages";
+}
+
+EngineOptions DiskEngineOptions(const std::string& path, size_t pivots) {
+  EngineOptions options;
+  options.index.num_pivots = pivots;
+  options.storage.backend = StorageBackend::kDisk;
+  options.storage.path = path;
+  return options;
+}
+
+long FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+bool SameMatches(const std::vector<QueryMatch>& a,
+                 const std::vector<QueryMatch>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].source != b[i].source || a[i].probability != b[i].probability) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BenchColdStart(const BenchDefaults& defaults, size_t pivots,
+                    JsonSink* sink) {
+  const std::string path = TempStorePath();
+  std::remove(path.c_str());
+
+  GeneDatabase database = BuildSyntheticDatabase("uni", defaults);
+  const std::vector<ProbGraph> queries = MakeQueryWorkload(database, defaults);
+  QueryParams params;
+  params.gamma = defaults.gamma;
+  params.alpha = defaults.alpha;
+
+  // The historical cold start: ingest + full index build, timed on the
+  // disk-backed engine so both paths pay the same storage layer.
+  Stopwatch build_timer;
+  ImGrnEngine builder(DiskEngineOptions(path, pivots));
+  builder.LoadDatabase(std::move(database));
+  IMGRN_CHECK_OK(builder.BuildIndex());
+  const double build_s = build_timer.ElapsedSeconds();
+
+  std::vector<std::vector<QueryMatch>> built_answers;
+  for (const ProbGraph& query : queries) {
+    Result<std::vector<QueryMatch>> matches =
+        builder.QueryWithGraph(query, params);
+    IMGRN_CHECK_OK(matches.status());
+    built_answers.push_back(std::move(*matches));
+  }
+
+  Stopwatch save_timer;
+  IMGRN_CHECK_OK(builder.SaveSnapshot());
+  const double save_s = save_timer.ElapsedSeconds();
+
+  // The snapshot cold start: a brand-new engine on the same file. No
+  // database ingest, no build — open, verify, serve.
+  Stopwatch open_timer;
+  ImGrnEngine reopened(DiskEngineOptions(path, pivots));
+  IMGRN_CHECK_OK(reopened.LoadSnapshot());
+  const double open_s = open_timer.ElapsedSeconds();
+
+  bool parity = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<std::vector<QueryMatch>> matches =
+        reopened.QueryWithGraph(queries[i], params);
+    IMGRN_CHECK_OK(matches.status());
+    parity = parity && SameMatches(built_answers[i], *matches);
+  }
+  IMGRN_CHECK(parity) << "snapshot-reopened engine diverged from the "
+                         "rebuilt engine on the bench workload";
+
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"storage_io\",\"phase\":\"cold_start\","
+                "\"matrices\":%zu,\"build_s\":%.4f,\"snapshot_save_s\":%.4f,"
+                "\"snapshot_open_s\":%.4f,\"speedup\":%.1f,"
+                "\"store_bytes\":%ld,\"query_parity\":%d}",
+                defaults.num_matrices, build_s, save_s,
+                open_s, open_s > 0 ? build_s / open_s : 0.0, FileBytes(path),
+                parity ? 1 : 0);
+  sink->Emit(line);
+  std::remove(path.c_str());
+}
+
+void BenchReadLatency(StorageBackend backend, const char* name, size_t pages,
+                      size_t reads, JsonSink* sink) {
+  StorageOptions options;
+  options.backend = backend;
+  options.page_size = kDefaultPageSize;
+  const std::string path = TempStorePath();
+  if (backend == StorageBackend::kDisk) {
+    std::remove(path.c_str());
+    options.path = path;
+    options.unlink_on_close = true;
+  }
+  Result<std::unique_ptr<StorageManager>> store = OpenStorage(options);
+  IMGRN_CHECK_OK(store.status());
+
+  Page frame(kDefaultPageSize);
+  for (PageId id = 0; id < pages; ++id) {
+    (*store)->Allocate();
+    for (size_t i = 0; i < frame.size(); ++i) {
+      frame.mutable_data()[i] = static_cast<uint8_t>(id * 131 + i);
+    }
+    IMGRN_CHECK_OK((*store)->Commit(id, frame));
+  }
+  IMGRN_CHECK_OK((*store)->Sync());
+
+  // Uniform random reads through the accounted (CRC-verified) path. A
+  // fixed LCG keeps the access sequence identical across backends.
+  Page scratch(kDefaultPageSize);
+  uint64_t state = 0x2017;
+  uint64_t checksum = 0;
+  Stopwatch timer;
+  for (size_t i = 0; i < reads; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const PageId id = static_cast<PageId>((state >> 33) % pages);
+    Result<Page*> page = (*store)->Read(id, &scratch);
+    IMGRN_CHECK_OK(page.status());
+    checksum += (*page)->data()[0];
+  }
+  const double elapsed = timer.ElapsedSeconds();
+
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"storage_io\",\"phase\":\"read_latency\","
+                "\"backend\":\"%s\",\"pages\":%zu,\"reads\":%zu,"
+                "\"ns_per_read\":%.1f,\"check\":%llu}",
+                name, pages, reads, elapsed / reads * 1e9,
+                static_cast<unsigned long long>(checksum));
+  sink->Emit(line);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(
+      argc, argv,
+      {{"matrices", "120 | synthetic database size for the cold-start phase"},
+       {"pivots", "2 | pivots per source"},
+       {"pages", "512 | page population for the read-latency phase"},
+       {"reads", "4096 | random page reads per backend"},
+       {"json_out", " | append every JSON line to this file as well"}});
+
+  BenchDefaults defaults;
+  defaults.num_matrices = static_cast<size_t>(flags.GetInt("matrices"));
+  defaults.num_queries = 10;
+
+  JsonSink sink;
+  const std::string json_out = flags.GetString("json_out");
+  if (!json_out.empty()) {
+    sink.file = std::fopen(json_out.c_str(), "a");
+    if (sink.file == nullptr) {
+      std::fprintf(stderr, "cannot open --json_out=%s\n", json_out.c_str());
+      return 1;
+    }
+  }
+
+  PrintHeader("storage_io",
+              "durable storage: snapshot cold start vs rebuild, and "
+              "per-backend page read latency",
+              "matrices=" + std::to_string(defaults.num_matrices) +
+                  " pages=" + std::to_string(flags.GetInt("pages")) +
+                  " reads=" + std::to_string(flags.GetInt("reads")));
+
+  BenchColdStart(defaults, static_cast<size_t>(flags.GetInt("pivots")),
+                 &sink);
+  const size_t pages = static_cast<size_t>(flags.GetInt("pages"));
+  const size_t reads = static_cast<size_t>(flags.GetInt("reads"));
+  BenchReadLatency(StorageBackend::kMemory, "mem", pages, reads, &sink);
+  BenchReadLatency(StorageBackend::kDisk, "disk", pages, reads, &sink);
+
+  if (sink.file != nullptr) std::fclose(sink.file);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace imgrn
+
+int main(int argc, char** argv) { return imgrn::bench::Main(argc, argv); }

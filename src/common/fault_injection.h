@@ -23,6 +23,16 @@ inline constexpr char kPagedFileRead[] = "paged_file.read";
 inline constexpr char kPagedFileWrite[] = "paged_file.write";
 /// BufferPool::Fetch — every accounted page access. `detail` = page id.
 inline constexpr char kBufferPoolFetch[] = "buffer_pool.fetch";
+/// DiskStorageManager::Read — a pread of a page slot off the real disk.
+/// `detail` = logical page id.
+inline constexpr char kDiskRead[] = "disk.read";
+/// DiskStorageManager::Commit — a pwrite of a page slot to the real disk.
+/// `detail` = logical page id.
+inline constexpr char kDiskWrite[] = "disk.write";
+/// DiskStorageManager::Sync — the steps of the atomic commit protocol.
+/// `detail` = protocol step (see DiskStorageManager::SyncStep), so a test
+/// can simulate a crash at each fsync point individually.
+inline constexpr char kDiskSync[] = "disk.sync";
 /// One per-shard sub-query of a ShardedEngine fan-out. `detail` = shard.
 inline constexpr char kShardSubQuery[] = "shard.subquery";
 /// The four steps of the migration protocol (Rebalance/Resize). `detail`

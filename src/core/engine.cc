@@ -1,12 +1,25 @@
 #include "core/engine.h"
 
+#include <fstream>
+
 #include "common/logging.h"
 #include "index/index_io.h"
+#include "index/snapshot.h"
 
 namespace imgrn {
 
 ImGrnEngine::ImGrnEngine(EngineOptions options)
     : options_(std::move(options)) {}
+
+Status ImGrnEngine::EnsureStorage() {
+  if (store_ != nullptr) return Status::Ok();
+  StorageOptions storage = options_.storage;
+  storage.page_size = options_.index.page_size;
+  Result<std::unique_ptr<StorageManager>> store = OpenStorage(storage);
+  IMGRN_RETURN_IF_ERROR(store.status());
+  store_ = std::move(*store);
+  return Status::Ok();
+}
 
 void ImGrnEngine::LoadDatabase(GeneDatabase database) {
   database_ = std::move(database);
@@ -18,7 +31,10 @@ Status ImGrnEngine::BuildIndex() {
   if (database_.empty()) {
     return Status::FailedPrecondition("no database loaded");
   }
-  auto index = std::make_unique<ImGrnIndex>(options_.index);
+  IMGRN_RETURN_IF_ERROR(EnsureStorage());
+  ImGrnIndexOptions index_options = options_.index;
+  index_options.storage = store_.get();
+  auto index = std::make_unique<ImGrnIndex>(index_options);
   IMGRN_RETURN_IF_ERROR(index->Build(&database_));
   index_ = std::move(index);
   processor_ = std::make_unique<ImGrnQueryProcessor>(index_.get());
@@ -56,15 +72,57 @@ Status ImGrnEngine::LoadIndexFrom(const std::string& path) {
   if (database_.empty()) {
     return Status::FailedPrecondition("no database loaded");
   }
-  Result<std::unique_ptr<ImGrnIndex>> index =
-      LoadIndexFromFile(path, &database_);
-  if (!index.ok()) return index.status();
+  IMGRN_RETURN_IF_ERROR(EnsureStorage());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  Result<PersistedIndexParts> parts = ReadIndexParts(&in);
+  IMGRN_RETURN_IF_ERROR(parts.status());
+  parts->options.storage = store_.get();
+  Result<std::unique_ptr<ImGrnIndex>> index = ImGrnIndex::Restore(
+      std::move(parts->options), &database_, std::move(parts->pivot_sets),
+      std::move(parts->embeddings), std::move(parts->active),
+      std::move(parts->inverted_file));
+  IMGRN_RETURN_IF_ERROR(index.status());
+  index_ = std::move(*index);
+  processor_ = std::make_unique<ImGrnQueryProcessor>(index_.get());
+  return Status::Ok();
+}
+
+Status ImGrnEngine::SaveSnapshot() {
+  if (index_ == nullptr || !index_->is_built()) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  return WriteSnapshot(database_, index_.get(), store_.get());
+}
+
+Status ImGrnEngine::LoadSnapshot() {
+  IMGRN_RETURN_IF_ERROR(EnsureStorage());
+  Result<SnapshotContents> contents = ReadSnapshot(store_.get());
+  IMGRN_RETURN_IF_ERROR(contents.status());
+  processor_.reset();
+  index_.reset();
+  database_ = std::move(contents->database);
+  contents->parts.options.storage = store_.get();
+  Result<std::unique_ptr<ImGrnIndex>> index = ImGrnIndex::Restore(
+      std::move(contents->parts.options), &database_,
+      std::move(contents->parts.pivot_sets),
+      std::move(contents->parts.embeddings),
+      std::move(contents->parts.active),
+      std::move(contents->parts.inverted_file), &contents->tree_meta);
+  IMGRN_RETURN_IF_ERROR(index.status());
   index_ = std::move(*index);
   processor_ = std::make_unique<ImGrnQueryProcessor>(index_.get());
   return Status::Ok();
 }
 
 const ImGrnIndex& ImGrnEngine::index() const {
+  IMGRN_CHECK(index_ != nullptr) << "BuildIndex() has not run";
+  return *index_;
+}
+
+ImGrnIndex& ImGrnEngine::mutable_index() {
   IMGRN_CHECK(index_ != nullptr) << "BuildIndex() has not run";
   return *index_;
 }

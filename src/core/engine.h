@@ -11,12 +11,20 @@
 #include "matrix/gene_matrix.h"
 #include "query/imgrn_processor.h"
 #include "query/query_types.h"
+#include "storage/storage_manager.h"
 
 namespace imgrn {
 
 /// Engine configuration; see ImGrnIndexOptions for the index knobs.
 struct EngineOptions {
   ImGrnIndexOptions index;
+
+  /// Backing store for the index's pages and snapshots. The default is the
+  /// historical in-memory store; `backend = kDisk` puts every tree page in
+  /// a single crash-safe file and enables instant cold start via
+  /// SaveSnapshot/LoadSnapshot. `storage.page_size` is ignored — the
+  /// engine uses `index.page_size` so tree and store always agree.
+  StorageOptions storage;
 };
 
 /// The top-level facade of the library — what the paper's Section 8
@@ -76,8 +84,28 @@ class ImGrnEngine {
   /// was built over.
   Status LoadIndexFrom(const std::string& path);
 
+  /// Persists the database and the built index — tree pages included —
+  /// into the engine's backing store and makes them durable (see
+  /// index/snapshot.h). On a disk-backed engine the snapshot survives a
+  /// crash at any point: the file always reopens to the last successful
+  /// SaveSnapshot.
+  Status SaveSnapshot();
+
+  /// Reopens the state written by SaveSnapshot from the engine's backing
+  /// store, replacing any loaded database and index. The restored R*-tree
+  /// is read node-for-node from its pages — no re-ingest, no re-build —
+  /// and is bit-identical to the one saved, query I/O included.
+  Status LoadSnapshot();
+
+  /// The engine's backing store (opened lazily; null until first use).
+  const StorageManager* storage() const { return store_.get(); }
+
   bool has_index() const { return index_ != nullptr && index_->is_built(); }
   const ImGrnIndex& index() const;
+
+  /// Mutable index access (e.g. FlushBufferPool for cold-cache
+  /// measurements). Requires exclusive access, like every non-const call.
+  ImGrnIndex& mutable_index();
 
   /// Runs one IM-GRN query (Definition 4): infer Q from `query_matrix`,
   /// retrieve matching matrices. `stats` may be null. `control`, when
@@ -96,8 +124,14 @@ class ImGrnEngine {
       const;
 
  private:
+  /// Opens store_ from options_.storage on first need. Idempotent.
+  Status EnsureStorage();
+
   EngineOptions options_;
   GeneDatabase database_;
+  // Declared before index_: the index's tree reads store_ pages until it
+  // is destroyed, and members are destroyed in reverse order.
+  std::unique_ptr<StorageManager> store_;
   std::unique_ptr<ImGrnIndex> index_;
   std::unique_ptr<ImGrnQueryProcessor> processor_;
 };

@@ -50,6 +50,7 @@ Status ImGrnIndex::Build(GeneDatabase* database) {
   rtree_options.page_size = options_.page_size;
   rtree_options.max_entries = options_.rtree_max_entries;
   rtree_options.buffer_pool_pages = options_.buffer_pool_pages;
+  rtree_options.storage = options_.storage;
   rtree_ = std::make_unique<RTree>(std::move(rtree_options));
 
   pivot_sets_.clear();
@@ -236,7 +237,8 @@ Result<std::unique_ptr<ImGrnIndex>> ImGrnIndex::Restore(
     std::vector<PivotSet> pivot_sets,
     std::vector<std::vector<EmbeddedPoint>> embeddings,
     std::vector<bool> active,
-    std::unordered_map<GeneId, std::vector<uint8_t>> inverted_file) {
+    std::unordered_map<GeneId, std::vector<uint8_t>> inverted_file,
+    const RTreeMeta* tree_meta) {
   if (database == nullptr || database->empty()) {
     return Status::InvalidArgument("empty database");
   }
@@ -267,6 +269,7 @@ Result<std::unique_ptr<ImGrnIndex>> ImGrnIndex::Restore(
   rtree_options.page_size = index->options_.page_size;
   rtree_options.max_entries = index->options_.rtree_max_entries;
   rtree_options.buffer_pool_pages = index->options_.buffer_pool_pages;
+  rtree_options.storage = index->options_.storage;
   index->rtree_ = std::make_unique<RTree>(std::move(rtree_options));
 
   for (SourceId i = 0; i < n; ++i) {
@@ -280,11 +283,17 @@ Result<std::unique_ptr<ImGrnIndex>> ImGrnIndex::Restore(
       if (point.num_pivots() != index->options_.num_pivots) {
         return Status::InvalidArgument("embedded point dimension mismatch");
       }
+      if (tree_meta != nullptr) continue;  // Validate shape only.
       const std::vector<uint8_t> payload =
           index->MakeLeafPayload(point.gene, i);
       index->rtree_->Insert(point.ToIndexPoint(),
                             EncodeRecordRef(RecordRef{i, column}), payload);
     }
+  }
+  if (tree_meta != nullptr) {
+    // Instant cold start: the node pages are already in options.storage;
+    // reopen the saved tree instead of re-inserting every point.
+    IMGRN_RETURN_IF_ERROR(index->rtree_->RestoreFromPages(*tree_meta));
   }
 
   index->pivot_sets_ = std::move(pivot_sets);

@@ -36,6 +36,12 @@ struct ImGrnIndexOptions {
   size_t rtree_max_entries = 0;  // 0 = derive from page size.
   size_t buffer_pool_pages = 128;
 
+  /// Backing store for the R*-tree's pages. Non-owning; must outlive the
+  /// index and match `page_size`. Null = a private in-memory store (the
+  /// historical behavior). Never persisted by index_io — the engine wires
+  /// its store in at construction.
+  StorageManager* storage = nullptr;
+
   /// Build the R*-tree with STR bulk loading (fast, near-full packing)
   /// instead of one-at-a-time insertion. Query results are identical; the
   /// tree remains fully updatable (incremental adds/removes still work).
@@ -170,17 +176,26 @@ class ImGrnIndex {
   }
 
   /// Restores a built index from persisted parts: parallel per-source
-  /// arrays sized to `database`, plus the inverted file. The R*-tree is
-  /// rebuilt by re-inserting the active embedded points. Incremental adds
-  /// after a restore draw from a fresh RNG stream seeded by
-  /// `options.seed`, so they are deterministic but not identical to adds
-  /// on the never-persisted index.
+  /// arrays sized to `database`, plus the inverted file.
+  ///
+  /// With `tree_meta` null the R*-tree is rebuilt by re-inserting the
+  /// active embedded points (the index_io file path). With `tree_meta`
+  /// set — the snapshot path — the tree is reopened node-for-node from
+  /// pages previously written by SerializeAllNodes into
+  /// `options.storage`, which must be the store that holds them; no
+  /// re-insertion happens, so the restored tree (and its query I/O) is
+  /// bit-identical to the saved one.
+  ///
+  /// Incremental adds after a restore draw from a fresh RNG stream seeded
+  /// by `options.seed`, so they are deterministic but not identical to
+  /// adds on the never-persisted index.
   static Result<std::unique_ptr<ImGrnIndex>> Restore(
       ImGrnIndexOptions options, GeneDatabase* database,
       std::vector<PivotSet> pivot_sets,
       std::vector<std::vector<EmbeddedPoint>> embeddings,
       std::vector<bool> active,
-      std::unordered_map<GeneId, std::vector<uint8_t>> inverted_file);
+      std::unordered_map<GeneId, std::vector<uint8_t>> inverted_file,
+      const RTreeMeta* tree_meta = nullptr);
 
  private:
   /// Pivots + embeds + inserts one matrix; shared by Build and AddMatrix.

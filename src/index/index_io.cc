@@ -9,11 +9,15 @@ namespace imgrn {
 
 namespace {
 
-constexpr char kMagic[8] = {'I', 'M', 'G', 'N', '-', 'I', 'X', '1'};
+constexpr char kMagic[8] = {'I', 'M', 'G', 'N', '-', 'I', 'X', '2'};
+constexpr uint32_t kFormatVersion = 2;
+// Written as a u32 in host order; reads back as a different value on a
+// host of the opposite endianness, which is exactly the check.
+constexpr uint32_t kEndianTag = 0x01020304u;
 
-// --- Little binary codec over iostreams. All integers are fixed-width
-// little-endian (host order; the format is not meant for cross-endian
-// transport, which the magic check would not catch — documented scope).
+// --- Little binary codec over iostreams. All integers are fixed-width in
+// host byte order; the endianness tag in the header rejects cross-endian
+// transport up front.
 
 template <typename T>
 void WritePod(std::ostream* out, const T& value) {
@@ -44,13 +48,20 @@ bool ReadDoubleVector(std::istream* in, std::vector<double>* values) {
   return in->good();
 }
 
+Status Truncated(const char* what) {
+  return Status::DataLoss(std::string("truncated persisted index (") + what +
+                          ")");
+}
+
 }  // namespace
 
-Status SaveIndex(const ImGrnIndex& index, std::ostream* out) {
+Status WriteIndexParts(const ImGrnIndex& index, std::ostream* out) {
   if (!index.is_built()) {
     return Status::FailedPrecondition("index is not built");
   }
   out->write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, kFormatVersion);
+  WritePod<uint32_t>(out, kEndianTag);
   const ImGrnIndexOptions& options = index.options();
   WritePod<uint64_t>(out, options.num_pivots);
   WritePod<uint64_t>(out, options.signature_bits);
@@ -95,108 +106,120 @@ Status SaveIndex(const ImGrnIndex& index, std::ostream* out) {
   return Status::Ok();
 }
 
-Result<std::unique_ptr<ImGrnIndex>> LoadIndex(std::istream* in,
-                                              GeneDatabase* database) {
+Result<PersistedIndexParts> ReadIndexParts(std::istream* in) {
   char magic[sizeof(kMagic)];
   in->read(magic, sizeof(magic));
   if (!in->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a persisted IM-GRN index");
   }
-  ImGrnIndexOptions options;
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  if (!ReadPod(in, &version) || !ReadPod(in, &endian)) {
+    return Truncated("header");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported persisted-index version " +
+                                   std::to_string(version));
+  }
+  if (endian != kEndianTag) {
+    return Status::InvalidArgument(
+        "persisted index was written on a different-endian host");
+  }
+
+  PersistedIndexParts parts;
+  ImGrnIndexOptions& options = parts.options;
   uint64_t u64 = 0;
   int32_t i32 = 0;
-  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &u64)) return Truncated("options");
   options.num_pivots = u64;
-  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &u64)) return Truncated("options");
   options.signature_bits = u64;
-  if (!ReadPod(in, &i32)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &i32)) return Truncated("options");
   options.signature_hashes = i32;
-  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &u64)) return Truncated("options");
   options.embed_samples = u64;
-  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &u64)) return Truncated("options");
   options.page_size = u64;
-  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &u64)) return Truncated("options");
   options.rtree_max_entries = u64;
-  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &u64)) return Truncated("options");
   options.buffer_pool_pages = u64;
-  if (!ReadPod(in, &u64)) return Status::InvalidArgument("truncated index");
+  if (!ReadPod(in, &u64)) return Truncated("options");
   options.seed = u64;
 
   uint64_t num_sources = 0;
-  if (!ReadPod(in, &num_sources)) {
-    return Status::InvalidArgument("truncated index");
-  }
-  std::vector<PivotSet> pivot_sets(num_sources);
-  std::vector<std::vector<EmbeddedPoint>> embeddings(num_sources);
-  std::vector<bool> active(num_sources, true);
+  if (!ReadPod(in, &num_sources)) return Truncated("source count");
+  parts.pivot_sets.resize(num_sources);
+  parts.embeddings.resize(num_sources);
+  parts.active.assign(num_sources, true);
   for (uint64_t i = 0; i < num_sources; ++i) {
     uint8_t is_active = 0;
-    if (!ReadPod(in, &is_active)) {
-      return Status::InvalidArgument("truncated index");
-    }
-    active[i] = is_active != 0;
+    if (!ReadPod(in, &is_active)) return Truncated("active flag");
+    parts.active[i] = is_active != 0;
     uint64_t num_pivots = 0;
     if (!ReadPod(in, &num_pivots) || num_pivots > (1u << 20)) {
-      return Status::InvalidArgument("truncated index");
+      return Truncated("pivot count");
     }
-    PivotSet& pivots = pivot_sets[i];
+    PivotSet& pivots = parts.pivot_sets[i];
     pivots.columns.resize(num_pivots);
     for (uint64_t w = 0; w < num_pivots; ++w) {
       uint64_t column = 0;
-      if (!ReadPod(in, &column)) {
-        return Status::InvalidArgument("truncated index");
-      }
+      if (!ReadPod(in, &column)) return Truncated("pivot columns");
       pivots.columns[w] = column;
     }
     pivots.vectors.resize(num_pivots);
     for (uint64_t w = 0; w < num_pivots; ++w) {
       if (!ReadDoubleVector(in, &pivots.vectors[w])) {
-        return Status::InvalidArgument("truncated pivot vectors");
+        return Truncated("pivot vectors");
       }
     }
     uint64_t num_points = 0;
     if (!ReadPod(in, &num_points) || num_points > (1ull << 32)) {
-      return Status::InvalidArgument("truncated index");
+      return Truncated("point count");
     }
-    embeddings[i].resize(num_points);
+    parts.embeddings[i].resize(num_points);
     for (uint64_t s = 0; s < num_points; ++s) {
-      EmbeddedPoint& point = embeddings[i][s];
+      EmbeddedPoint& point = parts.embeddings[i][s];
       if (!ReadDoubleVector(in, &point.x) ||
           !ReadDoubleVector(in, &point.y)) {
-        return Status::InvalidArgument("truncated embedded points");
+        return Truncated("embedded points");
       }
       uint32_t gene = 0;
-      if (!ReadPod(in, &gene)) {
-        return Status::InvalidArgument("truncated embedded points");
-      }
+      if (!ReadPod(in, &gene)) return Truncated("embedded points");
       point.gene = gene;
     }
   }
 
   uint64_t if_count = 0;
-  if (!ReadPod(in, &if_count)) {
-    return Status::InvalidArgument("truncated inverted file");
-  }
-  std::unordered_map<GeneId, std::vector<uint8_t>> inverted_file;
-  inverted_file.reserve(if_count);
+  if (!ReadPod(in, &if_count)) return Truncated("inverted file");
+  parts.inverted_file.reserve(if_count);
   for (uint64_t e = 0; e < if_count; ++e) {
     uint32_t gene = 0;
     uint64_t bytes = 0;
     if (!ReadPod(in, &gene) || !ReadPod(in, &bytes) || bytes > (1u << 20)) {
-      return Status::InvalidArgument("truncated inverted file");
+      return Truncated("inverted file");
     }
     std::vector<uint8_t> sig(bytes);
     in->read(reinterpret_cast<char*>(sig.data()),
              static_cast<std::streamsize>(bytes));
-    if (!in->good()) {
-      return Status::InvalidArgument("truncated inverted file");
-    }
-    inverted_file.emplace(gene, std::move(sig));
+    if (!in->good()) return Truncated("inverted file");
+    parts.inverted_file.emplace(gene, std::move(sig));
   }
+  return parts;
+}
 
-  return ImGrnIndex::Restore(std::move(options), database,
-                             std::move(pivot_sets), std::move(embeddings),
-                             std::move(active), std::move(inverted_file));
+Status SaveIndex(const ImGrnIndex& index, std::ostream* out) {
+  return WriteIndexParts(index, out);
+}
+
+Result<std::unique_ptr<ImGrnIndex>> LoadIndex(std::istream* in,
+                                              GeneDatabase* database) {
+  Result<PersistedIndexParts> parts = ReadIndexParts(in);
+  IMGRN_RETURN_IF_ERROR(parts.status());
+  return ImGrnIndex::Restore(
+      std::move(parts->options), database, std::move(parts->pivot_sets),
+      std::move(parts->embeddings), std::move(parts->active),
+      std::move(parts->inverted_file));
 }
 
 Status SaveIndexToFile(const ImGrnIndex& index, const std::string& path) {

@@ -12,14 +12,39 @@ namespace imgrn {
 /// Binary persistence for a built ImGrnIndex. What is stored is everything
 /// that was *expensive* to compute — the per-matrix pivot sets and the
 /// Monte Carlo embedded points (the y coordinates cost permutation
-/// sampling), the inverted file, the active flags, and the options. The
-/// R*-tree itself is rebuilt on load by re-inserting the stored points,
-/// which is cheap and yields a structurally equivalent (deterministic)
-/// tree.
+/// sampling), the inverted file, the active flags, and the options. On the
+/// file path the R*-tree is rebuilt on load by re-inserting the stored
+/// points; the snapshot layer (index/snapshot.h) instead reopens the tree
+/// from its serialized pages.
 ///
-/// The gene feature database is persisted separately (matrix_io.h); on
-/// load it must have exactly the same number of matrices the index was
-/// built over.
+/// Format: magic "IMGN-IX2", a format-version u32 and an endianness tag
+/// u32 up front, then the sections. A wrong magic / version / endianness
+/// is kInvalidArgument; a truncated or internally inconsistent stream is
+/// kDataLoss. Neither crashes.
+///
+/// The gene feature database is persisted separately (matrix_io.h, or the
+/// snapshot layer); on load it must have exactly the same number of
+/// matrices the index was built over.
+
+/// The deserialized-but-not-yet-restored contents of a persisted index:
+/// everything ImGrnIndex::Restore takes. Split out so the snapshot layer
+/// can combine these parts with an R*-tree reopened from pages instead of
+/// the re-insertion restore.
+struct PersistedIndexParts {
+  ImGrnIndexOptions options;
+  std::vector<PivotSet> pivot_sets;
+  std::vector<std::vector<EmbeddedPoint>> embeddings;
+  std::vector<bool> active;
+  std::unordered_map<GeneId, std::vector<uint8_t>> inverted_file;
+};
+
+/// Serializes the restorable parts of `index` (everything but the tree
+/// pages) to `out`.
+Status WriteIndexParts(const ImGrnIndex& index, std::ostream* out);
+
+/// Parses a stream written by WriteIndexParts, validating magic, format
+/// version and endianness.
+Result<PersistedIndexParts> ReadIndexParts(std::istream* in);
 
 Status SaveIndex(const ImGrnIndex& index, std::ostream* out);
 

@@ -1,0 +1,298 @@
+#include "index/snapshot.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+#include "storage/page_stream.h"
+
+namespace imgrn {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'I', 'M', 'G', 'R', 'N', 'S', 'N', '1'};
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kEndianTag = 0x01020304u;
+
+// Directory page layout, from offset 0:
+//   magic[8], version u32, endian u32, then kNumSections refs of
+//   {head PageId u32, num_bytes u64}.
+constexpr size_t kRefSize = sizeof(PageId) + sizeof(uint64_t);
+constexpr size_t kNumSections = 3;  // database, index parts, tree meta.
+constexpr size_t kDirectorySize = 8 + 4 + 4 + kNumSections * kRefSize;
+
+template <typename T>
+Status AppendPod(PageStreamWriter* writer, T value) {
+  return writer->Append(&value, sizeof(value));
+}
+
+template <typename T>
+Status ReadPod(PageStreamReader* reader, T* value) {
+  return reader->Read(value, sizeof(*value));
+}
+
+Status Inconsistent(const char* what) {
+  return Status::DataLoss(std::string("snapshot section inconsistent (") +
+                          what + ")");
+}
+
+/// Returns a previous stream's pages to the store's free list. Best
+/// effort: an unreadable link leaks the chain's tail rather than failing
+/// the new snapshot. Bounded by the store size against corrupt cycles.
+void FreeChain(StorageManager* store, PageId head) {
+  Page scratch(store->page_size());
+  PageId id = head;
+  for (uint64_t hops = store->num_pages(); id != kInvalidPageId && hops > 0;
+       --hops) {
+    Result<Page*> page = store->Read(id, &scratch);
+    if (!page.ok()) return;
+    const PageId next = (*page)->ReadAt<PageId>(0);
+    store->Deallocate(id);
+    id = next;
+  }
+}
+
+// --- Database section ---
+
+Status WriteDatabase(const GeneDatabase& database, PageStreamWriter* writer) {
+  IMGRN_RETURN_IF_ERROR(AppendPod<uint64_t>(writer, database.size()));
+  for (const GeneMatrix& matrix : database.matrices()) {
+    IMGRN_RETURN_IF_ERROR(AppendPod<uint32_t>(writer, matrix.source_id()));
+    IMGRN_RETURN_IF_ERROR(AppendPod<uint64_t>(writer, matrix.num_samples()));
+    IMGRN_RETURN_IF_ERROR(AppendPod<uint64_t>(writer, matrix.num_genes()));
+    IMGRN_RETURN_IF_ERROR(writer->Append(
+        matrix.gene_ids().data(), matrix.num_genes() * sizeof(GeneId)));
+    // Raw doubles: the standardized feature vectors must round-trip
+    // bit-exactly or restored query results drift.
+    IMGRN_RETURN_IF_ERROR(writer->Append(
+        matrix.data().data(), matrix.data().size() * sizeof(double)));
+    IMGRN_RETURN_IF_ERROR(
+        AppendPod<uint8_t>(writer, matrix.is_standardized() ? 1 : 0));
+  }
+  return Status::Ok();
+}
+
+Result<GeneDatabase> ReadDatabase(PageStreamReader* reader) {
+  uint64_t count = 0;
+  IMGRN_RETURN_IF_ERROR(ReadPod(reader, &count));
+  if (count > (1u << 24)) return Inconsistent("matrix count");
+  GeneDatabase database;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t source_id = 0;
+    uint64_t num_samples = 0;
+    uint64_t num_genes = 0;
+    IMGRN_RETURN_IF_ERROR(ReadPod(reader, &source_id));
+    IMGRN_RETURN_IF_ERROR(ReadPod(reader, &num_samples));
+    IMGRN_RETURN_IF_ERROR(ReadPod(reader, &num_genes));
+    if (source_id != i || num_samples > (1u << 28) ||
+        num_genes > (1u << 28)) {
+      return Inconsistent("matrix shape");
+    }
+    std::vector<GeneId> gene_ids(num_genes);
+    IMGRN_RETURN_IF_ERROR(
+        reader->Read(gene_ids.data(), num_genes * sizeof(GeneId)));
+    GeneMatrix matrix(source_id, num_samples, std::move(gene_ids));
+    for (size_t column = 0; column < num_genes; ++column) {
+      std::span<double> dst = matrix.MutableColumn(column);
+      IMGRN_RETURN_IF_ERROR(
+          reader->Read(dst.data(), dst.size() * sizeof(double)));
+    }
+    uint8_t standardized = 0;
+    IMGRN_RETURN_IF_ERROR(ReadPod(reader, &standardized));
+    if (standardized != 0) matrix.MarkStandardized();
+    database.Add(std::move(matrix));
+  }
+  return database;
+}
+
+// --- Tree-meta section ---
+
+Status WriteTreeMeta(const RTreeMeta& meta, PageStreamWriter* writer) {
+  IMGRN_RETURN_IF_ERROR(AppendPod<uint32_t>(writer, meta.root));
+  IMGRN_RETURN_IF_ERROR(AppendPod<uint64_t>(writer, meta.num_records));
+  IMGRN_RETURN_IF_ERROR(
+      AppendPod<uint64_t>(writer, meta.node_pages.size()));
+  IMGRN_RETURN_IF_ERROR(writer->Append(
+      meta.node_pages.data(), meta.node_pages.size() * sizeof(PageId)));
+  IMGRN_RETURN_IF_ERROR(
+      AppendPod<uint64_t>(writer, meta.free_nodes.size()));
+  IMGRN_RETURN_IF_ERROR(writer->Append(
+      meta.free_nodes.data(), meta.free_nodes.size() * sizeof(NodeId)));
+  return Status::Ok();
+}
+
+Result<RTreeMeta> ReadTreeMeta(PageStreamReader* reader) {
+  RTreeMeta meta;
+  uint32_t root = 0;
+  IMGRN_RETURN_IF_ERROR(ReadPod(reader, &root));
+  meta.root = root;
+  IMGRN_RETURN_IF_ERROR(ReadPod(reader, &meta.num_records));
+  uint64_t num_nodes = 0;
+  IMGRN_RETURN_IF_ERROR(ReadPod(reader, &num_nodes));
+  if (num_nodes > (1u << 28)) return Inconsistent("tree node count");
+  meta.node_pages.resize(num_nodes);
+  IMGRN_RETURN_IF_ERROR(
+      reader->Read(meta.node_pages.data(), num_nodes * sizeof(PageId)));
+  uint64_t num_free = 0;
+  IMGRN_RETURN_IF_ERROR(ReadPod(reader, &num_free));
+  if (num_free > num_nodes) return Inconsistent("tree free-node count");
+  meta.free_nodes.resize(num_free);
+  IMGRN_RETURN_IF_ERROR(
+      reader->Read(meta.free_nodes.data(), num_free * sizeof(NodeId)));
+  return meta;
+}
+
+}  // namespace
+
+Status WriteSnapshot(const GeneDatabase& database, ImGrnIndex* index,
+                     StorageManager* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("no store to snapshot into");
+  }
+  if (index == nullptr || !index->is_built()) {
+    return Status::FailedPrecondition("index is not built");
+  }
+  if (index->options().storage != store) {
+    return Status::InvalidArgument(
+        "index was not built over the store being snapshotted; its tree "
+        "pages live elsewhere");
+  }
+
+  // Recycle the previous snapshot's stream pages (the tree's node pages
+  // are live and stay put). If the old directory is unreadable, leak its
+  // chains instead of failing the new snapshot.
+  PageId directory = store->app_root();
+  if (directory != kInvalidPageId) {
+    Page scratch(store->page_size());
+    Result<Page*> old = store->Read(directory, &scratch);
+    if (old.ok()) {
+      char magic[8];
+      (*old)->ReadBytes(0, magic, sizeof(magic));
+      if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0) {
+        size_t offset = 16;
+        for (size_t s = 0; s < kNumSections; ++s) {
+          const PageId head = (*old)->ReadAt<PageId>(offset);
+          if (head != kInvalidPageId) FreeChain(store, head);
+          offset += kRefSize;
+        }
+      }
+    }
+  } else {
+    directory = store->Allocate();
+  }
+
+  // Tree nodes first: every live node reaches its page, sealed.
+  IMGRN_RETURN_IF_ERROR(index->mutable_rtree().SerializeAllNodes());
+
+  PageStreamRef refs[kNumSections];
+
+  {
+    PageStreamWriter writer(store);
+    IMGRN_RETURN_IF_ERROR(WriteDatabase(database, &writer));
+    Result<PageStreamRef> ref = writer.Finish();
+    IMGRN_RETURN_IF_ERROR(ref.status());
+    refs[0] = *ref;
+  }
+  {
+    PageStreamWriter writer(store);
+    PageStreamOutBuf buf(&writer);
+    std::ostream out(&buf);
+    Status io = WriteIndexParts(*index, &out);
+    if (!buf.status().ok()) return buf.status();  // The precise store error.
+    IMGRN_RETURN_IF_ERROR(io);
+    Result<PageStreamRef> ref = writer.Finish();
+    IMGRN_RETURN_IF_ERROR(ref.status());
+    refs[1] = *ref;
+  }
+  {
+    PageStreamWriter writer(store);
+    IMGRN_RETURN_IF_ERROR(
+        WriteTreeMeta(index->rtree().ExportMeta(), &writer));
+    Result<PageStreamRef> ref = writer.Finish();
+    IMGRN_RETURN_IF_ERROR(ref.status());
+    refs[2] = *ref;
+  }
+
+  Page page(store->page_size());
+  IMGRN_CHECK_LE(kDirectorySize, page.size());
+  page.WriteBytes(0, kSnapshotMagic, sizeof(kSnapshotMagic));
+  page.WriteAt<uint32_t>(8, kSnapshotVersion);
+  page.WriteAt<uint32_t>(12, kEndianTag);
+  size_t offset = 16;
+  for (const PageStreamRef& ref : refs) {
+    page.WriteAt<PageId>(offset, ref.head);
+    page.WriteAt<uint64_t>(offset + sizeof(PageId), ref.num_bytes);
+    offset += kRefSize;
+  }
+  IMGRN_RETURN_IF_ERROR(store->Commit(directory, page));
+  store->SetAppRoot(directory);
+
+  // The commit point: on disk the header flip makes directory, streams and
+  // tree pages durable together or not at all.
+  return store->Sync();
+}
+
+Result<SnapshotContents> ReadSnapshot(StorageManager* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("no store to read a snapshot from");
+  }
+  const PageId directory = store->app_root();
+  if (directory == kInvalidPageId) {
+    return Status::NotFound("store holds no snapshot");
+  }
+  Page scratch(store->page_size());
+  Result<Page*> dir = store->Read(directory, &scratch);
+  IMGRN_RETURN_IF_ERROR(dir.status());
+  char magic[8];
+  (*dir)->ReadBytes(0, magic, sizeof(magic));
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("store's root page is not a snapshot");
+  }
+  const uint32_t version = (*dir)->ReadAt<uint32_t>(8);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  if ((*dir)->ReadAt<uint32_t>(12) != kEndianTag) {
+    return Status::InvalidArgument(
+        "snapshot was written on a different-endian host");
+  }
+  PageStreamRef refs[kNumSections];
+  size_t offset = 16;
+  for (PageStreamRef& ref : refs) {
+    ref.head = (*dir)->ReadAt<PageId>(offset);
+    ref.num_bytes = (*dir)->ReadAt<uint64_t>(offset + sizeof(PageId));
+    offset += kRefSize;
+  }
+
+  SnapshotContents contents;
+  {
+    PageStreamReader reader(store, refs[0]);
+    Result<GeneDatabase> database = ReadDatabase(&reader);
+    IMGRN_RETURN_IF_ERROR(database.status());
+    contents.database = std::move(*database);
+  }
+  {
+    PageStreamReader reader(store, refs[1]);
+    PageStreamInBuf buf(&reader);
+    std::istream in(&buf);
+    Result<PersistedIndexParts> parts = ReadIndexParts(&in);
+    if (!parts.ok()) {
+      // Prefer the store-level error (checksum kDataLoss, fault-site
+      // kUnavailable) over the parser's view of a failing stream.
+      if (!buf.status().ok()) return buf.status();
+      return parts.status();
+    }
+    contents.parts = std::move(*parts);
+  }
+  {
+    PageStreamReader reader(store, refs[2]);
+    Result<RTreeMeta> meta = ReadTreeMeta(&reader);
+    IMGRN_RETURN_IF_ERROR(meta.status());
+    contents.tree_meta = std::move(*meta);
+  }
+  return contents;
+}
+
+}  // namespace imgrn

@@ -1,0 +1,54 @@
+#ifndef IMGRN_INDEX_SNAPSHOT_H_
+#define IMGRN_INDEX_SNAPSHOT_H_
+
+#include "index/index_io.h"
+#include "matrix/gene_matrix.h"
+#include "rtree/rtree.h"
+#include "storage/storage_manager.h"
+
+namespace imgrn {
+
+/// Whole-system snapshots inside a paged store: the gene feature database,
+/// the restorable index parts (index_io.h), and the R*-tree's reopen
+/// handle, all serialized into page chains (storage/page_stream.h) of the
+/// same store that holds the tree's node pages. Over a DiskStorageManager
+/// this is the instant-cold-start path: reopen the file, ReadSnapshot, and
+/// the engine serves queries with the exact tree it shut down with — no
+/// re-ingest, no re-build, no re-insertion.
+///
+/// Layout: the store's app-root page is a directory (magic "IMGRNSN1",
+/// format version, endianness tag, then one {head page, byte count} ref
+/// per section). Everything is reached from there; WriteSnapshot ends with
+/// StorageManager::Sync(), so on disk the snapshot becomes visible
+/// atomically — a crash mid-write leaves the previous snapshot intact.
+///
+/// Error contract: a store without a snapshot is kNotFound; a directory
+/// that is not a snapshot (or a version/endianness mismatch) is
+/// kInvalidArgument; truncated or internally inconsistent sections are
+/// kDataLoss. Page-level corruption and the disk.* fault sites surface
+/// through the underlying reads. Nothing crashes.
+
+/// Everything ReadSnapshot recovers. The caller re-homes `database` (the
+/// index parts reference it by shape only), points `parts.options.storage`
+/// at the store, and hands both plus `tree_meta` to ImGrnIndex::Restore.
+struct SnapshotContents {
+  GeneDatabase database;
+  PersistedIndexParts parts;
+  RTreeMeta tree_meta;
+};
+
+/// Serializes `database` + the built `index` into `store` and Sync()s.
+/// `index` must have been built with `options.storage == store` (its tree
+/// pages must live in the store being snapshotted); anything else is
+/// kInvalidArgument. A previous snapshot's pages are recycled. The index
+/// is non-const because its tree nodes are serialized to their pages.
+Status WriteSnapshot(const GeneDatabase& database, ImGrnIndex* index,
+                     StorageManager* store);
+
+/// Reads back the snapshot written by WriteSnapshot, validating the
+/// directory and every section.
+Result<SnapshotContents> ReadSnapshot(StorageManager* store);
+
+}  // namespace imgrn
+
+#endif  // IMGRN_INDEX_SNAPSHOT_H_

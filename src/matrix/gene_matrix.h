@@ -76,6 +76,13 @@ class GeneMatrix {
   /// noise injection), so the next StandardizeColumns() re-runs.
   void InvalidateStandardization() { standardized_ = false; }
 
+  /// Marks the matrix as already standardized without touching the data.
+  /// For deserializers (index/snapshot.h) restoring columns that were
+  /// standardized before persistence: re-running StandardizeColumns on its
+  /// own output is not a bit-exact no-op, so the flag must travel with the
+  /// bytes. The caller asserts the data really is standardized output.
+  void MarkStandardized() { standardized_ = true; }
+
   /// Extracts the sub-matrix over the given columns (gene IDs preserved).
   /// Returns OutOfRange if any index is invalid.
   Result<GeneMatrix> ExtractColumns(const std::vector<size_t>& columns) const;

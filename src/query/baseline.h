@@ -9,7 +9,7 @@
 #include "matrix/gene_matrix.h"
 #include "query/query_types.h"
 #include "storage/buffer_pool.h"
-#include "storage/paged_file.h"
+#include "storage/memory_storage.h"
 
 namespace imgrn {
 
@@ -43,14 +43,17 @@ class BaselineMaterialization {
   /// Online phase: matches `query_graph` against every matrix. Only
   /// gamma/alpha of `params` and the pruning-free semantics of Definition 4
   /// apply (the Baseline has no pruning). Fills the CPU / I/O / candidate
-  /// fields of `stats` (every matrix is a "candidate").
-  std::vector<QueryMatch> Query(const ProbGraph& query_graph,
-                                const QueryParams& params,
-                                QueryStats* stats = nullptr) const;
+  /// fields of `stats` (every matrix is a "candidate"). Fallible: every
+  /// probability read goes through the accounted buffer-pool path
+  /// (checksum-verified, fault-injectable), and a storage error aborts the
+  /// scan and propagates.
+  Result<std::vector<QueryMatch>> Query(const ProbGraph& query_graph,
+                                        const QueryParams& params,
+                                        QueryStats* stats = nullptr) const;
 
   /// Reads one stored pairwise probability (columns s < t of matrix
   /// `source`) through the buffer pool. Exposed for tests.
-  double ReadProbability(SourceId source, size_t s, size_t t) const;
+  Result<double> ReadProbability(SourceId source, size_t s, size_t t) const;
 
  private:
   struct SourceLayout {

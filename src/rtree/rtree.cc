@@ -15,8 +15,14 @@ RTree::RTree(RTreeOptions options) : options_(std::move(options)) {
     IMGRN_CHECK(options_.payload_merge != nullptr)
         << "payload_size > 0 requires a payload_merge monoid";
   }
-  file_ = std::make_unique<PagedFile>(options_.page_size);
-  pool_ = std::make_unique<BufferPool>(file_.get(), options_.buffer_pool_pages);
+  if (options_.storage != nullptr) {
+    IMGRN_CHECK_EQ(options_.storage->page_size(), options_.page_size);
+    store_ = options_.storage;
+  } else {
+    owned_store_ = std::make_unique<MemoryStorageManager>(options_.page_size);
+    store_ = owned_store_.get();
+  }
+  pool_ = std::make_unique<BufferPool>(store_, options_.buffer_pool_pages);
 
   if (options_.max_entries > 0) {
     max_entries_ = options_.max_entries;
@@ -66,7 +72,7 @@ NodeId RTree::AllocateNode(int level) {
     id = static_cast<NodeId>(nodes_.size());
     auto node = std::make_unique<RTreeNode>();
     node->level = level;
-    node->page = file_->Allocate();
+    node->page = store_->Allocate();
     nodes_.push_back(std::move(node));
   }
   ++num_live_nodes_;
@@ -649,12 +655,68 @@ Status RTree::Validate() const {
 Status RTree::SerializeAllNodes() {
   std::vector<bool> live(nodes_.size(), true);
   for (NodeId id : free_nodes_) live[id] = false;
+  Page scratch(options_.page_size);
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     if (!live[id]) continue;
-    Page* page = file_->GetPage(nodes_[id]->page);
-    SerializeNode(*nodes_[id], options_.dims, options_.payload_size, page);
-    IMGRN_RETURN_IF_ERROR(file_->Commit(nodes_[id]->page));
+    scratch.Clear();
+    SerializeNode(*nodes_[id], options_.dims, options_.payload_size, &scratch);
+    IMGRN_RETURN_IF_ERROR(pool_->Put(nodes_[id]->page, scratch));
   }
+  // Write-back immediately: persistence callers expect every page sealed
+  // in the store (ready for a Sync) when this returns, not parked dirty in
+  // the pool.
+  return pool_->WriteBack();
+}
+
+RTreeMeta RTree::ExportMeta() const {
+  RTreeMeta meta;
+  meta.root = root_;
+  meta.num_records = num_records_;
+  meta.node_pages.reserve(nodes_.size());
+  for (const auto& node : nodes_) meta.node_pages.push_back(node->page);
+  meta.free_nodes = free_nodes_;
+  return meta;
+}
+
+Status RTree::RestoreFromPages(const RTreeMeta& meta) {
+  IMGRN_CHECK(nodes_.empty()) << "RestoreFromPages needs an empty tree";
+  std::vector<bool> live(meta.node_pages.size(), true);
+  for (NodeId id : meta.free_nodes) {
+    if (id >= meta.node_pages.size()) {
+      return Status::DataLoss("R*-tree meta frees an unknown node");
+    }
+    live[id] = false;
+  }
+  if (meta.root != kInvalidNodeId &&
+      (meta.root >= meta.node_pages.size() || !live[meta.root])) {
+    return Status::DataLoss("R*-tree meta has a dead root");
+  }
+  nodes_.reserve(meta.node_pages.size());
+  for (NodeId id = 0; id < meta.node_pages.size(); ++id) {
+    auto node = std::make_unique<RTreeNode>();
+    node->page = meta.node_pages[id];
+    if (live[id]) {
+      Result<Page*> page = pool_->Fetch(node->page);
+      if (!page.ok()) return page.status();
+      if (!IsSerializedNode(**page)) {
+        return Status::DataLoss("page " + std::to_string(node->page) +
+                                " is not a serialized R*-tree node");
+      }
+      const PageId backing = node->page;
+      *node = DeserializeNode(**page, options_.dims, options_.payload_size);
+      node->page = backing;
+      ++num_live_nodes_;
+    }
+    nodes_.push_back(std::move(node));
+  }
+  free_nodes_ = meta.free_nodes;
+  root_ = meta.root;
+  num_records_ = meta.num_records;
+  // The restore warmed the pool with every node page; start cold instead,
+  // like a freshly opened database, so the first queries on a restored
+  // tree report the same logical I/O as on the tree that was saved.
+  pool_->FlushAll();
+  pool_->ResetStats();
   return Status::Ok();
 }
 

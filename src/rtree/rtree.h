@@ -9,7 +9,7 @@
 #include "common/status.h"
 #include "rtree/rtree_node.h"
 #include "storage/buffer_pool.h"
-#include "storage/paged_file.h"
+#include "storage/memory_storage.h"
 
 namespace imgrn {
 
@@ -42,6 +42,17 @@ struct RTreeOptions {
 
   /// Buffer-pool capacity in pages, for I/O accounting.
   size_t buffer_pool_pages = 64;
+
+  /// Backing store for node pages. Non-owning; must outlive the tree and
+  /// match `page_size`. When null the tree creates a private in-memory
+  /// store (the historical behavior). An engine passes its shared store
+  /// here so the tree's pages land in the same (possibly disk-backed,
+  /// snapshot-able) file as everything else. A destroyed tree does NOT
+  /// deallocate its pages from a shared store — deliberately: a snapshot
+  /// (or a tree restored from one) may still reference them, and the
+  /// normal lifecycle builds one tree per store. Rebuilding an index over
+  /// a long-lived store strands the old tree's pages.
+  StorageManager* storage = nullptr;
 };
 
 /// An R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990 [1]) over
@@ -53,6 +64,18 @@ struct RTreeOptions {
 ///   - per-entry monoid payloads (bit-vector synopses for IM-GRN, Sec. 5.1),
 ///   - one page per node and buffer-pool-accounted node access, so queries
 ///     report the paper's "number of page accesses" I/O metric.
+/// Everything needed besides the node pages themselves to reopen a
+/// serialized tree: the id-to-page map and the scalar roots. Persisted by
+/// the snapshot layer next to the pages SerializeAllNodes committed.
+struct RTreeMeta {
+  NodeId root = kInvalidNodeId;
+  uint64_t num_records = 0;
+  /// Backing page of every node slot, dense by NodeId (free slots keep
+  /// their page, matching the in-memory node/page reuse policy).
+  std::vector<PageId> node_pages;
+  std::vector<NodeId> free_nodes;
+};
+
 class RTree {
  public:
   explicit RTree(RTreeOptions options);
@@ -131,6 +154,19 @@ class RTree {
   /// verify integrity; a write fault aborts and propagates kUnavailable.
   Status SerializeAllNodes();
 
+  /// The tree's reopen handle: pass to a fresh RTree's RestoreFromPages
+  /// (over the same store) after SerializeAllNodes + store Sync.
+  RTreeMeta ExportMeta() const;
+
+  /// Rebuilds this EMPTY tree from pages previously written by
+  /// SerializeAllNodes into the tree's backing store — the instant-cold-
+  /// start path: no re-insertion, the restored tree is node-for-node the
+  /// one that was saved (bit-identical structure, hence bit-identical
+  /// query I/O). Every node page is read through the accounted pool path
+  /// (checksum-verified, fault-injectable); a page that is not a
+  /// serialized node fails with kDataLoss.
+  Status RestoreFromPages(const RTreeMeta& meta);
+
  private:
   struct PathStep {
     NodeId node;
@@ -197,7 +233,9 @@ class RTree {
   size_t min_entries_ = 0;
   size_t reinsert_count_ = 0;
 
-  std::unique_ptr<PagedFile> file_;
+  std::unique_ptr<StorageManager> owned_store_;  // Only when options.storage
+                                                 // was null.
+  StorageManager* store_ = nullptr;
   mutable std::unique_ptr<BufferPool> pool_;
 
   std::vector<std::unique_ptr<RTreeNode>> nodes_;

@@ -49,6 +49,11 @@ void SerializeNode(const RTreeNode& node, size_t dims, size_t payload_size,
   }
 }
 
+bool IsSerializedNode(const Page& page) {
+  return page.size() >= sizeof(uint32_t) &&
+         page.ReadAt<uint32_t>(0) == kNodeMagic;
+}
+
 RTreeNode DeserializeNode(const Page& page, size_t dims,
                           size_t payload_size) {
   PageCursor cursor(const_cast<Page*>(&page));

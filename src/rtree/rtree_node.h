@@ -44,7 +44,13 @@ struct RTreeNode {
 void SerializeNode(const RTreeNode& node, size_t dims, size_t payload_size,
                    Page* page);
 
-/// Inverse of SerializeNode. Checks the magic value.
+/// True when `page` starts with the serialized-node magic — the
+/// non-fatal probe for restore paths that must reject a foreign page with
+/// kDataLoss rather than crash.
+bool IsSerializedNode(const Page& page);
+
+/// Inverse of SerializeNode. Checks the magic value (fatally; probe with
+/// IsSerializedNode first when the page provenance is untrusted).
 RTreeNode DeserializeNode(const Page& page, size_t dims, size_t payload_size);
 
 /// Bytes one serialized entry occupies.

@@ -76,10 +76,22 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options, ThreadPool* pool)
   auto topology = std::make_shared<Topology>();
   topology->shards.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
-    topology->shards.push_back(
-        std::make_shared<Shard>(options_.engine, options_.breaker));
+    topology->shards.push_back(MakeShard());
   }
   topology_ = std::move(topology);
+}
+
+std::shared_ptr<ShardedEngine::Shard> ShardedEngine::MakeShard() {
+  EngineOptions engine_options = options_.engine;
+  if (!options_.storage_dir.empty()) {
+    engine_options.storage.backend = StorageBackend::kDisk;
+    engine_options.storage.path = options_.storage_dir + "/shard-" +
+                                  std::to_string(shard_files_created_++) +
+                                  ".pages";
+    // Spill space, not a durability domain: the file dies with the shard.
+    engine_options.storage.unlink_on_close = true;
+  }
+  return std::make_shared<Shard>(engine_options, options_.breaker);
 }
 
 void ShardedEngine::Publish(std::shared_ptr<const Topology> topology) {
@@ -126,8 +138,7 @@ void ShardedEngine::LoadDatabase(GeneDatabase database) {
   auto next = std::make_shared<Topology>();
   next->shards.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    next->shards.push_back(
-        std::make_shared<Shard>(options_.engine, options_.breaker));
+    next->shards.push_back(MakeShard());
   }
 
   const size_t total = database.size();
@@ -746,8 +757,7 @@ Status ShardedEngine::Resize(size_t new_num_shards) {
     if (i < current->shards.size()) {
       target_shards.push_back(current->shards[i]);
     } else {
-      target_shards.push_back(
-          std::make_shared<Shard>(options_.engine, options_.breaker));
+      target_shards.push_back(MakeShard());
     }
   }
   // Retracted sources carry no load; zero them out so the plan packs only

@@ -49,6 +49,17 @@ struct ShardedEngineOptions {
   /// Engine/index options applied to every shard.
   EngineOptions engine;
 
+  /// When non-empty, every shard's engine runs disk-backed: shard files
+  /// are created in this directory as "shard-<n>.pages" (n from a
+  /// monotonic counter, so files never collide across the shard
+  /// generations LoadDatabase and Resize create). These files are spill
+  /// space owned by the engine — created on demand, unlinked when their
+  /// shard is destroyed — not a durability domain: the sharded engine
+  /// re-partitions on reload. Durable single-store snapshots are the
+  /// plain ImGrnEngine's SaveSnapshot. Empty (default) = in-memory
+  /// shards, the historical behavior. Overrides `engine.storage`.
+  std::string storage_dir;
+
   /// How the measured per-source EWMA is blended with the static estimate
   /// wherever the engine re-plans (auto Rebalance; Resize under a
   /// partitioner with wants_measured_costs()). See service/cost_model.h.
@@ -409,6 +420,11 @@ class ShardedEngine : public QueryEngine {
   /// Index of `global`'s active entry in shard.local_to_global, or -1.
   static int64_t ActiveLocalOf(const Shard& shard, SourceId global);
 
+  /// Creates a Shard with the configured engine options, giving it a
+  /// fresh backing file under options_.storage_dir when one is set.
+  /// Caller must hold update_mutex_ or be in a setup-phase call.
+  std::shared_ptr<Shard> MakeShard();
+
   ShardedEngineOptions options_;
   std::shared_ptr<const Partitioner> partitioner_;  // Never null.
   ThreadPool* pool_;  // May be null (sequential fan-out); not owned.
@@ -429,6 +445,7 @@ class ShardedEngine : public QueryEngine {
   /// shard's mutex.
   mutable std::mutex update_mutex_;
   size_t next_source_ = 0;
+  size_t shard_files_created_ = 0;  ///< Names the next per-shard file.
   std::vector<double> source_cost_;  ///< Per global source, for replanning.
   std::vector<bool> retracted_;      ///< RemoveSource'd global ids.
   bool built_ = false;

@@ -1,36 +1,36 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace imgrn {
 
-BufferPool::BufferPool(PagedFile* file, size_t capacity)
-    : file_(file), capacity_(capacity) {
-  IMGRN_CHECK(file != nullptr);
+BufferPool::BufferPool(StorageManager* store, size_t capacity)
+    : store_(store), capacity_(capacity) {
+  IMGRN_CHECK(store != nullptr);
   IMGRN_CHECK_GE(capacity, 1u);
 }
 
-Page* BufferPool::FetchPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.fetches;
-  auto it = resident_.find(id);
-  if (it != resident_.end()) {
-    // Hit: move to the front of the LRU list.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return file_->GetPage(id);
+Page* BufferPool::FrameData(PageId id, Frame& frame) {
+  return frame.owned ? frame.owned.get() : store_->DirectFrame(id);
+}
+
+Status BufferPool::EvictOne() {
+  const PageId victim = lru_.back();
+  auto it = resident_.find(victim);
+  IMGRN_CHECK(it != resident_.end());
+  if (it->second.dirty) {
+    IMGRN_RETURN_IF_ERROR(store_->Commit(victim, *FrameData(victim, it->second)));
+    ++stats_.writebacks;
+    it->second.dirty = false;
   }
-  // Miss: count it, make room, admit.
-  ++stats_.misses;
-  if (lru_.size() >= capacity_) {
-    const PageId victim = lru_.back();
-    lru_.pop_back();
-    resident_.erase(victim);
-    ++stats_.evictions;
-  }
-  lru_.push_front(id);
-  resident_[id] = lru_.begin();
-  return file_->GetPage(id);
+  lru_.pop_back();
+  resident_.erase(it);
+  ++stats_.evictions;
+  return Status::Ok();
 }
 
 Result<Page*> BufferPool::Fetch(PageId id) {
@@ -41,25 +41,69 @@ Result<Page*> BufferPool::Fetch(PageId id) {
   auto it = resident_.find(id);
   if (it != resident_.end()) {
     // Hit: the frame was verified when admitted; only refresh the LRU.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return file_->GetPage(id);
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return FrameData(id, it->second);
   }
   ++stats_.misses;
-  Result<Page*> page = file_->Read(id);
-  if (!page.ok()) {
-    // The miss is still counted (the access happened and failed), but a
-    // page that cannot be read is never admitted to the pool.
-    return page.status();
+  // Read before evicting so a page that fails its verify never costs a
+  // resident page its slot.
+  std::unique_ptr<Page> owned;
+  if (store_->DirectFrame(id) == nullptr) {
+    owned = std::make_unique<Page>(store_->page_size());
   }
+  Result<Page*> page = store_->Read(id, owned.get());
+  if (!page.ok()) return page.status();
   if (lru_.size() >= capacity_) {
-    const PageId victim = lru_.back();
-    lru_.pop_back();
-    resident_.erase(victim);
-    ++stats_.evictions;
+    IMGRN_RETURN_IF_ERROR(EvictOne());
   }
   lru_.push_front(id);
-  resident_[id] = lru_.begin();
+  Frame& frame = resident_[id];
+  frame.lru = lru_.begin();
+  frame.owned = std::move(owned);
   return *page;
+}
+
+Status BufferPool::Put(PageId id, const Page& src) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  auto it = resident_.find(id);
+  if (it == resident_.end()) {
+    if (lru_.size() >= capacity_) {
+      IMGRN_RETURN_IF_ERROR(EvictOne());
+    }
+    lru_.push_front(id);
+    Frame& frame = resident_[id];
+    frame.lru = lru_.begin();
+    if (store_->DirectFrame(id) == nullptr) {
+      frame.owned = std::make_unique<Page>(store_->page_size());
+    }
+    it = resident_.find(id);
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+  }
+  Page* dst = FrameData(id, it->second);
+  if (dst != &src) {
+    dst->Clear();
+    dst->WriteBytes(0, src.data(), src.size());
+  }
+  it->second.dirty = true;
+  return Status::Ok();
+}
+
+Status BufferPool::WriteBack() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PageId> dirty;
+  for (auto& [id, frame] : resident_) {
+    if (frame.dirty) dirty.push_back(id);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (PageId id : dirty) {
+    Frame& frame = resident_.at(id);
+    IMGRN_RETURN_IF_ERROR(store_->Commit(id, *FrameData(id, frame)));
+    ++stats_.writebacks;
+    frame.dirty = false;
+  }
+  return Status::Ok();
 }
 
 bool BufferPool::IsResident(PageId id) const {

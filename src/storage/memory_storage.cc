@@ -1,0 +1,77 @@
+#include "storage/memory_storage.h"
+
+#include <string>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
+namespace imgrn {
+
+bool MemoryStorageManager::IsLive(PageId id) const {
+  return id < pages_.size() && !freed_[id];
+}
+
+PageId MemoryStorageManager::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    freed_[id] = false;
+    pages_[id]->Clear();
+    return id;
+  }
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  freed_.push_back(false);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void MemoryStorageManager::Deallocate(PageId id) {
+  IMGRN_CHECK(IsLive(id)) << "Deallocate of dead page " << id;
+  freed_[id] = true;
+  free_list_.push_back(id);
+}
+
+Page* MemoryStorageManager::GetPage(PageId id) {
+  IMGRN_CHECK(IsLive(id)) << "access to dead page " << id;
+  return pages_[id].get();
+}
+
+const Page* MemoryStorageManager::GetPage(PageId id) const {
+  IMGRN_CHECK(IsLive(id)) << "access to dead page " << id;
+  return pages_[id].get();
+}
+
+Result<Page*> MemoryStorageManager::Read(PageId id) {
+  IMGRN_CHECK(IsLive(id)) << "read of dead page " << id;
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kPagedFileRead, static_cast<int64_t>(id)));
+  Page* page = pages_[id].get();
+  if (!page->VerifyChecksum()) {
+    return Status::DataLoss("page " + std::to_string(id) +
+                            " failed its CRC32C check");
+  }
+  return page;
+}
+
+Status MemoryStorageManager::Commit(PageId id) {
+  IMGRN_CHECK(IsLive(id)) << "commit of dead page " << id;
+  IMGRN_RETURN_IF_ERROR(
+      CheckFault(fault_sites::kPagedFileWrite, static_cast<int64_t>(id)));
+  pages_[id]->Seal();
+  return Status::Ok();
+}
+
+Result<Page*> MemoryStorageManager::Read(PageId id, Page* /*scratch*/) {
+  return Read(id);
+}
+
+Status MemoryStorageManager::Commit(PageId id, const Page& frame) {
+  IMGRN_CHECK(IsLive(id)) << "commit of dead page " << id;
+  IMGRN_CHECK_EQ(frame.size(), page_size_);
+  Page* dst = pages_[id].get();
+  if (dst != &frame) {
+    dst->WriteBytes(0, frame.data(), frame.size());
+  }
+  return Commit(id);
+}
+
+}  // namespace imgrn

@@ -1,0 +1,79 @@
+#ifndef IMGRN_STORAGE_MEMORY_STORAGE_H_
+#define IMGRN_STORAGE_MEMORY_STORAGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/storage_manager.h"
+
+namespace imgrn {
+
+/// The in-memory paged store — historically `PagedFile`, the stand-in for
+/// the paper's on-disk index file (the paper's I/O metric is *number of
+/// page accesses*, which the BufferPool accounts identically over either
+/// backend; only physical latency is dropped — see DESIGN.md).
+///
+/// Pages are live frames owned by this object; DirectFrame exposes them,
+/// so the buffer pool above never copies (a "fetch" is accounting plus the
+/// fallible read path: the `paged_file.read` fault site and the CRC32C
+/// verify of sealed pages). Sync is a no-op: memory is the durability
+/// ceiling of this backend.
+class MemoryStorageManager final : public StorageManager {
+ public:
+  explicit MemoryStorageManager(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  MemoryStorageManager(const MemoryStorageManager&) = delete;
+  MemoryStorageManager& operator=(const MemoryStorageManager&) = delete;
+
+  // --- StorageManager ---
+
+  size_t page_size() const override { return page_size_; }
+  size_t num_pages() const override { return pages_.size(); }
+  PageId Allocate() override;
+  void Deallocate(PageId id) override;
+  Result<Page*> Read(PageId id, Page* scratch) override;
+  Status Commit(PageId id, const Page& frame) override;
+  Status Sync() override { return Status::Ok(); }
+  Page* DirectFrame(PageId id) override { return GetPage(id); }
+  void SetAppRoot(PageId id) override { app_root_ = id; }
+  PageId app_root() const override { return app_root_; }
+
+  // --- Legacy PagedFile surface (direct in-place access) ---
+
+  /// Direct (unbuffered, uncounted) access; the BufferPool is the
+  /// accounted path. Requires a live id.
+  Page* GetPage(PageId id);
+  const Page* GetPage(PageId id) const;
+
+  /// The fallible read path: models pulling the page frame off disk.
+  /// Evaluates the "paged_file.read" fault-injection site, then — if the
+  /// page was sealed by a Commit — verifies its CRC32C and returns
+  /// kDataLoss on a mismatch. Requires a live id (an invalid or freed id
+  /// is a caller bug, checked fatally, not an I/O error).
+  Result<Page*> Read(PageId id);
+
+  /// The fallible in-place write path: models the page frame reaching
+  /// disk. Evaluates the "paged_file.write" fault-injection site, then
+  /// seals the page (captures its CRC32C) so later Read()s verify it.
+  Status Commit(PageId id);
+
+ private:
+  bool IsLive(PageId id) const;
+
+  size_t page_size_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;
+  std::vector<bool> freed_;  // Parallel to pages_; true = on the free list.
+  PageId app_root_ = kInvalidPageId;
+};
+
+/// Historical name, kept so storage call sites and tests read the same as
+/// before the disk backend existed.
+using PagedFile = MemoryStorageManager;
+
+}  // namespace imgrn
+
+#endif  // IMGRN_STORAGE_MEMORY_STORAGE_H_

@@ -1,0 +1,45 @@
+#include "storage/storage_manager.h"
+
+#include <utility>
+
+#include "storage/disk_storage.h"
+#include "storage/memory_storage.h"
+
+namespace imgrn {
+
+Result<std::unique_ptr<StorageManager>> OpenStorage(
+    const StorageOptions& options) {
+  switch (options.backend) {
+    case StorageBackend::kMemory:
+      return std::unique_ptr<StorageManager>(
+          std::make_unique<MemoryStorageManager>(options.page_size));
+    case StorageBackend::kDisk: {
+      auto store = DiskStorageManager::Open(options);
+      IMGRN_RETURN_IF_ERROR(store.status());
+      return std::unique_ptr<StorageManager>(std::move(*store));
+    }
+  }
+  return Status::InvalidArgument("unknown storage backend");
+}
+
+Result<StorageOptions> ParseStoreSpec(const std::string& spec) {
+  StorageOptions options;
+  if (spec == "mem") {
+    options.backend = StorageBackend::kMemory;
+    return options;
+  }
+  constexpr char kDiskPrefix[] = "disk:";
+  if (spec.rfind(kDiskPrefix, 0) == 0) {
+    options.backend = StorageBackend::kDisk;
+    options.path = spec.substr(sizeof(kDiskPrefix) - 1);
+    if (options.path.empty()) {
+      return Status::InvalidArgument("disk store spec needs a path: \"" +
+                                     spec + "\"");
+    }
+    return options;
+  }
+  return Status::InvalidArgument(
+      "bad store spec \"" + spec + "\": expected \"mem\" or \"disk:<path>\"");
+}
+
+}  // namespace imgrn

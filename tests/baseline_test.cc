@@ -41,15 +41,15 @@ TEST(BaselineTest, StoredProbabilitiesMatchDirectEstimates) {
   const GeneMatrix& matrix = database.matrix(0);
   const double direct = EstimateEdgeProbabilityCached(
       matrix.Column(0), matrix.Column(1), &cache);
-  EXPECT_DOUBLE_EQ(baseline.ReadProbability(0, 0, 1), direct);
+  EXPECT_DOUBLE_EQ(*baseline.ReadProbability(0, 0, 1), direct);
 }
 
 TEST(BaselineTest, ReadProbabilitySymmetricAccess) {
   GeneDatabase database = MakeDatabase(2);
   BaselineMaterialization baseline;
   ASSERT_TRUE(baseline.Build(&database).ok());
-  EXPECT_DOUBLE_EQ(baseline.ReadProbability(0, 1, 3),
-                   baseline.ReadProbability(0, 3, 1));
+  EXPECT_DOUBLE_EQ(*baseline.ReadProbability(0, 1, 3),
+                   *baseline.ReadProbability(0, 3, 1));
 }
 
 TEST(BaselineTest, MaterializationAllocatesPages) {
@@ -69,7 +69,7 @@ TEST(BaselineTest, QueryFindsPlantedCluster) {
   params.gamma = 0.5;
   params.alpha = 0.3;
   QueryStats stats;
-  std::vector<QueryMatch> matches = baseline.Query(query, params, &stats);
+  std::vector<QueryMatch> matches = *baseline.Query(query, params, &stats);
   std::set<SourceId> sources;
   for (const QueryMatch& match : matches) sources.insert(match.source);
   EXPECT_TRUE(sources.contains(0));
@@ -84,7 +84,7 @@ TEST(BaselineTest, QueryScansEveryMatrix) {
   const ProbGraph query = MakePathQuery({1, 2});
   QueryParams params;
   QueryStats stats;
-  baseline.Query(query, params, &stats);
+  ASSERT_TRUE(baseline.Query(query, params, &stats).ok());
   EXPECT_EQ(stats.candidate_matrices, database.size());
   EXPECT_GT(stats.page_accesses, 0u);
   EXPECT_GT(stats.total_seconds, 0.0);
@@ -100,8 +100,8 @@ TEST(BaselineTest, HigherGammaNeverAddsMatches) {
   loose.alpha = 0.2;
   QueryParams strict = loose;
   strict.gamma = 0.9;
-  std::vector<QueryMatch> loose_matches = baseline.Query(query, loose);
-  std::vector<QueryMatch> strict_matches = baseline.Query(query, strict);
+  std::vector<QueryMatch> loose_matches = *baseline.Query(query, loose);
+  std::vector<QueryMatch> strict_matches = *baseline.Query(query, strict);
   std::set<SourceId> loose_sources;
   for (const QueryMatch& match : loose_matches) {
     loose_sources.insert(match.source);
@@ -119,7 +119,7 @@ TEST(BaselineTest, MatchProbabilityConsistentWithStoredEdges) {
   QueryParams params;
   params.gamma = 0.5;
   params.alpha = 0.2;
-  std::vector<QueryMatch> matches = baseline.Query(query, params);
+  std::vector<QueryMatch> matches = *baseline.Query(query, params);
   for (const QueryMatch& match : matches) {
     // Recompute Pr{G} from the stored pair probabilities.
     const GeneMatrix& matrix = database.matrix(match.source);
@@ -130,7 +130,7 @@ TEST(BaselineTest, MatchProbabilityConsistentWithStoredEdges) {
       const int col_b = matrix.ColumnOfGene(match.mapping[e + 1].first);
       ASSERT_GE(col_a, 0);
       ASSERT_GE(col_b, 0);
-      expected *= baseline.ReadProbability(
+      expected *= *baseline.ReadProbability(
           match.source, static_cast<size_t>(col_a),
           static_cast<size_t>(col_b));
     }

@@ -2,14 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/memory_storage.h"
+
 namespace imgrn {
 namespace {
+
+Page* MustFetch(BufferPool& pool, PageId id) {
+  Result<Page*> page = pool.Fetch(id);
+  EXPECT_TRUE(page.ok()) << page.status().message();
+  return page.ok() ? *page : nullptr;
+}
 
 TEST(BufferPoolTest, FirstFetchIsMiss) {
   PagedFile file(64);
   PageId page = file.Allocate();
   BufferPool pool(&file, 4);
-  pool.FetchPage(page);
+  MustFetch(pool, page);
   EXPECT_EQ(pool.stats().fetches, 1u);
   EXPECT_EQ(pool.stats().misses, 1u);
 }
@@ -18,8 +26,8 @@ TEST(BufferPoolTest, SecondFetchIsHit) {
   PagedFile file(64);
   PageId page = file.Allocate();
   BufferPool pool(&file, 4);
-  pool.FetchPage(page);
-  pool.FetchPage(page);
+  MustFetch(pool, page);
+  MustFetch(pool, page);
   EXPECT_EQ(pool.stats().fetches, 2u);
   EXPECT_EQ(pool.stats().misses, 1u);
 }
@@ -30,9 +38,9 @@ TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
   PageId b = file.Allocate();
   PageId c = file.Allocate();
   BufferPool pool(&file, 2);
-  pool.FetchPage(a);
-  pool.FetchPage(b);
-  pool.FetchPage(c);  // Evicts a.
+  MustFetch(pool, a);
+  MustFetch(pool, b);
+  MustFetch(pool, c);  // Evicts a.
   EXPECT_FALSE(pool.IsResident(a));
   EXPECT_TRUE(pool.IsResident(b));
   EXPECT_TRUE(pool.IsResident(c));
@@ -45,10 +53,10 @@ TEST(BufferPoolTest, TouchRefreshesRecency) {
   PageId b = file.Allocate();
   PageId c = file.Allocate();
   BufferPool pool(&file, 2);
-  pool.FetchPage(a);
-  pool.FetchPage(b);
-  pool.FetchPage(a);  // a becomes most recent; b is LRU.
-  pool.FetchPage(c);  // Evicts b, not a.
+  MustFetch(pool, a);
+  MustFetch(pool, b);
+  MustFetch(pool, a);  // a becomes most recent; b is LRU.
+  MustFetch(pool, c);  // Evicts b, not a.
   EXPECT_TRUE(pool.IsResident(a));
   EXPECT_FALSE(pool.IsResident(b));
 }
@@ -58,9 +66,9 @@ TEST(BufferPoolTest, RefetchAfterEvictionCountsMiss) {
   PageId a = file.Allocate();
   PageId b = file.Allocate();
   BufferPool pool(&file, 1);
-  pool.FetchPage(a);
-  pool.FetchPage(b);
-  pool.FetchPage(a);
+  MustFetch(pool, a);
+  MustFetch(pool, b);
+  MustFetch(pool, a);
   EXPECT_EQ(pool.stats().misses, 3u);
 }
 
@@ -68,12 +76,12 @@ TEST(BufferPoolTest, ResetStatsClearsCountersOnly) {
   PagedFile file(64);
   PageId a = file.Allocate();
   BufferPool pool(&file, 2);
-  pool.FetchPage(a);
+  MustFetch(pool, a);
   pool.ResetStats();
   EXPECT_EQ(pool.stats().fetches, 0u);
   EXPECT_EQ(pool.stats().misses, 0u);
   EXPECT_TRUE(pool.IsResident(a));
-  pool.FetchPage(a);  // Still resident -> hit.
+  MustFetch(pool, a);  // Still resident -> hit.
   EXPECT_EQ(pool.stats().misses, 0u);
 }
 
@@ -81,11 +89,11 @@ TEST(BufferPoolTest, FlushAllColdsTheCache) {
   PagedFile file(64);
   PageId a = file.Allocate();
   BufferPool pool(&file, 2);
-  pool.FetchPage(a);
+  MustFetch(pool, a);
   pool.FlushAll();
   EXPECT_FALSE(pool.IsResident(a));
   EXPECT_EQ(pool.num_resident(), 0u);
-  pool.FetchPage(a);
+  MustFetch(pool, a);
   EXPECT_EQ(pool.stats().misses, 2u);
 }
 
@@ -93,7 +101,7 @@ TEST(BufferPoolTest, FetchReturnsBackingPage) {
   PagedFile file(64);
   PageId a = file.Allocate();
   BufferPool pool(&file, 2);
-  Page* page = pool.FetchPage(a);
+  Page* page = MustFetch(pool, a);
   page->WriteAt<uint32_t>(0, 77);
   EXPECT_EQ(file.GetPage(a)->ReadAt<uint32_t>(0), 77u);
 }
@@ -103,7 +111,7 @@ TEST(BufferPoolTest, CapacityRespected) {
   std::vector<PageId> pages;
   for (int i = 0; i < 10; ++i) pages.push_back(file.Allocate());
   BufferPool pool(&file, 3);
-  for (PageId page : pages) pool.FetchPage(page);
+  for (PageId page : pages) MustFetch(pool, page);
   EXPECT_EQ(pool.num_resident(), 3u);
   EXPECT_EQ(pool.stats().misses, 10u);
   EXPECT_EQ(pool.stats().evictions, 7u);
@@ -114,7 +122,7 @@ TEST(BufferPoolDeathTest, ZeroCapacityAborts) {
   EXPECT_DEATH(BufferPool(&file, 0), "Check failed");
 }
 
-TEST(BufferPoolFallibleTest, FetchMatchesFetchPageAccounting) {
+TEST(BufferPoolFallibleTest, FetchIsIdempotentOnResidentPage) {
   PagedFile file(64);
   PageId a = file.Allocate();
   BufferPool pool(&file, 2);
@@ -142,6 +150,50 @@ TEST(BufferPoolFallibleTest, CorruptPageSurfacesDataLossAndIsNotCached) {
   EXPECT_FALSE(pool.IsResident(a));
   EXPECT_EQ(pool.stats().fetches, 1u);
   EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(BufferPoolWriteTest, PutAdmitsDirtyAndWriteBackSeals) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 2);
+  Page src(64);
+  src.WriteAt<uint64_t>(0, 1234);
+  ASSERT_TRUE(pool.Put(a, src).ok());
+  EXPECT_TRUE(pool.IsResident(a));
+  EXPECT_EQ(pool.stats().writes, 1u);
+  EXPECT_EQ(pool.stats().writebacks, 0u);
+  EXPECT_FALSE(file.GetPage(a)->sealed());  // Still parked dirty.
+  ASSERT_TRUE(pool.WriteBack().ok());
+  EXPECT_EQ(pool.stats().writebacks, 1u);
+  EXPECT_TRUE(file.GetPage(a)->sealed());
+  EXPECT_EQ(file.GetPage(a)->ReadAt<uint64_t>(0), 1234u);
+}
+
+TEST(BufferPoolWriteTest, DirtyEvictionWritesBack) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  PageId b = file.Allocate();
+  BufferPool pool(&file, 1);
+  Page src(64);
+  src.WriteAt<uint64_t>(0, 42);
+  ASSERT_TRUE(pool.Put(a, src).ok());
+  MustFetch(pool, b);  // Evicts dirty a -> write-back.
+  EXPECT_FALSE(pool.IsResident(a));
+  EXPECT_EQ(pool.stats().writebacks, 1u);
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  EXPECT_TRUE(file.GetPage(a)->sealed());
+  EXPECT_EQ(file.GetPage(a)->ReadAt<uint64_t>(0), 42u);
+}
+
+TEST(BufferPoolWriteTest, WriteBackIsIdempotent) {
+  PagedFile file(64);
+  PageId a = file.Allocate();
+  BufferPool pool(&file, 2);
+  Page src(64);
+  ASSERT_TRUE(pool.Put(a, src).ok());
+  ASSERT_TRUE(pool.WriteBack().ok());
+  ASSERT_TRUE(pool.WriteBack().ok());  // Nothing dirty: no extra I/O.
+  EXPECT_EQ(pool.stats().writebacks, 1u);
 }
 
 }  // namespace

@@ -20,7 +20,7 @@
 #include "service/circuit_breaker.h"
 #include "service/sharded_engine.h"
 #include "storage/buffer_pool.h"
-#include "storage/paged_file.h"
+#include "storage/memory_storage.h"
 #include "tests/test_util.h"
 
 namespace imgrn {

@@ -130,12 +130,33 @@ TEST(IndexIoTest, DatabaseSizeMismatchRejected) {
 }
 
 TEST(IndexIoTest, GarbageRejected) {
+  // Wrong bytes where the magic belongs: a format problem
+  // (kInvalidArgument), not corruption of a file we recognize.
   GeneDatabase database = MakeDatabase(6);
   std::stringstream buffer("definitely not an index file");
-  EXPECT_FALSE(LoadIndex(&buffer, &database).ok());
+  Result<std::unique_ptr<ImGrnIndex>> loaded = LoadIndex(&buffer, &database);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IndexIoTest, UnsupportedVersionRejected) {
+  GeneDatabase database = MakeDatabase(6);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+  std::string bytes = buffer.str();
+  // The u32 format version sits right after the 8-byte magic.
+  bytes[8] = 99;
+  std::stringstream bumped(bytes);
+  Result<std::unique_ptr<ImGrnIndex>> loaded = LoadIndex(&bumped, &database);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(IndexIoTest, TruncatedStreamRejected) {
+  // A recognized index cut short is data loss, not an argument error —
+  // callers retrying a download treat the two differently.
   GeneDatabase database = MakeDatabase(7);
   ImGrnIndex original(SmallOptions());
   ASSERT_TRUE(original.Build(&database).ok());
@@ -143,7 +164,31 @@ TEST(IndexIoTest, TruncatedStreamRejected) {
   ASSERT_TRUE(SaveIndex(original, &buffer).ok());
   const std::string full = buffer.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
-  EXPECT_FALSE(LoadIndex(&truncated, &database).ok());
+  Result<std::unique_ptr<ImGrnIndex>> loaded =
+      LoadIndex(&truncated, &database);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(IndexIoTest, EveryTruncationPointRejectedNotCrash) {
+  // Cut the stream at a sweep of byte positions: every prefix must fail
+  // cleanly with kDataLoss (or kInvalidArgument inside the 16-byte
+  // preamble), never crash or succeed.
+  GeneDatabase database = MakeDatabase(7);
+  ImGrnIndex original(SmallOptions());
+  ASSERT_TRUE(original.Build(&database).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveIndex(original, &buffer).ok());
+  const std::string full = buffer.str();
+  for (size_t cut = 0; cut < full.size(); cut += 41) {
+    std::stringstream truncated(full.substr(0, cut));
+    Result<std::unique_ptr<ImGrnIndex>> loaded =
+        LoadIndex(&truncated, &database);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes accepted";
+    EXPECT_TRUE(loaded.status().code() == StatusCode::kDataLoss ||
+                loaded.status().code() == StatusCode::kInvalidArgument)
+        << "cut at " << cut << ": " << loaded.status().ToString();
+  }
 }
 
 TEST(IndexIoTest, RestoredIndexSupportsIncrementalAdds) {

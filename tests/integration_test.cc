@@ -145,7 +145,7 @@ TEST(MethodAgreementTest, BaselineFindsIndexAnswers) {
   Result<std::vector<QueryMatch>> via_index =
       engine.QueryWithGraph(query, params);
   ASSERT_TRUE(via_index.ok());
-  std::vector<QueryMatch> via_baseline = baseline.Query(query, params);
+  std::vector<QueryMatch> via_baseline = *baseline.Query(query, params);
 
   // Any matrix BOTH methods consider a match must report a probability
   // above alpha in both; and matrices found by the index with a clear

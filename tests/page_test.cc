@@ -4,7 +4,7 @@
 
 #include <cstring>
 
-#include "storage/paged_file.h"
+#include "storage/memory_storage.h"
 
 namespace imgrn {
 namespace {

@@ -11,12 +11,16 @@
 # sanitizer should see) and "robustness" (fault injection, circuit
 # breaker, degraded queries, and fault-killed migrations: the
 # rollback/roll-forward paths normal traffic never reaches, where leaks
-# and races hide); see tests/CMakeLists.txt. ThreadSanitizer is the default and the
-# gate that matters for src/service; pass "address" to run the same
-# workload under AddressSanitizer instead — CI runs BOTH kinds, so the
-# fault binaries get a TSan pass and an ASan (leak-checking) pass. The
-# script prints each label as it runs so CI logs show what the gate
-# actually covered.
+# and races hide); see tests/CMakeLists.txt. The ASan run additionally
+# covers "storage" (the durable page store: shadow-paging recovery,
+# kill-at-each-fsync-point reopen, snapshot corruption rejection — raw
+# buffer juggling on paths where overflows and leaks hide; the binaries
+# are single-threaded, so TSan would add nothing). ThreadSanitizer is the
+# default and the gate that matters for src/service; pass "address" to
+# run the same workload under AddressSanitizer instead — CI runs BOTH
+# kinds, so the fault binaries get a TSan pass and an ASan
+# (leak-checking) pass. The script prints each label as it runs so CI
+# logs show what the gate actually covered.
 #
 # Usage: tools/ci_sanitize.sh [thread|address] [build-dir]
 set -eu
@@ -32,10 +36,14 @@ SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIMGRN_SANITIZE="$KIND"
-cmake --build "$BUILD_DIR" -j \
-  --target thread_pool_test query_service_test sharded_engine_test \
-           shard_stress_test histogram_test partition_invariance_test \
-           cost_model_test fault_injection_test
+TARGETS="thread_pool_test query_service_test sharded_engine_test \
+         shard_stress_test histogram_test partition_invariance_test \
+         cost_model_test fault_injection_test"
+if [ "$KIND" = address ]; then
+  TARGETS="$TARGETS disk_storage_test snapshot_test storage_differential_test"
+fi
+# shellcheck disable=SC2086  # TARGETS is a deliberate word list
+cmake --build "$BUILD_DIR" -j --target $TARGETS
 
 # Any sanitizer report is a hard failure.
 if [ "$KIND" = thread ]; then
@@ -49,6 +57,9 @@ fi
 # One ctest invocation per label (gtest_discover_tests supports only one
 # label per binary, so the gate's coverage is the union of these runs).
 LABELS="concurrency partitioning robustness"
+if [ "$KIND" = address ]; then
+  LABELS="$LABELS storage"
+fi
 for LABEL in $LABELS; do
   echo "== $KIND sanitizer: ctest -L $LABEL =="
   ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure

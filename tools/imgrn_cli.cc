@@ -9,9 +9,23 @@
 //       Build and persist the IM-GRN index.
 //   imgrn query --db=db.txt --index=db.idx --query=q.txt
 //               [--gamma=0.5] [--alpha=0.5] [--top_k=0] [--shards=1]
+//               [--store=mem|disk:FILE]
 //               [--partition=modulo|balanced|calibrated]
 //               [--fault=SPEC] [--fault-seed=N] [--allow-partial=0|1]
 //       Run one IM-GRN query; q.txt is a gene matrix file (matrix_io.h).
+//       --store selects the page-store backend of the engine's index
+//       (storage/storage_manager.h): "mem" (default) keeps pages in RAM;
+//       "disk:FILE" puts them in a crash-safe paged file. Results are
+//       bit-identical either way. Only meaningful with --shards=1 (the
+//       sharded path manages its own per-shard spill files).
+//   imgrn snapshot save --db=db.txt --store=disk:FILE [--pivots=2]
+//   imgrn snapshot load --store=disk:FILE [--query=q.txt] [--gamma=0.5]
+//       Durable whole-system snapshots (index/snapshot.h): `save` ingests
+//       the database, builds the index and persists database + index +
+//       R*-tree pages into the store with a crash-safe commit; `load`
+//       reopens the store and restores everything WITHOUT re-ingesting or
+//       re-building — the instant-cold-start path — then optionally runs
+//       a query against the restored engine.
 //       --shards=K > 1 partitions the database across K in-memory engines
 //       and fans the query out (service/sharded_engine.h); the matches are
 //       identical to --shards=1 by construction for EVERY --partition
@@ -44,6 +58,7 @@
 // All file formats are the plain-text / binary formats of matrix_io.h and
 // index_io.h.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +69,7 @@
 #include "core/imgrn.h"
 #include "service/sharded_engine.h"
 #include "service/thread_pool.h"
+#include "storage/storage_manager.h"
 
 namespace imgrn {
 namespace cli {
@@ -165,6 +181,18 @@ int CmdBuildIndex(int argc, char** argv) {
   return 0;
 }
 
+/// Shared result printer of `query` and `snapshot load`.
+void PrintMatches(const std::vector<QueryMatch>& matches) {
+  for (const QueryMatch& match : matches) {
+    std::printf("match source=%u Pr=%.4f mapping:", match.source,
+                match.probability);
+    for (const auto& [gene, column] : match.mapping) {
+      std::printf(" g%u->c%u", gene, column);
+    }
+    std::printf("\n");
+  }
+}
+
 int CmdQuery(int argc, char** argv) {
   Args args(argc, argv, 2,
             {{"db", ""},
@@ -178,9 +206,15 @@ int CmdQuery(int argc, char** argv) {
              {"fault", ""},
              {"fault-seed", "1234"},
              {"allow-partial", "0"},
+             {"store", "mem"},
              {"seed", "99"}});
   if (!args.Has("db") || !args.Has("query")) {
     std::fprintf(stderr, "query requires --db=FILE --query=FILE\n");
+    return 2;
+  }
+  Result<StorageOptions> store = ParseStoreSpec(args.Get("store"));
+  if (!store.ok()) {
+    std::fprintf(stderr, "--store: %s\n", store.status().message().c_str());
     return 2;
   }
   const size_t shards = static_cast<size_t>(args.GetInt("shards"));
@@ -250,7 +284,13 @@ int CmdQuery(int argc, char** argv) {
                  "max/mean)\n",
                  snapshot.imbalance, snapshot.measured_imbalance);
   } else {
-    ImGrnEngine engine;
+    EngineOptions engine_options;
+    engine_options.storage = *store;
+    if (engine_options.storage.backend == StorageBackend::kDisk) {
+      std::fprintf(stderr, "(disk-backed store: %s)\n",
+                   engine_options.storage.path.c_str());
+    }
+    ImGrnEngine engine(engine_options);
     engine.LoadDatabase(std::move(*database));
     if (args.Has("index")) {
       Status status = engine.LoadIndexFrom(args.Get("index"));
@@ -282,14 +322,7 @@ int CmdQuery(int argc, char** argv) {
               stats.total_seconds,
               static_cast<unsigned long long>(stats.page_accesses),
               stats.candidate_pairs, matches->size());
-  for (const QueryMatch& match : *matches) {
-    std::printf("match source=%u Pr=%.4f mapping:", match.source,
-                match.probability);
-    for (const auto& [gene, column] : match.mapping) {
-      std::printf(" g%u->c%u", gene, column);
-    }
-    std::printf("\n");
-  }
+  PrintMatches(*matches);
   return 0;
 }
 
@@ -402,6 +435,104 @@ int CmdRebalance(int argc, char** argv) {
   return 0;
 }
 
+int CmdSnapshotSave(int argc, char** argv) {
+  Args args(argc, argv, 3,
+            {{"db", ""}, {"store", ""}, {"pivots", "2"}, {"seed", "7"}});
+  if (!args.Has("db") || !args.Has("store")) {
+    std::fprintf(stderr,
+                 "snapshot save requires --db=FILE --store=disk:FILE\n");
+    return 2;
+  }
+  Result<StorageOptions> store = ParseStoreSpec(args.Get("store"));
+  if (!store.ok()) {
+    std::fprintf(stderr, "--store: %s\n", store.status().message().c_str());
+    return 2;
+  }
+  Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
+  if (!database.ok()) return Fail(database.status());
+
+  EngineOptions options;
+  options.index.num_pivots = static_cast<size_t>(args.GetInt("pivots"));
+  options.index.seed = static_cast<uint64_t>(args.GetInt("seed"));
+  options.storage = *store;
+  ImGrnEngine engine(options);
+  engine.LoadDatabase(std::move(*database));
+  Status status = engine.BuildIndex();
+  if (!status.ok()) return Fail(status);
+  status = engine.SaveSnapshot();
+  if (!status.ok()) return Fail(status);
+  std::printf("snapshot saved: %zu matrices, R*-tree of %zu nodes "
+              "(height %d) -> %s\n",
+              engine.database().size(), engine.index().rtree().num_nodes(),
+              engine.index().rtree().height(), args.Get("store").c_str());
+  return 0;
+}
+
+int CmdSnapshotLoad(int argc, char** argv) {
+  Args args(argc, argv, 3,
+            {{"store", ""},
+             {"query", ""},
+             {"gamma", "0.5"},
+             {"alpha", "0.5"},
+             {"top_k", "0"},
+             {"seed", "99"}});
+  if (!args.Has("store")) {
+    std::fprintf(stderr, "snapshot load requires --store=disk:FILE\n");
+    return 2;
+  }
+  Result<StorageOptions> store = ParseStoreSpec(args.Get("store"));
+  if (!store.ok()) {
+    std::fprintf(stderr, "--store: %s\n", store.status().message().c_str());
+    return 2;
+  }
+  EngineOptions options;
+  options.storage = *store;
+  ImGrnEngine engine(options);
+  const auto start = std::chrono::steady_clock::now();
+  Status status = engine.LoadSnapshot();
+  if (!status.ok()) return Fail(status);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("cold start in %.4f s: %zu matrices, R*-tree of %zu nodes "
+              "(height %d) restored from %s\n",
+              seconds, engine.database().size(),
+              engine.index().rtree().num_nodes(),
+              engine.index().rtree().height(), args.Get("store").c_str());
+  if (!args.Has("query")) return 0;
+
+  Result<GeneMatrix> query_matrix = LoadGeneMatrix(args.Get("query"));
+  if (!query_matrix.ok()) return Fail(query_matrix.status());
+  QueryParams params;
+  params.gamma = args.GetDouble("gamma");
+  params.alpha = args.GetDouble("alpha");
+  params.top_k = static_cast<size_t>(args.GetInt("top_k"));
+  params.seed = static_cast<uint64_t>(args.GetInt("seed"));
+  QueryStats stats;
+  Result<std::vector<QueryMatch>> matches =
+      engine.Query(*query_matrix, params, &stats);
+  if (!matches.ok()) return Fail(matches.status());
+  std::printf("stats: %.4f s CPU, %llu page accesses, %zu candidates, "
+              "%zu answers\n",
+              stats.total_seconds,
+              static_cast<unsigned long long>(stats.page_accesses),
+              stats.candidate_pairs, matches->size());
+  PrintMatches(*matches);
+  return 0;
+}
+
+int CmdSnapshot(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[2], "save") == 0) {
+    return CmdSnapshotSave(argc, argv);
+  }
+  if (argc >= 3 && std::strcmp(argv[2], "load") == 0) {
+    return CmdSnapshotLoad(argc, argv);
+  }
+  std::fprintf(stderr,
+               "usage: imgrn snapshot <save|load> --store=disk:FILE ...\n");
+  return 2;
+}
+
 int CmdExtractQuery(int argc, char** argv) {
   Args args(argc, argv, 2,
             {{"db", ""},
@@ -494,7 +625,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: imgrn <generate|build-index|extract-query|query|rebalance|"
-      "infer> [--flags]\n(see the header comment of tools/imgrn_cli.cc)\n");
+      "snapshot|infer> [--flags]\n"
+      "(see the header comment of tools/imgrn_cli.cc)\n");
   return 2;
 }
 
@@ -507,6 +639,7 @@ int Main(int argc, char** argv) {
   }
   if (std::strcmp(command, "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(command, "rebalance") == 0) return CmdRebalance(argc, argv);
+  if (std::strcmp(command, "snapshot") == 0) return CmdSnapshot(argc, argv);
   if (std::strcmp(command, "extract-query") == 0) {
     return CmdExtractQuery(argc, argv);
   }
