@@ -1,15 +1,29 @@
 // Micro-benchmarks (google-benchmark) of the library's hot kernels:
 // correlation, Euclidean distance, Monte Carlo edge probability, Markov
 // bound, pivot pruning, R*-tree insert/search, and subgraph isomorphism.
+//
+// --json_out=FILE switches the binary into the SIMD-kernel comparison
+// mode instead: every dispatch-table kernel (matrix/simd_ops.h) is timed
+// under the scalar reference AND the CPU's native backend across a sweep
+// of vector lengths, one JSON line per (kernel, length) appended to FILE
+// (e.g. BENCH_micro_kernels.json) with ns_per_call for both backends and
+// the speedup. The flag is intercepted before google-benchmark sees it
+// (benchmark::Initialize rejects unknown flags); without it the binary
+// behaves as a normal google-benchmark suite.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "embed/pivot_embedding.h"
 #include "graph/subgraph_iso.h"
 #include "inference/permutation_cache.h"
+#include "matrix/simd_ops.h"
 #include "matrix/vector_ops.h"
 #include "prob/edge_probability.h"
 #include "prob/markov_bound.h"
@@ -70,6 +84,22 @@ void BM_EdgeProbabilityCachedPermutations(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EdgeProbabilityCachedPermutations)->Arg(64)->Arg(128)->Arg(256);
+
+// The cached estimator again, but with the dispatch pinned to the scalar
+// reference — the delta against BM_EdgeProbabilityCachedPermutations is
+// the end-to-end win of the batched SIMD Monte Carlo kernel.
+void BM_EdgeProbabilityCachedScalarPinned(benchmark::State& state) {
+  Rng rng(4);
+  const std::vector<double> a = RandomStandardized(40, &rng);
+  const std::vector<double> b = RandomStandardized(40, &rng);
+  PermutationCache cache(static_cast<size_t>(state.range(0)), 5);
+  cache.ForLength(40);  // Pre-warm.
+  ScopedKernelOverride scope(ScalarKernels());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateEdgeProbabilityCached(a, b, &cache));
+  }
+}
+BENCHMARK(BM_EdgeProbabilityCachedScalarPinned)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_MarkovBound(benchmark::State& state) {
   Rng rng(6);
@@ -177,7 +207,176 @@ void BM_SubgraphIsomorphism(benchmark::State& state) {
 }
 BENCHMARK(BM_SubgraphIsomorphism)->Arg(50)->Arg(100)->Arg(200);
 
+// ---------------------------------------------------------------------------
+// --json_out mode: scalar-vs-native timing of every dispatch-table kernel.
+// ---------------------------------------------------------------------------
+
+// One timed measurement: repeats the op enough times to amortize clock
+// granularity, takes the best of `kRepetitions` runs (minimum filters
+// scheduler noise better than the mean on a shared machine).
+constexpr int kRepetitions = 5;
+
+template <typename Op>
+double BestNsPerCall(size_t iterations, const Op& op) {
+  double best_seconds = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Stopwatch watch;
+    for (size_t i = 0; i < iterations; ++i) op();
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds < best_seconds) best_seconds = seconds;
+  }
+  return best_seconds * 1e9 / static_cast<double>(iterations);
+}
+
+size_t IterationsForLength(size_t length) {
+  // ~2M element-visits per repetition keeps every (kernel, length) cell
+  // in the same few-millisecond timing regime.
+  const size_t iters = 2'000'000 / length;
+  return iters < 64 ? 64 : iters;
+}
+
+struct KernelTiming {
+  const char* kernel;
+  size_t length;
+  double scalar_ns;
+  double native_ns;
+};
+
+// Keeps reduction results alive so the timed calls cannot be dead-code
+// eliminated.
+volatile double g_bench_sink = 0.0;
+
+std::vector<KernelTiming> TimeKernelsAtLength(size_t length) {
+  Rng rng(0xBEEF ^ length);
+  std::vector<double> a(length);
+  std::vector<double> b(length);
+  for (double& v : a) v = rng.Gaussian();
+  for (double& v : b) v = rng.Gaussian();
+  StandardizeInPlace(a);
+  StandardizeInPlace(b);
+  std::vector<uint32_t> perm;
+  rng.Permutation(length, &perm);
+  std::vector<double> scratch(length);
+  // One full-width interleaved permutation block for the batched kernel.
+  std::vector<std::vector<uint32_t>> block_perms;
+  std::vector<uint32_t> interleaved(length * kPermutedDistanceBatch);
+  for (size_t s = 0; s < kPermutedDistanceBatch; ++s) {
+    std::vector<uint32_t> p;
+    rng.Permutation(length, &p);
+    for (size_t i = 0; i < length; ++i) {
+      interleaved[i * kPermutedDistanceBatch + s] = p[i];
+    }
+    block_perms.push_back(std::move(p));
+  }
+  double block_out[kPermutedDistanceBatch];
+
+  const size_t iters = IterationsForLength(length);
+  std::vector<KernelTiming> timings;
+  const auto time_both = [&](const char* kernel, auto&& op_for_table) {
+    const double scalar_ns = BestNsPerCall(
+        iters, [&] { op_for_table(ScalarKernels()); });
+    const double native_ns = BestNsPerCall(
+        iters, [&] { op_for_table(NativeKernels()); });
+    timings.push_back({kernel, length, scalar_ns, native_ns});
+  };
+
+  time_both("dot", [&](const KernelDispatch& t) {
+    g_bench_sink = g_bench_sink + t.dot(a, b);
+  });
+  time_both("squared_norm", [&](const KernelDispatch& t) {
+    g_bench_sink = g_bench_sink + t.squared_norm(a);
+  });
+  time_both("squared_euclidean_distance", [&](const KernelDispatch& t) {
+    g_bench_sink = g_bench_sink + t.squared_euclidean_distance(a, b);
+  });
+  time_both("pearson_correlation", [&](const KernelDispatch& t) {
+    g_bench_sink = g_bench_sink + t.pearson_correlation(a, b);
+  });
+  // Standardizing an already-standardized vector is a fixed point, so the
+  // timed calls do the full (non-degenerate) work on stable values.
+  scratch = a;
+  time_both("standardize_in_place", [&](const KernelDispatch& t) {
+    t.standardize_in_place(scratch);
+    g_bench_sink = g_bench_sink + scratch[0];
+  });
+  time_both("apply_permutation", [&](const KernelDispatch& t) {
+    t.apply_permutation(a, perm, scratch);
+    g_bench_sink = g_bench_sink + scratch[0];
+  });
+  // The batched kernel evaluates kPermutedDistanceBatch samples per call;
+  // its ns_per_call is normalized per SAMPLE so the speedup column is
+  // comparable with the per-sample scalar path it replaces.
+  {
+    const double scalar_ns = BestNsPerCall(iters, [&] {
+      // The historical refinement inner loop: permute, then distance,
+      // once per sample.
+      for (size_t s = 0; s < kPermutedDistanceBatch; ++s) {
+        ScalarKernels().apply_permutation(b, block_perms[s], scratch);
+        g_bench_sink =
+            g_bench_sink + ScalarKernels().squared_euclidean_distance(a, scratch);
+      }
+    });
+    const double native_ns = BestNsPerCall(iters, [&] {
+      NativeKernels().permuted_squared_distance_block(
+          a, b, interleaved.data(), kPermutedDistanceBatch, block_out);
+      g_bench_sink = g_bench_sink + block_out[0];
+    });
+    timings.push_back({"permuted_distance_per_sample", length,
+                       scalar_ns / static_cast<double>(kPermutedDistanceBatch),
+                       native_ns / static_cast<double>(kPermutedDistanceBatch)});
+  }
+  return timings;
+}
+
+int RunKernelComparison(const std::string& json_out) {
+  std::FILE* file = nullptr;
+  if (!json_out.empty()) {
+    file = std::fopen(json_out.c_str(), "a");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open --json_out=%s\n", json_out.c_str());
+      return 2;
+    }
+  }
+  const auto emit = [&](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    if (file != nullptr) {
+      std::fprintf(file, "%s\n", line.c_str());
+      std::fflush(file);
+    }
+  };
+  const char* native = KernelBackendName(NativeKernels().backend);
+  for (size_t length : {64, 256, 1024, 4096}) {
+    for (const KernelTiming& t : TimeKernelsAtLength(length)) {
+      char line[512];
+      std::snprintf(
+          line, sizeof(line),
+          "{\"bench\": \"micro_kernels\", \"kernel\": \"%s\", "
+          "\"length\": %zu, \"native_backend\": \"%s\", "
+          "\"scalar_ns_per_call\": %.2f, \"native_ns_per_call\": %.2f, "
+          "\"speedup\": %.2f}",
+          t.kernel, t.length, native, t.scalar_ns, t.native_ns,
+          t.native_ns > 0.0 ? t.scalar_ns / t.native_ns : 0.0);
+      emit(line);
+    }
+  }
+  if (file != nullptr) std::fclose(file);
+  return 0;
+}
+
 }  // namespace
 }  // namespace imgrn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Intercept --json_out before benchmark::Initialize (which exits on
+  // flags it does not recognize).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      return imgrn::RunKernelComparison(argv[i] + 11);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -34,6 +34,10 @@ std::vector<EmbeddedPoint> EmbedMatrix(const GeneMatrix& matrix,
     point.y.resize(d);
     for (size_t w = 0; w < d; ++w) {
       IMGRN_CHECK_EQ(pivots.vectors[w].size(), standardized.num_samples());
+      // Embedded coordinates are persisted in snapshots and feed pruning
+      // decisions, so both must be backend-invariant: x via the pinned
+      // scalar-reference EuclideanDistance (never the Fast* dispatch), y
+      // via the batched kernel, which is bit-identical on every backend.
       point.x[w] =
           EuclideanDistance(standardized.Column(s), pivots.vectors[w]);
       point.y[w] = ExpectedPermutedDistanceCached(standardized.Column(s),

@@ -6,6 +6,7 @@
 #include "inference/mutual_information.h"
 #include "inference/permutation_cache.h"
 #include "matrix/linalg.h"
+#include "matrix/simd_ops.h"
 #include "matrix/vector_ops.h"
 
 namespace imgrn {
@@ -29,12 +30,16 @@ const char* InferenceMeasureName(InferenceMeasure measure) {
 namespace {
 
 DenseMatrix CorrelationScores(const GeneMatrix& matrix) {
+  // Batch scoring of all O(n^2) pairs is a throughput site, not a
+  // query-time decision site: the dispatched kernel's few-ULP
+  // reassociation difference only perturbs scores, never an accept/reject
+  // anchored comparison, so the Fast* wrapper is safe here.
   const size_t n = matrix.num_genes();
   DenseMatrix scores(n, n);
   for (size_t s = 0; s < n; ++s) {
     for (size_t t = s + 1; t < n; ++t) {
       const double score =
-          AbsolutePearsonCorrelation(matrix.Column(s), matrix.Column(t));
+          FastAbsolutePearsonCorrelation(matrix.Column(s), matrix.Column(t));
       scores.At(s, t) = score;
       scores.At(t, s) = score;
     }

@@ -3,9 +3,29 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "matrix/simd_ops.h"
 #include "matrix/vector_ops.h"
 
 namespace imgrn {
+
+PermutationBlocks::PermutationBlocks(
+    const std::vector<std::vector<uint32_t>>& perms, size_t length)
+    : num_samples_(perms.size()), length_(length) {
+  // Every block, including a narrow tail, is allocated at full
+  // kPermutedDistanceBatch width so block(k) offsets stay uniform; tail
+  // lanes beyond block_width(k) are zero-filled and never read.
+  data_.assign(num_blocks() * length_ * kPermutedDistanceBatch, 0);
+  for (size_t s = 0; s < perms.size(); ++s) {
+    IMGRN_CHECK_EQ(perms[s].size(), length_);
+    const size_t k = s / kPermutedDistanceBatch;
+    const size_t b = s % kPermutedDistanceBatch;
+    uint32_t* block_data = data_.data() + k * length_ * kPermutedDistanceBatch;
+    const size_t width = block_width(k);
+    for (size_t i = 0; i < length_; ++i) {
+      block_data[i * width + b] = perms[s][i];
+    }
+  }
+}
 
 PermutationCache::PermutationCache(size_t num_samples, uint64_t seed)
     : num_samples_(num_samples), seed_(seed) {
@@ -29,56 +49,79 @@ const std::vector<std::vector<uint32_t>>& PermutationCache::ForLength(
   return cache_.emplace(l, std::move(perms)).first->second;
 }
 
+const PermutationBlocks& PermutationCache::BlocksForLength(size_t l) {
+  auto it = blocks_.find(l);
+  if (it != blocks_.end()) return it->second;
+  return blocks_.emplace(l, PermutationBlocks(ForLength(l), l)).first->second;
+}
+
 double EstimateEdgeProbabilityCached(std::span<const double> xs,
                                      std::span<const double> xt,
                                      PermutationCache* cache) {
   IMGRN_CHECK_EQ(xs.size(), xt.size());
-  const auto& perms = cache->ForLength(xt.size());
+  const PermutationBlocks& blocks = cache->BlocksForLength(xt.size());
+  // The observed distance is the accept/reject anchor: pin it to the
+  // scalar reference so the comparisons below are backend-invariant (it is
+  // computed once per pair — speed is immaterial next to the S samples).
   const double observed = SquaredEuclideanDistance(xs, xt);
-  std::vector<double> permuted(xt.size());
+  auto* kernel = ActiveKernels().permuted_squared_distance_block;
+  double distances[kPermutedDistanceBatch];
   size_t hits = 0;
-  for (const auto& perm : perms) {
-    ApplyPermutation(xt, perm, permuted);
-    if (SquaredEuclideanDistance(xs, permuted) > observed) {
-      ++hits;
+  for (size_t k = 0; k < blocks.num_blocks(); ++k) {
+    const size_t width = blocks.block_width(k);
+    kernel(xs, xt, blocks.block(k), width, distances);
+    for (size_t b = 0; b < width; ++b) {
+      if (distances[b] > observed) ++hits;
     }
   }
-  return static_cast<double>(hits) / static_cast<double>(perms.size());
+  return static_cast<double>(hits) /
+         static_cast<double>(blocks.num_samples());
 }
 
 double EstimateEdgeProbabilityAbsoluteCached(std::span<const double> xs,
                                              std::span<const double> xt,
                                              PermutationCache* cache) {
   IMGRN_CHECK_EQ(xs.size(), xt.size());
-  const auto& perms = cache->ForLength(xt.size());
+  const PermutationBlocks& blocks = cache->BlocksForLength(xt.size());
   const double two_l = 2.0 * static_cast<double>(xs.size());
   const double observed =
       std::fabs(1.0 - SquaredEuclideanDistance(xs, xt) / two_l);
-  std::vector<double> permuted(xt.size());
+  auto* kernel = ActiveKernels().permuted_squared_distance_block;
+  double distances[kPermutedDistanceBatch];
   size_t hits = 0;
-  for (const auto& perm : perms) {
-    ApplyPermutation(xt, perm, permuted);
-    const double randomized =
-        std::fabs(1.0 - SquaredEuclideanDistance(xs, permuted) / two_l);
-    if (observed > randomized) {
-      ++hits;
+  for (size_t k = 0; k < blocks.num_blocks(); ++k) {
+    const size_t width = blocks.block_width(k);
+    kernel(xs, xt, blocks.block(k), width, distances);
+    for (size_t b = 0; b < width; ++b) {
+      const double randomized = std::fabs(1.0 - distances[b] / two_l);
+      if (observed > randomized) ++hits;
     }
   }
-  return static_cast<double>(hits) / static_cast<double>(perms.size());
+  return static_cast<double>(hits) /
+         static_cast<double>(blocks.num_samples());
 }
 
 double ExpectedPermutedDistanceCached(std::span<const double> x,
                                       std::span<const double> pivot,
                                       PermutationCache* cache) {
   IMGRN_CHECK_EQ(x.size(), pivot.size());
-  const auto& perms = cache->ForLength(x.size());
-  std::vector<double> permuted(x.size());
+  const PermutationBlocks& blocks = cache->BlocksForLength(x.size());
+  // Argument roles: the historical loop permutes x and measures against
+  // the fixed pivot, so the batched kernel gets (pivot, x) — out[b] =
+  // sum_i (pivot[i] - x[perm_b[i]])^2. The sign of each difference is
+  // flipped relative to dist(x^R, pivot), but IEEE negation is exact and
+  // (-d)*(-d) == d*d bitwise, so the sums stay bit-identical.
+  auto* kernel = ActiveKernels().permuted_squared_distance_block;
+  double distances[kPermutedDistanceBatch];
   double sum = 0.0;
-  for (const auto& perm : perms) {
-    ApplyPermutation(x, perm, permuted);
-    sum += EuclideanDistance(permuted, pivot);
+  for (size_t k = 0; k < blocks.num_blocks(); ++k) {
+    const size_t width = blocks.block_width(k);
+    kernel(pivot, x, blocks.block(k), width, distances);
+    for (size_t b = 0; b < width; ++b) {
+      sum += std::sqrt(distances[b]);
+    }
   }
-  return sum / static_cast<double>(perms.size());
+  return sum / static_cast<double>(blocks.num_samples());
 }
 
 }  // namespace imgrn

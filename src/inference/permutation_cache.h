@@ -7,8 +7,50 @@
 #include <vector>
 
 #include "common/random.h"
+#include "matrix/simd_ops.h"
 
 namespace imgrn {
+
+/// The S permutations of one length, re-laid for the batched Monte Carlo
+/// kernel (simd_ops.h permuted_squared_distance_block): samples are grouped
+/// into blocks of kPermutedDistanceBatch, and within block k the indices
+/// are interleaved position-major — entry [i * width(k) + b] is sample
+/// (k * kPermutedDistanceBatch + b)'s permutation image of position i. One
+/// kernel call then evaluates a whole block's distances in a single pass
+/// over the standardized columns, instead of the historical per-sample
+/// permute-then-distance double pass. The samples are the SAME permutations
+/// ForLength() returns, in the same order, so estimates built on either
+/// layout are bit-identical.
+class PermutationBlocks {
+ public:
+  PermutationBlocks() = default;
+  PermutationBlocks(const std::vector<std::vector<uint32_t>>& perms,
+                    size_t length);
+
+  size_t num_samples() const { return num_samples_; }
+  size_t length() const { return length_; }
+  size_t num_blocks() const {
+    return (num_samples_ + kPermutedDistanceBatch - 1) /
+           kPermutedDistanceBatch;
+  }
+  /// Number of samples in block `k` (kPermutedDistanceBatch except for a
+  /// narrower final block).
+  size_t block_width(size_t k) const {
+    const size_t begin = k * kPermutedDistanceBatch;
+    const size_t remaining = num_samples_ - begin;
+    return remaining < kPermutedDistanceBatch ? remaining
+                                              : kPermutedDistanceBatch;
+  }
+  /// Interleaved index data of block `k`.
+  const uint32_t* block(size_t k) const {
+    return data_.data() + k * length_ * kPermutedDistanceBatch;
+  }
+
+ private:
+  size_t num_samples_ = 0;
+  size_t length_ = 0;
+  std::vector<uint32_t> data_;
+};
 
 /// Caches S random permutations per vector length l. Estimating edge
 /// probabilities for all O(n^2) gene pairs of one matrix draws permutations
@@ -46,15 +88,29 @@ class PermutationCache {
   /// Returns the cached permutations of length `l` (generated on first use).
   const std::vector<std::vector<uint32_t>>& ForLength(size_t l);
 
+  /// Returns the same permutations re-laid into interleaved blocks for the
+  /// batched distance kernel (built lazily from ForLength(l) and cached).
+  const PermutationBlocks& BlocksForLength(size_t l);
+
  private:
   size_t num_samples_;
   uint64_t seed_;
   std::unordered_map<size_t, std::vector<std::vector<uint32_t>>> cache_;
+  std::unordered_map<size_t, PermutationBlocks> blocks_;
 };
 
 /// Estimates e.p = Pr{dist(xs, xt^R) > dist(xs, xt)} using the cached
 /// permutations for xt's length — the Lemma-1 reduced (one-sided) measure
 /// that all of the paper's pruning bounds are derived against.
+///
+/// Evaluated via the batched block kernel: S samples cost ceil(S/8) passes
+/// over the columns instead of S permute-then-distance passes. The result
+/// is bit-identical to the historical per-sample evaluation on EVERY
+/// dispatch backend: each lane accumulates its sample's distance in the
+/// scalar reference's operation order (simd_ops.h equivalence class 2),
+/// and the `observed` anchor each sample is compared against is computed
+/// with the pinned scalar reference kernel. The Monte Carlo accept/reject
+/// decisions are therefore invariant under IMGRN_FORCE_SCALAR / CPU.
 double EstimateEdgeProbabilityCached(std::span<const double> xs,
                                      std::span<const double> xt,
                                      PermutationCache* cache);

@@ -3,6 +3,13 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "matrix/simd_ops.h"
+
+// Compiled with -ffp-contract=off (see CMakeLists.txt in this directory):
+// these are the engine's REFERENCE numeric semantics, and letting a
+// compiler fuse mul+add into FMA would change stored results between
+// builds and break the scalar-vs-SIMD bit-identity contract documented in
+// simd_ops.h.
 
 namespace imgrn {
 
@@ -37,26 +44,17 @@ double StdDev(std::span<const double> values) {
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   IMGRN_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return ScalarKernels().dot(a, b);
 }
 
 double SquaredNorm(std::span<const double> a) {
-  double sum = 0.0;
-  for (double v : a) sum += v * v;
-  return sum;
+  return ScalarKernels().squared_norm(a);
 }
 
 double SquaredEuclideanDistance(std::span<const double> a,
                                 std::span<const double> b) {
   IMGRN_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    sum += diff * diff;
-  }
-  return sum;
+  return ScalarKernels().squared_euclidean_distance(a, b);
 }
 
 double EuclideanDistance(std::span<const double> a,
@@ -68,26 +66,7 @@ double PearsonCorrelation(std::span<const double> a,
                           std::span<const double> b) {
   IMGRN_CHECK_EQ(a.size(), b.size());
   IMGRN_CHECK(!a.empty());
-  const double mean_a = Mean(a);
-  const double mean_b = Mean(b);
-  double cov = 0.0;
-  double var_a = 0.0;
-  double var_b = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double da = a[i] - mean_a;
-    const double db = b[i] - mean_b;
-    cov += da * db;
-    var_a += da * da;
-    var_b += db * db;
-  }
-  if (var_a < kZeroVarianceEpsilon || var_b < kZeroVarianceEpsilon) {
-    return 0.0;
-  }
-  double cor = cov / (std::sqrt(var_a) * std::sqrt(var_b));
-  // Clamp away floating-point excursions outside [-1, 1].
-  if (cor > 1.0) cor = 1.0;
-  if (cor < -1.0) cor = -1.0;
-  return cor;
+  return ScalarKernels().pearson_correlation(a, b);
 }
 
 double AbsolutePearsonCorrelation(std::span<const double> a,
@@ -97,22 +76,9 @@ double AbsolutePearsonCorrelation(std::span<const double> a,
 
 void StandardizeInPlace(std::span<double> values) {
   IMGRN_CHECK(!values.empty());
-  const double mean = Mean(values);
-  double sum_sq = 0.0;
-  for (double v : values) {
-    const double centered = v - mean;
-    sum_sq += centered * centered;
-  }
-  if (sum_sq < kZeroVarianceEpsilon) {
-    for (double& v : values) v = 0.0;
-    return;
-  }
-  // Scale so that ||X||^2 == l, i.e. divide by sqrt(sum_sq / l).
-  const double scale =
-      std::sqrt(static_cast<double>(values.size()) / sum_sq);
-  for (double& v : values) {
-    v = (v - mean) * scale;
-  }
+  // Bit-identical on every backend (equivalence class 1, simd_ops.h), so
+  // dispatch is safe even for stored matrix columns.
+  ActiveKernels().standardize_in_place(values);
 }
 
 std::vector<double> Standardized(std::span<const double> values) {
@@ -137,9 +103,16 @@ void ApplyPermutation(std::span<const double> input,
                       std::span<double> output) {
   IMGRN_CHECK_EQ(input.size(), perm.size());
   IMGRN_CHECK_EQ(input.size(), output.size());
-  for (size_t i = 0; i < input.size(); ++i) {
-    output[i] = input[perm[i]];
-  }
+  // Aliasing precondition, asserted rather than silent: output[i] =
+  // input[perm[i]] reads input positions after earlier writes to output,
+  // so any overlap between the two spans corrupts results (and the SIMD
+  // gather backend reads 4 positions per store, widening the hazard).
+  // Every caller permutes into a separate scratch buffer; hold them to it.
+  IMGRN_CHECK(input.data() + input.size() <= output.data() ||
+              output.data() + output.size() <= input.data())
+      << "ApplyPermutation input and output must not overlap";
+  // Bit-identical on every backend (pure data movement).
+  ActiveKernels().apply_permutation(input, perm, output);
 }
 
 double CorrelationFromDistance(double distance, size_t length) {

@@ -7,9 +7,19 @@
 
 namespace imgrn {
 
-/// Scalar statistics and vector kernels on gene feature vectors. These are
-/// the primitives every higher layer (inference measures, embedding,
-/// pruning bounds) is built on.
+/// Statistics and vector kernels on gene feature vectors. These are the
+/// primitives every higher layer (inference measures, embedding, pruning
+/// bounds) is built on.
+///
+/// Numeric contract (see simd_ops.h for the full policy): the reduction
+/// functions here (Dot, SquaredNorm, distances, Pearson) are the pinned
+/// scalar REFERENCE — their serial accumulation order never changes, so
+/// query-time decision sites that call them are invariant under the
+/// runtime-dispatched SIMD backend. Throughput call sites that can absorb
+/// a few ULPs of reassociation error should use the Fast* wrappers in
+/// simd_ops.h instead. StandardizeInPlace and ApplyPermutation DO dispatch
+/// to the active SIMD backend, because every backend's implementation is
+/// bit-identical to the reference by construction.
 
 /// Arithmetic mean of `values`. Requires a non-empty span.
 double Mean(std::span<const double> values);
@@ -60,6 +70,9 @@ bool IsStandardized(std::span<const double> values, double tolerance = 1e-6);
 
 /// Applies permutation `perm` to `input`: output[k] = input[perm[k]]. This is
 /// the "randomized vector" X^R of Definition 2 for a sampled permutation.
+/// `input` and `output` must not overlap (checked): the loop reads input
+/// positions out of order relative to its writes, so aliased spans would
+/// silently corrupt the result.
 void ApplyPermutation(std::span<const double> input,
                       std::span<const uint32_t> perm,
                       std::span<double> output);

@@ -1,0 +1,539 @@
+// Differential suite for the runtime-dispatched SIMD kernels: every
+// backend the build can produce is held to the scalar reference under the
+// equivalence policy of simd_ops.h — bit-identity for the elementwise and
+// lane-sequential kernels (classes 1 and 2) on ANY input including NaN,
+// Inf, denormals and signed zeros; a documented ULP/relative tolerance for
+// the reassociated reduction kernels (class 3) on inputs whose partial
+// sums stay finite. Inputs sweep the shapes that break vector code:
+// every length through 65 (all tail-loop residues of the 4-, 8- and
+// 16-wide main loops), unaligned span offsets, constant vectors, and
+// adversarial special values.
+
+#include "matrix/simd_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "matrix/vector_ops.h"
+
+namespace imgrn {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDenormal = std::numeric_limits<double>::denorm_min();
+
+// Bitwise equality — the only meaningful comparison for the bit-identity
+// classes: it distinguishes -0.0 from +0.0 and matches NaN payloads.
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::hex
+         << std::bit_cast<uint64_t>(a) << " vs "
+         << std::bit_cast<uint64_t>(b) << ")";
+}
+
+// Distance in units-in-the-last-place between two finite doubles of the
+// same sign, via the monotone mapping from IEEE-754 bit patterns to
+// integers.
+uint64_t UlpDistance(double a, double b) {
+  const auto to_ordered = [](double v) -> int64_t {
+    const auto bits = static_cast<int64_t>(std::bit_cast<uint64_t>(v));
+    return bits < 0 ? std::numeric_limits<int64_t>::min() - bits : bits;
+  };
+  const int64_t oa = to_ordered(a);
+  const int64_t ob = to_ordered(b);
+  return oa > ob ? static_cast<uint64_t>(oa - ob)
+                 : static_cast<uint64_t>(ob - oa);
+}
+
+// Tolerance for the class-3 reduction kernels (documented in simd_ops.h):
+// within 64 ULPs or 1e-12 relative on finite results; non-finite results
+// must agree in kind.
+::testing::AssertionResult ReductionClose(double reference, double value) {
+  if (std::isnan(reference) || std::isnan(value)) {
+    if (std::isnan(reference) && std::isnan(value)) {
+      return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure()
+           << "NaN mismatch: " << reference << " vs " << value;
+  }
+  if (std::isinf(reference) || std::isinf(value)) {
+    if (reference == value) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "infinity mismatch: " << reference << " vs " << value;
+  }
+  if (UlpDistance(reference, value) <= 64) {
+    return ::testing::AssertionSuccess();
+  }
+  const double magnitude = std::max(std::fabs(reference), std::fabs(value));
+  if (std::fabs(reference - value) <= 1e-12 * magnitude) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << reference << " vs " << value << " differ by "
+         << UlpDistance(reference, value) << " ULPs";
+}
+
+// All distinct backends this binary can dispatch to (scalar always;
+// native only when the CPU offers a SIMD table). Reduction identities are
+// asserted scalar-vs-table for EVERY table, so the suite degrades to a
+// scalar self-check on hardware without SIMD rather than silently passing
+// on nothing.
+std::vector<const KernelDispatch*> AllBackends() {
+  std::vector<const KernelDispatch*> backends = {&ScalarKernels()};
+  if (NativeKernels().backend != KernelBackend::kScalar) {
+    backends.push_back(&NativeKernels());
+  }
+  return backends;
+}
+
+std::string BackendLabel(const KernelDispatch* table) {
+  return KernelBackendName(table->backend);
+}
+
+std::vector<double> RandomVector(size_t l, Rng* rng) {
+  std::vector<double> values(l);
+  for (double& value : values) value = rng->Gaussian();
+  return values;
+}
+
+std::vector<uint32_t> RandomPermutation(size_t l, Rng* rng) {
+  std::vector<uint32_t> perm;
+  rng->Permutation(l, &perm);
+  return perm;
+}
+
+// Lengths covering every residue of the 4-, 8- and 16-wide main loops
+// plus one deep length; 0 exercises the empty-input path of the
+// reductions.
+std::vector<size_t> TestLengths() {
+  std::vector<size_t> lengths;
+  for (size_t l = 0; l <= 65; ++l) lengths.push_back(l);
+  lengths.push_back(1024);
+  return lengths;
+}
+
+// Adversarial payloads for the bit-identity kernels. Reductions are NOT
+// asserted on these (their tolerance contract only covers finite partial
+// sums); apply_permutation and standardize_in_place must reproduce the
+// scalar reference exactly even here.
+std::vector<std::vector<double>> SpecialVectors() {
+  return {
+      {0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0},
+      {kNan, 1.0, -kInf, kInf, kDenormal, -kDenormal, -0.0, 2.0, kNan},
+      {kDenormal, kDenormal, -kDenormal, kDenormal, -kDenormal,
+       kDenormal, kDenormal, -kDenormal, kDenormal, kDenormal, kDenormal},
+      {1e308, -1e308, 1e308, -1e308, 1e308, -1e308, 1e308, -1e308},
+      {5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Class 3 (tolerance): reductions, scalar vs every backend.
+// ---------------------------------------------------------------------------
+
+TEST(SimdReductionTest, DotMatchesReferenceAcrossLengths) {
+  Rng rng(101);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t l : TestLengths()) {
+      const std::vector<double> a = RandomVector(l, &rng);
+      const std::vector<double> b = RandomVector(l, &rng);
+      EXPECT_TRUE(ReductionClose(ScalarKernels().dot(a, b), table->dot(a, b)))
+          << BackendLabel(table) << " dot, length " << l;
+    }
+  }
+}
+
+TEST(SimdReductionTest, SquaredNormMatchesReferenceAcrossLengths) {
+  Rng rng(102);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t l : TestLengths()) {
+      const std::vector<double> a = RandomVector(l, &rng);
+      EXPECT_TRUE(ReductionClose(ScalarKernels().squared_norm(a),
+                                 table->squared_norm(a)))
+          << BackendLabel(table) << " squared_norm, length " << l;
+    }
+  }
+}
+
+TEST(SimdReductionTest, SquaredDistanceMatchesReferenceAcrossLengths) {
+  Rng rng(103);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t l : TestLengths()) {
+      const std::vector<double> a = RandomVector(l, &rng);
+      const std::vector<double> b = RandomVector(l, &rng);
+      EXPECT_TRUE(
+          ReductionClose(ScalarKernels().squared_euclidean_distance(a, b),
+                         table->squared_euclidean_distance(a, b)))
+          << BackendLabel(table) << " squared_distance, length " << l;
+    }
+  }
+}
+
+TEST(SimdReductionTest, PearsonMatchesReferenceAcrossLengths) {
+  Rng rng(104);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t l : TestLengths()) {
+      if (l == 0) continue;  // Pearson requires non-empty input.
+      const std::vector<double> a = RandomVector(l, &rng);
+      const std::vector<double> b = RandomVector(l, &rng);
+      EXPECT_TRUE(ReductionClose(ScalarKernels().pearson_correlation(a, b),
+                                 table->pearson_correlation(a, b)))
+          << BackendLabel(table) << " pearson, length " << l;
+    }
+  }
+}
+
+TEST(SimdReductionTest, UnalignedSpanOffsets) {
+  // Vectors deliberately viewed at offsets 1..3 from the allocation, so
+  // the SIMD main loops run over unaligned addresses.
+  Rng rng(105);
+  const std::vector<double> a = RandomVector(131, &rng);
+  const std::vector<double> b = RandomVector(131, &rng);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t offset = 1; offset <= 3; ++offset) {
+      const std::span<const double> va =
+          std::span<const double>(a).subspan(offset);
+      const std::span<const double> vb =
+          std::span<const double>(b).subspan(offset);
+      EXPECT_TRUE(
+          ReductionClose(ScalarKernels().dot(va, vb), table->dot(va, vb)))
+          << BackendLabel(table) << " offset " << offset;
+      EXPECT_TRUE(
+          ReductionClose(ScalarKernels().squared_euclidean_distance(va, vb),
+                         table->squared_euclidean_distance(va, vb)))
+          << BackendLabel(table) << " offset " << offset;
+    }
+  }
+}
+
+TEST(SimdReductionTest, EmptyInputsGiveZero) {
+  const std::span<const double> empty;
+  for (const KernelDispatch* table : AllBackends()) {
+    EXPECT_EQ(table->dot(empty, empty), 0.0) << BackendLabel(table);
+    EXPECT_EQ(table->squared_norm(empty), 0.0) << BackendLabel(table);
+    EXPECT_EQ(table->squared_euclidean_distance(empty, empty), 0.0)
+        << BackendLabel(table);
+  }
+}
+
+TEST(SimdReductionTest, PearsonConstantVectorIsExactlyZeroEverywhere) {
+  // The zero-variance guard is an exact early-out, so "0 for constant
+  // input" holds bitwise on every backend, not just within tolerance.
+  const std::vector<double> constant(37, 4.25);
+  Rng rng(106);
+  const std::vector<double> varying = RandomVector(37, &rng);
+  for (const KernelDispatch* table : AllBackends()) {
+    EXPECT_TRUE(BitEqual(table->pearson_correlation(constant, varying), 0.0))
+        << BackendLabel(table);
+    EXPECT_TRUE(BitEqual(table->pearson_correlation(varying, constant), 0.0))
+        << BackendLabel(table);
+  }
+}
+
+TEST(SimdReductionTest, PearsonStaysClampedOnCollinearInput) {
+  // Perfectly collinear input puts the raw quotient within rounding of
+  // ±1; every backend must clamp into [-1, 1].
+  std::vector<double> a(41);
+  std::vector<double> b(41);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.1 * static_cast<double>(i) - 2.0;
+    b[i] = -3.0 * a[i] + 0.5;
+  }
+  for (const KernelDispatch* table : AllBackends()) {
+    const double cor = table->pearson_correlation(a, b);
+    EXPECT_GE(cor, -1.0) << BackendLabel(table);
+    EXPECT_LE(cor, 1.0) << BackendLabel(table);
+    EXPECT_NEAR(cor, -1.0, 1e-12) << BackendLabel(table);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Class 1 (bit-identical, elementwise): standardize and permutation.
+// ---------------------------------------------------------------------------
+
+TEST(SimdBitIdentityTest, StandardizeBitIdenticalAcrossLengths) {
+  Rng rng(201);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t l : TestLengths()) {
+      const std::vector<double> input = RandomVector(l, &rng);
+      std::vector<double> reference = input;
+      std::vector<double> candidate = input;
+      ScalarKernels().standardize_in_place(reference);
+      table->standardize_in_place(candidate);
+      for (size_t i = 0; i < l; ++i) {
+        ASSERT_TRUE(BitEqual(reference[i], candidate[i]))
+            << BackendLabel(table) << " length " << l << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdBitIdentityTest, StandardizeBitIdenticalOnSpecialValues) {
+  for (const KernelDispatch* table : AllBackends()) {
+    for (const std::vector<double>& special : SpecialVectors()) {
+      std::vector<double> reference = special;
+      std::vector<double> candidate = special;
+      ScalarKernels().standardize_in_place(reference);
+      table->standardize_in_place(candidate);
+      for (size_t i = 0; i < special.size(); ++i) {
+        ASSERT_TRUE(BitEqual(reference[i], candidate[i]))
+            << BackendLabel(table) << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdBitIdentityTest, StandardizeConstantVectorZeroFillsEverywhere) {
+  for (const KernelDispatch* table : AllBackends()) {
+    std::vector<double> values(13, -7.5);
+    table->standardize_in_place(values);
+    for (double v : values) {
+      EXPECT_TRUE(BitEqual(v, 0.0)) << BackendLabel(table);
+    }
+  }
+}
+
+TEST(SimdBitIdentityTest, ApplyPermutationBitIdenticalAcrossLengths) {
+  Rng rng(202);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t l : TestLengths()) {
+      if (l == 0) continue;
+      const std::vector<double> input = RandomVector(l, &rng);
+      const std::vector<uint32_t> perm = RandomPermutation(l, &rng);
+      std::vector<double> reference(l);
+      std::vector<double> candidate(l);
+      ScalarKernels().apply_permutation(input, perm, reference);
+      table->apply_permutation(input, perm, candidate);
+      for (size_t i = 0; i < l; ++i) {
+        ASSERT_TRUE(BitEqual(reference[i], candidate[i]))
+            << BackendLabel(table) << " length " << l << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdBitIdentityTest, ApplyPermutationPreservesNanPayloadsAndSignedZero) {
+  // Permutation is pure data movement: gather lanes must carry NaN bit
+  // patterns and -0.0 through untouched.
+  std::vector<double> input = {kNan, -0.0, kInf, -kInf,
+                               kDenormal, 1.0, -kDenormal, 0.0, -2.5};
+  // Give one NaN a distinguishable payload.
+  input[0] = std::bit_cast<double>(std::bit_cast<uint64_t>(kNan) | 0xBEEFu);
+  Rng rng(203);
+  const std::vector<uint32_t> perm = RandomPermutation(input.size(), &rng);
+  for (const KernelDispatch* table : AllBackends()) {
+    std::vector<double> output(input.size());
+    table->apply_permutation(input, perm, output);
+    for (size_t i = 0; i < input.size(); ++i) {
+      ASSERT_TRUE(BitEqual(output[i], input[perm[i]]))
+          << BackendLabel(table) << " index " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Class 2 (bit-identical, lane-sequential): the batched Monte Carlo
+// kernel vs the historical per-sample permute-then-distance composition.
+// ---------------------------------------------------------------------------
+
+void ExpectBlockBitIdentical(const KernelDispatch* table, size_t l,
+                             size_t batch, Rng* rng) {
+  const std::vector<double> xs = RandomVector(l, rng);
+  const std::vector<double> xt = RandomVector(l, rng);
+  // `batch` independent permutation samples, interleaved position-major
+  // exactly as PermutationBlocks lays them out.
+  std::vector<std::vector<uint32_t>> perms;
+  std::vector<uint32_t> interleaved(l * batch);
+  for (size_t b = 0; b < batch; ++b) {
+    perms.push_back(RandomPermutation(l, rng));
+    for (size_t i = 0; i < l; ++i) {
+      interleaved[i * batch + b] = perms[b][i];
+    }
+  }
+  std::vector<double> out(batch, -1.0);
+  table->permuted_squared_distance_block(xs, xt, interleaved.data(), batch,
+                                         out.data());
+  std::vector<double> permuted(l);
+  for (size_t b = 0; b < batch; ++b) {
+    // The reference composition the batched kernel replaces.
+    ScalarKernels().apply_permutation(xt, perms[b], permuted);
+    const double reference =
+        ScalarKernels().squared_euclidean_distance(xs, permuted);
+    ASSERT_TRUE(BitEqual(reference, out[b]))
+        << BackendLabel(table) << " length " << l << " batch " << batch
+        << " sample " << b;
+  }
+}
+
+TEST(SimdBatchedDistanceTest, BitIdenticalToPerSamplePathAcrossLengths) {
+  Rng rng(301);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t l : TestLengths()) {
+      if (l == 0) continue;
+      ExpectBlockBitIdentical(table, l, kPermutedDistanceBatch, &rng);
+    }
+  }
+}
+
+TEST(SimdBatchedDistanceTest, BitIdenticalForNarrowTailBatches) {
+  Rng rng(302);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (size_t batch = 1; batch <= kPermutedDistanceBatch; ++batch) {
+      ExpectBlockBitIdentical(table, 33, batch, &rng);
+      ExpectBlockBitIdentical(table, 1, batch, &rng);
+    }
+  }
+}
+
+TEST(SimdBatchedDistanceTest, SpecialValuesFlowThroughBitIdentically) {
+  // xs/xt carrying infinities and denormals: each lane's arithmetic is
+  // the scalar reference's arithmetic, so even non-finite accumulations
+  // must match bitwise (Inf - Inf produces the same NaN, etc.).
+  Rng rng(303);
+  for (const KernelDispatch* table : AllBackends()) {
+    for (const std::vector<double>& special : SpecialVectors()) {
+      const size_t l = special.size();
+      const std::vector<double> xs = RandomVector(l, &rng);
+      std::vector<std::vector<uint32_t>> perms;
+      std::vector<uint32_t> interleaved(l * kPermutedDistanceBatch);
+      for (size_t b = 0; b < kPermutedDistanceBatch; ++b) {
+        perms.push_back(RandomPermutation(l, &rng));
+        for (size_t i = 0; i < l; ++i) {
+          interleaved[i * kPermutedDistanceBatch + b] = perms[b][i];
+        }
+      }
+      std::vector<double> out(kPermutedDistanceBatch);
+      table->permuted_squared_distance_block(
+          xs, special, interleaved.data(), kPermutedDistanceBatch,
+          out.data());
+      std::vector<double> permuted(l);
+      for (size_t b = 0; b < kPermutedDistanceBatch; ++b) {
+        ScalarKernels().apply_permutation(special, perms[b], permuted);
+        ASSERT_TRUE(BitEqual(
+            ScalarKernels().squared_euclidean_distance(xs, permuted),
+            out[b]))
+            << BackendLabel(table) << " sample " << b;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch machinery.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatchTest, ForceScalarValueParsing) {
+  EXPECT_FALSE(KernelForceScalarValue(nullptr));
+  EXPECT_FALSE(KernelForceScalarValue(""));
+  EXPECT_FALSE(KernelForceScalarValue("0"));
+  EXPECT_FALSE(KernelForceScalarValue("false"));
+  EXPECT_FALSE(KernelForceScalarValue("off"));
+  EXPECT_TRUE(KernelForceScalarValue("1"));
+  EXPECT_TRUE(KernelForceScalarValue("true"));
+  EXPECT_TRUE(KernelForceScalarValue("yes"));
+  EXPECT_TRUE(KernelForceScalarValue("scalar"));
+}
+
+TEST(KernelDispatchTest, BackendNamesAreStable) {
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kScalar), "scalar");
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kAvx2), "avx2");
+  EXPECT_STREQ(KernelBackendName(KernelBackend::kNeon), "neon");
+}
+
+TEST(KernelDispatchTest, ScalarTableIsTheReference) {
+  EXPECT_EQ(ScalarKernels().backend, KernelBackend::kScalar);
+}
+
+TEST(KernelDispatchTest, ScopedOverrideSwapsAndRestores) {
+  const KernelBackend original = ActiveKernelBackend();
+  {
+    ScopedKernelOverride scalar(ScalarKernels());
+    EXPECT_EQ(ActiveKernelBackend(), KernelBackend::kScalar);
+    {
+      ScopedKernelOverride native(NativeKernels());
+      EXPECT_EQ(ActiveKernelBackend(), NativeKernels().backend);
+    }
+    EXPECT_EQ(ActiveKernelBackend(), KernelBackend::kScalar);
+  }
+  EXPECT_EQ(ActiveKernelBackend(), original);
+}
+
+TEST(KernelDispatchTest, FastWrappersUseActiveTable) {
+  Rng rng(401);
+  const std::vector<double> a = RandomVector(29, &rng);
+  const std::vector<double> b = RandomVector(29, &rng);
+  for (const KernelDispatch* table : AllBackends()) {
+    ScopedKernelOverride scope(*table);
+    EXPECT_TRUE(BitEqual(FastDot(a, b), table->dot(a, b)))
+        << BackendLabel(table);
+    EXPECT_TRUE(BitEqual(FastSquaredNorm(a), table->squared_norm(a)))
+        << BackendLabel(table);
+    EXPECT_TRUE(BitEqual(FastSquaredEuclideanDistance(a, b),
+                         table->squared_euclidean_distance(a, b)))
+        << BackendLabel(table);
+    EXPECT_TRUE(BitEqual(FastPearsonCorrelation(a, b),
+                         table->pearson_correlation(a, b)))
+        << BackendLabel(table);
+    EXPECT_TRUE(BitEqual(FastEuclideanDistance(a, b),
+                         std::sqrt(table->squared_euclidean_distance(a, b))))
+        << BackendLabel(table);
+  }
+}
+
+// The reference functions in vector_ops.h must NOT follow the dispatch
+// override — they are the pinned decision-site semantics.
+TEST(KernelDispatchTest, VectorOpsReductionsStayPinnedUnderOverride) {
+  Rng rng(402);
+  const std::vector<double> a = RandomVector(1024, &rng);
+  const std::vector<double> b = RandomVector(1024, &rng);
+  const double pinned_dot = Dot(a, b);
+  const double pinned_dist = SquaredEuclideanDistance(a, b);
+  const double pinned_cor = PearsonCorrelation(a, b);
+  for (const KernelDispatch* table : AllBackends()) {
+    ScopedKernelOverride scope(*table);
+    EXPECT_TRUE(BitEqual(Dot(a, b), pinned_dot)) << BackendLabel(table);
+    EXPECT_TRUE(BitEqual(SquaredEuclideanDistance(a, b), pinned_dist))
+        << BackendLabel(table);
+    EXPECT_TRUE(BitEqual(PearsonCorrelation(a, b), pinned_cor))
+        << BackendLabel(table);
+  }
+}
+
+// And the dispatched-but-bit-identical vector_ops entry points must give
+// the same bits no matter which backend the override selects.
+TEST(KernelDispatchTest, DispatchedVectorOpsBitInvariantUnderOverride) {
+  Rng rng(403);
+  const std::vector<double> input = RandomVector(257, &rng);
+  const std::vector<uint32_t> perm = RandomPermutation(input.size(), &rng);
+  std::vector<double> standardized_ref = input;
+  StandardizeInPlace(standardized_ref);
+  std::vector<double> permuted_ref(input.size());
+  ApplyPermutation(input, perm, permuted_ref);
+  for (const KernelDispatch* table : AllBackends()) {
+    ScopedKernelOverride scope(*table);
+    std::vector<double> standardized = input;
+    StandardizeInPlace(standardized);
+    std::vector<double> permuted(input.size());
+    ApplyPermutation(input, perm, permuted);
+    for (size_t i = 0; i < input.size(); ++i) {
+      ASSERT_TRUE(BitEqual(standardized[i], standardized_ref[i]))
+          << BackendLabel(table) << " index " << i;
+      ASSERT_TRUE(BitEqual(permuted[i], permuted_ref[i]))
+          << BackendLabel(table) << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imgrn

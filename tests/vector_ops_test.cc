@@ -207,5 +207,40 @@ TEST(VectorOpsDeathTest, SizeMismatchAborts) {
                "Check failed");
 }
 
+// Regression: aliased input/output used to be silent UB — the loop reads
+// input positions out of order relative to its writes, so an overlapping
+// output would consume already-overwritten values. The precondition is now
+// checked.
+TEST(ApplyPermutationDeathTest, FullAliasAborts) {
+  std::vector<double> buffer = {1, 2, 3, 4};
+  std::vector<uint32_t> perm = {3, 2, 1, 0};
+  EXPECT_DEATH(
+      ApplyPermutation(buffer, perm, std::span<double>(buffer)),
+      "must not overlap");
+}
+
+TEST(ApplyPermutationDeathTest, PartialOverlapAborts) {
+  std::vector<double> buffer(8, 1.0);
+  std::vector<uint32_t> perm = {0, 1, 2, 3};
+  std::span<double> all(buffer);
+  EXPECT_DEATH(
+      ApplyPermutation(all.subspan(0, 4), perm, all.subspan(2, 4)),
+      "must not overlap");
+  EXPECT_DEATH(
+      ApplyPermutation(all.subspan(2, 4), perm, all.subspan(0, 4)),
+      "must not overlap");
+}
+
+TEST(ApplyPermutationTest, AdjacentNonOverlappingSpansAllowed) {
+  // Back-to-back halves of one buffer share no elements; the overlap check
+  // must not reject them.
+  std::vector<double> buffer = {10, 20, 30, 40, 0, 0, 0, 0};
+  std::vector<uint32_t> perm = {3, 2, 1, 0};
+  std::span<double> all(buffer);
+  ApplyPermutation(all.subspan(0, 4), perm, all.subspan(4, 4));
+  EXPECT_EQ(buffer[4], 40);
+  EXPECT_EQ(buffer[7], 10);
+}
+
 }  // namespace
 }  // namespace imgrn

@@ -22,16 +22,48 @@
 # (leak-checking) pass. The script prints each label as it runs so CI
 # logs show what the gate actually covered.
 #
-# Usage: tools/ci_sanitize.sh [thread|address] [build-dir]
+# The third kind, "kernels", is the SIMD dispatch gate: it builds the
+# "kernels"-labeled differential suites (scalar-vs-vector per-kernel
+# bit-identity/tolerance, full-query backend invariance) under
+# ASan+UBSan (-DIMGRN_UBSAN=ON — misaligned loads, out-of-bounds gather
+# lanes and tail-loop index math are exactly UBSan/ASan territory), then
+# runs `ctest -L kernels` TWICE: once with native dispatch and once with
+# IMGRN_FORCE_SCALAR=1, printing which backend CPUID actually selected
+# so CI logs record what the run exercised.
+#
+# Usage: tools/ci_sanitize.sh [thread|address|kernels] [build-dir]
 set -eu
 
 KIND="${1:-thread}"
 case "$KIND" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address] [build-dir]" >&2; exit 2 ;;
+  thread|address|kernels) ;;
+  *) echo "usage: $0 [thread|address|kernels] [build-dir]" >&2; exit 2 ;;
 esac
 BUILD_DIR="${2:-build-${KIND}san}"
 SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+if [ "$KIND" = kernels ]; then
+  # ASan + UBSan build of the SIMD differential suites, run in both
+  # dispatch modes.
+  cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DIMGRN_SANITIZE=address \
+    -DIMGRN_UBSAN=ON
+  cmake --build "$BUILD_DIR" -j --target \
+    simd_ops_test kernel_fuzz_test vector_ops_test imgrn_cli
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  export ASAN_OPTIONS
+  echo "== kernels gate: backends on this machine =="
+  "$BUILD_DIR/tools/imgrn" kernels
+  echo "== kernels gate: ctest -L kernels (native dispatch) =="
+  ctest --test-dir "$BUILD_DIR" -L kernels --output-on-failure
+  echo "== kernels gate: ctest -L kernels (IMGRN_FORCE_SCALAR=1) =="
+  IMGRN_FORCE_SCALAR=1 "$BUILD_DIR/tools/imgrn" kernels
+  IMGRN_FORCE_SCALAR=1 \
+    ctest --test-dir "$BUILD_DIR" -L kernels --output-on-failure
+  echo "== kernels sanitizer gate: PASS (asan+ubsan, both dispatch modes) =="
+  exit 0
+fi
 
 cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -54,6 +54,12 @@
 //       Extract a connected query matrix from the database (for demos).
 //   imgrn infer --matrix=m.txt [--measure=imgrn] [--gamma=0.5]
 //       Infer and print the GRN of a single matrix.
+//   imgrn kernels
+//       Print the SIMD kernel backends (matrix/simd_ops.h): which table
+//       CPUID selected for this machine, which one is active after the
+//       IMGRN_FORCE_SCALAR override, and the override's raw value. Used
+//       by tools/ci_sanitize.sh to record which backend a differential
+//       run actually exercised.
 //
 // All file formats are the plain-text / binary formats of matrix_io.h and
 // index_io.h.
@@ -67,6 +73,7 @@
 
 #include "common/fault_injection.h"
 #include "core/imgrn.h"
+#include "matrix/simd_ops.h"
 #include "service/sharded_engine.h"
 #include "service/thread_pool.h"
 #include "storage/storage_manager.h"
@@ -621,11 +628,22 @@ int CmdInfer(int argc, char** argv) {
   return 0;
 }
 
+int CmdKernels(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  const char* force = std::getenv("IMGRN_FORCE_SCALAR");
+  std::printf("native:  %s\n", KernelBackendName(NativeKernels().backend));
+  std::printf("active:  %s\n", KernelBackendName(ActiveKernelBackend()));
+  std::printf("IMGRN_FORCE_SCALAR: %s (%s)\n", force != nullptr ? force : "",
+              KernelForceScalarValue(force) ? "forcing scalar" : "native");
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: imgrn <generate|build-index|extract-query|query|rebalance|"
-      "snapshot|infer> [--flags]\n"
+      "snapshot|infer|kernels> [--flags]\n"
       "(see the header comment of tools/imgrn_cli.cc)\n");
   return 2;
 }
@@ -644,6 +662,7 @@ int Main(int argc, char** argv) {
     return CmdExtractQuery(argc, argv);
   }
   if (std::strcmp(command, "infer") == 0) return CmdInfer(argc, argv);
+  if (std::strcmp(command, "kernels") == 0) return CmdKernels(argc, argv);
   return Usage();
 }
 
