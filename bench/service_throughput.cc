@@ -6,9 +6,10 @@
 // one JSON line per (threads, shards) setting so the serving trajectory
 // can be tracked across PRs, e.g.:
 //
-//   {"bench":"service_throughput","threads":4,"shards":2,"queries":96,
-//    "qps":812.4,"p50_ms":3.1,"p95_ms":7.9,"speedup_vs_1":3.2,
-//    "partition":"balanced","imbalance":1.04}
+//   {"bench":"service_throughput","threads":4,"shards":2,"replicas":1,
+//    "queries":96,"qps":812.4,"qps_per_replica":812.4,"p50_ms":3.1,
+//    "p95_ms":7.9,"speedup_vs_1":3.2,"partition":"balanced",
+//    "imbalance":1.04}
 //
 // "imbalance" is max/mean estimated shard load (1.0 = perfect balance);
 // the fan-out latency of a sharded request is bounded by its hottest
@@ -27,6 +28,13 @@
 // "measured_imbalance". --json_out=FILE appends every JSON line to FILE
 // (e.g. BENCH_service_throughput.json) so the perf trajectory is recorded
 // across PRs.
+//
+// --replicas=R > 1 mirrors every shard R times with round-robin routing
+// (read scaling; only meaningful on the sharded path) and --cache=C > 0
+// enables the generation-keyed query-result cache with capacity C. The
+// workload replays the same query set --rounds times, so with a cache
+// every round after the first hits; sharded JSON lines then carry
+// "replicas", "qps_per_replica" and the observed "cache_hit_rate".
 
 #include <cstdio>
 #include <string>
@@ -67,6 +75,10 @@ int Main(int argc, char** argv) {
                {"rounds", "4 | times the query set is replayed per setting"},
                {"threads", "1,2,4,8 | comma-separated worker counts"},
                {"shards", "1 | comma-separated shard counts (1 = unsharded)"},
+               {"replicas",
+                "1 | replicas per shard (read scaling; sharded path only)"},
+               {"cache",
+                "0 | query-result cache capacity (0 = disabled)"},
                {"partition",
                 "modulo | shard placement: modulo, balanced or calibrated"},
                {"zipf",
@@ -102,6 +114,13 @@ int Main(int argc, char** argv) {
                  flags.GetString("shards").c_str());
     return 1;
   }
+  const size_t num_replicas =
+      static_cast<size_t>(flags.GetInt("replicas"));
+  if (num_replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 1;
+  }
+  const size_t cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
 
   QueryParams params;
   params.gamma = flags.GetDouble("gamma");
@@ -145,7 +164,9 @@ int Main(int argc, char** argv) {
               "N=" + std::to_string(defaults.num_matrices) +
                   " queries=" + std::to_string(num_queries) +
                   " rounds=" + std::to_string(rounds) + " partition=" +
-                  partition + " zipf=" + flags.GetString("zipf"));
+                  partition + " zipf=" + flags.GetString("zipf") +
+                  " replicas=" + std::to_string(num_replicas) +
+                  " cache=" + std::to_string(cache_capacity));
 
   GeneDatabase database = make_database();
   ImGrnEngine engine;
@@ -180,7 +201,8 @@ int Main(int argc, char** argv) {
   // ,"key":value fields, e.g. the calibration outcome of a second pass.
   double qps_at_1 = 0.0;
   auto run_setting = [&](QueryService& service, size_t num_threads,
-                         size_t num_shards, double imbalance,
+                         size_t num_shards, size_t replicas,
+                         double imbalance, const ShardedEngine* sharded,
                          const std::string& extra = std::string()) {
     // One warmup pass (buffer pools, first-touch) outside the clock.
     (void)service.QueryBatch(queries, params);
@@ -204,17 +226,27 @@ int Main(int argc, char** argv) {
     if (num_threads == 1 && num_shards == 1) qps_at_1 = qps;
 
     const ServiceMetricsSnapshot snapshot = service.MetricsSnapshot();
-    char line[512];
+    // The cache hit rate counts the warmup pass too (its misses fill the
+    // cache); with --cache > 0 the timed rounds are all hits by design.
+    char cache_field[64] = "";
+    if (sharded != nullptr && cache_capacity > 0) {
+      std::snprintf(cache_field, sizeof(cache_field),
+                    ",\"cache_hit_rate\":%.3f",
+                    sharded->CacheStats().hit_rate());
+    }
+    char line[640];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"service_throughput\",\"threads\":%zu,\"shards\":%zu,"
-        "\"queries\":%zu,\"failed\":%zu,\"qps\":%.1f,"
+        "\"replicas\":%zu,\"queries\":%zu,\"failed\":%zu,\"qps\":%.1f,"
+        "\"qps_per_replica\":%.1f,"
         "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"speedup_vs_1\":%.2f,"
-        "\"partition\":\"%s\",\"imbalance\":%.3f%s}\n",
-        num_threads, num_shards, total, failed, qps, snapshot.latency_p50_ms,
+        "\"partition\":\"%s\",\"imbalance\":%.3f%s%s}\n",
+        num_threads, num_shards, replicas, total, failed, qps,
+        qps / static_cast<double>(replicas), snapshot.latency_p50_ms,
         snapshot.latency_p95_ms, qps_at_1 > 0 ? qps / qps_at_1 : 0.0,
         num_shards > 1 ? partition.c_str() : "none", imbalance,
-        extra.c_str());
+        cache_field, extra.c_str());
     std::fputs(line, stdout);
     std::fflush(stdout);
     if (json_file != nullptr) {
@@ -232,7 +264,7 @@ int Main(int argc, char** argv) {
         // The unsharded baseline: one engine, one buffer pool, whole-index
         // write lock.
         QueryService service(&engine, options);
-        run_setting(service, num_threads, 1, 1.0);
+        run_setting(service, num_threads, 1, 1, 1.0, nullptr);
         continue;
       }
       // One pool shared by the service (request parallelism) and the
@@ -242,6 +274,8 @@ int Main(int argc, char** argv) {
       ThreadPool pool(num_threads);
       ShardedEngineOptions sharded_options;
       sharded_options.num_shards = num_shards;
+      sharded_options.num_replicas = num_replicas;
+      sharded_options.cache.capacity = cache_capacity;
       sharded_options.partitioner = partitioner;
       ShardedEngine sharded(sharded_options, &pool);
       sharded.LoadDatabase(make_database());
@@ -252,8 +286,8 @@ int Main(int argc, char** argv) {
         return 1;
       }
       QueryService service(&sharded, &pool, options);
-      run_setting(service, num_threads, num_shards,
-                  sharded.StatsSnapshot().imbalance);
+      run_setting(service, num_threads, num_shards, num_replicas,
+                  sharded.StatsSnapshot().imbalance, &sharded);
       if (calibrate) {
         // The timed pass above fed the measured cost model; move just
         // enough sources to bring the measured imbalance under target and
@@ -272,8 +306,8 @@ int Main(int argc, char** argv) {
                       ",\"calibrated\":1,\"moved_sources\":%zu,"
                       "\"measured_imbalance\":%.3f",
                       moved, after.measured_imbalance);
-        run_setting(service, num_threads, num_shards, after.imbalance,
-                    extra);
+        run_setting(service, num_threads, num_shards, num_replicas,
+                    after.imbalance, &sharded, extra);
       }
     }
   }

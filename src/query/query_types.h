@@ -134,6 +134,19 @@ struct QueryStats {
   /// (kUnavailable) shard failures, across all shards. 0 on the happy
   /// path.
   uint64_t shard_retries = 0;
+
+  /// True when the answer (matches AND the counters above) was served from
+  /// the ShardedEngine's result cache instead of a fresh fan-out. By the
+  /// engine's determinism a hit is bit-identical to the evaluation it
+  /// stands in for, so this flag (plus replica_failovers) is the only
+  /// stats field a cache may legitimately change — the differential suite
+  /// masks exactly these.
+  bool cache_hit = false;
+
+  /// Replicas the round-robin router skipped past (quarantined breaker)
+  /// or abandoned after a failure, summed across all shards' sub-queries.
+  /// 0 when every shard's first-choice replica answered.
+  uint64_t replica_failovers = 0;
 };
 
 }  // namespace imgrn

@@ -31,6 +31,7 @@ ServiceMetricsSnapshot ServiceMetrics::Snapshot(size_t queue_depth) const {
   snapshot.cancelled = cancelled();
   snapshot.failed = failed();
   snapshot.degraded = degraded();
+  snapshot.cache_hits = cache_hits();
   snapshot.queue_depth = queue_depth;
   snapshot.latency_mean_ms = latency_.MeanSeconds() * 1e3;
   snapshot.latency_p50_ms = latency_.Percentile(0.50) * 1e3;
@@ -40,15 +41,16 @@ ServiceMetricsSnapshot ServiceMetrics::Snapshot(size_t queue_depth) const {
 }
 
 std::string ServiceMetricsSnapshot::DebugString() const {
-  char buffer[320];
+  char buffer[384];
   std::snprintf(
       buffer, sizeof(buffer),
-      "submitted=%llu served=%llu (degraded=%llu) rejected=%llu "
-      "deadline=%llu cancelled=%llu failed=%llu depth=%zu "
+      "submitted=%llu served=%llu (degraded=%llu cache_hits=%llu) "
+      "rejected=%llu deadline=%llu cancelled=%llu failed=%llu depth=%zu "
       "latency{mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms}",
       static_cast<unsigned long long>(submitted),
       static_cast<unsigned long long>(served),
       static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(deadline_expired),
       static_cast<unsigned long long>(cancelled),

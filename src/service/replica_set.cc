@@ -1,0 +1,23 @@
+#include "service/replica_set.h"
+
+namespace imgrn {
+
+int64_t ReplicaSet::PickReplica(uint64_t* skipped) const {
+  const size_t count = replicas_.size();
+  const uint64_t start = cursor_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t offset = 0; offset < count; ++offset) {
+    const size_t index = (start + offset) % count;
+    // AllowRequest both gates and counts: a false return is recorded as a
+    // breaker rejection on that replica, a true return in half-open state
+    // claims the probe slot — so the chosen replica must receive exactly
+    // one RecordSuccess/RecordFailure/RecordNeutral from the caller.
+    if (replicas_[index]->breaker.AllowRequest()) {
+      if (skipped != nullptr) *skipped += offset;
+      return static_cast<int64_t>(index);
+    }
+  }
+  if (skipped != nullptr) *skipped += count;
+  return -1;
+}
+
+}  // namespace imgrn

@@ -1,0 +1,113 @@
+#ifndef IMGRN_SERVICE_REPLICA_SET_H_
+#define IMGRN_SERVICE_REPLICA_SET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/circuit_breaker.h"
+
+namespace imgrn {
+
+/// One physical replica of a logical shard: its own ImGrnEngine (own
+/// index, own R*-tree paged file, own buffer pool), the local<->global id
+/// tables, health gauges, and a circuit breaker. Replicas of one shard are
+/// bit-exact mirrors of each other's ACTIVE sources: every update applies
+/// to all of them in lock step, so any replica answers any sub-query with
+/// the identical matches (refinement is per-source deterministic — see
+/// inference/permutation_cache.h). Replicas created later (SetReplicas on
+/// a live engine) hold the same active sources in compacted local-id
+/// order; matches are still identical because local ids never leak out of
+/// a sub-query.
+struct ShardReplica {
+  ShardReplica(const EngineOptions& options,
+               const CircuitBreakerOptions& breaker_options)
+      : engine(options), breaker(breaker_options) {}
+
+  /// Readers = sub-queries, writer = the update or migration step routed
+  /// to this replica.
+  mutable std::shared_mutex mutex;
+  ImGrnEngine engine;
+
+  /// local id i of this replica's engine holds global source
+  /// local_to_global[i]. Entries are never erased (engine local ids are
+  /// never reused); active[i] is false once the source was retracted or
+  /// migrated away. A source that migrates away and later returns gets a
+  /// fresh local id, so a global id may appear twice with at most one
+  /// entry active.
+  std::vector<SourceId> local_to_global;
+  std::vector<bool> active;
+
+  /// Engine holds a database with a built index. False for a replica that
+  /// never received a source.
+  bool built = false;
+
+  /// Count and estimated cost of active sources, mirrored atomically so
+  /// StatsSnapshot never has to touch `mutex` (it stays callable while a
+  /// replica is write-locked, e.g. from tests observing an in-flight
+  /// update). Only threads holding the engine's update lock write them.
+  std::atomic<size_t> active_sources{0};
+  std::atomic<double> cost{0.0};
+
+  mutable std::atomic<uint64_t> sub_queries_started{0};
+  mutable std::atomic<uint64_t> sub_queries_finished{0};
+  mutable std::atomic<uint64_t> sub_query_errors{0};
+
+  /// Quarantine gate for this replica's sub-queries. Travels with the
+  /// ShardReplica object across Rebalance/Resize/SetReplicas (a sick
+  /// replica stays quarantined through a topology change).
+  mutable CircuitBreaker breaker;
+};
+
+/// The replicas of one logical shard, plus the round-robin routing cursor.
+/// The replica list is immutable once the set is published in a topology
+/// (SetReplicas publishes a NEW set sharing the surviving ShardReplica
+/// objects); the cursor is shared across topologies that share the set, so
+/// routing stays spread even while updates publish successor topologies.
+///
+/// Routing folds in the per-replica circuit breaker: PickReplica walks the
+/// ring starting at the cursor and returns the first replica whose breaker
+/// admits the request, so a quarantined replica sheds its share of the
+/// load onto its peers instead of failing the sub-query. Only when EVERY
+/// replica is quarantined does the sub-query surface kUnavailable (and
+/// from there the usual degradation policy applies).
+class ReplicaSet {
+ public:
+  explicit ReplicaSet(std::vector<std::shared_ptr<ShardReplica>> replicas)
+      : replicas_(std::move(replicas)) {}
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  size_t size() const { return replicas_.size(); }
+
+  const std::shared_ptr<ShardReplica>& replica(size_t i) const {
+    return replicas_[i];
+  }
+
+  const std::vector<std::shared_ptr<ShardReplica>>& replicas() const {
+    return replicas_;
+  }
+
+  /// Replica 0: the copy source for new replicas and the authority for
+  /// shard-level gauges (all replicas mirror the same active set, so any
+  /// one of them could answer; pinning to 0 keeps snapshots stable).
+  ShardReplica& primary() const { return *replicas_.front(); }
+
+  /// Round-robin pick of the next replica whose breaker admits a request.
+  /// Returns -1 when every replica is quarantined. `skipped`, when
+  /// non-null, receives how many replicas the breaker turned away before
+  /// one accepted — the caller's failover counter.
+  int64_t PickReplica(uint64_t* skipped = nullptr) const;
+
+ private:
+  std::vector<std::shared_ptr<ShardReplica>> replicas_;
+  mutable std::atomic<uint64_t> cursor_{0};
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_SERVICE_REPLICA_SET_H_

@@ -1,0 +1,125 @@
+#include "service/result_cache.h"
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace imgrn {
+namespace {
+
+void AppendRaw(std::string* out, const void* bytes, size_t size) {
+  out->append(static_cast<const char*>(bytes), size);
+}
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  AppendRaw(out, &value, sizeof(value));
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(std::move(options)) {
+  IMGRN_CHECK_GE(options_.capacity, 1u)
+      << "a zero-capacity ResultCache should not be constructed";
+}
+
+std::string ResultCache::EncodeKey(uint64_t generation,
+                                   const ProbGraph& query_graph,
+                                   const QueryParams& params) {
+  std::string key;
+  key.reserve(64 + query_graph.num_vertices() * sizeof(GeneId) +
+              query_graph.num_edges() * (2 * sizeof(VertexId) + sizeof(double)));
+  AppendPod(&key, generation);
+  AppendPod(&key, params.gamma);
+  AppendPod(&key, params.alpha);
+  AppendPod(&key, static_cast<uint64_t>(params.query_num_samples));
+  AppendPod(&key, static_cast<uint64_t>(params.refine_num_samples));
+  const uint8_t toggles =
+      static_cast<uint8_t>(params.use_edge_pruning) |
+      static_cast<uint8_t>(params.use_pivot_pruning) << 1 |
+      static_cast<uint8_t>(params.use_index_pruning) << 2 |
+      static_cast<uint8_t>(params.use_graph_pruning) << 3 |
+      static_cast<uint8_t>(params.collect_source_costs) << 4 |
+      static_cast<uint8_t>(params.allow_partial) << 5;
+  AppendPod(&key, toggles);
+  AppendPod(&key, static_cast<uint64_t>(params.top_k));
+  AppendPod(&key, params.seed);
+  AppendPod(&key, static_cast<uint64_t>(query_graph.num_vertices()));
+  for (const GeneId label : query_graph.labels()) AppendPod(&key, label);
+  AppendPod(&key, static_cast<uint64_t>(query_graph.num_edges()));
+  for (const ProbEdge& edge : query_graph.edges()) {
+    AppendPod(&key, edge.u);
+    AppendPod(&key, edge.v);
+    AppendPod(&key, edge.probability);
+  }
+  return key;
+}
+
+uint64_t ResultCache::Fingerprint(std::string_view key) const {
+  return options_.hasher ? options_.hasher(key) : Fnv1a64(key);
+}
+
+std::optional<CachedResult> ResultCache::Lookup(const std::string& key) {
+  const uint64_t fingerprint = Fingerprint(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it == by_fingerprint_.end() || it->second->key != key) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->value;
+}
+
+void ResultCache::Insert(const std::string& key,
+                         std::vector<QueryMatch> matches, QueryStats stats) {
+  const uint64_t fingerprint = Fingerprint(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_fingerprint_.find(fingerprint);
+  if (it != by_fingerprint_.end()) {
+    // Refresh — or, on a fingerprint collision, replace the colliding
+    // entry (one resident answer per fingerprint keeps the map exact).
+    it->second->key = key;
+    it->second->value = CachedResult{std::move(matches), stats};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++insertions_;
+    return;
+  }
+  lru_.push_front(Entry{fingerprint, key,
+                        CachedResult{std::move(matches), stats}});
+  by_fingerprint_[fingerprint] = lru_.begin();
+  ++insertions_;
+  while (lru_.size() > options_.capacity) {
+    by_fingerprint_.erase(lru_.back().fingerprint);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResultCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.size = lru_.size();
+  stats.capacity = options_.capacity;
+  return stats;
+}
+
+}  // namespace imgrn

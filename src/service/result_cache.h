@@ -1,0 +1,129 @@
+#ifndef IMGRN_SERVICE_RESULT_CACHE_H_
+#define IMGRN_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/prob_graph.h"
+#include "query/query_types.h"
+
+namespace imgrn {
+
+/// Knobs of a ResultCache.
+struct ResultCacheOptions {
+  /// Maximum number of cached results. 0 disables the cache entirely
+  /// (ShardedEngine then never constructs one).
+  size_t capacity = 0;
+
+  /// Fingerprint function over the encoded key bytes. Null means FNV-1a
+  /// 64. Tests inject a degenerate hasher to force fingerprint collisions
+  /// and prove they are correctness-neutral (full key compare on hit).
+  std::function<uint64_t(std::string_view)> hasher;
+};
+
+/// Counters of one Stats() call.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;   ///< Entries dropped by the capacity bound.
+  size_t size = 0;          ///< Entries resident right now.
+  size_t capacity = 0;
+
+  double hit_rate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// A cached query answer: the merged global matches plus the QueryStats of
+/// the fresh evaluation that produced them. Serving the stored stats (with
+/// cache_hit flipped on) keeps a hit byte-identical to the miss that
+/// filled it — counters included — which is what the differential suite
+/// asserts.
+struct CachedResult {
+  std::vector<QueryMatch> matches;
+  QueryStats stats;
+};
+
+/// Bounded LRU cache of whole query results, keyed on (topology
+/// generation, query fingerprint, gamma, alpha, top_k, and every other
+/// QueryParams field that reaches the matcher). Correctness rests on two
+/// facts:
+///   - the engine is deterministic: the same query graph + params over the
+///     same source set always produces bit-identical matches and counter
+///     stats, so a stored answer IS the answer a fresh evaluation would
+///     compute;
+///   - the key embeds the engine's update generation, which every
+///     AddSource/RemoveSource/Rebalance/Resize bumps — an entry filled at
+///     generation g can never match a lookup at generation g' > g, so a
+///     stale answer is structurally unservable (no explicit flush needed;
+///     stale entries age out through the LRU bound).
+/// Fingerprint collisions are correctness-neutral: the map is keyed by the
+/// 64-bit fingerprint, but every entry stores its full encoded key and a
+/// hit requires a byte-exact key compare — a collision is just a miss (and
+/// the slot follows normal LRU replacement).
+///
+/// Thread safety: all methods are safe from any thread (one mutex; entries
+/// are copied out on hit so no reference escapes the lock).
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Serializes everything result-affecting into the key bytes: the
+  /// update generation, every QueryParams field, and the full query graph
+  /// (vertex labels, edges, edge probabilities — raw IEEE-754 bits, so two
+  /// graphs encode equal iff they would be evaluated identically).
+  static std::string EncodeKey(uint64_t generation,
+                               const ProbGraph& query_graph,
+                               const QueryParams& params);
+
+  /// Returns a copy of the stored result when `key` is resident (and
+  /// byte-identical to the stored key), refreshing its LRU position.
+  std::optional<CachedResult> Lookup(const std::string& key);
+
+  /// Stores (or refreshes) `key`, evicting the least-recently-used entry
+  /// when over capacity. Callers must only insert full, non-degraded
+  /// results computed at the key's generation.
+  void Insert(const std::string& key, std::vector<QueryMatch> matches,
+              QueryStats stats);
+
+  ResultCacheStats Stats() const;
+
+  size_t capacity() const { return options_.capacity; }
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;
+    std::string key;
+    CachedResult value;
+  };
+
+  uint64_t Fingerprint(std::string_view key) const;
+
+  ResultCacheOptions options_;
+
+  mutable std::mutex mutex_;
+  /// Front = most recently used. The map holds one entry per fingerprint
+  /// (colliding keys replace each other), pointing into the LRU list.
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> by_fingerprint_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace imgrn
+
+#endif  // IMGRN_SERVICE_RESULT_CACHE_H_

@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <future>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -45,6 +46,20 @@ std::string ShardedEngineStatsSnapshot::DebugString() const {
       out += "(" + std::to_string(shard.breaker_rejections) + " rejected)";
     }
     out += "\n";
+    if (shard.replicas.size() > 1) {
+      for (const ReplicaStats& replica : shard.replicas) {
+        out += "  replica" + std::to_string(replica.replica) +
+               ": sub_queries=" + std::to_string(replica.sub_queries) +
+               " errors=" + std::to_string(replica.sub_query_errors) +
+               " in_flight=" + std::to_string(replica.in_flight) +
+               " breaker=" + CircuitBreaker::StateName(replica.breaker);
+        if (replica.breaker_rejections > 0) {
+          out += "(" + std::to_string(replica.breaker_rejections) +
+                 " rejected)";
+        }
+        out += "\n";
+      }
+    }
   }
   char line[96];
   std::snprintf(line, sizeof(line),
@@ -52,6 +67,15 @@ std::string ShardedEngineStatsSnapshot::DebugString() const {
                 "load, estimated / measured)\n",
                 imbalance, measured_imbalance);
   out += line;
+  if (cache.capacity > 0) {
+    char cache_line[160];
+    std::snprintf(cache_line, sizeof(cache_line),
+                  "cache: size=%zu/%zu hits=%" PRIu64 " misses=%" PRIu64
+                  " evictions=%" PRIu64 " hit_rate=%.3f\n",
+                  cache.size, cache.capacity, cache.hits, cache.misses,
+                  cache.evictions, cache.hit_rate());
+    out += cache_line;
+  }
   return out;
 }
 
@@ -72,26 +96,40 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options, ThreadPool* pool)
                        : std::make_shared<ModuloPartitioner>()),
       pool_(pool) {
   IMGRN_CHECK_GE(options_.num_shards, 1u);
+  IMGRN_CHECK_GE(options_.num_replicas, 1u);
   measured_.SetDecay(options_.calibration.measured_half_life_seconds);
+  if (options_.cache.capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache);
+  }
   auto topology = std::make_shared<Topology>();
   topology->shards.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
-    topology->shards.push_back(MakeShard());
+    topology->shards.push_back(MakeReplicaSet(options_.num_replicas));
   }
   topology_ = std::move(topology);
 }
 
-std::shared_ptr<ShardedEngine::Shard> ShardedEngine::MakeShard() {
+std::shared_ptr<ShardReplica> ShardedEngine::MakeReplica() {
   EngineOptions engine_options = options_.engine;
   if (!options_.storage_dir.empty()) {
     engine_options.storage.backend = StorageBackend::kDisk;
     engine_options.storage.path = options_.storage_dir + "/shard-" +
                                   std::to_string(shard_files_created_++) +
                                   ".pages";
-    // Spill space, not a durability domain: the file dies with the shard.
+    // Spill space, not a durability domain: the file dies with the replica.
     engine_options.storage.unlink_on_close = true;
   }
-  return std::make_shared<Shard>(engine_options, options_.breaker);
+  return std::make_shared<ShardReplica>(engine_options, options_.breaker);
+}
+
+std::shared_ptr<ReplicaSet> ShardedEngine::MakeReplicaSet(
+    size_t num_replicas) {
+  std::vector<std::shared_ptr<ShardReplica>> replicas;
+  replicas.reserve(num_replicas);
+  for (size_t r = 0; r < num_replicas; ++r) {
+    replicas.push_back(MakeReplica());
+  }
+  return std::make_shared<ReplicaSet>(std::move(replicas));
 }
 
 void ShardedEngine::Publish(std::shared_ptr<const Topology> topology) {
@@ -138,7 +176,7 @@ void ShardedEngine::LoadDatabase(GeneDatabase database) {
   auto next = std::make_shared<Topology>();
   next->shards.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    next->shards.push_back(MakeShard());
+    next->shards.push_back(MakeReplicaSet(options_.num_replicas));
   }
 
   const size_t total = database.size();
@@ -149,30 +187,41 @@ void ShardedEngine::LoadDatabase(GeneDatabase database) {
   IMGRN_CHECK_OK(plan.Validate(total));
 
   std::vector<GeneDatabase> parts(num_shards);
+  std::vector<std::vector<SourceId>> locals(num_shards);
   for (SourceId global = 0; global < total; ++global) {
     const size_t s = plan.shard_of[global];
     GeneMatrix matrix = std::move(database.mutable_matrix(global));
     matrix.set_source_id(static_cast<SourceId>(parts[s].size()));
     parts[s].Add(std::move(matrix));
-    next->shards[s]->local_to_global.push_back(global);
-    next->shards[s]->active.push_back(true);
+    locals[s].push_back(global);
   }
   for (size_t s = 0; s < num_shards; ++s) {
-    Shard& shard = *next->shards[s];
-    shard.active_sources.store(shard.local_to_global.size(),
-                               std::memory_order_relaxed);
     double cost = 0.0;
-    for (SourceId global : shard.local_to_global) {
+    for (SourceId global : locals[s]) {
       cost += source_cost_[global];
     }
-    shard.cost.store(cost, std::memory_order_relaxed);
-    if (parts[s].empty()) continue;
-    shard.engine.LoadDatabase(std::move(parts[s]));
+    ReplicaSet& set = *next->shards[s];
+    // Every replica gets the identical slice (same local id layout, same
+    // matrices): replicas born here are lock-step mirrors from the first
+    // byte, so even their per-sub-query COUNTERS match across replicas.
+    for (size_t r = 0; r < set.size(); ++r) {
+      ShardReplica& replica = *set.replica(r);
+      replica.local_to_global = locals[s];
+      replica.active.assign(locals[s].size(), true);
+      replica.active_sources.store(locals[s].size(),
+                                   std::memory_order_relaxed);
+      replica.cost.store(cost, std::memory_order_relaxed);
+      if (parts[s].empty()) continue;
+      GeneDatabase part = (r + 1 == set.size()) ? std::move(parts[s])
+                                                : parts[s];
+      replica.engine.LoadDatabase(std::move(part));
+    }
   }
   next->shard_of = std::move(plan.shard_of);
   next_source_ = total;
   built_ = false;
   Publish(std::move(next));
+  update_generation_.fetch_add(1, std::memory_order_release);
 }
 
 Status ShardedEngine::BuildIndex() {
@@ -180,17 +229,22 @@ Status ShardedEngine::BuildIndex() {
     return Status::FailedPrecondition("no database loaded");
   }
   TopologyPin topology(*this);
-  // Build every populated shard's index; the builds are independent, so
+  // Build every populated replica's index; the builds are independent, so
   // fan them out when a pool is available.
-  const size_t num_shards = topology->shards.size();
-  std::vector<Status> statuses(num_shards, Status::Ok());
+  std::vector<ShardReplica*> pending;
+  for (const std::shared_ptr<ReplicaSet>& set : topology->shards) {
+    for (const std::shared_ptr<ShardReplica>& replica : set->replicas()) {
+      if (replica->local_to_global.empty()) continue;
+      pending.push_back(replica.get());
+    }
+  }
+  std::vector<Status> statuses(pending.size(), Status::Ok());
   std::vector<std::future<void>> futures;
-  for (size_t s = 0; s < num_shards; ++s) {
-    Shard& shard = *topology->shards[s];
-    if (shard.local_to_global.empty()) continue;
-    auto build = [&shard, &status = statuses[s]] {
-      status = shard.engine.BuildIndex();
-      shard.built = status.ok();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    ShardReplica& replica = *pending[i];
+    auto build = [&replica, &status = statuses[i]] {
+      status = replica.engine.BuildIndex();
+      replica.built = status.ok();
     };
     if (pool_ != nullptr) {
       futures.push_back(pool_->Submit(build));
@@ -254,6 +308,28 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
   }
 
   Stopwatch total_timer;
+  // Read the update generation BEFORE consulting the cache or pinning a
+  // topology. Every mutation bumps the generation as its LAST step, so a
+  // result keyed at `generation` was computed against state no older than
+  // the bump that produced `generation` — serving it is linearizable.
+  const uint64_t generation =
+      update_generation_.load(std::memory_order_acquire);
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = ResultCache::EncodeKey(generation, query_graph, params);
+    std::optional<CachedResult> hit = cache_->Lookup(cache_key);
+    if (hit.has_value()) {
+      if (stats != nullptr) {
+        // Serve the stored stats verbatim — timings included — so a hit is
+        // byte-identical to the fresh evaluation that filled it; cache_hit
+        // is the one field that tells them apart.
+        *stats = hit->stats;
+        stats->cache_hit = true;
+      }
+      return std::move(hit->matches);
+    }
+  }
+
   // Pin one topology for the whole fan-out: a consistent shard list and
   // partition map even while a Rebalance/Resize runs concurrently (its
   // delete phase waits for this pin to drop).
@@ -330,49 +406,63 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
             });
   FinalizeMatches(params.top_k, &merged);
 
-  if (stats != nullptr) {
-    QueryStats aggregated;
-    aggregated.query_vertices = query_graph.num_vertices();
-    aggregated.query_edges = query_graph.num_edges();
-    for (const QueryStats& shard : shard_stats) {
-      // Seconds are summed CPU across shards (sub-queries overlap in wall
-      // time); the I/O and pruning counters add up exactly.
-      aggregated.traversal_seconds += shard.traversal_seconds;
-      aggregated.refinement_seconds += shard.refinement_seconds;
-      aggregated.page_accesses += shard.page_accesses;
-      aggregated.page_fetches += shard.page_fetches;
-      aggregated.node_pairs_examined += shard.node_pairs_examined;
-      aggregated.node_pairs_pruned_signature +=
-          shard.node_pairs_pruned_signature;
-      aggregated.node_pairs_pruned_index += shard.node_pairs_pruned_index;
-      aggregated.leaf_pairs_examined += shard.leaf_pairs_examined;
-      aggregated.leaf_pairs_pruned_pivot += shard.leaf_pairs_pruned_pivot;
-      aggregated.leaf_pairs_pruned_edge += shard.leaf_pairs_pruned_edge;
-      aggregated.candidate_pairs += shard.candidate_pairs;
-      aggregated.candidate_matrices += shard.candidate_matrices;
-      aggregated.matrices_pruned_graph += shard.matrices_pruned_graph;
-      aggregated.shard_retries += shard.shard_retries;
-    }
-    aggregated.degraded = !failed_shards.empty();
-    aggregated.failed_shards = failed_shards;
-    if (params.collect_source_costs) {
-      // Each shard's samples already carry global ids (RunShard remaps and
-      // filters them); shards own disjoint source sets, so a plain merge +
-      // sort restores the single-engine ascending order.
-      for (QueryStats& shard : shard_stats) {
-        for (SourceCostSample& sample : shard.source_costs) {
-          aggregated.source_costs.push_back(sample);
-        }
+  // Aggregate even when the caller passed no stats: a cache insert stores
+  // the full stats so a later hit can serve them.
+  QueryStats aggregated;
+  aggregated.query_vertices = query_graph.num_vertices();
+  aggregated.query_edges = query_graph.num_edges();
+  for (const QueryStats& shard : shard_stats) {
+    // Seconds are summed CPU across shards (sub-queries overlap in wall
+    // time); the I/O and pruning counters add up exactly.
+    aggregated.traversal_seconds += shard.traversal_seconds;
+    aggregated.refinement_seconds += shard.refinement_seconds;
+    aggregated.page_accesses += shard.page_accesses;
+    aggregated.page_fetches += shard.page_fetches;
+    aggregated.node_pairs_examined += shard.node_pairs_examined;
+    aggregated.node_pairs_pruned_signature +=
+        shard.node_pairs_pruned_signature;
+    aggregated.node_pairs_pruned_index += shard.node_pairs_pruned_index;
+    aggregated.leaf_pairs_examined += shard.leaf_pairs_examined;
+    aggregated.leaf_pairs_pruned_pivot += shard.leaf_pairs_pruned_pivot;
+    aggregated.leaf_pairs_pruned_edge += shard.leaf_pairs_pruned_edge;
+    aggregated.candidate_pairs += shard.candidate_pairs;
+    aggregated.candidate_matrices += shard.candidate_matrices;
+    aggregated.matrices_pruned_graph += shard.matrices_pruned_graph;
+    aggregated.shard_retries += shard.shard_retries;
+    aggregated.replica_failovers += shard.replica_failovers;
+  }
+  aggregated.degraded = !failed_shards.empty();
+  aggregated.failed_shards = failed_shards;
+  if (params.collect_source_costs) {
+    // Each shard's samples already carry global ids (RunShard remaps and
+    // filters them); shards own disjoint source sets, so a plain merge +
+    // sort restores the single-engine ascending order.
+    for (QueryStats& shard : shard_stats) {
+      for (SourceCostSample& sample : shard.source_costs) {
+        aggregated.source_costs.push_back(sample);
       }
-      std::sort(aggregated.source_costs.begin(),
-                aggregated.source_costs.end(),
-                [](const SourceCostSample& a, const SourceCostSample& b) {
-                  return a.source < b.source;
-                });
     }
-    aggregated.answers = merged.size();
-    aggregated.total_seconds = total_timer.ElapsedSeconds();
-    *stats = aggregated;
+    std::sort(aggregated.source_costs.begin(),
+              aggregated.source_costs.end(),
+              [](const SourceCostSample& a, const SourceCostSample& b) {
+                return a.source < b.source;
+              });
+  }
+  aggregated.answers = merged.size();
+  aggregated.total_seconds = total_timer.ElapsedSeconds();
+
+  if (cache_ != nullptr && failed_shards.empty() &&
+      update_generation_.load(std::memory_order_acquire) == generation) {
+    // Insert only what a future hit may legitimately stand in for: a FULL
+    // answer (degraded results silently drop shards; a later hit could
+    // then serve the gap forever) computed against state no mutation
+    // raced. If a mutation was mid-flight during the fan-out, its final
+    // generation bump makes the == fail and the result is simply not
+    // cached — the conservative side of the race.
+    cache_->Insert(cache_key, merged, aggregated);
+  }
+  if (stats != nullptr) {
+    *stats = std::move(aggregated);
   }
   return merged;
 }
@@ -388,25 +478,34 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryShard(
     return Status::FailedPrecondition("BuildIndex() has not run");
   }
   IMGRN_RETURN_IF_ERROR(ValidateParams(params));
-  return RunShard(*topology, shard, query_graph, params, stats, control);
+  return RunShard(*topology, shard, /*replica_index=*/0, query_graph, params,
+                  stats, control);
 }
 
 Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
-    const Topology& topology, size_t shard_index,
+    const Topology& topology, size_t shard_index, size_t replica_index,
     const ProbGraph& query_graph, const QueryParams& params,
     QueryStats* stats, const QueryControl* control) const {
-  const Shard& shard = *topology.shards[shard_index];
-  shard.sub_queries_started.fetch_add(1, std::memory_order_relaxed);
+  const ShardReplica& replica =
+      *topology.shards[shard_index]->replica(replica_index);
+  replica.sub_queries_started.fetch_add(1, std::memory_order_relaxed);
   Result<std::vector<QueryMatch>> result = [&]() ->
       Result<std::vector<QueryMatch>> {
-        std::shared_lock<std::shared_mutex> lock(shard.mutex);
-        // The sub-query fault point: a rule on "shard.subquery" (detail =
-        // shard index) models this shard being down. Evaluated under the
-        // reader lock so an injected outage behaves exactly like a failure
-        // of the shard's own query path.
+        std::shared_lock<std::shared_mutex> lock(replica.mutex);
+        // The sub-query fault points, evaluated under the reader lock so an
+        // injected outage behaves exactly like a failure of the replica's
+        // own query path. "shard.subquery" (detail = shard) fires on
+        // whichever replica serves — the whole shard is down;
+        // "shard.replica" (detail = shard * stride + replica) targets ONE
+        // replica, so failover to its peers is observable.
         IMGRN_RETURN_IF_ERROR(CheckFault(fault_sites::kShardSubQuery,
                                          static_cast<int64_t>(shard_index)));
-        if (!shard.built) {
+        IMGRN_RETURN_IF_ERROR(CheckFault(
+            fault_sites::kReplicaSubQuery,
+            static_cast<int64_t>(shard_index) *
+                    fault_sites::kReplicaDetailStride +
+                static_cast<int64_t>(replica_index)));
+        if (!replica.built) {
           return std::vector<QueryMatch>{};  // Empty shard: no matches.
         }
         // The top_k policy is applied once, over the merged set: a
@@ -421,7 +520,7 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
         // whether or not the caller asked for it.
         shard_params.collect_source_costs = true;
         QueryStats local_stats;
-        Result<std::vector<QueryMatch>> local = shard.engine.QueryWithGraph(
+        Result<std::vector<QueryMatch>> local = replica.engine.QueryWithGraph(
             query_graph, shard_params, &local_stats, control);
         if (!local.ok()) return local.status();
         // Feed the measured cost registry: one sample per source this
@@ -430,16 +529,18 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
         // the expected per-query seconds under the live mix, and a source
         // the workload ignores is genuinely cheap. The shared lock both
         // pins local_to_global and excludes RemoveSource's Retire() (which
-        // runs under the write lock), so no sample lands after a source is
-        // retired.
-        std::vector<double> seconds_of(shard.local_to_global.size(), 0.0);
+        // runs after deactivating under every replica's write lock), so no
+        // sample lands after a source is retired. Replicas mirror the same
+        // active set, so WHICH replica records does not change which
+        // globals get samples.
+        std::vector<double> seconds_of(replica.local_to_global.size(), 0.0);
         for (const SourceCostSample& sample : local_stats.source_costs) {
           IMGRN_CHECK_LT(sample.source, seconds_of.size());
           seconds_of[sample.source] = sample.seconds;
         }
-        for (size_t i = 0; i < shard.local_to_global.size(); ++i) {
-          if (!shard.active[i]) continue;
-          const SourceId global = shard.local_to_global[i];
+        for (size_t i = 0; i < replica.local_to_global.size(); ++i) {
+          if (!replica.active[i]) continue;
+          const SourceId global = replica.local_to_global[i];
           if (global < topology.shard_of.size() &&
               topology.shard_of[global] != shard_index) {
             continue;  // A migrating duplicate; its owner records it.
@@ -457,8 +558,8 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
         std::vector<QueryMatch> kept;
         kept.reserve(local->size());
         for (QueryMatch& match : *local) {
-          IMGRN_CHECK_LT(match.source, shard.local_to_global.size());
-          const SourceId global = shard.local_to_global[match.source];
+          IMGRN_CHECK_LT(match.source, replica.local_to_global.size());
+          const SourceId global = replica.local_to_global[match.source];
           if (global < topology.shard_of.size() &&
               topology.shard_of[global] != shard_index) {
             continue;
@@ -479,7 +580,8 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
           if (params.collect_source_costs) {
             remapped.reserve(local_stats.source_costs.size());
             for (SourceCostSample sample : local_stats.source_costs) {
-              const SourceId global = shard.local_to_global[sample.source];
+              const SourceId global =
+                  replica.local_to_global[sample.source];
               if (global < topology.shard_of.size() &&
                   topology.shard_of[global] != shard_index) {
                 continue;
@@ -499,9 +601,9 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
         return kept;
       }();
   if (!result.ok()) {
-    shard.sub_query_errors.fetch_add(1, std::memory_order_relaxed);
+    replica.sub_query_errors.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.sub_queries_finished.fetch_add(1, std::memory_order_relaxed);
+  replica.sub_queries_finished.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
@@ -509,26 +611,38 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShardWithRecovery(
     const Topology& topology, size_t shard_index,
     const ProbGraph& query_graph, const QueryParams& params,
     QueryStats* stats, const QueryControl* control) const {
-  const Shard& shard = *topology.shards[shard_index];
+  const ReplicaSet& set = *topology.shards[shard_index];
   const ShardRetryOptions& retry = options_.retry;
   uint64_t retries = 0;
+  uint64_t failovers = 0;
   int64_t backoff_micros = retry.initial_backoff_micros;
-  for (size_t attempt = 1;; ++attempt) {
-    // One breaker pass per attempt: a breaker that opened because of THIS
-    // sub-query's earlier failures stops the remaining retries too.
-    if (!shard.breaker.AllowRequest()) {
-      if (stats != nullptr) stats->shard_retries = retries;
-      return Status::Unavailable(
-          "shard " + std::to_string(shard_index) +
-          " is quarantined (circuit breaker " +
-          CircuitBreaker::StateName(shard.breaker.state()) + ")");
+  auto finish = [&](Result<std::vector<QueryMatch>> result) {
+    if (stats != nullptr) {
+      stats->shard_retries = retries;
+      stats->replica_failovers = failovers;
     }
+    return result;
+  };
+  for (size_t attempt = 1;; ++attempt) {
+    // Route this attempt: the round-robin pick skips quarantined replicas
+    // (counted as failovers) and claims the half-open probe slot of a
+    // recovering one, so the chosen replica must receive exactly one
+    // health verdict below. A breaker that opened because of THIS
+    // sub-query's earlier failures is skipped by the remaining retries
+    // too.
+    const int64_t picked = set.PickReplica(&failovers);
+    if (picked < 0) {
+      return finish(Status::Unavailable(
+          "shard " + std::to_string(shard_index) + " is quarantined (all " +
+          std::to_string(set.size()) + " replica circuit breakers open)"));
+    }
+    ShardReplica& replica = *set.replica(static_cast<size_t>(picked));
     Result<std::vector<QueryMatch>> result =
-        RunShard(topology, shard_index, query_graph, params, stats, control);
+        RunShard(topology, shard_index, static_cast<size_t>(picked),
+                 query_graph, params, stats, control);
     if (result.ok()) {
-      shard.breaker.RecordSuccess();
-      if (stats != nullptr) stats->shard_retries = retries;
-      return result;
+      replica.breaker.RecordSuccess();
+      return finish(std::move(result));
     }
     const StatusCode code = result.status().code();
     if (code == StatusCode::kCancelled ||
@@ -536,22 +650,29 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShardWithRecovery(
         code == StatusCode::kInvalidArgument ||
         code == StatusCode::kFailedPrecondition) {
       // The caller's doing (cancel, deadline, bad request), not the
-      // shard's: no health verdict, no retry.
-      shard.breaker.RecordNeutral();
-      if (stats != nullptr) stats->shard_retries = retries;
-      return result;
+      // replica's: no health verdict, no retry.
+      replica.breaker.RecordNeutral();
+      return finish(std::move(result));
     }
-    shard.breaker.RecordFailure();
+    replica.breaker.RecordFailure();
     if (code != StatusCode::kUnavailable || attempt >= retry.max_attempts) {
       // kDataLoss/kInternal persist — retrying re-reads the same corrupt
       // bytes; and a transient error out of attempts gives up too.
-      if (stats != nullptr) stats->shard_retries = retries;
-      return result;
+      return finish(std::move(result));
     }
     ++retries;
     if (control != nullptr) {
       // Don't sleep through a deadline that already expired.
-      IMGRN_RETURN_IF_ERROR(control->Check());
+      Status cancelled = control->Check();
+      if (!cancelled.ok()) return finish(std::move(cancelled));
+    }
+    if (set.size() > 1) {
+      // The retry fails over: the round-robin cursor has moved past the
+      // replica that just failed, so the next attempt lands on a peer.
+      // Backoff buys a sick replica time to recover — a healthy peer
+      // needs none, so failover retries go out immediately.
+      ++failovers;
+      continue;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(backoff_micros));
     backoff_micros =
@@ -559,20 +680,22 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShardWithRecovery(
   }
 }
 
-int64_t ShardedEngine::ActiveLocalOf(const Shard& shard, SourceId global) {
+int64_t ShardedEngine::ActiveLocalOf(const ShardReplica& replica,
+                                     SourceId global) {
   // Scan from the back: migrated-in entries (the common lookup after a
   // rebalance) sit at the end, and at most one entry per global is active.
-  for (size_t i = shard.local_to_global.size(); i > 0; --i) {
-    if (shard.local_to_global[i - 1] == global && shard.active[i - 1]) {
+  for (size_t i = replica.local_to_global.size(); i > 0; --i) {
+    if (replica.local_to_global[i - 1] == global && replica.active[i - 1]) {
       return static_cast<int64_t>(i - 1);
     }
   }
   return -1;
 }
 
-Status ShardedEngine::AppendToShardLocked(Shard& shard, GeneMatrix matrix,
-                                          SourceId global, double cost) {
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+Status ShardedEngine::AppendToReplicaLocked(ShardReplica& replica,
+                                            GeneMatrix matrix,
+                                            SourceId global, double cost) {
+  std::unique_lock<std::shared_mutex> lock(replica.mutex);
   // The new local id is defined by the side tables, NOT the engine: every
   // query remaps through local_to_global, so IT is the authority on what
   // local ids mean. The engine's database happens to agree because
@@ -580,27 +703,70 @@ Status ShardedEngine::AppendToShardLocked(Shard& shard, GeneMatrix matrix,
   // assumption down so a future engine that compacts on removal fails
   // loudly here instead of silently remapping matches to wrong globals
   // after a RemoveSource -> AddSource sequence on the same shard.
-  const SourceId local = static_cast<SourceId>(shard.local_to_global.size());
-  if (!shard.built) {
-    IMGRN_CHECK_EQ(shard.local_to_global.size(), 0u);
-    // First source of a previously empty shard: bootstrap its engine.
+  const SourceId local =
+      static_cast<SourceId>(replica.local_to_global.size());
+  if (!replica.built) {
+    IMGRN_CHECK_EQ(replica.local_to_global.size(), 0u);
+    // First source of a previously empty replica: bootstrap its engine.
     matrix.set_source_id(0);
     GeneDatabase database;
     database.Add(std::move(matrix));
-    shard.engine.LoadDatabase(std::move(database));
-    IMGRN_RETURN_IF_ERROR(shard.engine.BuildIndex());
-    shard.built = true;
+    replica.engine.LoadDatabase(std::move(database));
+    IMGRN_RETURN_IF_ERROR(replica.engine.BuildIndex());
+    replica.built = true;
   } else {
     IMGRN_CHECK_EQ(static_cast<size_t>(local),
-                   shard.engine.database().size());
+                   replica.engine.database().size());
     matrix.set_source_id(local);
-    IMGRN_RETURN_IF_ERROR(shard.engine.AddMatrix(std::move(matrix)));
+    IMGRN_RETURN_IF_ERROR(replica.engine.AddMatrix(std::move(matrix)));
   }
-  shard.local_to_global.push_back(global);
-  shard.active.push_back(true);
-  shard.active_sources.fetch_add(1, std::memory_order_relaxed);
-  shard.cost.store(shard.cost.load(std::memory_order_relaxed) + cost,
-                   std::memory_order_relaxed);
+  replica.local_to_global.push_back(global);
+  replica.active.push_back(true);
+  replica.active_sources.fetch_add(1, std::memory_order_relaxed);
+  replica.cost.store(replica.cost.load(std::memory_order_relaxed) + cost,
+                     std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ShardedEngine::AppendToAllReplicasLocked(ReplicaSet& set,
+                                                const GeneMatrix& matrix,
+                                                SourceId global,
+                                                double cost) {
+  for (size_t r = 0; r < set.size(); ++r) {
+    Status append = AppendToReplicaLocked(*set.replica(r), matrix, global,
+                                          cost);
+    if (!append.ok()) {
+      // Roll the earlier replicas back so the set never exposes the source
+      // on some replicas but not others (a query routed to replica 0 must
+      // see exactly what one routed to replica 1 sees).
+      IMGRN_CHECK_OK(RemoveFromReplicasLocked(set, global, cost,
+                                              /*must_exist=*/false));
+      return append;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardedEngine::RemoveFromReplicasLocked(ReplicaSet& set,
+                                               SourceId global, double cost,
+                                               bool must_exist) {
+  for (const std::shared_ptr<ShardReplica>& entry : set.replicas()) {
+    ShardReplica& replica = *entry;
+    std::unique_lock<std::shared_mutex> lock(replica.mutex);
+    const int64_t local = ActiveLocalOf(replica, global);
+    if (local < 0) {
+      // Replicas mirror the same active set, so a missing entry is only
+      // legitimate when unwinding a PARTIAL append (must_exist false).
+      IMGRN_CHECK(!must_exist);
+      continue;
+    }
+    IMGRN_RETURN_IF_ERROR(
+        replica.engine.RemoveMatrix(static_cast<SourceId>(local)));
+    replica.active[static_cast<size_t>(local)] = false;
+    replica.active_sources.fetch_sub(1, std::memory_order_relaxed);
+    replica.cost.store(replica.cost.load(std::memory_order_relaxed) - cost,
+                       std::memory_order_relaxed);
+  }
   return Status::Ok();
 }
 
@@ -622,14 +788,21 @@ Status ShardedEngine::AddSource(GeneMatrix matrix) {
   }
   std::vector<double> shard_costs;
   shard_costs.reserve(current->shards.size());
-  for (const std::shared_ptr<Shard>& shard : current->shards) {
-    shard_costs.push_back(shard->cost.load(std::memory_order_relaxed));
+  for (const std::shared_ptr<ReplicaSet>& set : current->shards) {
+    shard_costs.push_back(set->primary().cost.load(std::memory_order_relaxed));
   }
   const size_t s = partitioner_->PlaceSource(global, cost, shard_costs);
   IMGRN_CHECK_LT(s, current->shards.size());
-  IMGRN_RETURN_IF_ERROR(
-      AppendToShardLocked(*current->shards[s], std::move(matrix), global,
-                          cost));
+  Status append =
+      AppendToAllReplicasLocked(*current->shards[s], matrix, global, cost);
+  if (!append.ok()) {
+    // The rolled-back append may have been briefly visible on the earlier
+    // replicas (the new source passes the map filter while unpublished);
+    // bump the generation so any result cached during that window can
+    // never be served.
+    update_generation_.fetch_add(1, std::memory_order_release);
+    return append;
+  }
   source_cost_.push_back(cost);
   retracted_.push_back(false);
   ++next_source_;
@@ -640,6 +813,10 @@ Status ShardedEngine::AddSource(GeneMatrix matrix) {
   next->shard_of = current->shard_of;
   next->shard_of.push_back(static_cast<uint32_t>(s));
   Publish(std::move(next));
+  // The generation bump is the LAST step: from here every cache key minted
+  // before this AddSource is unservable, and any result computed while the
+  // append was in flight fails the insert-time generation check.
+  update_generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -656,24 +833,23 @@ Status ShardedEngine::RemoveSource(SourceId source) {
     std::lock_guard<std::mutex> lock(topology_mutex_);
     current = topology_;
   }
-  Shard& shard = *current->shards[current->shard_of[source]];
-  std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  const int64_t local = ActiveLocalOf(shard, source);
-  if (local < 0) {
+  ReplicaSet& set = *current->shards[current->shard_of[source]];
+  // Existence check against the primary (replicas mirror the active set).
+  // No replica lock needed for the read: the side tables are only written
+  // by holders of update_mutex_, which we are.
+  if (ActiveLocalOf(set.primary(), source) < 0) {
     return Status::FailedPrecondition("matrix already removed");
   }
-  IMGRN_RETURN_IF_ERROR(
-      shard.engine.RemoveMatrix(static_cast<SourceId>(local)));
-  shard.active[static_cast<size_t>(local)] = false;
-  shard.active_sources.fetch_sub(1, std::memory_order_relaxed);
-  shard.cost.store(
-      shard.cost.load(std::memory_order_relaxed) - source_cost_[source],
-      std::memory_order_relaxed);
+  IMGRN_RETURN_IF_ERROR(RemoveFromReplicasLocked(
+      set, source, source_cost_[source], /*must_exist=*/true));
   retracted_[source] = true;
-  // Forget the measured cost while still holding the shard's write lock:
-  // sub-queries record under the shared lock, so none can re-add a sample
-  // for this source after the Retire.
+  // Forget the measured cost after every replica was deactivated under its
+  // write lock: a sub-query records under a replica's shared lock, so any
+  // recording that could re-add a sample happened-before that replica's
+  // write lock above — and any sub-query starting now sees the source
+  // inactive on every replica.
   measured_.Retire(source);
+  update_generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -693,7 +869,13 @@ Status ShardedEngine::Rebalance(const PartitionPlan& plan) {
         std::to_string(current->shards.size()));
   }
   IMGRN_RETURN_IF_ERROR(plan.Validate(next_source_));
-  return MigrateLocked(current->shards, plan.shard_of);
+  Status migrated = MigrateLocked(current->shards, plan.shard_of);
+  // Bump regardless of outcome: a migration that faulted after its commit
+  // point has already changed ownership (rolled forward), and a pure
+  // ownership change cannot alter answers anyway — invalidating is just
+  // the conservative side.
+  update_generation_.fetch_add(1, std::memory_order_release);
+  return migrated;
 }
 
 std::vector<double> ShardedEngine::CalibratedCostsLocked() const {
@@ -733,7 +915,9 @@ Status ShardedEngine::Rebalance(double target_imbalance,
       CalibratedCostsLocked(), now, target_imbalance, &moved);
   if (moved_sources != nullptr) *moved_sources = moved;
   if (moved == 0) return Status::Ok();
-  return MigrateLocked(current->shards, std::move(plan.shard_of));
+  Status migrated = MigrateLocked(current->shards, std::move(plan.shard_of));
+  update_generation_.fetch_add(1, std::memory_order_release);
+  return migrated;
 }
 
 Status ShardedEngine::Resize(size_t new_num_shards) {
@@ -750,14 +934,15 @@ Status ShardedEngine::Resize(size_t new_num_shards) {
     current = topology_;
   }
   // Shards keep their identity below min(K, K'): the partitioner decides
-  // placement, the migration moves only what it reassigns.
-  std::vector<std::shared_ptr<Shard>> target_shards;
+  // placement, the migration moves only what it reassigns. New shards get
+  // the current replica count (SetReplicas keeps options_ in sync).
+  std::vector<std::shared_ptr<ReplicaSet>> target_shards;
   target_shards.reserve(new_num_shards);
   for (size_t i = 0; i < new_num_shards; ++i) {
     if (i < current->shards.size()) {
       target_shards.push_back(current->shards[i]);
     } else {
-      target_shards.push_back(MakeShard());
+      target_shards.push_back(MakeReplicaSet(options_.num_replicas));
     }
   }
   // Retracted sources carry no load; zero them out so the plan packs only
@@ -774,11 +959,92 @@ Status ShardedEngine::Resize(size_t new_num_shards) {
   }
   PartitionPlan plan = partitioner_->Partition(costs, new_num_shards);
   IMGRN_RETURN_IF_ERROR(plan.Validate(next_source_));
-  return MigrateLocked(std::move(target_shards), std::move(plan.shard_of));
+  Status migrated =
+      MigrateLocked(std::move(target_shards), std::move(plan.shard_of));
+  update_generation_.fetch_add(1, std::memory_order_release);
+  return migrated;
+}
+
+Status ShardedEngine::SetReplicas(size_t num_replicas) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (num_replicas == 0) {
+    return Status::InvalidArgument("replica count must be >= 1");
+  }
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  const size_t have = current->shards.front()->size();
+  if (num_replicas == have) {
+    options_.num_replicas = num_replicas;
+    return Status::Ok();
+  }
+  auto next = std::make_shared<Topology>();
+  next->shard_of = current->shard_of;
+  next->shards.reserve(current->shards.size());
+  if (num_replicas < have) {
+    // Shrink — the migration protocol's publish -> drain -> delete,
+    // applied to replicas: publish sets without the tail replicas, wait
+    // for every query pinned to a topology that can still route to a
+    // dropped replica, and let the last shared_ptr destroy it (its spill
+    // file unlinks with it).
+    for (const std::shared_ptr<ReplicaSet>& set : current->shards) {
+      std::vector<std::shared_ptr<ShardReplica>> kept(
+          set->replicas().begin(),
+          set->replicas().begin() + static_cast<ptrdiff_t>(num_replicas));
+      next->shards.push_back(std::make_shared<ReplicaSet>(std::move(kept)));
+    }
+    options_.num_replicas = num_replicas;
+    Publish(std::move(next));
+    std::shared_ptr<const Topology> newest;
+    {
+      std::lock_guard<std::mutex> lock(topology_mutex_);
+      newest = topology_;
+    }
+    DrainOlder(*newest);
+    return Status::Ok();
+  }
+  // Grow — the protocol's copy -> publish: clone each shard's primary into
+  // the new replicas through the same append path migrations use, then
+  // publish sets that include them. No drain is needed: the new sets are
+  // supersets of the old (same surviving ShardReplica objects), so every
+  // older pin stays fully servable. A clone failure aborts before the
+  // publish — the half-built replicas were never reachable, so there is
+  // nothing to roll back.
+  for (const std::shared_ptr<ReplicaSet>& set : current->shards) {
+    std::vector<std::shared_ptr<ShardReplica>> replicas = set->replicas();
+    const ShardReplica& primary = set->primary();
+    for (size_t r = have; r < num_replicas; ++r) {
+      std::shared_ptr<ShardReplica> replica = MakeReplica();
+      // Read the primary without its lock: the side tables and database
+      // are only written by holders of update_mutex_, which we are. The
+      // clone compacts local ids (inactive entries are skipped) — matches
+      // are unaffected because local ids never leave a sub-query.
+      for (size_t i = 0; i < primary.local_to_global.size(); ++i) {
+        if (!primary.active[i]) continue;
+        const SourceId global = primary.local_to_global[i];
+        GeneMatrix copy =
+            primary.engine.database().matrix(static_cast<SourceId>(i));
+        IMGRN_RETURN_IF_ERROR(AppendToReplicaLocked(
+            *replica, std::move(copy), global, source_cost_[global]));
+      }
+      replicas.push_back(std::move(replica));
+    }
+    next->shards.push_back(std::make_shared<ReplicaSet>(std::move(replicas)));
+  }
+  options_.num_replicas = num_replicas;
+  Publish(std::move(next));
+  // No generation bump: replica membership cannot change answers, so the
+  // result cache deliberately stays warm across replica scaling.
+  return Status::Ok();
 }
 
 Status ShardedEngine::MigrateLocked(
-    std::vector<std::shared_ptr<Shard>> target_shards,
+    std::vector<std::shared_ptr<ReplicaSet>> target_shards,
     std::vector<uint32_t> target_map) {
   std::shared_ptr<const Topology> current;
   {
@@ -786,7 +1052,7 @@ Status ShardedEngine::MigrateLocked(
     current = topology_;
   }
   // The moving set: active sources whose owner changes. Shard indices
-  // shared between the lists refer to the same Shard object, so an
+  // shared between the lists refer to the same ReplicaSet object, so an
   // unchanged assignment never moves, even across a Resize.
   std::vector<std::vector<SourceId>> incoming(target_shards.size());
   size_t moves = 0;
@@ -835,50 +1101,50 @@ Status ShardedEngine::MigrateLocked(
   // deactivating them here is safe and makes migrations self-healing: each
   // one starts by garbage-collecting whatever a predecessor's fault left.
   for (size_t s = 0; s < current->shards.size(); ++s) {
-    Shard& shard = *current->shards[s];
-    std::unique_lock<std::shared_mutex> lock(shard.mutex);
-    for (size_t i = 0; i < shard.local_to_global.size(); ++i) {
-      if (!shard.active[i]) continue;
-      const SourceId global = shard.local_to_global[i];
-      if (current->shard_of[global] == s) continue;
-      IMGRN_RETURN_IF_ERROR(
-          shard.engine.RemoveMatrix(static_cast<SourceId>(i)));
-      shard.active[i] = false;
-      shard.active_sources.fetch_sub(1, std::memory_order_relaxed);
-      shard.cost.store(
-          shard.cost.load(std::memory_order_relaxed) - source_cost_[global],
-          std::memory_order_relaxed);
+    for (const std::shared_ptr<ShardReplica>& entry :
+         current->shards[s]->replicas()) {
+      ShardReplica& replica = *entry;
+      std::unique_lock<std::shared_mutex> lock(replica.mutex);
+      for (size_t i = 0; i < replica.local_to_global.size(); ++i) {
+        if (!replica.active[i]) continue;
+        const SourceId global = replica.local_to_global[i];
+        if (current->shard_of[global] == s) continue;
+        IMGRN_RETURN_IF_ERROR(
+            replica.engine.RemoveMatrix(static_cast<SourceId>(i)));
+        replica.active[i] = false;
+        replica.active_sources.fetch_sub(1, std::memory_order_relaxed);
+        replica.cost.store(replica.cost.load(std::memory_order_relaxed) -
+                               source_cost_[global],
+                           std::memory_order_relaxed);
+      }
     }
   }
 
   // Pre-publish rollback: deactivates the destination copies THIS
-  // migration appended. They are invisible (active non-owners under the
-  // still-current map), so a faulted copy step can undo itself and leave
-  // the engine exactly as it found it.
-  std::vector<std::pair<Shard*, SourceId>> appended;
+  // migration appended (on every replica that received them — a set whose
+  // append faulted halfway already unwound itself). They are invisible
+  // (active non-owners under the still-current map), so a faulted copy
+  // step can undo itself and leave the engine exactly as it found it.
+  std::vector<std::pair<ReplicaSet*, SourceId>> appended;
   auto rollback = [&] {
     for (auto& [dst, global] : appended) {
-      std::unique_lock<std::shared_mutex> lock(dst->mutex);
-      const int64_t local = ActiveLocalOf(*dst, global);
-      IMGRN_CHECK_GE(local, 0);
-      IMGRN_CHECK_OK(dst->engine.RemoveMatrix(static_cast<SourceId>(local)));
-      dst->active[static_cast<size_t>(local)] = false;
-      dst->active_sources.fetch_sub(1, std::memory_order_relaxed);
-      dst->cost.store(
-          dst->cost.load(std::memory_order_relaxed) - source_cost_[global],
-          std::memory_order_relaxed);
+      IMGRN_CHECK_OK(RemoveFromReplicasLocked(
+          *dst, global, source_cost_[global], /*must_exist=*/true));
     }
   };
 
-  // Step 2 — copy every moving source into its destination shard (write
-  // lock per append). The old copies stay in place and stay authoritative:
-  // in-flight queries pinned to `mid` filter the new copies out. The sweep
-  // above guarantees no destination already holds an active copy. A fault
-  // rolls the appends back and leaves ownership untouched.
+  // Step 2 — copy every moving source into every replica of its
+  // destination shard (write lock per append). The old copies stay in
+  // place and stay authoritative: in-flight queries pinned to `mid` filter
+  // the new copies out. The sweep above guarantees no destination already
+  // holds an active copy. A fault rolls the appends back and leaves
+  // ownership untouched. Fault sites are evaluated once per moving source,
+  // not per replica — the unit of migration is the source.
   for (size_t d = 0; d < target_shards.size(); ++d) {
     for (SourceId global : incoming[d]) {
-      Shard& dst = *target_shards[d];
-      Shard& src = *current->shards[current->shard_of[global]];
+      ReplicaSet& dst = *target_shards[d];
+      const ShardReplica& src =
+          current->shards[current->shard_of[global]]->primary();
       Status copy_fault =
           CheckFault(fault_sites::kMigrateCopy, static_cast<int64_t>(global));
       if (!copy_fault.ok()) {
@@ -887,10 +1153,10 @@ Status ShardedEngine::MigrateLocked(
       }
       const int64_t src_local = ActiveLocalOf(src, global);
       IMGRN_CHECK_GE(src_local, 0);
-      GeneMatrix copy =
+      const GeneMatrix& matrix =
           src.engine.database().matrix(static_cast<SourceId>(src_local));
-      Status append = AppendToShardLocked(dst, std::move(copy), global,
-                                          source_cost_[global]);
+      Status append = AppendToAllReplicasLocked(dst, matrix, global,
+                                                source_cost_[global]);
       if (!append.ok()) {
         rollback();
         return append;
@@ -924,12 +1190,12 @@ Status ShardedEngine::MigrateLocked(
                  static_cast<int64_t>(next->shards.size())));
   DrainOlder(*next);
 
-  // Step 4 — delete the moved sources from their old shards. Shards that
-  // are not part of the new topology are skipped: no new query can reach
-  // them, and the object is retired when its last pin unwinds. A fault
-  // mid-loop is safe at every prefix: the new map is already
-  // authoritative, each undeleted old copy is an invisible non-owner, and
-  // the next migration's sweep finishes the job.
+  // Step 4 — delete the moved sources from their old shards (every
+  // replica). Shards that are not part of the new topology are skipped: no
+  // new query can reach them, and the object is retired when its last pin
+  // unwinds. A fault mid-loop is safe at every prefix: the new map is
+  // already authoritative, each undeleted old copy is an invisible
+  // non-owner, and the next migration's sweep finishes the job.
   for (SourceId global = 0; global < next_source_; ++global) {
     if (retracted_[global]) continue;
     const size_t from = current->shard_of[global];
@@ -940,17 +1206,9 @@ Status ShardedEngine::MigrateLocked(
     }
     IMGRN_RETURN_IF_ERROR(
         CheckFault(fault_sites::kMigrateDelete, static_cast<int64_t>(global)));
-    Shard& src = *current->shards[from];
-    std::unique_lock<std::shared_mutex> lock(src.mutex);
-    const int64_t local = ActiveLocalOf(src, global);
-    IMGRN_CHECK_GE(local, 0);
-    IMGRN_RETURN_IF_ERROR(
-        src.engine.RemoveMatrix(static_cast<SourceId>(local)));
-    src.active[static_cast<size_t>(local)] = false;
-    src.active_sources.fetch_sub(1, std::memory_order_relaxed);
-    src.cost.store(
-        src.cost.load(std::memory_order_relaxed) - source_cost_[global],
-        std::memory_order_relaxed);
+    IMGRN_RETURN_IF_ERROR(RemoveFromReplicasLocked(
+        *current->shards[from], global, source_cost_[global],
+        /*must_exist=*/true));
   }
   return Status::Ok();
 }
@@ -958,6 +1216,11 @@ Status ShardedEngine::MigrateLocked(
 size_t ShardedEngine::num_shards() const {
   std::lock_guard<std::mutex> lock(topology_mutex_);
   return topology_->shards.size();
+}
+
+size_t ShardedEngine::num_replicas() const {
+  std::lock_guard<std::mutex> lock(topology_mutex_);
+  return topology_->shards.front()->size();
 }
 
 size_t ShardedEngine::num_sources() const {
@@ -971,10 +1234,15 @@ size_t ShardedEngine::ShardOf(SourceId source) const {
   return topology_->shard_of[source];
 }
 
+ResultCacheStats ShardedEngine::CacheStats() const {
+  return cache_ != nullptr ? cache_->Stats() : ResultCacheStats{};
+}
+
 ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
   TopologyPin topology(*this);
   ShardedEngineStatsSnapshot snapshot;
   snapshot.shards.reserve(topology->shards.size());
+  snapshot.replicas = topology->shards.front()->size();
   // Measured load per shard: sum of the per-source EWMAs under the pinned
   // map (retired sources read 0; a source added after this topology was
   // published is missed until the next publish — a gauge, not a ledger).
@@ -985,34 +1253,51 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
   std::vector<double> costs;
   costs.reserve(topology->shards.size());
   for (size_t s = 0; s < topology->shards.size(); ++s) {
-    const Shard& shard = *topology->shards[s];
+    const ReplicaSet& set = *topology->shards[s];
     ShardStats stats;
     stats.shard = s;
-    stats.sources = shard.active_sources.load(std::memory_order_relaxed);
-    stats.cost = shard.cost.load(std::memory_order_relaxed);
+    // Gauges read the primary (all replicas mirror the same active set);
+    // traffic counters sum over the replicas, which split the load.
+    stats.sources = set.primary().active_sources.load(
+        std::memory_order_relaxed);
+    stats.cost = set.primary().cost.load(std::memory_order_relaxed);
     stats.measured_seconds = measured[s];
-    const uint64_t started =
-        shard.sub_queries_started.load(std::memory_order_relaxed);
-    stats.sub_queries =
-        shard.sub_queries_finished.load(std::memory_order_relaxed);
-    stats.sub_query_errors =
-        shard.sub_query_errors.load(std::memory_order_relaxed);
-    stats.in_flight = started - stats.sub_queries;
-    stats.breaker = shard.breaker.state();
-    stats.breaker_rejections = shard.breaker.rejections();
+    stats.breaker = set.primary().breaker.state();
+    stats.replicas.reserve(set.size());
+    for (size_t r = 0; r < set.size(); ++r) {
+      const ShardReplica& replica = *set.replica(r);
+      ReplicaStats replica_stats;
+      replica_stats.replica = r;
+      const uint64_t started =
+          replica.sub_queries_started.load(std::memory_order_relaxed);
+      replica_stats.sub_queries =
+          replica.sub_queries_finished.load(std::memory_order_relaxed);
+      replica_stats.sub_query_errors =
+          replica.sub_query_errors.load(std::memory_order_relaxed);
+      replica_stats.in_flight = started - replica_stats.sub_queries;
+      replica_stats.breaker = replica.breaker.state();
+      replica_stats.breaker_rejections = replica.breaker.rejections();
+      stats.sub_queries += replica_stats.sub_queries;
+      stats.sub_query_errors += replica_stats.sub_query_errors;
+      stats.in_flight += replica_stats.in_flight;
+      stats.breaker_rejections += replica_stats.breaker_rejections;
+      stats.replicas.push_back(replica_stats);
+    }
     costs.push_back(stats.cost);
-    snapshot.shards.push_back(stats);
+    snapshot.shards.push_back(std::move(stats));
   }
   snapshot.imbalance = MaxMeanImbalance(costs);
   snapshot.measured_imbalance = MaxMeanImbalance(measured);
+  snapshot.cache = CacheStats();
   return snapshot;
 }
 
 std::shared_mutex& ShardedEngine::shard_mutex_for_testing(
-    size_t shard) const {
+    size_t shard, size_t replica) const {
   std::lock_guard<std::mutex> lock(topology_mutex_);
   IMGRN_CHECK_LT(shard, topology_->shards.size());
-  return topology_->shards[shard]->mutex;
+  IMGRN_CHECK_LT(replica, topology_->shards[shard]->size());
+  return topology_->shards[shard]->replica(replica)->mutex;
 }
 
 }  // namespace imgrn

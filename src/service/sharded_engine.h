@@ -13,6 +13,8 @@
 #include "service/circuit_breaker.h"
 #include "service/cost_model.h"
 #include "service/partitioner.h"
+#include "service/replica_set.h"
+#include "service/result_cache.h"
 #include "service/thread_pool.h"
 
 namespace imgrn {
@@ -21,12 +23,17 @@ namespace imgrn {
 /// (kUnavailable) are retried — kDataLoss means the bytes are corrupt and
 /// will stay corrupt, so retrying it only burns the latency budget.
 struct ShardRetryOptions {
-  /// Total attempts per sub-query (1 = no retries).
+  /// Total attempts per sub-query (1 = no retries). With replicas, each
+  /// attempt is routed independently, so a retry usually lands on a peer
+  /// replica (immediate failover) rather than re-probing the one that
+  /// just failed.
   size_t max_attempts = 3;
 
   /// Sleep before the first retry; doubles (backoff_multiplier) per
   /// further retry. Kept short: a sub-query holds no locks while backing
-  /// off, but the caller's latency budget is ticking.
+  /// off, but the caller's latency budget is ticking. Skipped when the
+  /// retry fails over to a DIFFERENT replica — backoff buys a sick
+  /// replica time to recover, a healthy peer needs none.
   int64_t initial_backoff_micros = 100;
 
   double backoff_multiplier = 2.0;
@@ -40,24 +47,33 @@ struct ShardedEngineOptions {
   /// exist here. Resize() can change the count at runtime.
   size_t num_shards = 4;
 
+  /// Replicas per shard (1 = no replication, the historical behavior).
+  /// Every replica is a bit-exact mirror of its shard: updates apply to
+  /// all replicas in lock step, and each sub-query is served by ONE
+  /// replica picked round-robin (skipping quarantined ones), so read
+  /// capacity scales with R while answers stay byte-identical.
+  /// SetReplicas() can change the count at runtime.
+  size_t num_replicas = 1;
+
   /// Placement policy: decides which shard owns each source, both for the
   /// initial LoadDatabase split and for every AddSource. Null means
   /// ModuloPartitioner (source i -> shard i mod K, the PR-2 behavior).
   /// See service/partitioner.h; partitioning never affects query results.
   std::shared_ptr<const Partitioner> partitioner;
 
-  /// Engine/index options applied to every shard.
+  /// Engine/index options applied to every shard replica.
   EngineOptions engine;
 
-  /// When non-empty, every shard's engine runs disk-backed: shard files
+  /// When non-empty, every shard replica's engine runs disk-backed: files
   /// are created in this directory as "shard-<n>.pages" (n from a
   /// monotonic counter, so files never collide across the shard
-  /// generations LoadDatabase and Resize create). These files are spill
-  /// space owned by the engine — created on demand, unlinked when their
-  /// shard is destroyed — not a durability domain: the sharded engine
-  /// re-partitions on reload. Durable single-store snapshots are the
-  /// plain ImGrnEngine's SaveSnapshot. Empty (default) = in-memory
-  /// shards, the historical behavior. Overrides `engine.storage`.
+  /// generations LoadDatabase, Resize and SetReplicas create). These
+  /// files are spill space owned by the engine — created on demand,
+  /// unlinked when their replica is destroyed — not a durability domain:
+  /// the sharded engine re-partitions on reload. Durable single-store
+  /// snapshots are the plain ImGrnEngine's SaveSnapshot. Empty (default)
+  /// = in-memory shards, the historical behavior. Overrides
+  /// `engine.storage`.
   std::string storage_dir;
 
   /// How the measured per-source EWMA is blended with the static estimate
@@ -68,14 +84,38 @@ struct ShardedEngineOptions {
   /// Per-sub-query retry/backoff for transient shard failures.
   ShardRetryOptions retry;
 
-  /// Per-shard circuit breaker quarantining shards that keep failing (see
-  /// service/circuit_breaker.h). The defaults never trip on a healthy
-  /// shard: only counted failures (kUnavailable/kDataLoss/kInternal) move
-  /// the state machine.
+  /// Per-replica circuit breaker quarantining replicas that keep failing
+  /// (see service/circuit_breaker.h). The defaults never trip on a
+  /// healthy replica: only counted failures (kUnavailable/kDataLoss/
+  /// kInternal) move the state machine. A quarantined replica sheds its
+  /// load onto its peers; only when EVERY replica of a shard is
+  /// quarantined does the shard surface kUnavailable.
   CircuitBreakerOptions breaker;
+
+  /// Whole-query result cache (see service/result_cache.h). capacity 0
+  /// (the default) disables it. Hits skip the fan-out entirely and are
+  /// bit-identical to a fresh evaluation; any source update or topology
+  /// change invalidates every prior entry (generation-keyed keys). Note a
+  /// hit also skips the measured-cost sampling, so warm the cost model
+  /// with distinct queries (or a disabled cache) before auto-Rebalance.
+  ResultCacheOptions cache;
 };
 
-/// Per-shard counters of one StatsSnapshot() call.
+/// Per-replica counters inside one ShardStats.
+struct ReplicaStats {
+  size_t replica = 0;
+  uint64_t sub_queries = 0;      ///< Finished sub-queries this replica served.
+  uint64_t sub_query_errors = 0; ///< Of those, non-OK (incl. cancelled).
+  uint64_t in_flight = 0;        ///< Sub-queries running right now.
+  CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+  uint64_t breaker_rejections = 0; ///< Requests this breaker turned away.
+};
+
+/// Per-shard counters of one StatsSnapshot() call. The sub-query counters
+/// are sums over the shard's replicas; `replicas` holds the per-replica
+/// split. `breaker`/`breaker_rejections` keep their single-replica
+/// meaning: replica 0's state and the rejection sum (with num_replicas ==
+/// 1 both read exactly as before replication existed).
 struct ShardStats {
   size_t shard = 0;
   size_t sources = 0;            ///< Active (added minus removed) sources.
@@ -87,11 +127,15 @@ struct ShardStats {
   uint64_t sub_query_errors = 0; ///< Of those, non-OK (incl. cancelled).
   uint64_t in_flight = 0;        ///< Sub-queries running right now.
   CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
-  uint64_t breaker_rejections = 0; ///< Attempts the breaker turned away.
+  uint64_t breaker_rejections = 0; ///< Attempts the breakers turned away.
+  std::vector<ReplicaStats> replicas;
 };
 
 struct ShardedEngineStatsSnapshot {
   std::vector<ShardStats> shards;
+
+  /// Replicas per shard (uniform across shards).
+  size_t replicas = 1;
 
   /// max/mean of the per-shard cost gauges (1.0 = perfectly balanced,
   /// num_shards = all load on one shard). Fan-out latency is bounded by
@@ -106,61 +150,80 @@ struct ShardedEngineStatsSnapshot {
   /// the estimate but costs nothing measured).
   double measured_imbalance = 1.0;
 
+  /// Result-cache counters (capacity 0 = no cache configured).
+  ResultCacheStats cache;
+
   /// One line per shard, e.g. "shard0: sources=3 load=1.2e5
-  /// measured=2.1e-3s sub_queries=17 errors=0 in_flight=0", then an
-  /// "imbalance=" summary line reporting both ratios.
+  /// measured=2.1e-3s sub_queries=17 errors=0 in_flight=0", with a
+  /// per-replica breakdown when replicated, then an "imbalance=" summary
+  /// line reporting both ratios and a "cache:" line when one exists.
   std::string DebugString() const;
 };
 
 /// A database partitioned across K independent ImGrnEngine instances,
-/// queried with fan-out/merge. The partition map is pluggable (see
-/// ShardedEngineOptions::partitioner) and can be changed while the engine
-/// serves: Rebalance(plan) migrates sources between shards, Resize(K')
-/// changes the shard count — both without a reload and without ever
-/// perturbing query results.
+/// each optionally mirrored across R replicas, queried with fan-out/merge
+/// in front of an optional whole-query result cache. The partition map is
+/// pluggable (see ShardedEngineOptions::partitioner) and can be changed
+/// while the engine serves: Rebalance(plan) migrates sources between
+/// shards, Resize(K') changes the shard count, SetReplicas(R') the
+/// replica count — all without a reload and without ever perturbing query
+/// results.
 ///
 /// Why: the single-engine QueryService write-locks the WHOLE index for
 /// every AddMatrix/RemoveMatrix, and all queries contend on one buffer
 /// pool. Here an update routes to exactly one shard and only write-locks
-/// that shard's reader-writer lock — queries keep running on the other
-/// K-1 shards — and every shard traverses its own R*-tree over its own
-/// buffer pool. Modulo placement, however, cannot rebalance a skewed
-/// source-size distribution (one hot shard serializes the fan-out), hence
-/// the cost-based partitioners and online rebalancing.
+/// that shard's replicas — queries keep running on the other K-1 shards —
+/// and every replica traverses its own R*-tree over its own buffer pool.
+/// Sharding splits the data; replication multiplies READ capacity: R
+/// replicas serve R sub-queries of the same shard concurrently (reads
+/// take shared locks, but each replica has its own buffer pool and
+/// engine, so they do not contend), and the result cache short-circuits
+/// hot queries entirely.
 ///
 /// Query semantics are bit-identical to a single ImGrnEngine over the
-/// unpartitioned database, for every shard count and every partition map:
+/// unpartitioned database, for every shard count, every replica count,
+/// every partition map, and with or without the cache:
 ///   - the query GRN is inferred ONCE (same seed, same stream), then fanned
 ///     out to each shard as a sub-query over that shard's sources;
 ///   - refinement probabilities are per-source deterministic regardless of
 ///     partitioning (PermutationCache draws per-length streams — see
-///     inference/permutation_cache.h);
+///     inference/permutation_cache.h), so WHICH replica serves a
+///     sub-query cannot change its matches;
 ///   - matches come back with shard-local ids, are remapped to global
 ///     source ids, merged in ascending source order, and the top_k policy
 ///     is applied once to the merged set (sub-queries run with top_k
 ///     disabled so per-shard truncation can never hide a global winner);
 ///   - index pruning only ever discards non-answers, so different per-shard
-///     pivots change work, not results.
+///     pivots change work, not results;
+///   - a cache hit returns the stored matches and stats of the fresh
+///     evaluation that filled it (same engine state — the key embeds the
+///     update generation), flagged with QueryStats::cache_hit.
 /// tests/sharded_engine_test.cc enforces this differentially across shard
-/// counts; tests/partition_invariance_test.cc enforces it for arbitrary
-/// partition maps (random, empty shards, all-in-one) and across live
-/// Rebalance/Resize.
+/// counts; tests/partition_invariance_test.cc for arbitrary partition
+/// maps and across live Rebalance/Resize; tests/replication_test.cc
+/// across replica counts, cache hits, and breaker-tripped failover.
 ///
-/// Topology and the rebalance protocol: the shard list and the partition
-/// map live in one immutable Topology object published behind a mutex.
-/// Every query pins the current topology for its whole fan-out (a
-/// pin count on the topology object) and filters each shard's matches
-/// through the pinned map, so a query is answered by exactly one owner per
-/// source even while sources are in flight between shards. A migration
-/// step is: copy the moving sources into their destination shards (under
-/// those shards' write locks), publish the new topology, wait for every
-/// query pinned to an older topology to drain, then delete the moved
-/// sources from their old shards. Between the copy and the delete a moving
-/// source is materialized on two shards, but the map filter guarantees
-/// each query counts it exactly once — old-topology queries see it on the
-/// old owner (whose data outlives them), new-topology queries on the new.
-/// Queries on shards untouched by the plan never block; updates
-/// (AddSource/RemoveSource) serialize with a rebalance in progress.
+/// Topology and the rebalance protocol: the shard list (one ReplicaSet
+/// per shard) and the partition map live in one immutable Topology object
+/// published behind a mutex. Every query pins the current topology for
+/// its whole fan-out (a pin count on the topology object) and filters
+/// each shard's matches through the pinned map, so a query is answered by
+/// exactly one owner per source even while sources are in flight between
+/// shards. A migration step is: copy the moving sources into every
+/// replica of their destination shards (under those replicas' write
+/// locks), publish the new topology, wait for every query pinned to an
+/// older topology to drain, then delete the moved sources from their old
+/// shards' replicas. Between the copy and the delete a moving source is
+/// materialized on two shards, but the map filter guarantees each query
+/// counts it exactly once — old-topology queries see it on the old owner
+/// (whose data outlives them), new-topology queries on the new.
+/// SetReplicas reuses the same machinery: growing clones each shard's
+/// primary into fresh replicas (copy) and publishes a topology whose
+/// ReplicaSets include them; shrinking publishes sets without the dropped
+/// replicas and drains the older pins, after which the last shared_ptr
+/// retires them (publish→drain→delete). Queries on shards untouched by a
+/// plan never block; updates (AddSource/RemoveSource) serialize with a
+/// rebalance in progress.
 ///
 /// Fan-out runs on the ThreadPool passed at construction (pass null to run
 /// sub-queries sequentially on the calling thread). The pool may be shared
@@ -168,11 +231,14 @@ struct ShardedEngineStatsSnapshot {
 /// ThreadPool::WaitReady, so a worker blocked on its sub-queries executes
 /// queued tasks itself instead of deadlocking the pool.
 ///
-/// Error semantics: each sub-query runs with bounded retry/backoff for
-/// transient (kUnavailable) failures and behind its shard's circuit
-/// breaker (options.retry / options.breaker). If a shard still fails, the
-/// query returns the error Status of the lowest-numbered failing shard —
-/// unless QueryParams::allow_partial is set and the failure is an
+/// Error semantics: each sub-query attempt is routed to one replica
+/// (round-robin, skipping replicas whose circuit breaker is open) and
+/// retried with bounded backoff for transient (kUnavailable) failures —
+/// a retry after a replica failure moves straight to a peer replica, so
+/// one sick replica degrades nothing as long as a peer survives. If a
+/// shard still fails (all replicas quarantined, or retries exhausted),
+/// the query returns the error Status of the lowest-numbered failing
+/// shard — unless QueryParams::allow_partial is set and the failure is an
 /// infrastructure error (kUnavailable/kDataLoss), in which case the query
 /// degrades: it merges the surviving shards' matches (bit-exact for every
 /// source they own) and reports QueryStats::degraded plus the failed shard
@@ -180,12 +246,13 @@ struct ShardedEngineStatsSnapshot {
 /// InvalidArgument) always fail the whole query, as does every shard
 /// failing at once. All sub-queries are always gathered first — no
 /// orphaned tasks. A cancelled/expired QueryControl fans out to every
-/// shard, so all sub-queries unwind at their next checkpoint.
+/// shard, so all sub-queries unwind at their next checkpoint. Degraded
+/// and failed results are never cached.
 ///
 /// Thread safety: Query/QueryWithGraph/AddSource/RemoveSource/Rebalance/
-/// Resize/StatsSnapshot are safe from any thread once BuildIndex has run
-/// (the QueryEngine contract). LoadDatabase/BuildIndex are setup-phase
-/// calls: no other call may overlap them.
+/// Resize/SetReplicas/StatsSnapshot are safe from any thread once
+/// BuildIndex has run (the QueryEngine contract). LoadDatabase/BuildIndex
+/// are setup-phase calls: no other call may overlap them.
 class ShardedEngine : public QueryEngine {
  public:
   explicit ShardedEngine(ShardedEngineOptions options = {},
@@ -196,12 +263,13 @@ class ShardedEngine : public QueryEngine {
 
   /// Partitions the database across the shards following the configured
   /// partitioner's plan over the per-source cost estimates (each shard's
-  /// slice is remapped to that shard's dense local id space). Invalidates
-  /// any previously built indices.
+  /// slice is remapped to that shard's dense local id space, mirrored
+  /// onto every replica). Invalidates any previously built indices.
   void LoadDatabase(GeneDatabase database);
 
-  /// Builds every non-empty shard's index, in parallel when a pool is
-  /// available. Must be called after LoadDatabase and before Query.
+  /// Builds every non-empty shard replica's index, in parallel when a
+  /// pool is available. Must be called after LoadDatabase and before
+  /// Query.
   Status BuildIndex();
 
   Result<std::vector<QueryMatch>> Query(
@@ -216,12 +284,13 @@ class ShardedEngine : public QueryEngine {
 
   /// Appends a new data source; `matrix.source_id()` must equal
   /// num_sources(). The partitioner picks the owning shard (modulo: id mod
-  /// K; cost-based policies: the least-loaded shard); only that shard is
-  /// write-locked.
+  /// K; cost-based policies: the least-loaded shard); the matrix is
+  /// appended to every replica of that shard (lock step), and only those
+  /// replicas are write-locked.
   Status AddSource(GeneMatrix matrix) override;
 
   /// Retracts a source from query results. Write-locks only the owning
-  /// shard.
+  /// shard's replicas.
   Status RemoveSource(SourceId source) override;
 
   /// Migrates sources so that source i lives on shard plan.shard_of[i],
@@ -229,8 +298,8 @@ class ShardedEngine : public QueryEngine {
   /// must cover exactly num_sources() sources over num_shards() shards.
   /// Retracted sources are accepted in the plan but nothing moves for
   /// them. Blocks concurrent AddSource/RemoveSource/Rebalance/Resize for
-  /// the duration; queries only ever wait on the shards a migration step
-  /// is actively copying into or deleting from.
+  /// the duration; queries only ever wait on the replicas a migration
+  /// step is actively copying into or deleting from.
   Status Rebalance(const PartitionPlan& plan);
 
   /// Auto mode: computes a minimum-movement plan over the CALIBRATED
@@ -251,11 +320,23 @@ class ShardedEngine : public QueryEngine {
   /// Re-partitions the database across `new_num_shards` shards (grow or
   /// shrink) using the configured partitioner, without a reload. Shards
   /// keep their identity below min(K, K'); dropped shards are retired once
-  /// the last in-flight query pinned to them drains. Same blocking
-  /// behavior as Rebalance.
+  /// the last in-flight query pinned to them drains; new shards get the
+  /// current replica count. Same blocking behavior as Rebalance.
   Status Resize(size_t new_num_shards);
 
+  /// Changes the per-shard replica count at runtime, without a reload and
+  /// without perturbing queries. Growing clones every shard's primary
+  /// into fresh replicas (bit-exact copies through the same append path
+  /// migrations use) before publishing them; shrinking publishes sets
+  /// without the tail replicas and drains the queries that could still
+  /// route to them, after which they are destroyed. Does NOT invalidate
+  /// the result cache: replica membership cannot change answers.
+  Status SetReplicas(size_t num_replicas);
+
   size_t num_shards() const;
+
+  /// Current replicas per shard (uniform across shards).
+  size_t num_replicas() const;
 
   /// Total sources ever added (the dense global id space; removed sources
   /// still count — ids are never reused).
@@ -268,17 +349,22 @@ class ShardedEngine : public QueryEngine {
 
   bool has_index() const { return built_; }
 
-  /// Runs one shard's sub-query under that shard's reader lock, returning
-  /// matches with GLOBAL source ids (ascending) for the sources the
-  /// current partition map assigns to that shard. An empty shard yields an
-  /// empty result. This is the unit Query fans out; it is also useful on
-  /// its own (tests, debugging a single shard).
+  /// Runs one shard's sub-query on its PRIMARY replica under that
+  /// replica's reader lock, returning matches with GLOBAL source ids
+  /// (ascending) for the sources the current partition map assigns to
+  /// that shard. An empty shard yields an empty result. This is the unit
+  /// Query fans out (there routed across all replicas); it is also useful
+  /// on its own (tests, debugging a single shard).
   Result<std::vector<QueryMatch>> QueryShard(
       size_t shard, const ProbGraph& query_graph, const QueryParams& params,
       QueryStats* stats = nullptr,
       const QueryControl* control = nullptr) const;
 
   ShardedEngineStatsSnapshot StatsSnapshot() const;
+
+  /// Result-cache counters; all-zero (capacity 0) when no cache is
+  /// configured.
+  ResultCacheStats CacheStats() const;
 
   /// The calibrated per-source costs an auto Rebalance would plan over
   /// right now: static estimates (retracted sources zeroed) blended with
@@ -290,58 +376,21 @@ class ShardedEngine : public QueryEngine {
   /// EWMAs and sample counts, written lock-free by every sub-query.
   const MeasuredCostRegistry& measured_costs() const { return measured_; }
 
-  /// Test/instrumentation hook: the reader-writer lock of one shard, e.g.
-  /// to pin a shard in the "update in progress" state and observe that the
-  /// other shards keep serving.
-  std::shared_mutex& shard_mutex_for_testing(size_t shard) const;
+  /// Test/instrumentation hook: the reader-writer lock of one shard
+  /// replica, e.g. to pin a replica in the "update in progress" state and
+  /// observe that the other shards keep serving.
+  std::shared_mutex& shard_mutex_for_testing(size_t shard,
+                                             size_t replica = 0) const;
 
  private:
-  struct Shard {
-    Shard(const EngineOptions& options,
-          const CircuitBreakerOptions& breaker_options)
-        : engine(options), breaker(breaker_options) {}
-
-    /// Readers = sub-queries, writer = the update or migration step routed
-    /// to this shard.
-    mutable std::shared_mutex mutex;
-    ImGrnEngine engine;
-
-    /// local id i of this shard's engine holds global source
-    /// local_to_global[i]. Entries are never erased (engine local ids are
-    /// never reused); active[i] is false once the source was retracted or
-    /// migrated away. A source that migrates away and later returns gets a
-    /// fresh local id, so a global id may appear twice with at most one
-    /// entry active.
-    std::vector<SourceId> local_to_global;
-    std::vector<bool> active;
-
-    /// Engine holds a database with a built index. False for a shard that
-    /// never received a source.
-    bool built = false;
-
-    /// Count and estimated cost of active sources, mirrored atomically so
-    /// StatsSnapshot never has to touch `mutex` (it stays callable while a
-    /// shard is write-locked, e.g. from tests observing an in-flight
-    /// update). Only threads holding the engine's update lock write them.
-    std::atomic<size_t> active_sources{0};
-    std::atomic<double> cost{0.0};
-
-    mutable std::atomic<uint64_t> sub_queries_started{0};
-    mutable std::atomic<uint64_t> sub_queries_finished{0};
-    mutable std::atomic<uint64_t> sub_query_errors{0};
-
-    /// Quarantine gate for this shard's sub-queries. Travels with the
-    /// Shard object across Rebalance/Resize (a sick shard stays
-    /// quarantined through a topology change).
-    mutable CircuitBreaker breaker;
-  };
-
-  /// The unit of atomicity for queries: an immutable shard list + partition
-  /// map, published as a whole. Queries pin one topology for their entire
-  /// fan-out; Rebalance/Resize publish a successor and wait for the pins
-  /// on the predecessor to drain before deleting migrated data.
+  /// The unit of atomicity for queries: an immutable shard list (one
+  /// ReplicaSet per shard) + partition map, published as a whole. Queries
+  /// pin one topology for their entire fan-out; Rebalance/Resize/
+  /// SetReplicas publish a successor and wait for the pins on the
+  /// predecessor to drain before deleting migrated data (or dropped
+  /// replicas).
   struct Topology {
-    std::vector<std::shared_ptr<Shard>> shards;
+    std::vector<std::shared_ptr<ReplicaSet>> shards;
 
     /// Global source id -> owning shard index (size = sources known when
     /// this topology was published; later-added sources are absent and
@@ -371,18 +420,21 @@ class ShardedEngine : public QueryEngine {
 
   /// QueryShard body without the public bounds check. `topology` is the
   /// pinned snapshot whose map filters the shard's matches. Raw: one
-  /// attempt, no breaker — the fan-out path wraps it in
-  /// RunShardWithRecovery.
+  /// attempt on the given replica, no breaker — the fan-out path wraps it
+  /// in RunShardWithRecovery.
   Result<std::vector<QueryMatch>> RunShard(const Topology& topology,
                                            size_t shard_index,
+                                           size_t replica_index,
                                            const ProbGraph& query_graph,
                                            const QueryParams& params,
                                            QueryStats* stats,
                                            const QueryControl* control) const;
 
-  /// RunShard behind the shard's circuit breaker with bounded
-  /// retry/exponential backoff for kUnavailable (options_.retry). Reports
-  /// retry spend in stats->shard_retries. This is what Query's fan-out
+  /// RunShard behind the replica circuit breakers with round-robin
+  /// routing, immediate failover to a peer replica after a failure, and
+  /// bounded retry/exponential backoff for kUnavailable (options_.retry).
+  /// Reports retry spend in stats->shard_retries and replicas skipped or
+  /// abandoned in stats->replica_failovers. This is what Query's fan-out
   /// runs per shard.
   Result<std::vector<QueryMatch>> RunShardWithRecovery(
       const Topology& topology, size_t shard_index,
@@ -404,26 +456,43 @@ class ShardedEngine : public QueryEngine {
 
   /// Shared migration machinery of Rebalance and Resize: moves every
   /// active source to target_map's shard, over the target_shards list
-  /// (which reuses the current Shard objects for indices they share).
-  /// Caller holds update_mutex_.
-  Status MigrateLocked(std::vector<std::shared_ptr<Shard>> target_shards,
+  /// (which reuses the current ReplicaSet objects for indices they
+  /// share). Caller holds update_mutex_.
+  Status MigrateLocked(std::vector<std::shared_ptr<ReplicaSet>> target_shards,
                        std::vector<uint32_t> target_map);
 
-  /// Appends `matrix` (a global source) to `shard`'s engine under its
-  /// write lock, bootstrapping the engine if the shard was empty.
-  Status AppendToShardLocked(Shard& shard, GeneMatrix matrix, SourceId global,
-                             double cost);
+  /// Appends `matrix` (a global source) to `replica`'s engine under its
+  /// write lock, bootstrapping the engine if the replica was empty.
+  Status AppendToReplicaLocked(ShardReplica& replica, GeneMatrix matrix,
+                               SourceId global, double cost);
+
+  /// Appends a copy of `matrix` to EVERY replica of `set` (lock step).
+  /// On a mid-set failure the copies already appended are rolled back, so
+  /// the set never exposes the source on some replicas but not others.
+  Status AppendToAllReplicasLocked(ReplicaSet& set, const GeneMatrix& matrix,
+                                   SourceId global, double cost);
+
+  /// Deactivates `global` on every replica of `set` (engine RemoveMatrix
+  /// + side tables + gauges, under each replica's write lock). With
+  /// `must_exist`, a replica without an active entry is a CHECK failure
+  /// (replicas mirror the same active set); without it such replicas are
+  /// skipped (rollback of a partially appended copy).
+  Status RemoveFromReplicasLocked(ReplicaSet& set, SourceId global,
+                                  double cost, bool must_exist);
 
   /// CalibratedSourceCosts() body; caller holds update_mutex_.
   std::vector<double> CalibratedCostsLocked() const;
 
-  /// Index of `global`'s active entry in shard.local_to_global, or -1.
-  static int64_t ActiveLocalOf(const Shard& shard, SourceId global);
+  /// Index of `global`'s active entry in replica.local_to_global, or -1.
+  static int64_t ActiveLocalOf(const ShardReplica& replica, SourceId global);
 
-  /// Creates a Shard with the configured engine options, giving it a
-  /// fresh backing file under options_.storage_dir when one is set.
+  /// Creates one ShardReplica with the configured engine options, giving
+  /// it a fresh backing file under options_.storage_dir when one is set.
   /// Caller must hold update_mutex_ or be in a setup-phase call.
-  std::shared_ptr<Shard> MakeShard();
+  std::shared_ptr<ShardReplica> MakeReplica();
+
+  /// A fresh ReplicaSet of `num_replicas` empty replicas.
+  std::shared_ptr<ReplicaSet> MakeReplicaSet(size_t num_replicas);
 
   ShardedEngineOptions options_;
   std::shared_ptr<const Partitioner> partitioner_;  // Never null.
@@ -439,16 +508,28 @@ class ShardedEngine : public QueryEngine {
   mutable std::vector<std::weak_ptr<const Topology>> topology_history_;
   mutable std::mutex topology_mutex_;
 
-  /// Serializes AddSource/RemoveSource/Rebalance/Resize with each other
-  /// (routing + migration metadata below). Queries never touch this mutex
-  /// — an update only contends with sub-queries of its own shard, via that
-  /// shard's mutex.
+  /// Serializes AddSource/RemoveSource/Rebalance/Resize/SetReplicas with
+  /// each other (routing + migration metadata below). Queries never touch
+  /// this mutex — an update only contends with sub-queries of its own
+  /// shard, via the replica mutexes.
   mutable std::mutex update_mutex_;
   size_t next_source_ = 0;
-  size_t shard_files_created_ = 0;  ///< Names the next per-shard file.
+  size_t shard_files_created_ = 0;  ///< Names the next per-replica file.
   std::vector<double> source_cost_;  ///< Per global source, for replanning.
   std::vector<bool> retracted_;      ///< RemoveSource'd global ids.
   bool built_ = false;
+
+  /// The result cache's invalidation clock: bumped by every mutation that
+  /// can change answers (LoadDatabase, AddSource, RemoveSource, and every
+  /// Rebalance/Resize — conservatively, since a pure migration cannot).
+  /// Cache keys embed the generation they were computed at, so bumping
+  /// makes every prior entry unservable. SetReplicas deliberately does
+  /// NOT bump: replica membership never changes answers, so the cache
+  /// stays warm through replica scaling.
+  mutable std::atomic<uint64_t> update_generation_{0};
+
+  /// Null when options_.cache.capacity == 0.
+  mutable std::unique_ptr<ResultCache> cache_;
 
   /// Measured per-source query cost, fed by RunShard on every sub-query
   /// (one sample per live source of the shard, zero for untouched ones, so

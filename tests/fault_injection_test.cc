@@ -294,43 +294,30 @@ TEST(CircuitBreakerTest, NeutralReleasesProbeWithoutVerdict) {
 
 // --- Serving-layer degradation ------------------------------------------
 
+// This suite's planted-cluster database (see tests/test_util.h): shorter
+// sample counts and different filler genes than the sharding suites, so a
+// regression here cannot be masked by a stale golden from another binary.
+constexpr testing_util::ClusterDatabaseConfig kFaultConfig = {
+    .samples_base = 26, .samples_mod = 4, .filler_base = 40};
+
 GeneMatrix FaultClusterMatrix(SourceId source) {
-  Rng rng(900 + source);
-  const size_t num_samples = 26 + 2 * (source % 4);
-  return MakePlantedMatrix(source, num_samples, {{1, 2, 3}},
-                           {40 + 10 * source, 41 + 10 * source}, 0.97, &rng);
+  return testing_util::MakeClusterMatrix(kFaultConfig, source);
 }
 
 GeneDatabase FaultDatabase(size_t num_sources) {
-  GeneDatabase database;
-  for (SourceId i = 0; i < num_sources; ++i) {
-    database.Add(FaultClusterMatrix(i));
-  }
-  return database;
+  return testing_util::MakeClusterDatabase(kFaultConfig, num_sources);
 }
 
 GeneMatrix FaultQueryMatrix() {
-  Rng rng(8800);
-  return MakePlantedMatrix(0, 30, {{1, 2, 3}}, {}, 0.97, &rng);
+  return testing_util::MakeClusterQueryMatrix(8800, /*num_samples=*/30);
 }
 
-QueryParams FaultParams() {
-  QueryParams params;
-  params.gamma = 0.5;
-  params.alpha = 0.3;
-  return params;
-}
+QueryParams FaultParams() { return testing_util::DefaultClusterParams(); }
 
 void ExpectSameMatches(const std::vector<QueryMatch>& actual,
                        const std::vector<QueryMatch>& expected,
                        const std::string& context) {
-  ASSERT_EQ(actual.size(), expected.size()) << context;
-  for (size_t i = 0; i < actual.size(); ++i) {
-    EXPECT_EQ(actual[i].source, expected[i].source) << context << " " << i;
-    EXPECT_EQ(actual[i].probability, expected[i].probability)
-        << context << " " << i;
-    EXPECT_EQ(actual[i].mapping, expected[i].mapping) << context << " " << i;
-  }
+  testing_util::ExpectIdenticalMatches(actual, expected, context);
 }
 
 class ServingFaultTest : public ::testing::Test {

@@ -29,22 +29,18 @@ namespace {
 
 using testing_util::MakePlantedMatrix;
 
-// Cluster {1, 2, 3} planted in every source (so every source answers the
-// query) plus per-source filler genes; varying sample counts exercise
-// several permutation-cache lengths.
+// This suite's planted-cluster database is the shared-scaffolding default
+// (see tests/test_util.h): cluster {1, 2, 3} in every source plus
+// per-source filler genes, varying sample counts exercising several
+// permutation-cache lengths.
+constexpr testing_util::ClusterDatabaseConfig kConfig = {};
+
 GeneMatrix ClusterMatrix(SourceId source) {
-  Rng rng(900 + source);
-  const size_t num_samples = 28 + 2 * (source % 5);
-  return MakePlantedMatrix(source, num_samples, {{1, 2, 3}},
-                           {50 + 10 * source, 51 + 10 * source}, 0.97, &rng);
+  return testing_util::MakeClusterMatrix(kConfig, source);
 }
 
 GeneDatabase MakeDatabase(size_t num_sources) {
-  GeneDatabase database;
-  for (SourceId i = 0; i < num_sources; ++i) {
-    database.Add(ClusterMatrix(i));
-  }
-  return database;
+  return testing_util::MakeClusterDatabase(kConfig, num_sources);
 }
 
 // A skewed database: sources with id % 4 == 0 are "giants" (40 genes),
@@ -74,29 +70,15 @@ GeneDatabase MakeSkewedDatabase(size_t num_sources) {
 }
 
 GeneMatrix ClusterQueryMatrix(uint64_t seed) {
-  Rng rng(seed);
-  return MakePlantedMatrix(0, 32, {{1, 2, 3}}, {}, 0.97, &rng);
+  return testing_util::MakeClusterQueryMatrix(seed);
 }
 
-QueryParams DefaultParams() {
-  QueryParams params;
-  params.gamma = 0.5;
-  params.alpha = 0.3;
-  return params;
-}
+QueryParams DefaultParams() { return testing_util::DefaultClusterParams(); }
 
 void ExpectIdentical(const std::vector<QueryMatch>& actual,
                      const std::vector<QueryMatch>& expected,
                      const std::string& context) {
-  ASSERT_EQ(actual.size(), expected.size()) << context;
-  for (size_t i = 0; i < actual.size(); ++i) {
-    EXPECT_EQ(actual[i].source, expected[i].source)
-        << context << " [" << i << "]";
-    EXPECT_EQ(actual[i].probability, expected[i].probability)
-        << context << " [" << i << "]";
-    EXPECT_EQ(actual[i].mapping, expected[i].mapping)
-        << context << " [" << i << "]";
-  }
+  testing_util::ExpectIdenticalMatches(actual, expected, context);
 }
 
 // A uniformly random plan; with K near num_sources some shards come out
@@ -111,22 +93,7 @@ PartitionPlan RandomPlan(size_t num_sources, size_t num_shards, Rng* rng) {
   return plan;
 }
 
-class PartitionInvarianceTest : public ::testing::Test {
- protected:
-  void BuildReference(GeneDatabase database) {
-    reference_.LoadDatabase(std::move(database));
-    ASSERT_TRUE(reference_.BuildIndex().ok());
-  }
-
-  std::vector<QueryMatch> ReferenceQuery(const GeneMatrix& query,
-                                         const QueryParams& params) {
-    Result<std::vector<QueryMatch>> result = reference_.Query(query, params);
-    EXPECT_TRUE(result.ok()) << result.status().ToString();
-    return *result;
-  }
-
-  ImGrnEngine reference_;
-};
+using PartitionInvarianceTest = testing_util::ReferenceEngineFixture;
 
 TEST_F(PartitionInvarianceTest, RandomMapsMatchSingleEngine) {
   const size_t kSources = 10;

@@ -19,78 +19,50 @@
 namespace imgrn {
 namespace {
 
-using testing_util::MakePathQuery;
-using testing_util::MakePlantedMatrix;
+using testing_util::ClusterDatabaseConfig;
+using testing_util::ExpectIdenticalMatches;
+using testing_util::MakeClusterDatabase;
+using testing_util::MakeClusterMatrix;
+using testing_util::MakeClusterQueryMatrix;
+using testing_util::MakeShardedOptions;
 
-// Every database matrix contains the planted cluster {1, 2, 3} plus
-// per-source filler genes; sample counts vary per source so the
-// permutation cache serves several lengths (the order-invariance the
-// differential equality depends on).
+// This suite's planted-cluster database (see tests/test_util.h): every
+// matrix contains the cluster {1, 2, 3} plus per-source filler genes;
+// sample counts vary per source so the permutation cache serves several
+// lengths (the order-invariance the differential equality depends on).
+constexpr ClusterDatabaseConfig kConfig = {.seed_base = 500};
+
 GeneMatrix ClusterMatrix(SourceId source) {
-  Rng rng(500 + source);
-  const size_t num_samples = 28 + 2 * (source % 5);
-  return MakePlantedMatrix(source, num_samples, {{1, 2, 3}},
-                           {50 + 10 * source, 51 + 10 * source}, 0.97, &rng);
+  return MakeClusterMatrix(kConfig, source);
 }
 
 GeneDatabase MakeDatabase(size_t num_sources) {
-  GeneDatabase database;
-  for (SourceId i = 0; i < num_sources; ++i) {
-    database.Add(ClusterMatrix(i));
-  }
-  return database;
+  return MakeClusterDatabase(kConfig, num_sources);
 }
 
 GeneMatrix ClusterQueryMatrix(uint64_t seed) {
-  Rng rng(seed);
-  return MakePlantedMatrix(0, 32, {{1, 2, 3}}, {}, 0.97, &rng);
+  return MakeClusterQueryMatrix(seed);
 }
 
 void ExpectIdentical(const std::vector<QueryMatch>& actual,
                      const std::vector<QueryMatch>& expected,
                      const std::string& context) {
-  ASSERT_EQ(actual.size(), expected.size()) << context;
-  for (size_t i = 0; i < actual.size(); ++i) {
-    EXPECT_EQ(actual[i].source, expected[i].source) << context << " [" << i
-                                                    << "]";
-    // Byte-identical probabilities: partitioning must not perturb a single
-    // bit of the refinement pipeline.
-    EXPECT_EQ(actual[i].probability, expected[i].probability)
-        << context << " [" << i << "]";
-    EXPECT_EQ(actual[i].mapping, expected[i].mapping) << context << " [" << i
-                                                      << "]";
-  }
+  ExpectIdenticalMatches(actual, expected, context);
 }
 
-QueryParams DefaultParams() {
-  QueryParams params;
-  params.gamma = 0.5;
-  params.alpha = 0.3;
-  return params;
-}
+QueryParams DefaultParams() { return testing_util::DefaultClusterParams(); }
 
 ShardedEngineOptions Opts(size_t num_shards) {
-  ShardedEngineOptions options;
-  options.num_shards = num_shards;
-  return options;
+  return MakeShardedOptions(num_shards);
 }
 
-class ShardedEngineTest : public ::testing::Test {
+class ShardedEngineTest : public testing_util::ReferenceEngineFixture {
  protected:
   // The single-engine ground truth over `num_sources` cluster matrices.
   void BuildReference(size_t num_sources) {
-    reference_.LoadDatabase(MakeDatabase(num_sources));
-    ASSERT_TRUE(reference_.BuildIndex().ok());
+    testing_util::ReferenceEngineFixture::BuildReference(
+        MakeDatabase(num_sources));
   }
-
-  std::vector<QueryMatch> ReferenceQuery(const GeneMatrix& query,
-                                         const QueryParams& params) {
-    Result<std::vector<QueryMatch>> result = reference_.Query(query, params);
-    EXPECT_TRUE(result.ok()) << result.status().ToString();
-    return *result;
-  }
-
-  ImGrnEngine reference_;
 };
 
 TEST_F(ShardedEngineTest, DifferentialEqualityAcrossShardCounts) {

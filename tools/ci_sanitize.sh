@@ -11,7 +11,11 @@
 # sanitizer should see) and "robustness" (fault injection, circuit
 # breaker, degraded queries, and fault-killed migrations: the
 # rollback/roll-forward paths normal traffic never reaches, where leaks
-# and races hide); see tests/CMakeLists.txt. The ASan run additionally
+# and races hide) and "replication" (the replica-set + result-cache
+# differential suites: round-robin routing over lock-free cursors, breaker
+# failover, and generation-keyed cache eviction/replacement — run under
+# BOTH kinds, races on the routing side and leaks on the eviction side);
+# see tests/CMakeLists.txt. The ASan run additionally
 # covers "storage" (the durable page store: shadow-paging recovery,
 # kill-at-each-fsync-point reopen, snapshot corruption rejection — raw
 # buffer juggling on paths where overflows and leaks hide; the binaries
@@ -70,7 +74,8 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
   -DIMGRN_SANITIZE="$KIND"
 TARGETS="thread_pool_test query_service_test sharded_engine_test \
          shard_stress_test histogram_test partition_invariance_test \
-         cost_model_test fault_injection_test"
+         cost_model_test fault_injection_test replication_test \
+         result_cache_test"
 if [ "$KIND" = address ]; then
   TARGETS="$TARGETS disk_storage_test snapshot_test storage_differential_test"
 fi
@@ -88,7 +93,7 @@ fi
 
 # One ctest invocation per label (gtest_discover_tests supports only one
 # label per binary, so the gate's coverage is the union of these runs).
-LABELS="concurrency partitioning robustness"
+LABELS="concurrency partitioning robustness replication"
 if [ "$KIND" = address ]; then
   LABELS="$LABELS storage"
 fi

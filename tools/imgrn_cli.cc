@@ -9,7 +9,7 @@
 //       Build and persist the IM-GRN index.
 //   imgrn query --db=db.txt --index=db.idx --query=q.txt
 //               [--gamma=0.5] [--alpha=0.5] [--top_k=0] [--shards=1]
-//               [--store=mem|disk:FILE]
+//               [--replicas=1] [--store=mem|disk:FILE]
 //               [--partition=modulo|balanced|calibrated]
 //               [--fault=SPEC] [--fault-seed=N] [--allow-partial=0|1]
 //       Run one IM-GRN query; q.txt is a gene matrix file (matrix_io.h).
@@ -33,12 +33,27 @@
 //       packing; calibrated: LPT over measured-cost-blended estimates —
 //       see service/partitioner.h and service/cost_model.h). Incompatible
 //       with --index (per-shard indices are built in memory).
+//       --replicas=R > 1 mirrors every shard across R replicas
+//       (service/replica_set.h): updates apply to all replicas in lock
+//       step and each sub-query is served by one replica picked
+//       round-robin, so the matches are identical to --replicas=1 by
+//       construction (read scaling, not a semantic knob). Implies the
+//       sharded path even with --shards=1.
 //       --fault= installs fault-injection rules for the run (grammar in
 //       common/fault_injection.h, e.g. --fault=shard.subquery#1=n1);
 //       --fault-seed seeds the probabilistic triggers. With
 //       --allow-partial=1 a query that loses shards degrades instead of
 //       failing: the surviving shards' matches are printed, a DEGRADED
 //       line names the failed shards, and the exit code stays 0.
+//   imgrn cache stats --db=db.txt --query=q.txt [--shards=2] [--replicas=1]
+//               [--capacity=64] [--repeat=3] [--gamma=0.5] ...
+//       Demo/diagnostic for the whole-query result cache
+//       (service/result_cache.h): run the same query --repeat times
+//       against a sharded engine with a --capacity-entry cache, print
+//       each run's cache_hit flag and wall-clock (run 1 misses and fills,
+//       the rest hit and skip the fan-out entirely), then dump the final
+//       cache counters. Every run's matches are bit-identical by the
+//       cache-key determinism contract.
 //   imgrn rebalance --db=db.txt --query=q.txt [--shards=4] [--auto=1]
 //               [--target-imbalance=1.25] [--warmup=4] ...
 //       Demo/diagnostic for online rebalancing: load the database
@@ -209,6 +224,7 @@ int CmdQuery(int argc, char** argv) {
              {"alpha", "0.5"},
              {"top_k", "0"},
              {"shards", "1"},
+             {"replicas", "1"},
              {"partition", "modulo"},
              {"fault", ""},
              {"fault-seed", "1234"},
@@ -229,6 +245,11 @@ int CmdQuery(int argc, char** argv) {
     std::fprintf(stderr, "--shards must be >= 1\n");
     return 2;
   }
+  const size_t replicas = static_cast<size_t>(args.GetInt("replicas"));
+  if (replicas == 0) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 2;
+  }
   Result<std::shared_ptr<const Partitioner>> partitioner =
       ParsePartitioner(args.Get("partition"));
   if (!partitioner.ok()) {
@@ -236,10 +257,11 @@ int CmdQuery(int argc, char** argv) {
                  partitioner.status().message().c_str());
     return 2;
   }
-  if (shards > 1 && args.Has("index")) {
+  const bool sharded_path = shards > 1 || replicas > 1;
+  if (sharded_path && args.Has("index")) {
     std::fprintf(stderr,
-                 "--shards > 1 builds per-shard indices in memory and "
-                 "cannot use --index\n");
+                 "--shards > 1 / --replicas > 1 build per-shard indices in "
+                 "memory and cannot use --index\n");
     return 2;
   }
   Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
@@ -272,13 +294,15 @@ int CmdQuery(int argc, char** argv) {
 
   QueryStats stats;
   Result<std::vector<QueryMatch>> matches = std::vector<QueryMatch>{};
-  if (shards > 1) {
+  if (sharded_path) {
     std::fprintf(stderr,
-                 "(sharding across %zu in-memory engines, %s partitioning)\n",
-                 shards, (*partitioner)->name());
+                 "(sharding across %zu in-memory engines x %zu replicas, "
+                 "%s partitioning)\n",
+                 shards, replicas, (*partitioner)->name());
     ThreadPool pool;
     ShardedEngineOptions options;
     options.num_shards = shards;
+    options.num_replicas = replicas;
     options.partitioner = *partitioner;
     ShardedEngine engine(options, &pool);
     engine.LoadDatabase(std::move(*database));
@@ -330,6 +354,91 @@ int CmdQuery(int argc, char** argv) {
               static_cast<unsigned long long>(stats.page_accesses),
               stats.candidate_pairs, matches->size());
   PrintMatches(*matches);
+  return 0;
+}
+
+// Demo/diagnostic for the whole-query result cache: run one query
+// --repeat times and show the miss-then-hit pattern plus the final cache
+// counters. See the header comment for the contract.
+int CmdCache(int argc, char** argv) {
+  if (argc < 3 || std::strcmp(argv[2], "stats") != 0) {
+    std::fprintf(stderr,
+                 "usage: imgrn cache stats --db=FILE --query=FILE "
+                 "[--shards=2] [--replicas=1] [--capacity=64] [--repeat=3] "
+                 "[--gamma=0.5] [--alpha=0.5] [--top_k=0] [--seed=99]\n");
+    return 2;
+  }
+  Args args(argc, argv, 3,
+            {{"db", ""},
+             {"query", ""},
+             {"shards", "2"},
+             {"replicas", "1"},
+             {"capacity", "64"},
+             {"repeat", "3"},
+             {"gamma", "0.5"},
+             {"alpha", "0.5"},
+             {"top_k", "0"},
+             {"seed", "99"}});
+  if (!args.Has("db") || !args.Has("query")) {
+    std::fprintf(stderr, "cache stats requires --db=FILE --query=FILE\n");
+    return 2;
+  }
+  const size_t shards = static_cast<size_t>(args.GetInt("shards"));
+  const size_t replicas = static_cast<size_t>(args.GetInt("replicas"));
+  const size_t capacity = static_cast<size_t>(args.GetInt("capacity"));
+  const size_t repeat = static_cast<size_t>(args.GetInt("repeat"));
+  if (shards == 0 || replicas == 0 || repeat == 0) {
+    std::fprintf(stderr, "--shards/--replicas/--repeat must be >= 1\n");
+    return 2;
+  }
+  if (capacity == 0) {
+    std::fprintf(stderr, "--capacity must be >= 1 (0 disables the cache)\n");
+    return 2;
+  }
+  Result<GeneDatabase> database = LoadGeneDatabase(args.Get("db"));
+  if (!database.ok()) return Fail(database.status());
+  Result<GeneMatrix> query_matrix = LoadGeneMatrix(args.Get("query"));
+  if (!query_matrix.ok()) return Fail(query_matrix.status());
+
+  QueryParams params;
+  params.gamma = args.GetDouble("gamma");
+  params.alpha = args.GetDouble("alpha");
+  params.top_k = static_cast<size_t>(args.GetInt("top_k"));
+  params.seed = static_cast<uint64_t>(args.GetInt("seed"));
+
+  ThreadPool pool;
+  ShardedEngineOptions options;
+  options.num_shards = shards;
+  options.num_replicas = replicas;
+  options.cache.capacity = capacity;
+  ShardedEngine engine(options, &pool);
+  engine.LoadDatabase(std::move(*database));
+  Status status = engine.BuildIndex();
+  if (!status.ok()) return Fail(status);
+
+  size_t answers = 0;
+  for (size_t run = 0; run < repeat; ++run) {
+    QueryStats stats;
+    Result<std::vector<QueryMatch>> matches =
+        engine.Query(*query_matrix, params, &stats);
+    if (!matches.ok()) return Fail(matches.status());
+    answers = matches->size();
+    std::printf("run %zu: cache_hit=%s %.6f s, %zu answers\n", run + 1,
+                stats.cache_hit ? "true" : "false", stats.total_seconds,
+                matches->size());
+  }
+  const ResultCacheStats cache = engine.CacheStats();
+  std::printf("cache: capacity=%zu size=%zu hits=%llu misses=%llu "
+              "insertions=%llu evictions=%llu hit_rate=%.3f\n",
+              cache.capacity, cache.size,
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.insertions),
+              static_cast<unsigned long long>(cache.evictions),
+              cache.hit_rate());
+  std::printf("answers: %zu (bit-identical across runs by the cache-key "
+              "determinism contract)\n",
+              answers);
   return 0;
 }
 
@@ -642,8 +751,8 @@ int CmdKernels(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: imgrn <generate|build-index|extract-query|query|rebalance|"
-      "snapshot|infer|kernels> [--flags]\n"
+      "usage: imgrn <generate|build-index|extract-query|query|cache|"
+      "rebalance|snapshot|infer|kernels> [--flags]\n"
       "(see the header comment of tools/imgrn_cli.cc)\n");
   return 2;
 }
@@ -656,6 +765,7 @@ int Main(int argc, char** argv) {
     return CmdBuildIndex(argc, argv);
   }
   if (std::strcmp(command, "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(command, "cache") == 0) return CmdCache(argc, argv);
   if (std::strcmp(command, "rebalance") == 0) return CmdRebalance(argc, argv);
   if (std::strcmp(command, "snapshot") == 0) return CmdSnapshot(argc, argv);
   if (std::strcmp(command, "extract-query") == 0) {
