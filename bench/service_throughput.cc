@@ -35,8 +35,17 @@
 // workload replays the same query set --rounds times, so with a cache
 // every round after the first hits; sharded JSON lines then carry
 // "replicas", "qps_per_replica" and the observed "cache_hit_rate".
+//
+// --maintenance=1 runs the self-healing maintenance daemon
+// (service/maintenance.h) in the background during every sharded pass —
+// the scrubber seal-verifies --scrub-pages pages per tick while the
+// workload hammers the same replicas — and the JSON line gains
+// "scrub_pages_per_sec", "pages_scrubbed", "pages_reclaimed" and
+// "rebalance_fires", quantifying the scrub throughput the serving path
+// sustains alongside queries.
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -87,6 +96,10 @@ int Main(int argc, char** argv) {
                 "0 | 1 = auto-rebalance on measured costs and re-run"},
                {"target-imbalance",
                 "1.25 | auto-rebalance max/mean target (with --calibrate)"},
+               {"maintenance",
+                "0 | 1 = run the maintenance daemon during sharded passes"},
+               {"scrub-pages",
+                "64 | maintenance scrub pages per tick (with --maintenance)"},
                {"json_out",
                 " | append every JSON line to this file as well"},
                {"gamma", "0.5 | inference threshold"},
@@ -143,6 +156,9 @@ int Main(int argc, char** argv) {
   const std::shared_ptr<const Partitioner> partitioner = *parsed;
   const bool calibrate = flags.GetInt("calibrate") != 0;
   const double target_imbalance = flags.GetDouble("target-imbalance");
+  const bool run_maintenance = flags.GetInt("maintenance") != 0;
+  const size_t scrub_pages =
+      static_cast<size_t>(flags.GetInt("scrub-pages"));
   const std::string json_out = flags.GetString("json_out");
   std::FILE* json_file = nullptr;
   if (!json_out.empty()) {
@@ -198,12 +214,15 @@ int Main(int argc, char** argv) {
 
   // Replays the workload through one service and prints the JSON line
   // (and appends it to --json_out when given). `extra` carries additional
-  // ,"key":value fields, e.g. the calibration outcome of a second pass.
+  // ,"key":value fields, e.g. the calibration outcome of a second pass; a
+  // function so it can be evaluated AFTER the timed run (the maintenance
+  // counters only exist then).
   double qps_at_1 = 0.0;
   auto run_setting = [&](QueryService& service, size_t num_threads,
                          size_t num_shards, size_t replicas,
                          double imbalance, const ShardedEngine* sharded,
-                         const std::string& extra = std::string()) {
+                         const std::function<std::string()>& extra_fn =
+                             nullptr) {
     // One warmup pass (buffer pools, first-touch) outside the clock.
     (void)service.QueryBatch(queries, params);
 
@@ -234,7 +253,8 @@ int Main(int argc, char** argv) {
                     ",\"cache_hit_rate\":%.3f",
                     sharded->CacheStats().hit_rate());
     }
-    char line[640];
+    const std::string extra = extra_fn ? extra_fn() : std::string();
+    char line[832];
     std::snprintf(
         line, sizeof(line),
         "{\"bench\":\"service_throughput\",\"threads\":%zu,\"shards\":%zu,"
@@ -277,6 +297,13 @@ int Main(int argc, char** argv) {
       sharded_options.num_replicas = num_replicas;
       sharded_options.cache.capacity = cache_capacity;
       sharded_options.partitioner = partitioner;
+      if (run_maintenance) {
+        sharded_options.maintenance.enabled = true;
+        // Real background ticks: the point of the axis is what the scrub
+        // rate costs (and sustains) UNDER load, not a driven simulation.
+        sharded_options.maintenance.tick_interval_micros = 2000;
+        sharded_options.maintenance.scrub_pages_per_tick = scrub_pages;
+      }
       ShardedEngine sharded(sharded_options, &pool);
       sharded.LoadDatabase(make_database());
       const Status sharded_built = sharded.BuildIndex();
@@ -286,8 +313,31 @@ int Main(int argc, char** argv) {
         return 1;
       }
       QueryService service(&sharded, &pool, options);
+      std::function<std::string()> maintenance_extra;
+      if (run_maintenance) {
+        MaintenanceDaemon* daemon = sharded.maintenance();
+        maintenance_extra = [daemon, before = daemon->Stats(),
+                             timer = Stopwatch()]() {
+          const MaintenanceStats now = daemon->Stats();
+          const double seconds = timer.ElapsedSeconds();
+          const uint64_t scrubbed =
+              now.pages_scrubbed - before.pages_scrubbed;
+          char buf[224];
+          std::snprintf(
+              buf, sizeof(buf),
+              ",\"maintenance\":1,\"scrub_pages_per_sec\":%.1f,"
+              "\"pages_scrubbed\":%llu,\"pages_reclaimed\":%llu,"
+              "\"rebalance_fires\":%llu",
+              seconds > 0 ? static_cast<double>(scrubbed) / seconds : 0.0,
+              static_cast<unsigned long long>(now.pages_scrubbed),
+              static_cast<unsigned long long>(now.pages_reclaimed),
+              static_cast<unsigned long long>(now.rebalance_fires));
+          return std::string(buf);
+        };
+      }
       run_setting(service, num_threads, num_shards, num_replicas,
-                  sharded.StatsSnapshot().imbalance, &sharded);
+                  sharded.StatsSnapshot().imbalance, &sharded,
+                  maintenance_extra);
       if (calibrate) {
         // The timed pass above fed the measured cost model; move just
         // enough sources to bring the measured imbalance under target and
@@ -307,7 +357,8 @@ int Main(int argc, char** argv) {
                       "\"measured_imbalance\":%.3f",
                       moved, after.measured_imbalance);
         run_setting(service, num_threads, num_shards, num_replicas,
-                    after.imbalance, &sharded, extra);
+                    after.imbalance, &sharded,
+                    [text = std::string(extra)] { return text; });
       }
     }
   }

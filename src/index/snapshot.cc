@@ -233,6 +233,61 @@ Status WriteSnapshot(const GeneDatabase& database, ImGrnIndex* index,
   return store->Sync();
 }
 
+Status CollectSnapshotPages(StorageManager* store,
+                            std::vector<PageId>* pages) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("no store to walk");
+  }
+  const PageId directory = store->app_root();
+  if (directory == kInvalidPageId) {
+    return Status::NotFound("store holds no snapshot");
+  }
+  Page scratch(store->page_size());
+  Result<Page*> dir = store->Read(directory, &scratch);
+  IMGRN_RETURN_IF_ERROR(dir.status());
+  char magic[8];
+  (*dir)->ReadBytes(0, magic, sizeof(magic));
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("store's root page is not a snapshot");
+  }
+  pages->push_back(directory);
+  PageStreamRef refs[kNumSections];
+  size_t offset = 16;
+  for (PageStreamRef& ref : refs) {
+    ref.head = (*dir)->ReadAt<PageId>(offset);
+    ref.num_bytes = (*dir)->ReadAt<uint64_t>(offset + sizeof(PageId));
+    offset += kRefSize;
+  }
+  // Walk each section's page chain (first 4 bytes of every stream page
+  // link to the next one), bounded by the store size against corrupt
+  // cycles.
+  for (const PageStreamRef& ref : refs) {
+    PageId id = ref.head;
+    for (uint64_t hops = store->num_pages();
+         id != kInvalidPageId && hops > 0; --hops) {
+      pages->push_back(id);
+      Result<Page*> page = store->Read(id, &scratch);
+      IMGRN_RETURN_IF_ERROR(page.status());
+      id = (*page)->ReadAt<PageId>(0);
+    }
+    if (id != kInvalidPageId) {
+      return Status::DataLoss("snapshot page chain cycles");
+    }
+  }
+  // The snapshot's tree is pinned too: its meta section names the node
+  // pages LoadSnapshot would restore from, which may differ from the
+  // current in-memory tree's after a rebuild that has not re-snapshotted.
+  {
+    PageStreamReader reader(store, refs[2]);
+    Result<RTreeMeta> meta = ReadTreeMeta(&reader);
+    IMGRN_RETURN_IF_ERROR(meta.status());
+    for (PageId page : meta->node_pages) {
+      if (page != kInvalidPageId) pages->push_back(page);
+    }
+  }
+  return Status::Ok();
+}
+
 Result<SnapshotContents> ReadSnapshot(StorageManager* store) {
   if (store == nullptr) {
     return Status::InvalidArgument("no store to read a snapshot from");

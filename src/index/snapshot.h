@@ -49,6 +49,18 @@ Status WriteSnapshot(const GeneDatabase& database, ImGrnIndex* index,
 /// directory and every section.
 Result<SnapshotContents> ReadSnapshot(StorageManager* store);
 
+/// Appends every page the store's snapshot references — the directory
+/// page, the three section stream chains, and the snapshot's tree node
+/// pages — to `pages`. This is the snapshot's share of the live set for
+/// storage reclamation (ImGrnEngine::ReclaimStorage): any live page
+/// reachable from neither here nor the current index's tree is stranded
+/// garbage (typically the node pages of a tree that was rebuilt over the
+/// same store). kNotFound when the store holds no snapshot; a walk that
+/// fails partway returns the error with `pages` in an undefined state —
+/// callers must then skip reclamation rather than trust a partial set.
+Status CollectSnapshotPages(StorageManager* store,
+                            std::vector<PageId>* pages);
+
 }  // namespace imgrn
 
 #endif  // IMGRN_INDEX_SNAPSHOT_H_

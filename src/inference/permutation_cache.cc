@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "matrix/simd_ops.h"
 #include "matrix/vector_ops.h"
 
@@ -41,18 +42,26 @@ const std::vector<std::vector<uint32_t>>& PermutationCache::ForLength(
   // requested in must not matter, or per-matrix refinement results would
   // depend on which other matrices share the query (breaking the sharded
   // engine's bit-identity with a single engine).
+  Stopwatch fill_timer;
   Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(l) + 1)));
   std::vector<std::vector<uint32_t>> perms(num_samples_);
   for (auto& perm : perms) {
     rng.Permutation(l, &perm);
   }
-  return cache_.emplace(l, std::move(perms)).first->second;
+  auto& entry = cache_.emplace(l, std::move(perms)).first->second;
+  fill_seconds_ += fill_timer.ElapsedSeconds();
+  return entry;
 }
 
 const PermutationBlocks& PermutationCache::BlocksForLength(size_t l) {
   auto it = blocks_.find(l);
   if (it != blocks_.end()) return it->second;
-  return blocks_.emplace(l, PermutationBlocks(ForLength(l), l)).first->second;
+  const std::vector<std::vector<uint32_t>>& perms = ForLength(l);
+  Stopwatch fill_timer;
+  auto& entry =
+      blocks_.emplace(l, PermutationBlocks(perms, l)).first->second;
+  fill_seconds_ += fill_timer.ElapsedSeconds();
+  return entry;
 }
 
 double EstimateEdgeProbabilityCached(std::span<const double> xs,

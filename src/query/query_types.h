@@ -73,11 +73,14 @@ void FinalizeMatches(size_t top_k, std::vector<QueryMatch>* matches);
 
 /// One source's share of a query's work, reported only when
 /// QueryParams::collect_source_costs is set. `seconds` is wall-clock the
-/// query spent on this source: its refinement time measured exactly, plus
-/// the shared index-traversal time prorated by the source's share of the
-/// surviving candidate pairs (traversal work is interleaved across
-/// sources, so an exact per-source split does not exist; candidate pairs
-/// are the closest observable proxy for where the traversal lingered).
+/// query spent on this source: its refinement time measured exactly
+/// (minus any permutation-cache fill the source happened to trigger —
+/// fills are per-query overhead shared across sources and are reported in
+/// QueryStats::permutation_fill_seconds instead), plus the shared
+/// index-traversal time prorated by the source's share of the surviving
+/// candidate pairs (traversal work is interleaved across sources, so an
+/// exact per-source split does not exist; candidate pairs are the closest
+/// observable proxy for where the traversal lingered).
 struct SourceCostSample {
   SourceId source = 0;
   double seconds = 0.0;
@@ -92,6 +95,17 @@ struct QueryStats {
   double traversal_seconds = 0.0;
   double refinement_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Wall-clock spent filling the refinement PermutationCache (generating
+  /// the per-length permutation samples and their block re-layouts). This
+  /// is per-QUERY overhead — each distinct sample length is filled once no
+  /// matter how many sources share it — so it is reported here and
+  /// deliberately EXCLUDED from the per-source seconds in source_costs:
+  /// booking it to whichever source happened to refine first made the
+  /// measured cost model layout-dependent (the same source read as more
+  /// expensive whenever it led its shard's refinement order). The sharded
+  /// engine books this to a per-shard overhead bucket instead.
+  double permutation_fill_seconds = 0.0;
 
   /// Physical page accesses (buffer-pool misses) during the query.
   uint64_t page_accesses = 0;

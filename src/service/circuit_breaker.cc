@@ -91,6 +91,17 @@ void CircuitBreaker::RecordNeutral() {
   probe_in_flight_ = false;
 }
 
+void CircuitBreaker::Trip() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kOpen;
+  open_until_micros_ = NowMicros() + options_.open_duration_micros;
+  consecutive_failures_ = 0;
+  // Any probe claimed before the trip is moot: its verdict lands in the
+  // open state (a harmless straggler), and holding the slot would only
+  // delay the post-cooldown probe.
+  probe_in_flight_ = false;
+}
+
 CircuitBreaker::State CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return state_;

@@ -45,11 +45,54 @@ struct CircuitBreakerOptions {
 ///     (caller cancelled, deadline expired) — releases a half-open probe
 ///     without moving the state machine.
 ///
+/// The one-Record-per-allowed-attempt contract is load-bearing: an
+/// admitted attempt may hold the half-open probe slot, and a caller that
+/// drops it without ANY verdict wedges probe_in_flight_ true forever —
+/// the breaker then rejects every future probe and the shard can never
+/// recover. Paths that can unwind without reaching a Record*() call
+/// (early returns, exceptions out of the sub-query, engine teardown
+/// mid-attempt) must hold a ProbeGuard, which delivers the abandonment
+/// verdict (RecordNeutral) on destruction if nothing else was recorded.
+///
 /// Thread safety: fully synchronized; every method is one short critical
 /// section.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// RAII verdict scope for one admitted attempt. Construct it immediately
+  /// after the attempt is admitted (AllowRequest() true, or a routing
+  /// layer like ReplicaSet::PickReplica admitted on the caller's behalf);
+  /// deliver the verdict through it; if the scope unwinds with no verdict
+  /// — early return, exception, teardown — the destructor records the
+  /// attempt as abandoned (RecordNeutral), releasing any half-open probe
+  /// slot the attempt held so the NEXT probe is admitted.
+  class ProbeGuard {
+   public:
+    explicit ProbeGuard(CircuitBreaker* breaker) : breaker_(breaker) {}
+    ~ProbeGuard() {
+      if (breaker_ != nullptr) breaker_->RecordNeutral();
+    }
+
+    ProbeGuard(const ProbeGuard&) = delete;
+    ProbeGuard& operator=(const ProbeGuard&) = delete;
+
+    void Success() { Deliver(&CircuitBreaker::RecordSuccess); }
+    void Failure() { Deliver(&CircuitBreaker::RecordFailure); }
+    void Neutral() { Deliver(&CircuitBreaker::RecordNeutral); }
+
+    /// True once a verdict went out (the destructor will be a no-op).
+    bool delivered() const { return breaker_ == nullptr; }
+
+   private:
+    void Deliver(void (CircuitBreaker::*record)()) {
+      CircuitBreaker* breaker = breaker_;
+      breaker_ = nullptr;
+      (breaker->*record)();
+    }
+
+    CircuitBreaker* breaker_;
+  };
 
   explicit CircuitBreaker(CircuitBreakerOptions options = {});
 
@@ -65,6 +108,14 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure();
   void RecordNeutral();
+
+  /// Forces the breaker open for a fresh cooldown, regardless of state —
+  /// the quarantine entry point for verdicts that arrive OUTSIDE the
+  /// AllowRequest/Record cycle (the maintenance scrubber finding a corrupt
+  /// page indicts the replica definitively; no failure streak needed).
+  /// Releases any half-open probe slot so the post-cooldown probe is not
+  /// blocked by an attempt that predates the trip.
+  void Trip();
 
   State state() const;
 

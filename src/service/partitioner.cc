@@ -1,6 +1,7 @@
 #include "service/partitioner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <utility>
 
@@ -51,6 +52,14 @@ double MaxMeanImbalance(const std::vector<double>& shard_costs) {
   return *std::max_element(shard_costs.begin(), shard_costs.end()) / mean;
 }
 
+double MaxMeanImbalanceWithFallback(const std::vector<double>& primary,
+                                    const std::vector<double>& fallback) {
+  const double total =
+      std::accumulate(primary.begin(), primary.end(), 0.0);
+  if (!primary.empty() && total > 0.0) return MaxMeanImbalance(primary);
+  return MaxMeanImbalance(fallback);
+}
+
 PartitionPlan PlanMinimalRebalance(const std::vector<double>& costs,
                                    const PartitionPlan& current,
                                    double target_imbalance,
@@ -80,6 +89,24 @@ PartitionPlan PlanMinimalRebalance(const std::vector<double>& costs,
     });
   }
 
+  // Moves `source` between the per-shard lists, keeping the destination
+  // sorted (cost desc, id asc) for later steps.
+  auto relocate = [&costs, &members, &plan, &load](size_t source, size_t from,
+                                                   size_t to) {
+    std::vector<size_t>& src = members[from];
+    src.erase(std::find(src.begin(), src.end(), source));
+    auto insert_at = std::lower_bound(
+        members[to].begin(), members[to].end(), source,
+        [&costs](size_t a, size_t b) {
+          if (costs[a] != costs[b]) return costs[a] > costs[b];
+          return a < b;
+        });
+    members[to].insert(insert_at, source);
+    plan.shard_of[source] = static_cast<uint32_t>(to);
+    load[from] -= costs[source];
+    load[to] += costs[source];
+  };
+
   while (mean > 0.0) {
     const size_t hot = static_cast<size_t>(
         std::max_element(load.begin(), load.end()) - load.begin());
@@ -99,20 +126,37 @@ PartitionPlan PlanMinimalRebalance(const std::vector<double>& costs,
         break;
       }
     }
-    if (pick == members[hot].size()) break;  // No improving move exists.
-    const size_t source = members[hot][pick];
-    members[hot].erase(members[hot].begin() + static_cast<int64_t>(pick));
-    // Keep the destination list sorted (cost desc, id asc) for later steps.
-    auto insert_at = std::lower_bound(
-        members[cool].begin(), members[cool].end(), source,
-        [&costs](size_t a, size_t b) {
-          if (costs[a] != costs[b]) return costs[a] > costs[b];
-          return a < b;
-        });
-    members[cool].insert(insert_at, source);
-    plan.shard_of[source] = static_cast<uint32_t>(cool);
-    load[hot] -= costs[source];
-    load[cool] += costs[source];
+    if (pick != members[hot].size()) {
+      relocate(members[hot][pick], hot, cool);
+      continue;
+    }
+    // No single move improves: every positive hot source weighs at least
+    // `gap`. Fall back to a swap — exchange a hot source for a cool one
+    // whose cost DIFFERENCE d sits in (0, gap); the exchange shifts
+    // exactly d of load, so it strictly decreases the sum of squared
+    // loads like a single move does (termination holds). Among the
+    // candidates, the pair whose d lands closest to gap/2 equalizes
+    // best; ties break toward the first pair in (cost desc, id asc)
+    // scan order, so the plan stays deterministic.
+    size_t swap_hot = costs.size();
+    size_t swap_cool = costs.size();
+    double best = -1.0;
+    for (size_t a : members[hot]) {
+      if (costs[a] <= 0.0) continue;
+      for (size_t b : members[cool]) {
+        const double d = costs[a] - costs[b];
+        if (d <= 0.0 || d >= gap) continue;
+        const double score = std::abs(gap - 2.0 * d);
+        if (best < 0.0 || score < best) {
+          best = score;
+          swap_hot = a;
+          swap_cool = b;
+        }
+      }
+    }
+    if (best < 0.0) break;  // No improving move or swap exists.
+    relocate(swap_hot, hot, cool);
+    relocate(swap_cool, cool, hot);
   }
 
   if (moved_sources != nullptr) {

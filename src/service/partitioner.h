@@ -43,6 +43,18 @@ std::vector<double> EstimateSourceCosts(const GeneDatabase& database);
 /// an empty vector or an idle engine (mean 0).
 double MaxMeanImbalance(const std::vector<double>& shard_costs);
 
+/// MaxMeanImbalance over `primary`, falling back to `fallback` when
+/// `primary` carries no signal (empty or all-zero). The measured-load
+/// gauge needs this: a cold MeasuredCostRegistry sums to zero on every
+/// shard, and plain MaxMeanImbalance reads that as "perfectly balanced"
+/// (1.0) even with every source piled on one shard — so a maintenance
+/// loop keyed on the measured ratio would never fire before traffic runs.
+/// Blending in the static estimate (or source counts) as the fallback
+/// makes the gauge read the real skew until measurements exist, after
+/// which the measured ratio takes over exactly as before.
+double MaxMeanImbalanceWithFallback(const std::vector<double>& primary,
+                                    const std::vector<double>& fallback);
+
 /// Incremental re-packing: starting from `current` (which must be valid
 /// for costs.size() sources), greedily moves sources until the max/mean
 /// imbalance of the per-shard cost sums is <= target_imbalance, and
@@ -52,16 +64,27 @@ double MaxMeanImbalance(const std::vector<double>& shard_costs);
 /// swap which shard is hot) onto the least-loaded shard; ties break toward
 /// the lower source id / shard index, so the plan is deterministic.
 ///
+/// When NO single move improves — every positive source on the hot shard
+/// is at least as heavy as the hot-cool gap — the step falls back to a
+/// SWAP: exchange one hot source `a` for one cool source `b` whose cost
+/// difference d = cost[a] - cost[b] satisfies 0 < d < gap (the exchange
+/// shifts exactly d of load, so it strictly improves by the same argument
+/// as a single move). Among the candidates the pair whose d lands closest
+/// to gap/2 (the perfect equalizer) wins, ties toward lower source ids.
+/// This is what un-sticks two-shard "exchange-only" configurations, e.g.
+/// loads {6,6} vs {3.5,3.5}: gap 5, every single move of a 6 overshoots,
+/// but swapping a 6 for a 3.5 lands both shards on 9.5.
+///
 /// This is the minimum-movement counterpart of a full BalancedPartitioner
 /// re-plan: a full re-plan optimizes packing with no regard for where
 /// sources currently live and typically relocates most of the database,
 /// while this touches only the few sources needed to get back under the
-/// target. Termination is guaranteed (every move strictly decreases the
-/// sum of squared shard loads); if no improving move exists the plan so
-/// far is returned even above target — zero-cost (retracted) sources never
-/// move. target_imbalance is clamped to >= 1.0. If `moved_sources` is
-/// non-null it receives the number of sources whose shard differs from
-/// `current` in the returned plan.
+/// target. Termination is guaranteed (every move or swap strictly
+/// decreases the sum of squared shard loads); if neither exists the plan
+/// so far is returned even above target — zero-cost (retracted) sources
+/// never move. target_imbalance is clamped to >= 1.0. If `moved_sources`
+/// is non-null it receives the number of sources whose shard differs from
+/// `current` in the returned plan (a swap counts both).
 PartitionPlan PlanMinimalRebalance(const std::vector<double>& costs,
                                    const PartitionPlan& current,
                                    double target_imbalance,

@@ -33,9 +33,10 @@ Status ValidateParams(const QueryParams& params) {
 std::string ShardedEngineStatsSnapshot::DebugString() const {
   std::string out;
   for (const ShardStats& shard : shards) {
-    char load[64];
-    std::snprintf(load, sizeof(load), "%.3g measured=%.3gs", shard.cost,
-                  shard.measured_seconds);
+    char load[96];
+    std::snprintf(load, sizeof(load), "%.3g measured=%.3gs overhead=%.3gs",
+                  shard.cost, shard.measured_seconds,
+                  shard.overhead_seconds);
     out += "shard" + std::to_string(shard.shard) +
            ": sources=" + std::to_string(shard.sources) + " load=" + load +
            " sub_queries=" + std::to_string(shard.sub_queries) +
@@ -76,6 +77,25 @@ std::string ShardedEngineStatsSnapshot::DebugString() const {
                   cache.evictions, cache.hit_rate());
     out += cache_line;
   }
+  if (maintenance.enabled) {
+    char line1[224];
+    std::snprintf(line1, sizeof(line1),
+                  "maintenance: ticks=%" PRIu64 " scrubbed=%" PRIu64
+                  " corrupt=%" PRIu64 " rebuilt=%" PRIu64 " (failures=%" PRIu64
+                  ") scrub_errors=%" PRIu64 "\n",
+                  maintenance.ticks, maintenance.pages_scrubbed,
+                  maintenance.corrupt_pages, maintenance.replicas_rebuilt,
+                  maintenance.rebuild_failures, maintenance.scrub_errors);
+    out += line1;
+    char line2[224];
+    std::snprintf(line2, sizeof(line2),
+                  "maintenance: reclaimed_pages=%" PRIu64
+                  " truncated_slots=%" PRIu64 " rebalance_fires=%" PRIu64
+                  " sources_moved=%" PRIu64 "\n",
+                  maintenance.pages_reclaimed, maintenance.slots_truncated,
+                  maintenance.rebalance_fires, maintenance.sources_moved);
+    out += line2;
+  }
   return out;
 }
 
@@ -98,6 +118,7 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options, ThreadPool* pool)
   IMGRN_CHECK_GE(options_.num_shards, 1u);
   IMGRN_CHECK_GE(options_.num_replicas, 1u);
   measured_.SetDecay(options_.calibration.measured_half_life_seconds);
+  shard_overhead_.SetDecay(options_.calibration.measured_half_life_seconds);
   if (options_.cache.capacity > 0) {
     cache_ = std::make_unique<ResultCache>(options_.cache);
   }
@@ -107,6 +128,16 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options, ThreadPool* pool)
     topology->shards.push_back(MakeReplicaSet(options_.num_replicas));
   }
   topology_ = std::move(topology);
+  if (options_.maintenance.enabled) {
+    maintenance_ =
+        std::make_unique<MaintenanceDaemon>(this, options_.maintenance);
+    maintenance_->Start();
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  // Join the daemon's thread before any member it reaches into goes away.
+  maintenance_.reset();
 }
 
 std::shared_ptr<ShardReplica> ShardedEngine::MakeReplica() {
@@ -183,6 +214,7 @@ void ShardedEngine::LoadDatabase(GeneDatabase database) {
   source_cost_ = EstimateSourceCosts(database);
   retracted_.assign(total, false);
   measured_.Reset();  // A fresh database invalidates every measurement.
+  shard_overhead_.Reset();
   PartitionPlan plan = partitioner_->Partition(source_cost_, num_shards);
   IMGRN_CHECK_OK(plan.Validate(total));
 
@@ -416,6 +448,7 @@ Result<std::vector<QueryMatch>> ShardedEngine::QueryWithGraph(
     // time); the I/O and pruning counters add up exactly.
     aggregated.traversal_seconds += shard.traversal_seconds;
     aggregated.refinement_seconds += shard.refinement_seconds;
+    aggregated.permutation_fill_seconds += shard.permutation_fill_seconds;
     aggregated.page_accesses += shard.page_accesses;
     aggregated.page_fetches += shard.page_fetches;
     aggregated.node_pairs_examined += shard.node_pairs_examined;
@@ -547,6 +580,15 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShard(
           }
           measured_.Record(global, seconds_of[i]);
         }
+        // The sub-query's permutation-cache fill time is shared overhead:
+        // real shard load, but attributable to no single source (which
+        // source pays it is pure layout luck — whoever refines a length
+        // first). It is subtracted from the per-source samples above (see
+        // imgrn_processor.cc) and recorded here against the SHARD, so the
+        // per-source EWMAs stay layout-independent while the shard's
+        // measured total still includes it.
+        shard_overhead_.Record(static_cast<SourceId>(shard_index),
+                               local_stats.permutation_fill_seconds);
         // Remap shard-local ids to global source ids while the reader lock
         // still pins local_to_global, and keep only the sources this
         // query's partition map assigns to this shard — a migrating source
@@ -637,11 +679,19 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShardWithRecovery(
           std::to_string(set.size()) + " replica circuit breakers open)"));
     }
     ShardReplica& replica = *set.replica(static_cast<size_t>(picked));
+    // PickReplica admitted this attempt (and may have claimed the
+    // replica's half-open probe slot), so exactly one verdict is owed.
+    // The guard makes that structural: every exit from this iteration —
+    // including an exception out of RunShard or a future early return —
+    // delivers one, so a dropped probe can never wedge the breaker
+    // half-open (probe_in_flight_ stuck true, all future probes
+    // rejected, the replica unrecoverable).
+    CircuitBreaker::ProbeGuard probe(&replica.breaker);
     Result<std::vector<QueryMatch>> result =
         RunShard(topology, shard_index, static_cast<size_t>(picked),
                  query_graph, params, stats, control);
     if (result.ok()) {
-      replica.breaker.RecordSuccess();
+      probe.Success();
       return finish(std::move(result));
     }
     const StatusCode code = result.status().code();
@@ -651,10 +701,10 @@ Result<std::vector<QueryMatch>> ShardedEngine::RunShardWithRecovery(
         code == StatusCode::kFailedPrecondition) {
       // The caller's doing (cancel, deadline, bad request), not the
       // replica's: no health verdict, no retry.
-      replica.breaker.RecordNeutral();
+      probe.Neutral();
       return finish(std::move(result));
     }
-    replica.breaker.RecordFailure();
+    probe.Failure();
     if (code != StatusCode::kUnavailable || attempt >= retry.max_attempts) {
       // kDataLoss/kInternal persist — retrying re-reads the same corrupt
       // bytes; and a transient error out of attempts gives up too.
@@ -962,6 +1012,13 @@ Status ShardedEngine::Resize(size_t new_num_shards) {
   Status migrated =
       MigrateLocked(std::move(target_shards), std::move(plan.shard_of));
   update_generation_.fetch_add(1, std::memory_order_release);
+  if (migrated.ok()) {
+    // Dropped shard indices may be reborn by a future grow; their overhead
+    // EWMAs must not leak into the new shard's measurement.
+    for (size_t s = new_num_shards; s < current->shards.size(); ++s) {
+      shard_overhead_.Retire(static_cast<SourceId>(s));
+    }
+  }
   return migrated;
 }
 
@@ -1213,6 +1270,183 @@ Status ShardedEngine::MigrateLocked(
   return Status::Ok();
 }
 
+Status ShardedEngine::ScrubStep(ScrubCursor* cursor, size_t max_pages,
+                                bool reclaim, ScrubReport* report) const {
+  *report = ScrubReport{};
+  if (!built_.load(std::memory_order_acquire)) return Status::Ok();
+  TopologyPin topology(*this);
+  const size_t num_shards = topology->shards.size();
+  size_t total_replicas = 0;
+  for (const std::shared_ptr<ReplicaSet>& set : topology->shards) {
+    total_replicas += set->size();
+  }
+  if (total_replicas == 0) return Status::Ok();
+  // The cursor may point past a shrunken topology (Resize/SetReplicas ran
+  // since the last step); clamp rather than guess a mapping.
+  if (cursor->shard >= num_shards) *cursor = ScrubCursor{};
+  if (cursor->replica >= topology->shards[cursor->shard]->size()) {
+    cursor->replica = 0;
+    cursor->page = 0;
+  }
+  // Odometer advance: next replica, wrapping to the next shard and back to
+  // the first — the scrubber eventually revisits everything forever.
+  auto advance = [&] {
+    cursor->page = 0;
+    if (++cursor->replica >= topology->shards[cursor->shard]->size()) {
+      cursor->replica = 0;
+      if (++cursor->shard >= num_shards) cursor->shard = 0;
+    }
+  };
+  size_t budget = max_pages;
+  size_t completed = 0;
+  // `completed` bounds the walk to one full lap: with every store empty
+  // the budget never shrinks, and this loop must still terminate.
+  while (budget > 0 && completed <= total_replicas) {
+    ShardReplica& replica =
+        *topology->shards[cursor->shard]->replica(cursor->replica);
+    size_t scrubbed = 0;
+    bool store_done = false;
+    Status status;
+    {
+      // Shared lock: the scrub read path mutates nothing queries share, so
+      // concurrent sub-queries on this replica proceed undisturbed.
+      std::shared_lock<std::shared_mutex> lock(replica.mutex);
+      status = replica.engine.ScrubPages(&cursor->page, budget, &scrubbed);
+      if (status.ok()) {
+        const StorageManager* store = replica.engine.storage();
+        store_done =
+            store == nullptr || cursor->page >= store->num_pages();
+      }
+    }
+    report->pages_scrubbed += scrubbed;
+    budget -= scrubbed;
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kDataLoss) {
+        // Rot (or its injected stand-in). Report it for quarantine +
+        // rebuild and move the cursor off the doomed replica — its store
+        // is about to be replaced wholesale.
+        report->corrupt = true;
+        report->corrupt_shard = cursor->shard;
+        report->corrupt_replica = cursor->replica;
+        advance();
+        return Status::Ok();
+      }
+      // A non-data-loss read error (I/O): surface it, stepping past the
+      // failing page so the next tick does not wedge on it forever.
+      ++cursor->page;
+      return status;
+    }
+    if (store_done) {
+      if (reclaim) {
+        // The store just verified clean end-to-end — the safe moment to
+        // drop pages stranded by index rebuilds. Mutates the store, so
+        // exclusive lock (queries briefly wait, exactly like an update).
+        size_t reclaimed = 0;
+        size_t truncated = 0;
+        Status reclaim_status;
+        {
+          std::unique_lock<std::shared_mutex> lock(replica.mutex);
+          reclaim_status =
+              replica.engine.ReclaimStorage(&reclaimed, &truncated);
+        }
+        report->pages_reclaimed += reclaimed;
+        report->slots_truncated += truncated;
+        if (!reclaim_status.ok()) {
+          advance();
+          return reclaim_status;
+        }
+      }
+      advance();
+      ++completed;
+    }
+  }
+  return Status::Ok();
+}
+
+void ShardedEngine::QuarantineReplica(size_t shard, size_t replica) {
+  TopologyPin topology(*this);
+  IMGRN_CHECK_LT(shard, topology->shards.size());
+  IMGRN_CHECK_LT(replica, topology->shards[shard]->size());
+  topology->shards[shard]->replica(replica)->breaker.Trip();
+}
+
+Status ShardedEngine::RebuildReplica(size_t shard, size_t replica) {
+  std::lock_guard<std::mutex> routing(update_mutex_);
+  if (!built_) {
+    return Status::FailedPrecondition("BuildIndex() has not run");
+  }
+  std::shared_ptr<const Topology> current;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    current = topology_;
+  }
+  if (shard >= current->shards.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  const ReplicaSet& set = *current->shards[shard];
+  if (replica >= set.size()) {
+    return Status::InvalidArgument("replica index out of range");
+  }
+  // Donor: the lowest-numbered peer that is not quarantined. With no such
+  // peer, the sick replica donates to its own replacement — its resident
+  // side tables and database are intact even when its backing STORE is
+  // not (the store holds tree pages; the matrices live in memory).
+  // Reading the donor without its lock is safe here: the side tables and
+  // database are only written by holders of update_mutex_, which we are
+  // (the SetReplicas clone makes the same argument).
+  const ShardReplica* donor = nullptr;
+  for (size_t r = 0; r < set.size(); ++r) {
+    if (r == replica) continue;
+    if (set.replica(r)->breaker.state() != CircuitBreaker::State::kOpen) {
+      donor = set.replica(r).get();
+      break;
+    }
+  }
+  if (donor == nullptr) donor = set.replica(replica).get();
+  // Copy phase: synthesize a fresh replica (fresh engine, fresh backing
+  // file, closed breaker) through the same append path migrations use.
+  // The copy fault site fires per source, like a migration's copy step. A
+  // failure aborts before the publish — the half-built replica was never
+  // reachable, so there is nothing to roll back.
+  std::shared_ptr<ShardReplica> fresh = MakeReplica();
+  for (size_t i = 0; i < donor->local_to_global.size(); ++i) {
+    if (!donor->active[i]) continue;
+    const SourceId global = donor->local_to_global[i];
+    IMGRN_RETURN_IF_ERROR(CheckFault(fault_sites::kMigrateCopy,
+                                     static_cast<int64_t>(global)));
+    GeneMatrix copy =
+        donor->engine.database().matrix(static_cast<SourceId>(i));
+    IMGRN_RETURN_IF_ERROR(AppendToReplicaLocked(
+        *fresh, std::move(copy), global, source_cost_[global]));
+  }
+  // Publish -> drain -> delete: the topology with the fresh replica in the
+  // sick one's place goes live, queries pinned to the old topology finish
+  // against the old replica (whose data outlives them), and the last pin
+  // to unwind retires it — spill file unlinked with it. No generation
+  // bump: replica membership cannot change answers, so the result cache
+  // deliberately stays warm through a rebuild.
+  auto next = std::make_shared<Topology>();
+  next->shard_of = current->shard_of;
+  next->shards.reserve(current->shards.size());
+  for (size_t s = 0; s < current->shards.size(); ++s) {
+    if (s != shard) {
+      next->shards.push_back(current->shards[s]);
+      continue;
+    }
+    std::vector<std::shared_ptr<ShardReplica>> replicas = set.replicas();
+    replicas[replica] = fresh;
+    next->shards.push_back(std::make_shared<ReplicaSet>(std::move(replicas)));
+  }
+  Publish(std::move(next));
+  std::shared_ptr<const Topology> newest;
+  {
+    std::lock_guard<std::mutex> lock(topology_mutex_);
+    newest = topology_;
+  }
+  DrainOlder(*newest);
+  return Status::Ok();
+}
+
 size_t ShardedEngine::num_shards() const {
   std::lock_guard<std::mutex> lock(topology_mutex_);
   return topology_->shards.size();
@@ -1261,6 +1495,12 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
     stats.sources = set.primary().active_sources.load(
         std::memory_order_relaxed);
     stats.cost = set.primary().cost.load(std::memory_order_relaxed);
+    // Fold the shard's shared-overhead EWMA (permutation-cache fills) back
+    // into its measured load: the shard really pays it per query, it just
+    // belongs to no single source.
+    stats.overhead_seconds =
+        shard_overhead_.Ewma(static_cast<SourceId>(s));
+    measured[s] += stats.overhead_seconds;
     stats.measured_seconds = measured[s];
     stats.breaker = set.primary().breaker.state();
     stats.replicas.reserve(set.size());
@@ -1287,8 +1527,16 @@ ShardedEngineStatsSnapshot ShardedEngine::StatsSnapshot() const {
     snapshot.shards.push_back(std::move(stats));
   }
   snapshot.imbalance = MaxMeanImbalance(costs);
-  snapshot.measured_imbalance = MaxMeanImbalance(measured);
+  // A cold registry (no queries yet) measures every shard at zero, which
+  // plain max/mean reads as "perfectly balanced" — exactly wrong for the
+  // auto-rebalance loop, which would then never fire on a skewed cold
+  // cluster. Fall back to the static estimate until real measurements
+  // arrive.
+  snapshot.measured_imbalance = MaxMeanImbalanceWithFallback(measured, costs);
   snapshot.cache = CacheStats();
+  if (maintenance_ != nullptr) {
+    snapshot.maintenance = maintenance_->Stats();
+  }
   return snapshot;
 }
 

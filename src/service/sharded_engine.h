@@ -12,6 +12,7 @@
 #include "core/query_engine.h"
 #include "service/circuit_breaker.h"
 #include "service/cost_model.h"
+#include "service/maintenance.h"
 #include "service/partitioner.h"
 #include "service/replica_set.h"
 #include "service/result_cache.h"
@@ -99,6 +100,13 @@ struct ShardedEngineOptions {
   /// hit also skips the measured-cost sampling, so warm the cost model
   /// with distinct queries (or a disabled cache) before auto-Rebalance.
   ResultCacheOptions cache;
+
+  /// Self-healing maintenance plane (see service/maintenance.h): a daemon
+  /// thread that scrubs page checksums, quarantines + rebuilds corrupt
+  /// replicas from healthy peers, reclaims storage stranded by index
+  /// rebuilds, and auto-fires Rebalance on measured imbalance with
+  /// hysteresis. Off by default (`maintenance.enabled = false`).
+  MaintenanceOptions maintenance;
 };
 
 /// Per-replica counters inside one ShardStats.
@@ -122,7 +130,12 @@ struct ShardStats {
   double cost = 0.0;             ///< Estimated load (EstimateSourceCost sum).
   double measured_seconds = 0.0; ///< Measured load: sum of the per-source
                                  ///< query-time EWMAs of this shard's live
-                                 ///< sources (0 until queries have run).
+                                 ///< sources plus the shard's shared
+                                 ///< overhead EWMA (0 until queries ran).
+  double overhead_seconds = 0.0; ///< The shared-overhead part of
+                                 ///< measured_seconds: per-query work not
+                                 ///< attributable to any one source
+                                 ///< (permutation-cache fills).
   uint64_t sub_queries = 0;      ///< Finished per-shard sub-queries.
   uint64_t sub_query_errors = 0; ///< Of those, non-OK (incl. cancelled).
   uint64_t in_flight = 0;        ///< Sub-queries running right now.
@@ -152,6 +165,10 @@ struct ShardedEngineStatsSnapshot {
 
   /// Result-cache counters (capacity 0 = no cache configured).
   ResultCacheStats cache;
+
+  /// Maintenance-plane counters; `maintenance.enabled` is false when the
+  /// engine runs without a daemon (all counters then zero).
+  MaintenanceStats maintenance;
 
   /// One line per shard, e.g. "shard0: sources=3 load=1.2e5
   /// measured=2.1e-3s sub_queries=17 errors=0 in_flight=0", with a
@@ -257,6 +274,10 @@ class ShardedEngine : public QueryEngine {
  public:
   explicit ShardedEngine(ShardedEngineOptions options = {},
                          ThreadPool* pool = nullptr);
+
+  /// Stops the maintenance daemon (joining its thread) before any engine
+  /// state is torn down.
+  ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
@@ -375,6 +396,43 @@ class ShardedEngine : public QueryEngine {
   /// The live measured-cost registry (read-only): per-source query-time
   /// EWMAs and sample counts, written lock-free by every sub-query.
   const MeasuredCostRegistry& measured_costs() const { return measured_; }
+
+  /// One bounded step of the checksum scrubber (the maintenance daemon's
+  /// tick body; public so tests drive it deterministically). Resumes at
+  /// `*cursor`, seal-verifies up to `max_pages` live pages across the
+  /// replica stores it reaches, and advances the cursor (wrapping shard /
+  /// replica / page like an odometer). Scrubbing runs under each replica's
+  /// SHARED lock — concurrent queries are undisturbed. When a replica's
+  /// store finishes clean and `reclaim` is set, stranded pages are
+  /// reclaimed under that replica's EXCLUSIVE lock (see
+  /// ImGrnEngine::ReclaimStorage). A kDataLoss seal failure is reported in
+  /// `*report` (not the return Status): the cursor skips to the next
+  /// replica and the caller is expected to QuarantineReplica +
+  /// RebuildReplica. Non-data-loss read errors return the Status with the
+  /// cursor just past the failing page.
+  Status ScrubStep(ScrubCursor* cursor, size_t max_pages, bool reclaim,
+                   ScrubReport* report) const;
+
+  /// Forces the breaker of `shard`/`replica` open (fresh cooldown), so the
+  /// router sheds its traffic onto peer replicas immediately. Used by the
+  /// maintenance daemon the instant the scrubber proves a replica's store
+  /// corrupt.
+  void QuarantineReplica(size_t shard, size_t replica);
+
+  /// Re-synthesizes `shard`/`replica` from a healthy peer: a fresh replica
+  /// is built by copying every active source out of the lowest-numbered
+  /// non-quarantined peer (falling back to the sick replica's own
+  /// memory-resident tables when no peer exists), published in the
+  /// topology in the old replica's place, and the old replica retired once
+  /// every query pinned to it drains — the same copy -> publish -> drain
+  /// protocol migrations use, so queries never block and answers never
+  /// change. The rebuilt replica starts with a closed breaker and a fresh
+  /// backing store.
+  Status RebuildReplica(size_t shard, size_t replica);
+
+  /// The maintenance daemon, or null when options().maintenance.enabled is
+  /// false. Tests use it for TickForTesting()/Stats().
+  MaintenanceDaemon* maintenance() const { return maintenance_.get(); }
 
   /// Test/instrumentation hook: the reader-writer lock of one shard
   /// replica, e.g. to pin a replica in the "update in progress" state and
@@ -517,7 +575,10 @@ class ShardedEngine : public QueryEngine {
   size_t shard_files_created_ = 0;  ///< Names the next per-replica file.
   std::vector<double> source_cost_;  ///< Per global source, for replanning.
   std::vector<bool> retracted_;      ///< RemoveSource'd global ids.
-  bool built_ = false;
+
+  /// Set by BuildIndex, cleared by LoadDatabase. Atomic: the maintenance
+  /// daemon polls it from its own thread to sit out the setup phase.
+  std::atomic<bool> built_{false};
 
   /// The result cache's invalidation clock: bumped by every mutation that
   /// can change answers (LoadDatabase, AddSource, RemoveSource, and every
@@ -536,6 +597,20 @@ class ShardedEngine : public QueryEngine {
   /// the EWMA tracks the expected per-query seconds under the live mix).
   /// Lock-free; mutable because recording happens on the const query path.
   mutable MeasuredCostRegistry measured_;
+
+  /// Per-SHARD (not per-source) shared overhead EWMA, keyed by shard
+  /// index: the permutation-cache fill seconds of each sub-query. Kept out
+  /// of measured_ so layout cannot bias the per-source EWMAs — the shard
+  /// that happens to refine a length first would otherwise eat the fill
+  /// cost in whichever source ran first. Folded back into
+  /// ShardStats::measured_seconds (the whole shard really did pay it).
+  mutable MeasuredCostRegistry shard_overhead_;
+
+  /// Declared LAST: the daemon's thread calls back into everything above,
+  /// so it must be destroyed (joined) first. Null unless
+  /// options_.maintenance.enabled. The explicit destructor resets it
+  /// before anything else regardless.
+  std::unique_ptr<MaintenanceDaemon> maintenance_;
 };
 
 }  // namespace imgrn

@@ -38,6 +38,7 @@ class MemoryStorageManager final : public StorageManager {
   Status Commit(PageId id, const Page& frame) override;
   Status Sync() override { return Status::Ok(); }
   Page* DirectFrame(PageId id) override { return GetPage(id); }
+  bool IsLivePage(PageId id) const override { return IsLive(id); }
   void SetAppRoot(PageId id) override { app_root_ = id; }
   PageId app_root() const override { return app_root_; }
 

@@ -395,6 +395,89 @@ TEST(PlanMinimalRebalanceTest, DominantSourceIsBestEffort) {
   EXPECT_NEAR(MaxMeanImbalance(loads), 100.0 / 51.0, 1e-9);
 }
 
+TEST(PlanMinimalRebalanceTest, SwapUnsticksExchangeOnlyTwoShardConfig) {
+  // The swap-stall regression: loads {6,6} vs {3.5,3.5}, gap 5. Every
+  // single move of a 6 overshoots (6 >= gap), so the pre-swap planner
+  // returned the stalled layout at imbalance 12/9.5 ~ 1.263 > 1.25 — the
+  // auto-rebalance loop then fired forever without progress. The swap
+  // step exchanges a 6 for a 3.5 (d = 2.5, closest to gap/2) and lands
+  // both shards on 9.5.
+  const std::vector<double> costs = {6.0, 6.0, 3.5, 3.5};
+  const PartitionPlan current = MakePlan(2, {0, 0, 1, 1});
+  size_t moved = 0;
+  const PartitionPlan plan = PlanMinimalRebalance(costs, current, 1.25, &moved);
+  EXPECT_TRUE(plan.Validate(costs.size()).ok());
+  EXPECT_EQ(moved, 2u);  // A swap relocates exactly two sources.
+  const std::vector<double> loads = ShardLoads(costs, plan);
+  EXPECT_NEAR(loads[0], 9.5, 1e-9);
+  EXPECT_NEAR(loads[1], 9.5, 1e-9);
+  EXPECT_NEAR(MaxMeanImbalance(loads), 1.0, 1e-9);
+  // Deterministic tie-break: the lowest-id hot source swaps with the
+  // lowest-id cool source.
+  EXPECT_EQ(plan.shard_of[0], 1u);
+  EXPECT_EQ(plan.shard_of[2], 0u);
+}
+
+TEST(PlanMinimalRebalanceTest, SwapPicksThePairClosestToHalfTheGap) {
+  // Hot shard {10, 7}, cool shard {4, 6}: gap 7, so every single move
+  // overshoots (10 and 7 >= 7) and only a swap can improve. Whatever
+  // candidate pair the closest-to-gap/2 rule picks, the result must
+  // strictly beat the stalled layout.
+  const std::vector<double> costs = {10.0, 7.0, 4.0, 6.0};
+  const PartitionPlan current = MakePlan(2, {0, 0, 1, 1});
+  size_t moved = 0;
+  const PartitionPlan plan = PlanMinimalRebalance(costs, current, 1.0, &moved);
+  EXPECT_TRUE(plan.Validate(costs.size()).ok());
+  const std::vector<double> loads = ShardLoads(costs, plan);
+  // Any valid improving sequence must end at 13/14 or better than 17/10.
+  EXPECT_LT(MaxMeanImbalance(loads),
+            MaxMeanImbalance(ShardLoads(costs, current)));
+}
+
+TEST(PlanMinimalRebalanceTest, NoImprovingSwapStillTerminates) {
+  // One giant on each shard, nothing to exchange that improves: d = 0 for
+  // the equal pair, and swapping unequal pairs only relabels the hot
+  // shard. The planner must return (best effort), not spin.
+  const std::vector<double> costs = {9.0, 9.0};
+  const PartitionPlan current = MakePlan(2, {0, 1});
+  size_t moved = 0;
+  const PartitionPlan plan = PlanMinimalRebalance(costs, current, 1.0, &moved);
+  EXPECT_TRUE(plan.Validate(costs.size()).ok());
+  EXPECT_EQ(moved, 0u);
+  EXPECT_EQ(plan.shard_of, current.shard_of);
+}
+
+// --- MaxMeanImbalanceWithFallback ---------------------------------------
+
+TEST(MaxMeanImbalanceTest, FallbackUsedWhileMeasurementsAreCold) {
+  // A cold MeasuredCostRegistry sums to zero on every shard; the plain
+  // gauge reads that as "perfectly balanced" (1.0) even with every source
+  // piled on one shard, so a maintenance loop keyed on it would never
+  // fire before traffic runs. The fallback (static estimates) must carry
+  // the signal until measurements exist.
+  const std::vector<double> cold = {0.0, 0.0};
+  const std::vector<double> static_estimate = {10.0, 0.0};
+  EXPECT_NEAR(MaxMeanImbalance(cold), 1.0, 1e-12);
+  EXPECT_NEAR(MaxMeanImbalanceWithFallback(cold, static_estimate), 2.0, 1e-12);
+  EXPECT_NEAR(MaxMeanImbalanceWithFallback({}, static_estimate), 2.0, 1e-12);
+}
+
+TEST(MaxMeanImbalanceTest, MeasuredSignalOverridesFallback) {
+  // Once any shard has measured load, the measured ratio must win even
+  // when it disagrees with the estimate (that disagreement is the point
+  // of measuring).
+  const std::vector<double> measured = {1.0, 3.0};
+  const std::vector<double> static_estimate = {10.0, 0.0};
+  EXPECT_NEAR(MaxMeanImbalanceWithFallback(measured, static_estimate), 1.5,
+              1e-12);
+}
+
+TEST(MaxMeanImbalanceTest, BothColdReadsBalanced) {
+  EXPECT_NEAR(MaxMeanImbalanceWithFallback({0.0, 0.0}, {0.0, 0.0}), 1.0,
+              1e-12);
+  EXPECT_NEAR(MaxMeanImbalanceWithFallback({}, {}), 1.0, 1e-12);
+}
+
 TEST(PlanMinimalRebalanceTest, ZeroCostSourcesNeverMove) {
   // Retracted sources read cost 0; migrating them is pure churn.
   const std::vector<double> costs = {0.0, 0.0, 4.0, 4.0};

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/random.h"
@@ -290,6 +291,125 @@ TEST(CircuitBreakerTest, NeutralReleasesProbeWithoutVerdict) {
   f.breaker.RecordNeutral();              // Caller cancelled: no verdict.
   EXPECT_EQ(f.breaker.state(), CircuitBreaker::State::kHalfOpen);
   EXPECT_TRUE(f.breaker.AllowRequest());  // Probe slot is free again.
+}
+
+// The probe-leak regression: an admitted half-open probe abandoned at ANY
+// unwind point (early return, exception, teardown) used to leave
+// probe_in_flight_ wedged true, after which every future probe was
+// rejected and the shard could never close again. ProbeGuard's destructor
+// now delivers the abandonment verdict. Each sub-case below drops the
+// guard at a different point of the verdict protocol.
+TEST(CircuitBreakerTest, AbandonedProbeGuardReleasesTheProbeSlot) {
+  BreakerFixture f;
+  ASSERT_TRUE(f.breaker.AllowRequest());
+  f.breaker.RecordFailure();
+  ASSERT_TRUE(f.breaker.AllowRequest());
+  f.breaker.RecordFailure();  // Open at t=0.
+  f.now_micros = 1000;
+
+  // Drop point 1: guard destroyed with no verdict at all (the caller
+  // unwound before the sub-query finished).
+  ASSERT_TRUE(f.breaker.AllowRequest());
+  { CircuitBreaker::ProbeGuard guard(&f.breaker); }
+  EXPECT_EQ(f.breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(f.breaker.AllowRequest()) << "probe slot leaked at drop 1";
+
+  // Drop point 2: guard destroyed after an explicit Neutral (double
+  // delivery must not occur — the destructor sees delivered() and stays
+  // out).
+  {
+    CircuitBreaker::ProbeGuard guard(&f.breaker);
+    guard.Neutral();
+    EXPECT_TRUE(guard.delivered());
+  }
+  ASSERT_TRUE(f.breaker.AllowRequest()) << "probe slot leaked at drop 2";
+
+  // Drop point 3: guard destroyed by an exception unwinding through the
+  // attempt.
+  try {
+    CircuitBreaker::ProbeGuard guard(&f.breaker);
+    throw std::runtime_error("sub-query blew up");
+  } catch (const std::runtime_error&) {
+  }
+  ASSERT_TRUE(f.breaker.AllowRequest()) << "probe slot leaked at drop 3";
+
+  // Drop point 4: verdict delivered through the guard — Success closes
+  // the breaker exactly as a bare RecordSuccess would, and the destructor
+  // adds nothing on top.
+  {
+    CircuitBreaker::ProbeGuard guard(&f.breaker);
+    guard.Success();
+  }
+  EXPECT_EQ(f.breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(f.breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ProbeGuardFailureReopensLikeRecordFailure) {
+  BreakerFixture f;
+  ASSERT_TRUE(f.breaker.AllowRequest());
+  f.breaker.RecordFailure();
+  ASSERT_TRUE(f.breaker.AllowRequest());
+  f.breaker.RecordFailure();
+  f.now_micros = 1000;
+  ASSERT_TRUE(f.breaker.AllowRequest());
+  {
+    CircuitBreaker::ProbeGuard guard(&f.breaker);
+    guard.Failure();
+  }
+  EXPECT_EQ(f.breaker.state(), CircuitBreaker::State::kOpen);
+  f.now_micros = 1999;  // Fresh cooldown from the failed probe.
+  EXPECT_FALSE(f.breaker.AllowRequest());
+  f.now_micros = 2000;
+  EXPECT_TRUE(f.breaker.AllowRequest());
+}
+
+// Trip() is the quarantine entry point for out-of-band verdicts (the
+// maintenance scrubber proving a replica's store corrupt): it must force
+// open from EVERY state, start a fresh cooldown, and release a half-open
+// probe slot so the post-cooldown probe is not blocked by a pre-trip
+// attempt.
+TEST(CircuitBreakerTest, TripForcesOpenFromEveryState) {
+  // From closed.
+  {
+    BreakerFixture f;
+    f.breaker.Trip();
+    EXPECT_EQ(f.breaker.state(), CircuitBreaker::State::kOpen);
+    EXPECT_FALSE(f.breaker.AllowRequest());
+    f.now_micros = 1000;  // Cooldown from the trip.
+    EXPECT_TRUE(f.breaker.AllowRequest());
+  }
+  // From open: the cooldown restarts from the trip time.
+  {
+    BreakerFixture f;
+    ASSERT_TRUE(f.breaker.AllowRequest());
+    f.breaker.RecordFailure();
+    ASSERT_TRUE(f.breaker.AllowRequest());
+    f.breaker.RecordFailure();  // Open at t=0, until t=1000.
+    f.now_micros = 900;
+    f.breaker.Trip();  // Until t=1900 now.
+    f.now_micros = 1899;
+    EXPECT_FALSE(f.breaker.AllowRequest());
+    f.now_micros = 1900;
+    EXPECT_TRUE(f.breaker.AllowRequest());
+  }
+  // From half-open with a probe in flight: the stale probe's slot is
+  // released, so the post-cooldown probe is admitted.
+  {
+    BreakerFixture f;
+    ASSERT_TRUE(f.breaker.AllowRequest());
+    f.breaker.RecordFailure();
+    ASSERT_TRUE(f.breaker.AllowRequest());
+    f.breaker.RecordFailure();
+    f.now_micros = 1000;
+    ASSERT_TRUE(f.breaker.AllowRequest());  // Probe out, never resolved.
+    f.breaker.Trip();
+    EXPECT_EQ(f.breaker.state(), CircuitBreaker::State::kOpen);
+    f.now_micros = 2000;
+    EXPECT_TRUE(f.breaker.AllowRequest())
+        << "trip must release the pre-trip probe slot";
+    f.breaker.RecordSuccess();
+    EXPECT_EQ(f.breaker.state(), CircuitBreaker::State::kClosed);
+  }
 }
 
 // --- Serving-layer degradation ------------------------------------------

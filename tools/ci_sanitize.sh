@@ -14,7 +14,12 @@
 # and races hide) and "replication" (the replica-set + result-cache
 # differential suites: round-robin routing over lock-free cursors, breaker
 # failover, and generation-keyed cache eviction/replacement — run under
-# BOTH kinds, races on the routing side and leaks on the eviction side);
+# BOTH kinds, races on the routing side and leaks on the eviction side)
+# and "maintenance" (the self-healing plane: the daemon thread scrubbing
+# every replica's store and firing rebalances while queries and topology
+# changes race it — TSan territory — and the quarantine/rebuild path
+# replacing whole replicas and reclaiming stranded pages — ASan/leak
+# territory; also run under BOTH kinds);
 # see tests/CMakeLists.txt. The ASan run additionally
 # covers "storage" (the durable page store: shadow-paging recovery,
 # kill-at-each-fsync-point reopen, snapshot corruption rejection — raw
@@ -75,7 +80,7 @@ cmake -B "$BUILD_DIR" -S "$SRC_DIR" \
 TARGETS="thread_pool_test query_service_test sharded_engine_test \
          shard_stress_test histogram_test partition_invariance_test \
          cost_model_test fault_injection_test replication_test \
-         result_cache_test"
+         result_cache_test maintenance_test"
 if [ "$KIND" = address ]; then
   TARGETS="$TARGETS disk_storage_test snapshot_test storage_differential_test"
 fi
@@ -93,7 +98,7 @@ fi
 
 # One ctest invocation per label (gtest_discover_tests supports only one
 # label per binary, so the gate's coverage is the union of these runs).
-LABELS="concurrency partitioning robustness replication"
+LABELS="concurrency partitioning robustness replication maintenance"
 if [ "$KIND" = address ]; then
   LABELS="$LABELS storage"
 fi
